@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one row/series of a paper table or figure and
+attaches the simulated value (and the paper's value where applicable) to
+``benchmark.extra_info``, so ``--benchmark-verbose`` output reads like the
+publication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.systems import get_system
+from repro.sim.engine import PerfEngine
+from repro.sim.noise import QUIET
+
+
+@pytest.fixture(scope="session")
+def engines() -> dict[str, PerfEngine]:
+    return {
+        name: PerfEngine(get_system(name), noise=QUIET)
+        for name in ("aurora", "dawn", "jlse-h100", "jlse-mi250")
+    }
+
+
+@pytest.fixture(scope="session")
+def aurora(engines) -> PerfEngine:
+    return engines["aurora"]
+
+
+@pytest.fixture(scope="session")
+def dawn(engines) -> PerfEngine:
+    return engines["dawn"]

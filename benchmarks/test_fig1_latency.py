@@ -1,0 +1,60 @@
+"""Regenerate Figure 1: memory-latency curves for all four systems.
+
+The benchmark runs the real pointer chase (ring and coalesced-16 modes)
+at test scale and produces the cycle-latency curve the figure plots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure1
+from repro.micro.lats import build_chain, chase, chase_coalesced, latency_curve
+
+
+def test_figure1_all_series(benchmark):
+    series = benchmark(figure1)
+    names = {s.system for s in series}
+    assert names == {"aurora", "dawn", "jlse-h100", "jlse-mi250"}
+
+
+@pytest.mark.parametrize("system", ["aurora", "dawn", "jlse-h100", "jlse-mi250"])
+def test_latency_curve_per_system(benchmark, engines, system):
+    engine = engines[system]
+    sizes, lats = benchmark(lambda: latency_curve(engine))
+    benchmark.extra_info["L1_cycles"] = f"{lats[0]:.0f}"
+    benchmark.extra_info["HBM_cycles"] = f"{lats[-1]:.0f}"
+    assert np.all(np.diff(lats) >= -1e-9)
+
+
+@pytest.mark.parametrize("mode", ["ring", "coalesced"])
+def test_functional_pointer_chase(benchmark, mode):
+    """The actual dependent-load chase the lats benchmark times."""
+    chain = build_chain(4096, seed=1, ring=(mode == "ring"))
+
+    if mode == "coalesced":
+        result = benchmark(lambda: chase_coalesced(chain, 2048))
+        assert result.shape == (16,)
+    else:
+        result = benchmark(lambda: chase(chain, 2048))
+        assert 0 <= result < 4096
+
+
+def test_relative_latency_claims(benchmark, engines):
+    """PVC vs H100/MI250 latency ratios (Section IV-B.6)."""
+
+    def ratios():
+        pvc = engines["aurora"].device.memory
+        h100 = engines["jlse-h100"].device.memory
+        mi250 = engines["jlse-mi250"].device.memory
+        return {
+            level: (
+                pvc[level].latency_cycles / h100[level].latency_cycles,
+                pvc[level].latency_cycles / mi250[level].latency_cycles,
+            )
+            for level in ("L1", "L2", "HBM")
+        }
+
+    out = benchmark(ratios)
+    assert out["L1"][0] == pytest.approx(1.90, abs=0.02)
+    assert out["L1"][1] == pytest.approx(0.49, abs=0.02)
+    assert out["HBM"][0] == pytest.approx(1.23, abs=0.02)

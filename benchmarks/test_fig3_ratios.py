@@ -1,0 +1,34 @@
+"""Regenerate Figure 3: FOMs relative to JLSE-H100 + expected bars."""
+
+import pytest
+
+from repro.analysis.figures import figure3
+
+
+def test_figure3_series(benchmark):
+    points = benchmark(figure3)
+    by_key = {(p.app, p.scope): p for p in points}
+
+    # Single-GPU (one PVC vs one H100) range "from 0.6x and 1.8x".
+    gpu_ratios = [p.ratio for p in points if p.scope == "gpu" and p.ratio]
+    assert min(gpu_ratios) == pytest.approx(0.61, abs=0.05)
+    assert max(gpu_ratios) == pytest.approx(1.76, abs=0.1)
+
+    # Full-node range "0.6x (Cloverleaf) ... 1.3x (miniQMC)".
+    node_ratios = {
+        p.app: p.ratio for p in points if p.scope == "node" and p.ratio
+    }
+    assert node_ratios["cloverleaf:dawn"] == pytest.approx(0.64, abs=0.05)
+    assert node_ratios["miniqmc:dawn"] == pytest.approx(1.32, abs=0.08)
+
+    # CloverLeaf expected bar: 2 / 3.35 = 0.59.
+    clv = by_key[("cloverleaf:aurora", "gpu")]
+    assert clv.expected.ratio == pytest.approx(0.597, abs=0.02)
+
+
+def test_minibude_above_expected(benchmark):
+    """'we see miniBUDE performing better than expected'."""
+    points = benchmark(figure3)
+    for p in points:
+        if p.app.startswith("minibude") and p.expected.ratio is not None:
+            assert p.ratio > p.expected.ratio

@@ -1,0 +1,36 @@
+"""Regenerate Figure 4: FOMs relative to JLSE-MI250 + expected bars."""
+
+import pytest
+
+from repro.analysis.figures import figure4
+
+
+def test_figure4_series(benchmark):
+    points = benchmark(figure4)
+
+    # Per-stack-vs-GCD range "from 0.8x to 7.5x".
+    stack_points = [p for p in points if p.scope == "stack" and p.ratio]
+    ratios = {p.app: p.ratio for p in stack_points}
+    assert min(ratios.values()) == pytest.approx(0.81, abs=0.06)
+    assert max(ratios.values()) == pytest.approx(7.44, abs=0.4)
+    assert min(ratios, key=ratios.get).startswith("cloverleaf")
+    assert max(ratios, key=ratios.get).startswith("miniqmc")
+
+    # miniBUDE expected bar for Aurora: "1.0X (23 / (45.3/2))".
+    for p in stack_points:
+        if p.app == "minibude:aurora":
+            assert p.expected.ratio == pytest.approx(1.0, abs=0.03)
+
+
+def test_miniqmc_mi250_penalty(benchmark):
+    """MI250 miniQMC is an order of magnitude slower (software)."""
+    points = benchmark(figure4)
+    qmc = [p.ratio for p in points if p.app.startswith("miniqmc") and p.ratio]
+    assert max(qmc) > 10.0
+
+
+def test_rimp2_has_no_mi250_ratio(benchmark):
+    points = benchmark(figure4)
+    for p in points:
+        if p.app.startswith("rimp2"):
+            assert p.ratio is None

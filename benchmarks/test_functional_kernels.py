@@ -1,0 +1,97 @@
+"""Throughput of the functional (really-computing) kernels.
+
+These are genuine wall-clock benchmarks of the NumPy substrate: the FFT
+stack vs numpy.fft, the blocked GEMM, the Euler step, delta-tracking
+transport, docking energies, QMC sweeps, and the N-body force kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.hacc import NBodySystem, crk_interpolate
+from repro.apps.openmc import TransportProblem, smr_materials
+from repro.micro.fft import fft, fft2
+from repro.micro.gemm import blocked_gemm
+from repro.miniapps.cloverleaf import EulerSolver2D, sod_state
+from repro.miniapps.minibude import evaluate_poses, make_deck
+from repro.miniapps.miniqmc import HarmonicTrialWavefunction, VmcDriver
+
+rng = np.random.default_rng(0)
+
+
+class TestFftKernels:
+    _x_pow2 = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+    _x_bluestein = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+    _x_2d = rng.standard_normal((128, 128)) + 1j * rng.standard_normal((128, 128))
+
+    def test_radix2_4096(self, benchmark):
+        out = benchmark(lambda: fft(self._x_pow2))
+        assert np.allclose(out, np.fft.fft(self._x_pow2), atol=1e-7)
+
+    def test_bluestein_2000(self, benchmark):
+        out = benchmark(lambda: fft(self._x_bluestein))
+        assert np.allclose(out, np.fft.fft(self._x_bluestein), atol=1e-7)
+
+    def test_fft2_128(self, benchmark):
+        out = benchmark(lambda: fft2(self._x_2d))
+        assert np.allclose(out, np.fft.fft2(self._x_2d), atol=1e-6)
+
+
+class TestGemmKernel:
+    _a = rng.standard_normal((256, 256))
+    _b = rng.standard_normal((256, 256))
+
+    def test_blocked_gemm_256(self, benchmark):
+        out = benchmark(lambda: blocked_gemm(self._a, self._b, block=64))
+        assert np.allclose(out, self._a @ self._b)
+
+
+class TestHydroKernel:
+    def test_euler_step_128(self, benchmark):
+        solver = EulerSolver2D(sod_state(128), boundary="reflective")
+        benchmark(solver.step)
+        assert solver.steps_taken >= 1
+
+
+class TestTransportKernel:
+    def test_delta_tracking_2000_histories(self, benchmark):
+        problem = TransportProblem(smr_materials(), nmesh=4)
+        result = benchmark(lambda: problem.run(2000, seed=3))
+        assert result.histories == 2000
+
+
+class TestDockingKernel:
+    _deck = make_deck(n_ligand=64, n_protein=64, n_poses=256)
+
+    def test_pose_energies(self, benchmark):
+        energies = benchmark(lambda: evaluate_poses(self._deck))
+        assert energies.shape == (256,)
+
+
+class TestQmcKernel:
+    def test_vmc_sweep(self, benchmark):
+        driver = VmcDriver(
+            HarmonicTrialWavefunction(alpha=1.0), n_walkers=256, n_electrons=16
+        )
+        energies = benchmark(driver.step)
+        assert np.allclose(energies, 24.0, atol=1e-9)
+
+
+class TestNbodyKernels:
+    _system = NBodySystem(
+        pos=rng.uniform(-1, 1, (256, 3)),
+        vel=rng.normal(0, 0.05, (256, 3)),
+        mass=np.full(256, 1.0 / 256),
+        softening=0.05,
+    )
+
+    def test_direct_forces_256(self, benchmark):
+        acc = benchmark(self._system.accelerations)
+        assert acc.shape == (256, 3)
+
+    def test_crk_interpolation_200(self, benchmark):
+        pos = rng.uniform(0, 1, (200, 3))
+        vol = np.full(200, 1.0 / 200)
+        field = 1.0 + pos[:, 0]
+        out = benchmark(lambda: crk_interpolate(pos, vol, field, h=0.4))
+        assert np.allclose(out, field, atol=1e-9)

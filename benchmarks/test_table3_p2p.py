@@ -1,0 +1,34 @@
+"""Regenerate Table III: stack-to-stack point-to-point bandwidths."""
+
+import pytest
+
+from repro.analysis.paper_values import TABLE_III
+from repro.core.runner import RunPlan
+from repro.micro.p2p import P2PBandwidth
+
+_PLAN = RunPlan(repetitions=3, warmup=1)
+
+_ROWS = {
+    "local_uni": ("local", False),
+    "local_bidir": ("local", True),
+    "remote_uni": ("remote", False),
+    "remote_bidir": ("remote", True),
+}
+
+
+@pytest.mark.parametrize("system", ["aurora", "dawn"])
+@pytest.mark.parametrize("pairs", ["one", "all"])
+@pytest.mark.parametrize("row", sorted(_ROWS))
+def test_table3_row(benchmark, engines, system, pairs, row):
+    paper = TABLE_III[row][system][pairs]
+    if paper is None:
+        pytest.skip("cell not measured in the paper ('-')")
+    engine = engines[system]
+    pair_class, bidir = _ROWS[row]
+    bench = P2PBandwidth(pair_class, bidirectional=bidir)
+    n = 1 if pairs == "one" else engine.node.n_stacks
+
+    result = benchmark(lambda: bench.measure(engine, n, _PLAN))
+    benchmark.extra_info["simulated"] = str(result.quantity)
+    benchmark.extra_info["paper"] = f"{paper / 1e9:.0f} GB/s"
+    assert result.value == pytest.approx(paper, rel=0.08)

@@ -1,0 +1,68 @@
+"""Regenerate Table VI: every mini-app/application FOM cell.
+
+Each benchmark runs the app's *functional* kernel at test scale (so the
+measured wall time is real compute) and reproduces the paper-scale FOM
+through the performance model.
+"""
+
+import pytest
+
+from repro.analysis.paper_values import TABLE_VI
+from repro.apps import Hacc, OpenMc
+from repro.errors import BuildError
+from repro.miniapps import CloverLeaf, MiniBude, MiniQmc, Rimp2
+
+_APPS = {
+    "minibude": MiniBude,
+    "cloverleaf": CloverLeaf,
+    "miniqmc": MiniQmc,
+    "rimp2": Rimp2,
+    "openmc": OpenMc,
+    "hacc": Hacc,
+}
+
+_CELLS = [
+    (app, system, scope)
+    for app, columns in TABLE_VI.items()
+    for system, cells in columns.items()
+    for scope, value in cells.items()
+    if value is not None
+]
+
+
+def _functional(app_key, app):
+    if app_key == "minibude":
+        return lambda: app.run_functional()
+    if app_key == "cloverleaf":
+        return lambda: app.run_functional(n=32, steps=3)
+    if app_key == "miniqmc":
+        return lambda: app.run_functional(n_walkers=16, n_electrons=4, steps=5)
+    if app_key == "rimp2":
+        return lambda: app.run_functional()
+    if app_key == "openmc":
+        return lambda: app.run_functional(n_particles=300)
+    return lambda: app.run_functional(n_particles=24, steps=2)
+
+
+@pytest.mark.parametrize("app_key,system,scope", _CELLS)
+def test_table6_cell(benchmark, engines, app_key, system, scope):
+    engine = engines[system]
+    app = _APPS[app_key]()
+    n = engine.node.n_stacks if scope == "node" else int(scope)
+    paper = TABLE_VI[app_key][system][scope]
+
+    benchmark(_functional(app_key, app))
+    fom = app.fom(engine, n)
+    benchmark.extra_info["fom_simulated"] = f"{fom:.4g} {app.fom_spec.unit}"
+    benchmark.extra_info["fom_paper"] = f"{paper:.4g}"
+    assert fom == pytest.approx(paper, rel=0.10)
+
+
+def test_rimp2_mi250_build_failure(benchmark, engines):
+    """The paper's '-' cells: the AMD Fortran build fails."""
+
+    def attempt():
+        with pytest.raises(BuildError):
+            Rimp2().fom(engines["jlse-mi250"], 1)
+
+    benchmark(attempt)

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a PVC stack in ten lines.
+
+Builds the Aurora node model, asks the engine for the headline rates of
+the paper's Table II, and runs one real microbenchmark through the
+repeat-and-take-best protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PerfEngine, Precision, get_system
+from repro.micro import PeakFlops, Triad
+
+def main() -> None:
+    system = get_system("aurora")
+    engine = PerfEngine(system)
+
+    print(system.node.describe())
+    print(f"software: {system.software}")
+    print()
+
+    # Derived + calibrated rates (Table II, One Stack column).
+    print("One PVC stack on Aurora:")
+    print(f"  FP64 peak flops : {engine.fma_rate(Precision.FP64) / 1e12:6.1f} TFlop/s")
+    print(f"  FP32 peak flops : {engine.fma_rate(Precision.FP32) / 1e12:6.1f} TFlop/s")
+    print(f"  stream triad    : {engine.stream_bw() / 1e12:6.2f} TB/s")
+    print(f"  DGEMM           : {engine.gemm_rate(Precision.FP64) / 1e12:6.1f} TFlop/s")
+    print()
+
+    # A real microbenchmark run: functional FMA chain + best-of-5 protocol.
+    result = PeakFlops(Precision.FP64).measure(engine, n_stacks=1)
+    print(f"peak_flops benchmark ({len(result.samples)} reps, best kept):")
+    print(f"  {result.describe()}")
+    print(f"  run-to-run spread: {result.samples.spread:.2%}")
+    print()
+
+    result = Triad().measure(engine, n_stacks=system.n_stacks)
+    print(f"full-node triad: {result.quantity}  (paper: 12 TB/s)")
+
+if __name__ == "__main__":
+    main()

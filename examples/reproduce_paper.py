@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper in one run.
+
+The artifact-evaluation flow of the appendix, end to end:
+
+* Tables I-VI regenerated from the simulation;
+* Figures 1-4 as printed data series with the expected-performance bars;
+* every prose claim of the evaluation section checked.
+
+Run:  python examples/reproduce_paper.py          (full output)
+      python examples/reproduce_paper.py --quick  (tables II/VI + claims)
+"""
+
+import sys
+
+from repro.analysis import (
+    all_claims,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table_i,
+    table_ii,
+    table_iii,
+    table_iv,
+    table_v,
+    table_vi,
+)
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+def print_ratios(points, label: str) -> None:
+    banner(label)
+    for p in points:
+        measured = "   - " if p.ratio is None else f"{p.ratio:5.2f}"
+        bar = (
+            "          "
+            if p.expected.ratio is None
+            else f"bar {p.expected.ratio:5.2f}"
+        )
+        note = ""
+        if p.within_expectation is True:
+            note = "  as expected"
+        elif p.within_expectation is False:
+            note = "  deviates (discussed in the paper)"
+        print(f"  {p.app:22s} {p.scope:10s} {measured}x  {bar}{note}")
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+
+    if not quick:
+        banner("Table I: microbenchmark summary")
+        print(table_i())
+
+    banner("Table II: microbenchmark results")
+    print(table_ii().render())
+
+    if not quick:
+        banner("Table III: stack-to-stack point-to-point")
+        print(table_iii().render())
+
+        banner("Table IV: reference GPU characteristics")
+        print(table_iv().render())
+
+        banner("Table V: mini-app and application descriptions")
+        print(table_v())
+
+    banner("Table VI: mini-app and application FOMs")
+    print(table_vi().render())
+
+    if not quick:
+        banner("Figure 1: memory latency (cycles) vs working set")
+        for series in figure1():
+            picks = [0, len(series.sizes_bytes) // 2, len(series.sizes_bytes) - 1]
+            cells = "  ".join(
+                f"{int(series.sizes_bytes[i]) >> 10:>9d}KiB:{series.latency_cycles[i]:6.0f}"
+                for i in picks
+            )
+            print(f"  {series.system:12s} {cells}")
+
+        print_ratios(figure2(), "Figure 2: Aurora relative to Dawn")
+        print_ratios(figure3(), "Figure 3: relative to JLSE-H100")
+        print_ratios(figure4(), "Figure 4: relative to JLSE-MI250")
+
+    banner("Evaluation-section claims")
+    claims = all_claims()
+    width = max(len(c.name) for c in claims)
+    passed = 0
+    for c in claims:
+        mark = "ok " if c.holds else "FAIL"
+        passed += c.holds
+        print(f"  [{mark}] {c.name:{width}s}  paper: {c.paper:24s} sim: {c.simulated}")
+    print(f"\n  {passed}/{len(claims)} claims reproduced")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Launch tuning, power, and the extension systems.
+
+Three studies the paper's discussion motivates but doesn't tabulate:
+
+1. the miniBUDE (ppwi x work-group) autotuning sweep — the search the
+   paper runs "to find the fastest result";
+2. energy-to-solution and flops/W under the two PVC power caps (Aurora
+   500 W vs Dawn 600 W) and on the reference GPUs;
+3. the extension systems: a Frontier MI250X node and the A100 data point
+   (Section V-B.2's "62% of its peak").
+
+Run:  python examples/tuning_energy_tradeoffs.py
+"""
+
+from repro import PerfEngine, Precision, get_system
+from repro.hw.extensions import frontier, jlse_a100
+from repro.miniapps import BudeAutotuner, MiniBude
+from repro.sim.kernel import gemm_kernel
+from repro.sim.power import PowerModel
+
+def tuning_study() -> None:
+    print("1. miniBUDE launch-parameter autotuning on one Aurora stack")
+    tuner = BudeAutotuner(PerfEngine(get_system("aurora")))
+    print("   ppwi \\ wgsize:   32     64    128    256    512   1024")
+    for ppwi in (1, 4, 16, 32, 128):
+        row = [tuner.throughput(ppwi, w) for w in (32, 64, 128, 256, 512, 1024)]
+        print(f"   {ppwi:4d}        " + "".join(f"{v:7.0f}" for v in row))
+    best = tuner.best()
+    print(f"   best: {best}")
+    print(f"   tuned fraction of FP32 peak: {tuner.tuned_fraction_of_peak():.0%}"
+          f"  (paper: ~45-50% on PVC)")
+
+def power_study() -> None:
+    print("\n2. power and energy-to-solution (DGEMM, N=20480, full node)")
+    spec = gemm_kernel(Precision.FP64)
+    print(f"   {'system':14s} {'cap/card':>9s} {'node GPU W':>11s}"
+          f" {'time':>8s} {'energy':>9s} {'GF/J':>7s}")
+    for name in ("aurora", "dawn", "jlse-h100", "jlse-mi250"):
+        engine = PerfEngine(get_system(name))
+        pm = PowerModel(engine)
+        report = pm.energy_to_solution(spec, engine.node.n_stacks)
+        print(
+            f"   {name:14s} {pm.card_cap_w:7.0f} W {pm.node_power_budget_w():9.0f} W"
+            f" {report.time_s * 1e3:6.1f}ms {report.energy_j:7.1f} J"
+            f" {report.work_per_joule / 1e9:7.1f}"
+        )
+    a = PowerModel(PerfEngine(get_system("aurora")))
+    d = PowerModel(PerfEngine(get_system("dawn")))
+    print(f"   FP64 efficiency: Aurora {a.flops_per_watt(Precision.FP64)/1e9:.0f}"
+          f" vs Dawn {d.flops_per_watt(Precision.FP64)/1e9:.0f} GFlop/s/W")
+
+def extension_study() -> None:
+    print("\n3. extension systems (future-work comparisons)")
+    app = MiniBude()
+    for system in (frontier(), jlse_a100()):
+        engine = PerfEngine(system)
+        print(f"   {system.node.describe()}")
+        print(
+            f"     DGEMM/GCD-or-GPU: {engine.gemm_rate(Precision.FP64, 1)/1e12:5.1f} TFlop/s"
+            f"   stream: {engine.stream_bw(1)/1e12:4.2f} TB/s"
+        )
+        fom = app.fom(engine, 1)
+        frac = app.achieved_fp32_fraction(engine)
+        print(f"     miniBUDE: {fom:6.1f} GInteractions/s ({frac:.0%} of peak)")
+    print("   (paper: A100 'reached 62% of its peak'; Frontier numbers "
+          "match its Table IV MI250x column)")
+
+def main() -> None:
+    tuning_study()
+    power_study()
+    extension_study()
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments lacking the ``wheel`` package:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

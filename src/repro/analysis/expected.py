@@ -1,0 +1,146 @@
+"""Expected-relative-performance "black bars" (Figures 2-4).
+
+The paper's appendix spells out the recipe:
+
+* each mini-app has a *bound* (Table V: miniBUDE -> FP32 flops,
+  CloverLeaf -> memory bandwidth, RI-MP2 -> DGEMM);
+* the expected ratio between two systems is the ratio of that bound's
+  **measured microbenchmark value** on the PVC systems (Table II) to the
+  measured value (Fig 2) or **theoretical peak** (Figs 3-4, Table IV) on
+  the reference system;
+* e.g. miniBUDE Aurora/Dawn = 23/26 = 0.88x; CloverLeaf one-GPU vs H100 =
+  2 TB/s / 3.35 TB/s = 0.59x; miniBUDE one-Stack vs one MI250 GCD =
+  23 / (45.3/2) = 1.0x.
+
+miniQMC gets no bar: "miniQMC does not have the expected performance
+bars ... since it is affected by CPU congestion and GPU instruction
+throughput ... not captured by the microbenchmarks."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import Precision
+from ..sim.engine import PerfEngine
+from .paper_values import TABLE_IV
+
+__all__ = ["ExpectedBar", "fig2_expected", "fig3_expected", "fig4_expected"]
+
+_MINIAPPS = ("minibude", "cloverleaf", "miniqmc", "rimp2")
+
+
+@dataclass(frozen=True, slots=True)
+class ExpectedBar:
+    """One black bar: the expected ratio and how it was computed."""
+
+    app: str
+    scope: str
+    ratio: float | None
+    formula: str
+
+
+def _bound_value(app: str, engine: PerfEngine, n_stacks: int) -> float | None:
+    """The measured microbenchmark value of the app's bound resource."""
+    if app == "minibude":
+        return engine.fma_rate(Precision.FP32, n_stacks)
+    if app == "cloverleaf":
+        return engine.stream_bw(n_stacks)
+    if app == "rimp2":
+        return engine.gemm_rate(Precision.FP64, n_stacks)
+    return None  # miniQMC: no bar
+
+
+def _reference_peak(app: str, reference: str, n_devices: int) -> float | None:
+    """Theoretical bound peak of the reference system (Table IV)."""
+    table = TABLE_IV[reference]
+    if app == "minibude":
+        peak = table["fp32_peak"]
+    elif app == "cloverleaf":
+        peak = table["mem_bw"]
+    elif app == "rimp2":
+        peak = table["fp64_peak"]
+    else:
+        return None
+    assert peak is not None
+    if reference == "mi250" and n_devices == 1:
+        # One GCD owns half the card's peak (the appendix's "divided by
+        # two since it's run on a single GCD").
+        return peak / 2.0
+    return peak * n_devices if reference == "h100" else peak * (n_devices / 2.0)
+
+
+def fig2_expected(app: str, engine_aurora: PerfEngine, engine_dawn: PerfEngine,
+                  n_stacks_aurora: int = 1, n_stacks_dawn: int | None = None) -> ExpectedBar:
+    """Aurora-relative-to-Dawn bar at matching scopes."""
+    if app not in _MINIAPPS:
+        raise ValueError(f"no Figure 2 bar for {app!r}")
+    if n_stacks_dawn is None:
+        n_stacks_dawn = n_stacks_aurora
+    a = _bound_value(app, engine_aurora, n_stacks_aurora)
+    d = _bound_value(app, engine_dawn, n_stacks_dawn)
+    if a is None or d is None:
+        return ExpectedBar(app, f"{n_stacks_aurora} stacks", None,
+                           "no bar: bound not captured by the microbenchmarks")
+    return ExpectedBar(
+        app,
+        f"{n_stacks_aurora} stacks",
+        a / d,
+        f"bound(aurora, {n_stacks_aurora}) / bound(dawn, {n_stacks_dawn})",
+    )
+
+
+def _vs_reference(
+    app: str,
+    engine_pvc: PerfEngine,
+    reference: str,
+    scope: str,
+    pvc_stacks: int,
+    ref_devices: int,
+) -> ExpectedBar:
+    measured = _bound_value(app, engine_pvc, pvc_stacks)
+    peak = _reference_peak(app, reference, ref_devices)
+    if measured is None or peak is None:
+        return ExpectedBar(app, scope, None,
+                           "no bar: bound not captured by the microbenchmarks")
+    return ExpectedBar(
+        app,
+        scope,
+        measured / peak,
+        f"measured bound({engine_pvc.system.name}, {pvc_stacks} stacks) / "
+        f"theoretical {reference} peak x {ref_devices}",
+    )
+
+
+def fig3_expected(
+    app: str, engine_pvc: PerfEngine, scope: str = "gpu"
+) -> ExpectedBar:
+    """PVC-system-relative-to-JLSE-H100 bar.
+
+    ``scope``: "gpu" compares one PVC (two stacks) to one H100; "node"
+    compares full nodes.
+    """
+    if scope == "gpu":
+        return _vs_reference(app, engine_pvc, "h100", scope, 2, 1)
+    if scope == "node":
+        return _vs_reference(
+            app, engine_pvc, "h100", scope, engine_pvc.node.n_stacks, 4
+        )
+    raise ValueError(f"bad scope {scope!r}")
+
+
+def fig4_expected(
+    app: str, engine_pvc: PerfEngine, scope: str = "stack"
+) -> ExpectedBar:
+    """PVC-system-relative-to-JLSE-MI250 bar.
+
+    ``scope``: "stack" compares one stack to one GCD; "node" compares the
+    full PVC node to the 4-card (8-GCD) MI250 node.
+    """
+    if scope == "stack":
+        return _vs_reference(app, engine_pvc, "mi250", scope, 1, 1)
+    if scope == "node":
+        return _vs_reference(
+            app, engine_pvc, "mi250", scope, engine_pvc.node.n_stacks, 8
+        )
+    raise ValueError(f"bad scope {scope!r}")

@@ -1,0 +1,218 @@
+"""The paper's published numbers, as data.
+
+Everything the evaluation section reports is recorded here so the test
+suite and EXPERIMENTS.md generator can compare simulated output against
+the publication cell by cell.  Units are SI base units (flop/s, B/s);
+``None`` marks cells the paper prints as '-'.
+
+Scope keys: ``1`` = One Stack / One GPU / One GCD, ``2`` = One PVC
+(two stacks), ``"node"`` = the full node.
+"""
+
+from __future__ import annotations
+
+from ..core.units import GIGA, PETA, TERA
+
+__all__ = [
+    "TABLE_II",
+    "TABLE_III",
+    "TABLE_IV",
+    "TABLE_VI",
+    "SCALING_QUOTES",
+    "FIG1_RELATIVE_LATENCY",
+    "MINIBUDE_PEAK_FRACTIONS",
+    "scope_key",
+]
+
+# ---------------------------------------------------------------------------
+# Table II: microbenchmark results (Aurora, Dawn).
+# ---------------------------------------------------------------------------
+TABLE_II: dict[str, dict[str, dict[object, float]]] = {
+    "fp64_flops": {
+        "aurora": {1: 17 * TERA, 2: 33 * TERA, "node": 195 * TERA},
+        "dawn": {1: 20 * TERA, 2: 37 * TERA, "node": 140 * TERA},
+    },
+    "fp32_flops": {
+        "aurora": {1: 23 * TERA, 2: 45 * TERA, "node": 268 * TERA},
+        "dawn": {1: 26 * TERA, 2: 52 * TERA, "node": 207 * TERA},
+    },
+    "triad": {
+        "aurora": {1: 1 * TERA, 2: 2 * TERA, "node": 12 * TERA},
+        "dawn": {1: 1 * TERA, 2: 2 * TERA, "node": 8 * TERA},
+    },
+    "pcie_h2d": {
+        "aurora": {1: 54 * GIGA, 2: 55 * GIGA, "node": 329 * GIGA},
+        "dawn": {1: 53 * GIGA, 2: 54 * GIGA, "node": 218 * GIGA},
+    },
+    "pcie_d2h": {
+        "aurora": {1: 53 * GIGA, 2: 56 * GIGA, "node": 264 * GIGA},
+        "dawn": {1: 51 * GIGA, 2: 53 * GIGA, "node": 212 * GIGA},
+    },
+    "pcie_bidir": {
+        "aurora": {1: 76 * GIGA, 2: 77 * GIGA, "node": 350 * GIGA},
+        "dawn": {1: 72 * GIGA, 2: 72 * GIGA, "node": 285 * GIGA},
+    },
+    "dgemm": {
+        "aurora": {1: 13 * TERA, 2: 26 * TERA, "node": 151 * TERA},
+        "dawn": {1: 17 * TERA, 2: 30 * TERA, "node": 120 * TERA},
+    },
+    "sgemm": {
+        "aurora": {1: 21 * TERA, 2: 42 * TERA, "node": 242 * TERA},
+        "dawn": {1: 25 * TERA, 2: 48 * TERA, "node": 188 * TERA},
+    },
+    "hgemm": {
+        "aurora": {1: 207 * TERA, 2: 411 * TERA, "node": 2.3 * PETA},
+        "dawn": {1: 246 * TERA, 2: 509 * TERA, "node": 1.9 * PETA},
+    },
+    "bf16gemm": {
+        "aurora": {1: 216 * TERA, 2: 434 * TERA, "node": 2.4 * PETA},
+        "dawn": {1: 254 * TERA, 2: 501 * TERA, "node": 2.0 * PETA},
+    },
+    "tf32gemm": {
+        "aurora": {1: 107 * TERA, 2: 208 * TERA, "node": 1.2 * PETA},
+        "dawn": {1: 118 * TERA, 2: 200 * TERA, "node": 850 * TERA},
+    },
+    "i8gemm": {
+        "aurora": {1: 448 * TERA, 2: 864 * TERA, "node": 5.0 * PETA},
+        "dawn": {1: 525 * TERA, 2: 1.1 * PETA, "node": 4.1 * PETA},
+    },
+    "fft_1d": {
+        "aurora": {1: 3.1 * TERA, 2: 5.9 * TERA, "node": 33 * TERA},
+        "dawn": {1: 3.6 * TERA, 2: 6.6 * TERA, "node": 26 * TERA},
+    },
+    "fft_2d": {
+        "aurora": {1: 3.4 * TERA, 2: 6.0 * TERA, "node": 34 * TERA},
+        "dawn": {1: 3.6 * TERA, 2: 6.5 * TERA, "node": 25 * TERA},
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table III: stack-to-stack point-to-point (B/s).  Scope keys: "one" /
+# "all" pairs.
+# ---------------------------------------------------------------------------
+TABLE_III: dict[str, dict[str, dict[str, float | None]]] = {
+    "local_uni": {
+        "aurora": {"one": 197 * GIGA, "all": 1129 * GIGA},
+        "dawn": {"one": 196 * GIGA, "all": 786 * GIGA},
+    },
+    "local_bidir": {
+        "aurora": {"one": 284 * GIGA, "all": 1661 * GIGA},
+        "dawn": {"one": 287 * GIGA, "all": 1145 * GIGA},
+    },
+    "remote_uni": {
+        "aurora": {"one": 15 * GIGA, "all": 95 * GIGA},
+        "dawn": {"one": None, "all": None},
+    },
+    "remote_bidir": {
+        "aurora": {"one": 23 * GIGA, "all": 142 * GIGA},
+        "dawn": {"one": None, "all": None},
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table IV: reference GPU characteristics.
+# ---------------------------------------------------------------------------
+TABLE_IV: dict[str, dict[str, float | None]] = {
+    "h100": {
+        "fp32_peak": 67.0 * TERA,
+        "fp64_peak": 34.0 * TERA,
+        "sgemm": None,
+        "dgemm": None,
+        "mem_bw": 3.35 * TERA,  # the text uses 3.35 TB/s for the bars
+        "pcie_bw": 128.0 * GIGA,
+        "gcd_to_gcd": None,
+    },
+    "mi250": {
+        "fp32_peak": 45.3 * TERA,
+        "fp64_peak": 45.3 * TERA,
+        "sgemm": None,
+        "dgemm": None,
+        "mem_bw": 3.2 * TERA,
+        "pcie_bw": 64.0 * GIGA,
+        "gcd_to_gcd": None,
+    },
+    "mi250x_gcd": {
+        "fp32_peak": None,
+        "fp64_peak": None,
+        "sgemm": 33.8 * TERA,
+        "dgemm": 24.1 * TERA,
+        "mem_bw": 1.3 * TERA,
+        "pcie_bw": 25.0 * GIGA,
+        "gcd_to_gcd": 37.0 * GIGA,
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table VI: mini-app and application FOMs.  Scope keys: 1 (stack/GCD/GPU),
+# 2 (one PVC / two ranks), "node".
+# ---------------------------------------------------------------------------
+TABLE_VI: dict[str, dict[str, dict[object, float | None]]] = {
+    "minibude": {
+        "aurora": {1: 293.02, 2: None, "node": None},
+        "dawn": {1: 366.17, 2: None, "node": None},
+        "jlse-h100": {1: 638.40, "node": None},
+        "jlse-mi250": {1: 193.66, "node": None},
+    },
+    "cloverleaf": {
+        "aurora": {1: 20.82, 2: 40.41, "node": 240.89},
+        "dawn": {1: 22.46, 2: 41.92, "node": 167.15},
+        "jlse-h100": {1: 65.87, "node": 261.37},
+        "jlse-mi250": {1: 25.71, "node": 192.68},
+    },
+    "miniqmc": {
+        "aurora": {1: 3.16, 2: 5.39, "node": 15.64},
+        "dawn": {1: 3.72, 2: 6.85, "node": 16.28},
+        "jlse-h100": {1: 3.89, "node": 12.32},
+        "jlse-mi250": {1: 0.50, "node": 0.90},
+    },
+    "rimp2": {
+        "aurora": {1: 19.44, 2: 38.50, "node": 197.08},
+        "dawn": {1: 24.57, 2: 43.88, "node": 164.71},
+        "jlse-h100": {1: 49.30, "node": 168.97},
+        "jlse-mi250": {1: None, "node": None},
+    },
+    "openmc": {
+        "aurora": {"node": 2039.0},
+        "dawn": {"node": None},
+        "jlse-h100": {"node": 1191.0},
+        "jlse-mi250": {"node": 720.0},
+    },
+    "hacc": {
+        "aurora": {"node": 13.81},
+        "dawn": {"node": 12.26},
+        "jlse-h100": {"node": 12.46},
+        "jlse-mi250": {"node": 10.70},
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Prose claims used as shape assertions.
+# ---------------------------------------------------------------------------
+
+#: Section IV-B.1/2: flops scaling efficiencies.
+SCALING_QUOTES = {
+    "aurora": {"two_stacks": 0.97, "full_node": 0.95},
+    "dawn": {"two_stacks": 0.92, "full_node": 0.88},
+}
+
+#: Section IV-B.6: PVC latency relative to H100 and MI250 per level.
+FIG1_RELATIVE_LATENCY = {
+    "L1": {"vs_h100": +0.90, "vs_mi250": -0.51},
+    "L2": {"vs_h100": +0.50, "vs_mi250": +0.78},
+    "HBM": {"vs_h100": +0.23, "vs_mi250": +0.44},
+}
+
+#: Section V-B: miniBUDE achieved fraction of FP32 peak (prose, rounded).
+MINIBUDE_PEAK_FRACTIONS = {
+    "aurora": 0.45,
+    "dawn": 0.49,
+    "jlse-h100": 0.30,
+    "jlse-mi250": 0.26,
+}
+
+
+def scope_key(n_stacks: int, node_stacks: int) -> object:
+    """Map a stack count to this module's scope keys."""
+    if n_stacks == node_stacks:
+        return "node"
+    return n_stacks

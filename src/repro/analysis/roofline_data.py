@@ -1,0 +1,101 @@
+"""Roofline chart data for the four systems.
+
+Not a figure in the paper, but the analytical frame its microbenchmark
+discussion lives in: each system's roof (memory-bandwidth slope meeting
+the compute ceiling at the ridge point) with the paper's kernels placed
+on it.  Returns plain data series for any plotting frontend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dtypes import Precision
+from ..sim.engine import PerfEngine
+from ..sim.kernel import (
+    KernelSpec,
+    fma_chain_kernel,
+    gemm_kernel,
+    triad_kernel,
+)
+
+__all__ = ["RooflineSeries", "KernelPoint", "roofline_series", "paper_kernels"]
+
+
+@dataclass(frozen=True)
+class RooflineSeries:
+    """One system's roofline: attainable flop/s vs arithmetic intensity."""
+
+    system: str
+    precision: Precision
+    intensity: np.ndarray  # flop/byte
+    attainable: np.ndarray  # flop/s
+    ridge_intensity: float
+    compute_roof: float
+    memory_slope: float
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel placed on the roofline."""
+
+    name: str
+    intensity: float
+    achieved: float
+    bound: str
+
+
+def roofline_series(
+    engine: PerfEngine,
+    precision: Precision = Precision.FP64,
+    n_stacks: int = 1,
+    intensities: np.ndarray | None = None,
+) -> RooflineSeries:
+    """The attainable-performance roof for one system/precision."""
+    roof = engine.fma_rate(precision, n_stacks)
+    bw = engine.stream_bw(n_stacks)
+    ridge = roof / bw
+    if intensities is None:
+        intensities = np.logspace(-2, np.log10(ridge * 32), 64)
+    attainable = np.minimum(roof, bw * intensities)
+    return RooflineSeries(
+        system=engine.system.name,
+        precision=precision,
+        intensity=intensities,
+        attainable=attainable,
+        ridge_intensity=ridge,
+        compute_roof=roof,
+        memory_slope=bw,
+    )
+
+
+def paper_kernels(
+    engine: PerfEngine, n_stacks: int = 1
+) -> list[KernelPoint]:
+    """The paper's kernels positioned on the system's roofline."""
+    specs: list[KernelSpec] = [
+        triad_kernel(),
+        gemm_kernel(Precision.FP64),
+        gemm_kernel(Precision.FP32),
+        fma_chain_kernel(Precision.FP64, lanes=2**20),
+    ]
+    points = []
+    for spec in specs:
+        result = engine.roofline(spec, n_stacks)
+        achieved = (
+            spec.flops / result.total_s if spec.flops else 0.0
+        )
+        intensity = spec.arithmetic_intensity
+        if not np.isfinite(intensity):
+            intensity = 1e6  # pure compute: park far right of the ridge
+        points.append(
+            KernelPoint(
+                name=spec.name,
+                intensity=float(intensity),
+                achieved=achieved,
+                bound=result.bound,
+            )
+        )
+    return points

@@ -1,0 +1,96 @@
+"""Intra-node scaling curves for every benchmark and app.
+
+The paper reports three scopes (one stack / one PVC / full node); this
+module fills in the whole 1..N curve, exposing *where* efficiency is
+lost — the data behind Section IV-B.1's scaling-efficiency quotes and
+Section V-B.1's miniQMC congestion discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dtypes import Precision
+from ..errors import BuildError, NotMeasuredError
+from ..sim.engine import PerfEngine
+
+__all__ = ["ScalingPoint", "ScalingStudy", "micro_scaling", "app_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    n_stacks: int
+    value: float
+    efficiency: float  # vs linear scaling of the 1-stack value
+
+
+@dataclass(frozen=True)
+class ScalingStudy:
+    """A full intra-node scaling curve."""
+
+    name: str
+    system: str
+    points: tuple[ScalingPoint, ...]
+
+    @property
+    def full_node_efficiency(self) -> float:
+        return self.points[-1].efficiency
+
+    def knee(self, threshold: float = 0.9) -> int | None:
+        """First stack count whose efficiency drops below *threshold*."""
+        for p in self.points:
+            if p.efficiency < threshold:
+                return p.n_stacks
+        return None
+
+
+def _study(
+    name: str,
+    engine: PerfEngine,
+    value_at: Callable[[int], float],
+) -> ScalingStudy:
+    points = []
+    base = None
+    for n in range(1, engine.node.n_stacks + 1):
+        try:
+            value = value_at(n)
+        except (NotMeasuredError, BuildError):
+            continue
+        if base is None:
+            base = value / n
+        points.append(
+            ScalingPoint(n, value, value / (base * n) if base else 0.0)
+        )
+    return ScalingStudy(name=name, system=engine.system.name, points=tuple(points))
+
+
+def micro_scaling(engine: PerfEngine) -> list[ScalingStudy]:
+    """Scaling curves for the Table II benchmark families."""
+    return [
+        _study("fp64_flops", engine, lambda n: engine.fma_rate(Precision.FP64, n)),
+        _study("fp32_flops", engine, lambda n: engine.fma_rate(Precision.FP32, n)),
+        _study("triad", engine, lambda n: engine.stream_bw(n)),
+        _study("dgemm", engine, lambda n: engine.gemm_rate(Precision.FP64, n)),
+        _study("fft1d", engine, lambda n: engine.fft_rate(1, n)),
+        _study(
+            "pcie_d2h",
+            engine,
+            lambda n: engine.transfers.node_host_bw(
+                "d2h", engine.node.stacks()[:n]
+            ),
+        ),
+    ]
+
+
+def app_scaling(engine: PerfEngine) -> list[ScalingStudy]:
+    """Scaling curves for the mini-apps (weak or strong per Table V)."""
+    from ..miniapps import CloverLeaf, MiniQmc, Rimp2
+
+    return [
+        _study("cloverleaf", engine, lambda n: CloverLeaf().fom(engine, n)),
+        _study("miniqmc", engine, lambda n: MiniQmc().fom(engine, n)),
+        _study("rimp2", engine, lambda n: Rimp2().fom(engine, n)),
+    ]

@@ -1,0 +1,40 @@
+"""The two science applications of Section VI.
+
+Importing this package registers both applications in the global registry.
+"""
+
+from .hacc import (
+    Hacc,
+    NBodySystem,
+    crk_coefficients,
+    crk_interpolate,
+    cubic_spline_kernel,
+    sph_density,
+    two_body_circular,
+)
+from .openmc import (
+    KEffResult,
+    KEigenvalueSolver,
+    Material,
+    OpenMc,
+    TransportProblem,
+    TransportResult,
+    smr_materials,
+)
+
+__all__ = [
+    "Hacc",
+    "NBodySystem",
+    "crk_coefficients",
+    "crk_interpolate",
+    "cubic_spline_kernel",
+    "sph_density",
+    "two_body_circular",
+    "KEffResult",
+    "KEigenvalueSolver",
+    "Material",
+    "OpenMc",
+    "TransportProblem",
+    "TransportResult",
+    "smr_materials",
+]

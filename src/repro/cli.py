@@ -1,0 +1,191 @@
+"""``pvc-bench`` command-line interface.
+
+Mirrors the artifact's run scripts::
+
+    pvc-bench table2            # Tables II  (microbenchmarks)
+    pvc-bench table3            # Table III  (P2P)
+    pvc-bench table4            # Table IV   (reference GPUs)
+    pvc-bench table6            # Table VI   (mini-app / app FOMs)
+    pvc-bench fig1              # memory-latency curves
+    pvc-bench fig2 | fig3 | fig4
+    pvc-bench claims            # every checked prose claim
+    pvc-bench systems           # node inventories
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    all_claims,
+    full_report,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    table_i,
+    table_ii,
+    table_iii,
+    table_iv,
+    table_v,
+    table_vi,
+)
+from .hw.systems import all_systems
+
+__all__ = ["main"]
+
+
+def _print_ratio_points(points, title: str) -> None:
+    print(title)
+    print("-" * 72)
+    for p in points:
+        measured = "-" if p.ratio is None else f"{p.ratio:5.2f}x"
+        expected = (
+            "(no bar)" if p.expected.ratio is None else f"expected {p.expected.ratio:5.2f}x"
+        )
+        flag = ""
+        if p.within_expectation is True:
+            flag = "  [as expected]"
+        elif p.within_expectation is False:
+            flag = "  [deviates]"
+        print(f"{p.app:22s} {p.scope:10s} {measured}  {expected}{flag}")
+
+
+def _cmd_fig1() -> None:
+    for series in figure1():
+        print(f"# {series.system}")
+        for size, cycles in zip(series.sizes_bytes, series.latency_cycles):
+            print(f"{int(size):>12d} B  {cycles:8.1f} cycles")
+        print()
+
+
+def _cmd_claims() -> None:
+    ok = 0
+    claims = all_claims()
+    for c in claims:
+        mark = "PASS" if c.holds else "FAIL"
+        ok += c.holds
+        print(f"[{mark}] {c.name}: paper {c.paper}; simulated {c.simulated}")
+    print(f"\n{ok}/{len(claims)} claims hold")
+
+
+def _cmd_systems() -> None:
+    for system in all_systems():
+        print(system.node.describe())
+        print(f"    software: {system.software}")
+
+
+def _cmd_selfcheck() -> None:
+    from .hw.extensions import frontier, jlse_a100
+    from .hw.selfcheck import self_check
+    from .hw.systems import all_systems
+
+    ok = total = 0
+    for system in all_systems() + [frontier(), jlse_a100()]:
+        for check in self_check(system):
+            total += 1
+            ok += check.passed
+            mark = "ok " if check.passed else "FAIL"
+            print(f"[{mark}] {system.name:12s} {check.name}"
+                  + (f"  ({check.detail})" if check.detail else ""))
+    print(f"\n{ok}/{total} checks pass")
+
+
+def _cmd_scaling() -> None:
+    from .analysis.scaling_study import app_scaling, micro_scaling
+    from .hw.systems import get_system
+    from .sim.engine import PerfEngine
+    from .sim.noise import QUIET
+
+    for name in ("aurora", "dawn"):
+        engine = PerfEngine(get_system(name), noise=QUIET)
+        print(f"# {name}")
+        for study in micro_scaling(engine) + app_scaling(engine):
+            knee = study.knee(0.9)
+            print(
+                f"  {study.name:12s} full-node eff {study.full_node_efficiency:6.1%}"
+                + (f"  (drops below 90% at {knee} stacks)" if knee else "")
+            )
+
+
+def _cmd_roofline() -> None:
+    from .analysis.roofline_data import paper_kernels, roofline_series
+    from .dtypes import Precision
+    from .hw.systems import get_system
+    from .sim.engine import PerfEngine
+    from .sim.noise import QUIET
+
+    for name in ("aurora", "dawn", "jlse-h100", "jlse-mi250"):
+        engine = PerfEngine(get_system(name), noise=QUIET)
+        series = roofline_series(engine, Precision.FP64)
+        print(
+            f"{name:12s} roof {series.compute_roof / 1e12:6.1f} TFlop/s  "
+            f"slope {series.memory_slope / 1e12:5.2f} TB/s  "
+            f"ridge {series.ridge_intensity:5.1f} flop/B"
+        )
+        for point in paper_kernels(engine):
+            print(
+                f"    {point.name:22s} AI {point.intensity:8.2f}  "
+                f"{point.achieved / 1e12:6.2f} TFlop/s  [{point.bound}]"
+            )
+
+
+def _cmd_top500() -> None:
+    from .extras.hpcg import HpcgModel, HplModel
+    from .hw.systems import get_system
+    from .sim.engine import PerfEngine
+    from .sim.noise import QUIET
+
+    print(f"{'system':14s} {'HPL/node':>12s} {'HPCG/node':>12s} {'HPCG/HPL':>9s}")
+    for name in ("aurora", "dawn", "jlse-h100", "jlse-mi250"):
+        engine = PerfEngine(get_system(name), noise=QUIET)
+        hpl = HplModel(engine).node_rate()
+        hpcg = HpcgModel(engine).node_rate()
+        print(
+            f"{name:14s} {hpl / 1e12:9.1f} TF {hpcg / 1e12:9.2f} TF"
+            f" {hpcg / hpl:8.1%}"
+        )
+
+
+_COMMANDS = {
+    "table1": lambda: print(table_i()),
+    "table2": lambda: print(table_ii().render()),
+    "table3": lambda: print(table_iii().render()),
+    "table4": lambda: print(table_iv().render()),
+    "table5": lambda: print(table_v()),
+    "table6": lambda: print(table_vi().render()),
+    "fig1": _cmd_fig1,
+    "fig2": lambda: _print_ratio_points(
+        figure2(), "Figure 2: FOMs on Aurora relative to Dawn"
+    ),
+    "fig3": lambda: _print_ratio_points(
+        figure3(), "Figure 3: FOMs relative to JLSE-H100"
+    ),
+    "fig4": lambda: _print_ratio_points(
+        figure4(), "Figure 4: FOMs relative to JLSE-MI250"
+    ),
+    "claims": _cmd_claims,
+    "systems": _cmd_systems,
+    "report": lambda: print(full_report()),
+    "roofline": _cmd_roofline,
+    "top500": _cmd_top500,
+    "selfcheck": _cmd_selfcheck,
+    "scaling": _cmd_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pvc-bench",
+        description="Regenerate the paper's tables and figures on the "
+        "simulated substrate.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS))
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

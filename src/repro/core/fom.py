@@ -1,0 +1,119 @@
+"""Figure-of-Merit definitions (paper Table V).
+
+Each mini-app/application has a FOM with a specific formula and a
+*performance bound* — the architectural resource the paper says limits it.
+The bound drives the "expected relative performance" black bars of
+Figures 2-4 (see :mod:`repro.analysis.expected`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Bound", "FomSpec", "FOM_SPECS"]
+
+
+class Bound(enum.Enum):
+    """Architectural resource bounding an application (Table V)."""
+
+    FP32_FLOPS = "FP32 flop-rate bound"
+    FP64_FLOPS = "FP64 flop-rate bound"
+    MEMORY_BW = "Memory bandwidth bound"
+    DGEMM = "DGEMM bound"
+    MIXED_CPU = "Compute/Memory BW bound, CPU congestion bound"
+    MEMORY_LATENCY = "Memory latency/bandwidth bound"
+    CPU_BW_FP32 = "CPU memory BW bound, GPU FP32 flop-rate bound"
+
+
+class Scaling(enum.Enum):
+    """MPI scaling mode used by the paper when going to a full node."""
+
+    NONE = "N/A"
+    WEAK = "Weak"
+    STRONG = "Strong"
+
+
+@dataclass(frozen=True, slots=True)
+class FomSpec:
+    """One row of the paper's Table V."""
+
+    name: str
+    domain: str
+    language: str
+    programming_model: str
+    bound: Bound
+    scaling: Scaling
+    formula: str
+    unit: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} ({self.domain}): {self.bound.value}; "
+            f"FOM = {self.formula} [{self.unit}], scaling: {self.scaling.value}"
+        )
+
+
+#: Table V, one entry per mini-app / application.
+FOM_SPECS: dict[str, FomSpec] = {
+    "minibude": FomSpec(
+        name="miniBUDE",
+        domain="BioChemistry",
+        language="C++",
+        programming_model="SYCL, HIP, CUDA",
+        bound=Bound.FP32_FLOPS,
+        scaling=Scaling.NONE,
+        formula="Billion Interactions / time(s)",
+        unit="GInteractions/s",
+    ),
+    "cloverleaf": FomSpec(
+        name="CloverLeaf",
+        domain="Computational Fluid Dynamics",
+        language="C++",
+        programming_model="SYCL, HIP, CUDA",
+        bound=Bound.MEMORY_BW,
+        scaling=Scaling.WEAK,
+        formula="N_cells / time(s)",
+        unit="Mcells/s",
+    ),
+    "miniqmc": FomSpec(
+        name="miniQMC",
+        domain="Material Science",
+        language="C++",
+        programming_model="OpenMP",
+        bound=Bound.MIXED_CPU,
+        scaling=Scaling.WEAK,
+        formula="N_w * N_e^3 * 1e-11 / diffusion time(s)",
+        unit="FOM",
+    ),
+    "rimp2": FomSpec(
+        name="GAMESS RI-MP2 mini-app",
+        domain="Quantum Chemistry",
+        language="Fortran",
+        programming_model="OpenMP",
+        bound=Bound.DGEMM,
+        scaling=Scaling.STRONG,
+        formula="1 / time(h)",
+        unit="1/h",
+    ),
+    "openmc": FomSpec(
+        name="OpenMC",
+        domain="Particle Transport",
+        language="C++",
+        programming_model="OpenMP",
+        bound=Bound.MEMORY_LATENCY,
+        scaling=Scaling.WEAK,
+        formula="Thousand particles / time(s)",
+        unit="kparticles/s",
+    ),
+    "hacc": FomSpec(
+        name="HACC",
+        domain="Cosmology",
+        language="C++",
+        programming_model="SYCL, HIP, CUDA",
+        bound=Bound.CPU_BW_FP32,
+        scaling=Scaling.WEAK,
+        formula="N_p * N_steps / time(s)",
+        unit="FOM",
+    ),
+}

@@ -1,0 +1,106 @@
+"""Benchmark registry.
+
+Microbenchmarks, mini-apps, and applications register themselves under a
+stable name so the CLI and the table/figure regenerators can look them up.
+Registration is explicit (module import side effects are limited to the
+``repro.micro``/``repro.miniapps``/``repro.apps`` package ``__init__``s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..errors import UnknownBenchmarkError
+
+__all__ = ["BenchmarkInfo", "Registry", "global_registry", "register"]
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkInfo:
+    """Metadata for a registered benchmark (mirrors the paper's Table I)."""
+
+    name: str
+    category: str  # "micro" | "miniapp" | "app"
+    programming_model: str
+    description: str
+    factory: Callable[[], object]
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+
+class Registry:
+    """Name -> :class:`BenchmarkInfo` mapping with category filtering."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, BenchmarkInfo] = {}
+
+    def add(self, info: BenchmarkInfo) -> None:
+        if info.name in self._entries:
+            raise ValueError(f"benchmark already registered: {info.name}")
+        self._entries[info.name] = info
+
+    def get(self, name: str) -> BenchmarkInfo:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise UnknownBenchmarkError(
+                f"unknown benchmark {name!r}; known: {known}"
+            ) from None
+
+    def create(self, name: str) -> object:
+        """Instantiate the benchmark object behind *name*."""
+        return self.get(name).factory()
+
+    def names(self, category: str | None = None) -> list[str]:
+        return sorted(
+            n
+            for n, info in self._entries.items()
+            if category is None or info.category == category
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[BenchmarkInfo]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_GLOBAL = Registry()
+
+
+def global_registry() -> Registry:
+    """The process-wide registry used by the CLI and analysis layers."""
+    return _GLOBAL
+
+
+def register(
+    name: str,
+    category: str,
+    programming_model: str,
+    description: str,
+    tags: tuple[str, ...] = (),
+) -> Callable:
+    """Class decorator registering *cls* in the global registry.
+
+    The class itself is the factory (instantiated with no arguments).
+    """
+
+    def deco(cls):
+        _GLOBAL.add(
+            BenchmarkInfo(
+                name=name,
+                category=category,
+                programming_model=programming_model,
+                description=description,
+                factory=cls,
+                tags=tags,
+            )
+        )
+        cls.benchmark_name = name
+        return cls
+
+    return deco

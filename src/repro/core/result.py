@@ -1,0 +1,217 @@
+"""Result containers for benchmark runs.
+
+A benchmark produces a :class:`Measurement` per repetition; the paper's
+protocol ("each microbenchmark is executed multiple times and the best
+performance number is presented", Section IV-A) is captured by
+:class:`SampleSet.best`.  :class:`BenchmarkResult` couples the sample set
+with the configuration it was measured under (system, device scope, dtype,
+...), and :class:`ResultTable` collects results into paper-style tables.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .units import Quantity
+
+__all__ = [
+    "Measurement",
+    "SampleSet",
+    "BenchmarkResult",
+    "ResultTable",
+    "DeviceScope",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceScope:
+    """How much of a node a measurement covers.
+
+    The paper reports three scopes per system: ``One Stack``, ``One PVC``
+    (or one GPU), and the full node.  ``n_stacks`` counts logical devices
+    (PVC stacks / MI250 GCDs / whole H100s depending on the system's
+    explicit-scaling granularity).
+    """
+
+    name: str
+    n_stacks: int
+
+    def __post_init__(self) -> None:
+        if self.n_stacks < 1:
+            raise ValueError("scope must cover at least one stack")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Common scopes used throughout the harness.
+ONE_STACK = DeviceScope("One Stack", 1)
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One repetition of a benchmark: elapsed (simulated) time + work done."""
+
+    elapsed_s: float
+    work: float = 1.0
+    unit: str = "op/s"
+
+    def __post_init__(self) -> None:
+        if self.elapsed_s <= 0:
+            raise ValueError(f"elapsed time must be positive: {self.elapsed_s}")
+        if self.work < 0:
+            raise ValueError(f"work must be non-negative: {self.work}")
+
+    @property
+    def rate(self) -> float:
+        """Work per second."""
+        return self.work / self.elapsed_s
+
+    def as_quantity(self) -> Quantity:
+        return Quantity(self.rate, self.unit)
+
+
+class SampleSet:
+    """An ordered collection of repetitions of the same benchmark."""
+
+    def __init__(self, samples: Iterable[Measurement] = ()) -> None:
+        self._samples: list[Measurement] = list(samples)
+
+    def add(self, sample: Measurement) -> None:
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self._samples)
+
+    def _require_nonempty(self) -> None:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+
+    @property
+    def best(self) -> Measurement:
+        """Highest-rate repetition (the paper's reporting protocol)."""
+        self._require_nonempty()
+        return max(self._samples, key=lambda m: m.rate)
+
+    @property
+    def worst(self) -> Measurement:
+        self._require_nonempty()
+        return min(self._samples, key=lambda m: m.rate)
+
+    @property
+    def median_rate(self) -> float:
+        self._require_nonempty()
+        return statistics.median(m.rate for m in self._samples)
+
+    @property
+    def spread(self) -> float:
+        """Relative spread ``(best - worst) / best`` across repetitions."""
+        self._require_nonempty()
+        best = self.best.rate
+        return (best - self.worst.rate) / best if best else 0.0
+
+
+@dataclass(slots=True)
+class BenchmarkResult:
+    """A benchmark outcome under a specific configuration.
+
+    Attributes
+    ----------
+    benchmark:
+        Registered benchmark name, e.g. ``"peak_flops"``.
+    system:
+        System name, e.g. ``"aurora"``.
+    scope:
+        Device scope the benchmark ran at.
+    samples:
+        All repetitions.
+    params:
+        Benchmark-specific configuration (dtype, message size, ...).
+    """
+
+    benchmark: str
+    system: str
+    scope: DeviceScope
+    samples: SampleSet
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def best(self) -> Measurement:
+        return self.samples.best
+
+    @property
+    def quantity(self) -> Quantity:
+        """Best-repetition rate as a printable quantity."""
+        return self.best.as_quantity()
+
+    @property
+    def value(self) -> float:
+        """Best-repetition rate in base units."""
+        return self.best.rate
+
+    def describe(self) -> str:
+        return (
+            f"{self.benchmark}[{self.system}/{self.scope}] = {self.quantity}"
+        )
+
+
+class ResultTable:
+    """A keyed collection of results, rendering paper-style tables.
+
+    Keys are ``(row_label, column_label)`` pairs; cells hold either a
+    :class:`BenchmarkResult`, a raw :class:`Quantity`, or ``None`` for the
+    paper's '-' (not measured) cells.
+    """
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._rows: list[str] = []
+        self._cols: list[str] = []
+        self._cells: dict[tuple[str, str], Quantity | None] = {}
+
+    def set(self, row: str, col: str, value: BenchmarkResult | Quantity | None) -> None:
+        if row not in self._rows:
+            self._rows.append(row)
+        if col not in self._cols:
+            self._cols.append(col)
+        if isinstance(value, BenchmarkResult):
+            value = value.quantity
+        self._cells[(row, col)] = value
+
+    def get(self, row: str, col: str) -> Quantity | None:
+        return self._cells[(row, col)]
+
+    @property
+    def rows(self) -> list[str]:
+        return list(self._rows)
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._cols)
+
+    def render(self) -> str:
+        """Render as a monospace table resembling the paper's layout."""
+        header = [self.title] + self._cols
+        body: list[list[str]] = []
+        for row in self._rows:
+            cells = [row]
+            for col in self._cols:
+                q = self._cells.get((row, col))
+                cells.append("-" if q is None else str(q))
+            body.append(cells)
+        widths = [
+            max(len(line[i]) for line in [header] + body)
+            for i in range(len(header))
+        ]
+        def fmt(line: list[str]) -> str:
+            return "  ".join(cell.ljust(w) for cell, w in zip(line, widths))
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [fmt(header), rule]
+        out.extend(fmt(line) for line in body)
+        return "\n".join(out)

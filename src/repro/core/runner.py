@@ -1,0 +1,73 @@
+"""The repeat-and-take-best measurement protocol.
+
+Section IV-A of the paper: *"Each microbenchmark is executed multiple times
+and the best performance number is presented.  This avoids run-to-run
+variations and any other intermittent artifacts."*
+
+:class:`Runner` drives a callable that returns one :class:`Measurement`
+per invocation, applying deterministic run-to-run noise (injected by the
+performance engine's noise model) and collecting a :class:`SampleSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from .result import BenchmarkResult, DeviceScope, Measurement, SampleSet
+
+__all__ = ["Runner", "RunPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunPlan:
+    """How many repetitions to run, with an optional warm-up discard.
+
+    The paper's scripts run each benchmark several times; warm-up
+    repetitions exercise first-touch/page-fault effects (modelled by the
+    engine's noise layer) and are discarded.
+    """
+
+    repetitions: int = 5
+    warmup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ValueError("need at least one repetition")
+        if self.warmup < 0:
+            raise ValueError("warmup cannot be negative")
+
+
+class Runner:
+    """Executes a measurement callable according to a :class:`RunPlan`."""
+
+    def __init__(self, plan: RunPlan | None = None) -> None:
+        self.plan = plan or RunPlan()
+
+    def run(
+        self,
+        benchmark: str,
+        system: str,
+        scope: DeviceScope,
+        measure: Callable[[int], Measurement],
+        params: Mapping[str, object] | None = None,
+    ) -> BenchmarkResult:
+        """Run *measure* ``warmup + repetitions`` times; keep the last
+        ``repetitions`` samples.
+
+        *measure* receives the repetition index (including warm-ups) so the
+        engine's noise model can vary deterministically per repetition.
+        """
+        samples = SampleSet()
+        total = self.plan.warmup + self.plan.repetitions
+        for rep in range(total):
+            sample = measure(rep)
+            if rep >= self.plan.warmup:
+                samples.add(sample)
+        return BenchmarkResult(
+            benchmark=benchmark,
+            system=system,
+            scope=scope,
+            samples=samples,
+            params=dict(params or {}),
+        )

@@ -1,0 +1,107 @@
+"""Statistics helpers for benchmark results.
+
+The paper reports best-of-N numbers; when aggregating *across* benchmarks
+or quantifying run-to-run spread, the right tools are the geometric mean
+(for ratios/speedups, following the SPEC convention), the harmonic mean
+(for rates over fixed work), and bootstrap confidence intervals (for
+small, non-normal repetition samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .result import SampleSet
+
+__all__ = [
+    "geometric_mean",
+    "harmonic_mean",
+    "bootstrap_ci",
+    "ConfidenceInterval",
+    "speedup_summary",
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean — the only correct mean for ratios/speedups."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty input")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean — the correct mean for rates over equal work."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty input")
+    if np.any(arr <= 0):
+        raise ValueError("harmonic mean requires positive values")
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A bootstrap percentile confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of *statistic* over *values*."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two samples")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(arr, size=(n_resamples, arr.size), replace=True)
+    stats = np.apply_along_axis(statistic, 1, resamples)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        point=float(statistic(arr)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def speedup_summary(ratios: Sequence[float]) -> dict[str, float]:
+    """Summary of a set of cross-system speedup ratios (Figures 2-4 style):
+    geometric mean plus the min/max envelope the paper's abstract quotes."""
+    arr = [r for r in ratios if r is not None]
+    if not arr:
+        raise ValueError("no ratios")
+    return {
+        "geomean": geometric_mean(arr),
+        "min": float(min(arr)),
+        "max": float(max(arr)),
+        "count": float(len(arr)),
+    }
+
+
+def sample_set_ci(samples: SampleSet, confidence: float = 0.95) -> ConfidenceInterval:
+    """Bootstrap CI over a benchmark's repetition rates."""
+    rates = [m.rate for m in samples]
+    return bootstrap_ci(rates, confidence=confidence)

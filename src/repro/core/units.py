@@ -1,0 +1,225 @@
+"""Units and quantity formatting.
+
+The paper reports rates in ``TFlop/s``, ``GB/s``, ``PFlop/s``, ``TIop/s``
+and latencies in cycles.  This module provides a tiny, dependency-free
+quantity layer so results can be formatted exactly the way the paper's
+tables print them, and parsed back for comparisons in tests.
+
+Conventions
+-----------
+* All internal computation is in **base SI units**: flop/s, byte/s, second,
+  byte.  Prefixes are decimal (``1 GB/s == 1e9 B/s``) matching the paper's
+  bandwidth/flops accounting; *sizes* of caches use binary prefixes
+  (``KiB``/``MiB``) as the paper does for the L1/LLC capacities.
+* Formatting mimics the paper: two or three significant digits, unit chosen
+  so the mantissa lands in ``[1, 1000)``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+__all__ = [
+    "SCALABLE_UNITS",
+    "KIB",
+    "MIB",
+    "GIB",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "PETA",
+    "Quantity",
+    "flops",
+    "iops",
+    "bandwidth",
+    "seconds",
+    "bytes_qty",
+    "parse_rate",
+    "si_format",
+]
+
+# Binary size prefixes (used for cache capacities, register files).
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+# Decimal prefixes (used for bandwidths, flop rates, transfer sizes).
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+KB = int(KILO)
+MB = int(MEGA)
+GB = int(GIGA)
+TB = int(TERA)
+
+_PREFIXES = [
+    (PETA, "P"),
+    (TERA, "T"),
+    (GIGA, "G"),
+    (MEGA, "M"),
+    (KILO, "k"),
+    (1.0, ""),
+]
+
+_RATE_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+)\s*([kMGTP]?)\s*"
+    r"(Flop/s|flop/s|FLOPS|Iop/s|Iops|B/s|op/s)\s*$"
+)
+
+_PREFIX_VALUE = {"": 1.0, "k": KILO, "M": MEGA, "G": GIGA, "T": TERA, "P": PETA}
+
+
+def si_format(
+    value: float, unit: str, digits: int = 3, prefix: str | None = None
+) -> str:
+    """Format *value* (in base units) with an SI prefix, paper style.
+
+    Pass ``prefix`` to pin the prefix — the paper's Table III keeps GB/s
+    even above 1000 ("1129 GB/s").
+
+    >>> si_format(17e12, "Flop/s")
+    '17 TFlop/s'
+    >>> si_format(1129e9, "B/s", prefix="G")
+    '1129 GB/s'
+    """
+    if value == 0:
+        return f"0 {unit}"
+    if value < 0:
+        return "-" + si_format(-value, unit, digits, prefix)
+    if prefix is not None:
+        mantissa = value / _PREFIX_VALUE[prefix]
+    else:
+        for scale, prefix in _PREFIXES:
+            if value >= scale:
+                mantissa = value / scale
+                break
+        else:  # pragma: no cover - sub-unit rates never occur in practice
+            mantissa, prefix = value, ""
+    # Paper style: drop trailing zeros, keep up to `digits` significant digits.
+    if mantissa >= 100:
+        text = f"{mantissa:.0f}"
+    elif mantissa >= 10:
+        text = f"{mantissa:.0f}" if digits <= 2 else f"{mantissa:.3g}"
+    else:
+        text = f"{mantissa:.2g}"
+    # Normalise "17.0" -> "17"
+    if "." in text:
+        text = text.rstrip("0").rstrip(".")
+    return f"{text} {prefix}{unit}"
+
+
+def parse_rate(text: str) -> float:
+    """Parse a paper-style rate string back to base units.
+
+    >>> parse_rate("17 TFlop/s")
+    1.7e+13
+    """
+    m = _RATE_RE.match(text)
+    if m is None:
+        raise ValueError(f"cannot parse rate: {text!r}")
+    value = float(m.group(1))
+    return value * _PREFIX_VALUE[m.group(2)]
+
+
+#: Units that take SI prefixes when printed; FOM-style units ("Mcells/s",
+#: "kparticles/s", "1/h", "GInteractions/s", "FOM") print their raw value,
+#: exactly as the paper's Table VI does.
+SCALABLE_UNITS = frozenset({"Flop/s", "Iop/s", "B/s", "B", "s", "op/s", "load/s"})
+
+
+@dataclass(frozen=True, slots=True)
+class Quantity:
+    """A value with a unit, comparable and printable in paper style.
+
+    ``Quantity`` is intentionally minimal: arithmetic between quantities of
+    the same unit (addition, scaling, ratios) covers everything the
+    benchmark harness needs.
+    """
+
+    value: float
+    unit: str
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.value):
+            raise ValueError(f"non-finite quantity: {self.value}")
+
+    def __str__(self) -> str:
+        if self.unit not in SCALABLE_UNITS:
+            return f"{self.value:.4g} {self.unit}"
+        return si_format(self.value, self.unit)
+
+    def __format__(self, spec: str) -> str:
+        if spec:
+            return format(str(self), spec)
+        return str(self)
+
+    def _check(self, other: "Quantity") -> None:
+        if self.unit != other.unit:
+            raise ValueError(f"unit mismatch: {self.unit} vs {other.unit}")
+
+    def __add__(self, other: "Quantity") -> "Quantity":
+        self._check(other)
+        return Quantity(self.value + other.value, self.unit)
+
+    def __sub__(self, other: "Quantity") -> "Quantity":
+        self._check(other)
+        return Quantity(self.value - other.value, self.unit)
+
+    def __mul__(self, k: float) -> "Quantity":
+        return Quantity(self.value * k, self.unit)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        if isinstance(other, Quantity):
+            self._check(other)
+            return self.value / other.value
+        return Quantity(self.value / other, self.unit)
+
+    def __lt__(self, other: "Quantity") -> bool:
+        self._check(other)
+        return self.value < other.value
+
+    def __le__(self, other: "Quantity") -> bool:
+        self._check(other)
+        return self.value <= other.value
+
+    def ratio(self, other: "Quantity") -> float:
+        """Dimensionless ratio ``self / other``."""
+        self._check(other)
+        return self.value / other.value
+
+
+def flops(value: float) -> Quantity:
+    """A floating-point rate in flop/s."""
+    return Quantity(value, "Flop/s")
+
+
+def iops(value: float) -> Quantity:
+    """An integer-op rate in iop/s (the paper's ``TIop/s`` for I8GEMM)."""
+    return Quantity(value, "Iop/s")
+
+
+def bandwidth(value: float) -> Quantity:
+    """A bandwidth in B/s."""
+    return Quantity(value, "B/s")
+
+
+def seconds(value: float) -> Quantity:
+    """A duration in seconds."""
+    return Quantity(value, "s")
+
+
+def bytes_qty(value: float) -> Quantity:
+    """A size in bytes."""
+    return Quantity(value, "B")

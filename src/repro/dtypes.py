@@ -1,0 +1,67 @@
+"""Numeric precisions used across the benchmark suite.
+
+The paper's GEMM benchmark covers FP64, FP32, FP16, BF16, TF32 and I8
+(Table II); the FMA/flops benchmarks cover FP64 and FP32.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Precision", "ENGINE_VECTOR", "ENGINE_MATRIX"]
+
+#: Which execution unit a precision maps to on PVC (Section II: the matrix
+#: unit "supports only lower precision operations").
+ENGINE_VECTOR = "vector"
+ENGINE_MATRIX = "matrix"
+
+
+class Precision(enum.Enum):
+    """A numeric precision with its storage size and preferred engine."""
+
+    FP64 = ("fp64", 8, ENGINE_VECTOR)
+    FP32 = ("fp32", 4, ENGINE_VECTOR)
+    FP16 = ("fp16", 2, ENGINE_MATRIX)
+    BF16 = ("bf16", 2, ENGINE_MATRIX)
+    TF32 = ("tf32", 4, ENGINE_MATRIX)
+    I8 = ("i8", 1, ENGINE_MATRIX)
+
+    def __init__(self, label: str, itemsize: int, engine: str) -> None:
+        self.label = label
+        self.itemsize = itemsize
+        self.engine = engine
+
+    @property
+    def is_integer(self) -> bool:
+        return self is Precision.I8
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """Closest NumPy dtype for functional execution.
+
+        TF32 and BF16 have no native NumPy representation; functional
+        kernels compute them in float32 (which strictly contains both
+        formats' dynamic range for the purposes of the validation tests).
+        """
+        return np.dtype(
+            {
+                Precision.FP64: np.float64,
+                Precision.FP32: np.float32,
+                Precision.FP16: np.float16,
+                Precision.BF16: np.float32,
+                Precision.TF32: np.float32,
+                Precision.I8: np.int8,
+            }[self]
+        )
+
+    @classmethod
+    def from_label(cls, label: str) -> "Precision":
+        for p in cls:
+            if p.label == label.lower():
+                return p
+        raise ValueError(f"unknown precision: {label!r}")
+
+    def __str__(self) -> str:
+        return self.label

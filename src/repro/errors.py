@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with inconsistent values."""
+
+
+class UnknownSystemError(ConfigurationError):
+    """A system name did not match any registered system factory."""
+
+
+class UnknownBenchmarkError(ConfigurationError):
+    """A benchmark name did not match any registered benchmark."""
+
+
+class CalibrationError(ConfigurationError):
+    """A calibration table is missing an entry required by the engine."""
+
+
+class TopologyError(ReproError):
+    """The interconnect topology cannot satisfy a routing request."""
+
+
+class AllocationError(ReproError):
+    """A USM or host allocation request could not be satisfied."""
+
+
+class AffinityError(ReproError):
+    """An affinity mask referenced a device or stack that does not exist."""
+
+
+class MPIError(ReproError):
+    """Misuse of the simulated MPI layer (bad rank, tag mismatch, ...)."""
+
+
+class BuildError(ReproError):
+    """A (simulated) toolchain failed to build an application.
+
+    The paper reports that the GAMESS RI-MP2 mini-app failed to build with
+    the AMD Fortran compiler on the JLSE-MI250 node; the toolchain model in
+    :mod:`repro.runtime.toolchain` reproduces that behaviour by raising this
+    exception.
+    """
+
+
+class KernelSpecError(ReproError):
+    """A kernel workload descriptor is malformed (negative flops, ...)."""
+
+
+class NotMeasuredError(ReproError):
+    """The paper did not measure this cell (rendered as '-' in its tables)."""

@@ -1,0 +1,103 @@
+"""Host CPU socket models.
+
+The paper stresses that node-level design differences — CPU memory
+bandwidth, core counts, how many GPUs share a socket — show up in GPU
+application performance (miniQMC's CPU-congestion bottleneck, HACC's
+host-side SPH work, full-node PCIe contention).  These socket models carry
+exactly the parameters those effects need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.units import GB
+
+__all__ = [
+    "CpuSocket",
+    "xeon_platinum_8468",
+    "xeon_gold_5320_max",
+    "epyc_7713",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSocket:
+    """One CPU socket.
+
+    ``ddr_peak_bw`` is the per-socket theoretical DRAM bandwidth;
+    ``hbm_peak_bw`` is non-None only for HBM-equipped parts (the Aurora
+    Xeons carry 64 GB of on-package HBM, Section III).
+    ``os_reserved_cores`` models cores held back for OS kernel threads —
+    on Aurora, cores 0 and 52, i.e. the first core of each socket
+    (Section IV-A), hence one reserved core per socket here.
+    """
+
+    model: str
+    cores: int
+    threads: int
+    base_clock_hz: float
+    ddr_peak_bw: float
+    ddr_capacity_bytes: int
+    hbm_peak_bw: float | None = None
+    hbm_capacity_bytes: int | None = None
+    os_reserved_cores: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.threads < self.cores:
+            raise ValueError(f"bad core/thread counts: {self.cores}/{self.threads}")
+        if self.ddr_peak_bw <= 0:
+            raise ValueError("ddr_peak_bw must be positive")
+        if not (0 <= self.os_reserved_cores < self.cores):
+            raise ValueError("os_reserved_cores out of range")
+
+    @property
+    def usable_cores(self) -> int:
+        return self.cores - self.os_reserved_cores
+
+    @property
+    def best_mem_bw(self) -> float:
+        """Fastest memory pool on the socket (HBM if present, else DDR)."""
+        return max(self.ddr_peak_bw, self.hbm_peak_bw or 0.0)
+
+
+def xeon_platinum_8468() -> CpuSocket:
+    """48-core Sapphire Rapids (Dawn and JLSE-H100 hosts); 8ch DDR5-4800."""
+    return CpuSocket(
+        model="Intel Xeon Platinum 8468",
+        cores=48,
+        threads=96,
+        base_clock_hz=2.1e9,
+        ddr_peak_bw=307.2e9,  # 8 x DDR5-4800
+        ddr_capacity_bytes=512 * GB,
+    )
+
+
+def xeon_gold_5320_max(ddr_capacity_bytes: int = 512 * GB) -> CpuSocket:
+    """Aurora host socket: 52 cores, 64 GB on-package HBM + DDR5.
+
+    Section III: "two 52-core (104-thread) Intel Xeon Gold 5320 CPUs with
+    64GB HBM and 512GB DDR5 each".
+    """
+    return CpuSocket(
+        model="Intel Xeon Gold 5320 (HBM)",
+        cores=52,
+        threads=104,
+        base_clock_hz=2.2e9,
+        ddr_peak_bw=307.2e9,  # 8 x DDR5-4800
+        ddr_capacity_bytes=ddr_capacity_bytes,
+        hbm_peak_bw=1.0e12,
+        hbm_capacity_bytes=64 * GB,
+    )
+
+
+def epyc_7713() -> CpuSocket:
+    """64-core Milan (JLSE-MI250 host); 8ch DDR4-3200."""
+    return CpuSocket(
+        model="AMD EPYC 7713",
+        cores=64,
+        threads=128,
+        base_clock_hz=2.0e9,
+        ddr_peak_bw=204.8e9,  # 8 x DDR4-3200
+        ddr_capacity_bytes=256 * GB,
+    )

@@ -1,0 +1,191 @@
+"""Extension systems beyond the paper's four nodes.
+
+The paper's conclusions call for "future work ... to further compare
+mini-apps and applications on other supercomputing systems such as
+Frontier against Dawn and Aurora results", and Section V-B.2 mentions a
+miniBUDE check on an **A100** ("which reached 62% of its peak").  This
+module provides those two reference points:
+
+* :func:`frontier` — one Frontier node: 64-core optimized EPYC ("Trento"),
+  four MI250X cards (eight GCDs), the system whose *measured* GCD numbers
+  the paper's Table IV quotes (DGEMM 24.1, SGEMM 33.8 TFlop/s, 1.3 TB/s
+  stream, 25 GB/s PCIe, 37 GB/s GCD-to-GCD);
+* :func:`a100_sxm4_device` / :func:`jlse_a100` — an A100 SXM4 40GB point
+  of comparison for the miniBUDE efficiency discussion.
+"""
+
+from __future__ import annotations
+
+from ..core.units import GB, KIB, MIB, TERA
+from ..dtypes import Precision
+from .cpu import CpuSocket
+from .frequency import FrequencyModel
+from .gpu import DeviceModel, GpuCardModel
+from .interconnect import LinkKind, build_dual_gcd_fabric, build_single_device_fabric
+from .memory import MemoryHierarchy, MemoryLevel
+from .node import Node
+from .systems import System
+
+__all__ = [
+    "mi250x_gcd_device",
+    "frontier",
+    "a100_sxm4_device",
+    "jlse_a100",
+    "EXTENSION_SYSTEMS",
+    "get_extension_system",
+]
+
+
+def mi250x_gcd_device() -> DeviceModel:
+    """One MI250X GCD (Frontier's accelerator).
+
+    The MI250X is the MI250's HPC sibling: 110 CUs per GCD (vs 104),
+    47.9 TFlop/s vector FP64/FP32 per card, same 3.2 TB/s HBM2e.
+    """
+    clock_hz = 1.7e9
+    per_clock = {
+        Precision.FP64: 110 * 64 * 2,  # 14,080 -> 23.9 TF @ 1.7 GHz
+        Precision.FP32: 110 * 64 * 2,
+        Precision.FP16: round(383e12 / 2 / clock_hz),
+        Precision.BF16: round(383e12 / 2 / clock_hz),
+        Precision.I8: round(383e12 / 2 / clock_hz),
+    }
+    memory = MemoryHierarchy(
+        [
+            MemoryLevel("L1", 16 * KIB, 155.0),
+            MemoryLevel("L2", 8 * MIB, 222.0),
+            MemoryLevel("HBM", 64 * GB, 478.0),
+        ]
+    )
+    return DeviceModel(
+        name="AMD MI250X GCD",
+        arch="mi250",  # shares the MI250 calibration family
+        vendor="AMD",
+        flops_per_clock=per_clock,
+        frequency=FrequencyModel(max_hz=clock_hz, power_cap_w=560.0),
+        memory=memory,
+        hbm_capacity_bytes=64 * GB,
+        hbm_peak_bw=3.2 * TERA / 2,
+    )
+
+
+def _trento_socket() -> CpuSocket:
+    return CpuSocket(
+        model='AMD EPYC 7A53 "Trento"',
+        cores=64,
+        threads=128,
+        base_clock_hz=2.0e9,
+        ddr_peak_bw=204.8e9,
+        ddr_capacity_bytes=512 * GB,
+    )
+
+
+def frontier() -> System:
+    """One Frontier node: 1x Trento socket + 4x MI250X (8 GCDs).
+
+    Frontier is single-socket; we model it as two half-sockets so the
+    dual-socket binding/contention machinery applies unchanged (the
+    paper's per-socket arithmetic maps onto Frontier's two NUMA halves).
+    """
+    half = CpuSocket(
+        model=_trento_socket().model + " (NUMA half)",
+        cores=32,
+        threads=64,
+        base_clock_hz=2.0e9,
+        ddr_peak_bw=102.4e9,
+        ddr_capacity_bytes=256 * GB,
+    )
+    socket_of_card = (0, 0, 1, 1)
+    card = GpuCardModel(
+        name="AMD Instinct MI250X",
+        device=mi250x_gcd_device(),
+        n_devices=2,
+        intra_card_link="infinity-fabric",
+    )
+    node = Node(
+        name="Frontier node",
+        sockets=(half, half),
+        card=card,
+        n_cards=4,
+        socket_of_card=socket_of_card,
+        fabric=build_dual_gcd_fabric(4, socket_of_card),
+    )
+    return System(
+        name="frontier",
+        node=node,
+        calibration_key="jlse-mi250",  # Table IV: same measured efficiencies
+        display_name="Frontier (MI250X)",
+        software="ROCm (Frontier PE)",
+    )
+
+
+def a100_sxm4_device() -> DeviceModel:
+    """A100 SXM4 40GB: 108 SMs at ~1.41 GHz (FP32 19.5, FP64 9.7 TFlop/s
+    vector; 1.56 TB/s HBM2)."""
+    boost_hz = 1.41e9
+    per_clock = {
+        Precision.FP32: 108 * 64 * 2,  # 13,824 -> 19.5 TF
+        Precision.FP64: 108 * 32 * 2,  # 6,912 -> 9.7 TF
+        Precision.FP16: round(312e12 / boost_hz),
+        Precision.BF16: round(312e12 / boost_hz),
+        Precision.TF32: round(156e12 / boost_hz),
+        Precision.I8: round(624e12 / boost_hz),
+    }
+    memory = MemoryHierarchy(
+        [
+            MemoryLevel("L1", 192 * KIB, 38.0),
+            MemoryLevel("L2", 40 * MIB, 220.0),
+            MemoryLevel("HBM", 40 * GB, 490.0),
+        ]
+    )
+    return DeviceModel(
+        name="NVIDIA A100 SXM4 40GB",
+        arch="a100",
+        vendor="NVIDIA",
+        flops_per_clock=per_clock,
+        frequency=FrequencyModel(max_hz=boost_hz, power_cap_w=400.0),
+        memory=memory,
+        hbm_capacity_bytes=40 * GB,
+        hbm_peak_bw=1.555 * TERA,
+    )
+
+
+def jlse_a100() -> System:
+    """A 4x A100 JLSE-style node (the paper's A100 miniBUDE data point)."""
+    from .cpu import xeon_platinum_8468
+
+    socket_of_card = (0, 0, 1, 1)
+    node = Node(
+        name="JLSE-A100 node",
+        sockets=(xeon_platinum_8468(), xeon_platinum_8468()),
+        card=GpuCardModel(name="NVIDIA A100 SXM4", device=a100_sxm4_device(), n_devices=1),
+        n_cards=4,
+        socket_of_card=socket_of_card,
+        fabric=build_single_device_fabric(
+            4, socket_of_card, LinkKind.PCIE_GEN4_X16, LinkKind.NVLINK4
+        ),
+    )
+    return System(
+        name="jlse-a100",
+        node=node,
+        calibration_key="jlse-a100",
+        display_name="JLSE (A100)",
+        software="CUDA 12",
+    )
+
+
+_EXT = {"frontier": frontier, "jlse-a100": jlse_a100}
+
+EXTENSION_SYSTEMS: tuple[str, ...] = tuple(sorted(_EXT))
+
+
+def get_extension_system(name: str) -> System:
+    """Look up an extension system (frontier / jlse-a100) by name."""
+    try:
+        return _EXT[name.strip().lower()]()
+    except KeyError:
+        from ..errors import UnknownSystemError
+
+        raise UnknownSystemError(
+            f"unknown extension system {name!r}; known: {EXTENSION_SYSTEMS}"
+        ) from None

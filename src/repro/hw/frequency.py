@@ -1,0 +1,99 @@
+"""TDP / DVFS frequency model.
+
+Section IV-B.2 is the paper's key frequency observation: although PVC is
+specified with equal FP32 and FP64 throughput, the measured FP32:FP64 flops
+ratio is ~1.3x because the GPU downclocks to ~1.2 GHz for FP64 FMA chains
+(TDP) while sustaining ~1.6 GHz for FP32.  Aurora additionally pins the
+idle frequency at 1.6 GHz and power-caps each card at 500 W (vs Dawn's
+600 W operational cap).
+
+The model exposes a sustained clock per (precision, workload kind).  GEMM
+workloads may sustain a slightly different clock than raw FMA chains — the
+paper leaves the DGEMM efficiency drop "currently unexplained" and we keep
+that effect inside the calibrated GEMM efficiencies instead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..dtypes import Precision
+
+__all__ = ["WorkloadKind", "FrequencyModel"]
+
+
+class WorkloadKind(enum.Enum):
+    """Workload classes that draw different power envelopes."""
+
+    FMA_CHAIN = "fma-chain"
+    GEMM = "gemm"
+    STREAM = "stream"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True, slots=True)
+class FrequencyModel:
+    """Sustained clocks under a TDP cap.
+
+    Parameters
+    ----------
+    max_hz:
+        Nameplate maximum clock.
+    fp64_fma_hz:
+        Sustained clock while retiring back-to-back FP64 FMAs (TDP-bound).
+    idle_hz:
+        Idle/default clock (Aurora pins this to ``max_hz``; Dawn lets the
+        card clock down when idle).
+    power_cap_w:
+        Card-level power cap (600 W on Dawn, 500 W on Aurora) — recorded
+        for reporting; its throughput consequence is already captured by
+        ``fp64_fma_hz``.
+    """
+
+    max_hz: float
+    fp64_fma_hz: float | None = None
+    idle_hz: float | None = None
+    power_cap_w: float | None = None
+    #: Sustained clock for memory-streaming kernels (defaults to max).
+    stream_hz: float | None = None
+    _overrides: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_hz <= 0:
+            raise ValueError("max_hz must be positive")
+        if self.fp64_fma_hz is not None and self.fp64_fma_hz > self.max_hz:
+            raise ValueError("fp64_fma_hz cannot exceed max_hz")
+
+    def sustained_hz(
+        self,
+        precision: Precision | None = None,
+        kind: WorkloadKind = WorkloadKind.FMA_CHAIN,
+    ) -> float:
+        """Sustained clock for a workload.
+
+        FP64 FMA chains (and FP64 GEMM inner loops) run at the TDP-limited
+        clock; everything else sustains the maximum clock in this model.
+        """
+        key = (precision, kind)
+        if key in self._overrides:
+            return self._overrides[key]
+        if kind is WorkloadKind.IDLE:
+            return self.idle_hz if self.idle_hz is not None else self.max_hz
+        if kind is WorkloadKind.STREAM and self.stream_hz is not None:
+            return self.stream_hz
+        if (
+            precision is Precision.FP64
+            and kind in (WorkloadKind.FMA_CHAIN, WorkloadKind.GEMM)
+            and self.fp64_fma_hz is not None
+        ):
+            return self.fp64_fma_hz
+        return self.max_hz
+
+    def downclock_ratio(self, precision: Precision) -> float:
+        """``sustained(precision) / max`` for FMA chains.
+
+        For PVC FP64 this is 1.2/1.6 = 0.75 — the origin of the paper's
+        observed FP32:FP64 = 1.3x flops ratio.
+        """
+        return self.sustained_hz(precision, WorkloadKind.FMA_CHAIN) / self.max_hz

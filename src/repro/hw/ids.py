@@ -1,0 +1,50 @@
+"""Identifiers for logical devices within a node.
+
+The paper uses the notation ``GPU_ID.STACK_ID`` ("0.0", "5.1", ...) for a
+PVC stack; we adopt it for every system, with single-stack devices (H100)
+always using stack 0 and MI250 GCDs mapping to stacks 0/1 of their card.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["StackRef", "parse_stack_ref"]
+
+_REF_RE = re.compile(r"^(\d+)\.(\d+)$")
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class StackRef:
+    """A (card, stack) pair identifying one logical device."""
+
+    card: int
+    stack: int
+
+    def __post_init__(self) -> None:
+        if self.card < 0 or self.stack < 0:
+            raise ValueError(f"negative StackRef: {self.card}.{self.stack}")
+
+    def __str__(self) -> str:
+        return f"{self.card}.{self.stack}"
+
+    @property
+    def flat(self) -> tuple[int, int]:
+        return (self.card, self.stack)
+
+    def sibling(self) -> "StackRef":
+        """The other stack on the same card (valid for 2-stack cards)."""
+        return StackRef(self.card, 1 - self.stack)
+
+
+def parse_stack_ref(text: str) -> StackRef:
+    """Parse the paper's ``CARD.STACK`` notation.
+
+    >>> parse_stack_ref("5.1")
+    StackRef(card=5, stack=1)
+    """
+    m = _REF_RE.match(text.strip())
+    if m is None:
+        raise ValueError(f"not a CARD.STACK reference: {text!r}")
+    return StackRef(int(m.group(1)), int(m.group(2)))

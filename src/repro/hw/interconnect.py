@@ -1,0 +1,310 @@
+"""Node interconnect model: PCIe host links, intra-card links, GPU fabric.
+
+Two structural facts from the paper drive this module:
+
+1. **Only Stack 0 of a PVC card has the PCIe link** (Section II): host
+   traffic for stack 1 first crosses the on-card stack-to-stack (MDFI)
+   interconnect.
+2. **Xe-Link planes** (Section IV-A.4): although the stacks appear
+   all-to-all connected, each stack physically belongs to one of two
+   planes.  On Aurora the planes are ``{0.0, 1.1, 2.0, 3.0, 4.0, 5.1}``
+   and ``{0.1, 1.0, 2.1, 3.1, 4.1, 5.0}``.  Stacks within a plane are
+   directly connected; a transfer between stacks in *different* planes
+   needs an extra hop, e.g. ``0.0 -> 1.0`` routes as ``0.0 -> 1.1 -> 1.0``
+   or ``0.0 -> 0.1 -> 1.0``.
+
+The fabric is a :mod:`networkx` multigraph over host sockets and logical
+devices; routing enumerates simple paths and picks minimum-hop routes, so
+the two alternative paths the paper describes fall out of the topology.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from ..errors import TopologyError
+from .ids import StackRef
+
+__all__ = ["LinkKind", "Link", "Route", "Fabric", "HOST"]
+
+#: Graph node representing a host socket: ("host", socket_index).
+HOST = "host"
+
+
+class LinkKind(enum.Enum):
+    """Physical link types with their per-direction raw peak bandwidth."""
+
+    PCIE_GEN5_X16 = ("PCIe Gen5 x16", 64e9)
+    PCIE_GEN4_X16 = ("PCIe Gen4 x16", 32e9)
+    MDFI = ("PVC stack-to-stack", 230e9)
+    XELINK = ("Xe-Link", 26.6e9)
+    NVLINK4 = ("NVLink 4", 450e9)
+    INFINITY_FABRIC = ("Infinity Fabric", 50e9)
+    XGMI = ("xGMI GPU bridge", 50e9)
+
+    def __init__(self, label: str, peak_bw_per_dir: float) -> None:
+        self.label = label
+        self.peak_bw_per_dir = peak_bw_per_dir
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A bidirectional link instance between two fabric endpoints."""
+
+    kind: LinkKind
+    #: Small fixed per-message latency (seconds).
+    latency_s: float = 2e-6
+
+    @property
+    def peak_bw_per_dir(self) -> float:
+        return self.kind.peak_bw_per_dir
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """An ordered path through the fabric."""
+
+    hops: tuple[tuple[object, object, Link], ...]
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def endpoints(self) -> tuple[object, object]:
+        return (self.hops[0][0], self.hops[-1][1])
+
+    @property
+    def kinds(self) -> tuple[LinkKind, ...]:
+        return tuple(link.kind for _, _, link in self.hops)
+
+    @property
+    def latency_s(self) -> float:
+        return sum(link.latency_s for _, _, link in self.hops)
+
+    def bottleneck_bw(self, efficiency) -> float:
+        """Min over hops of ``peak * efficiency(kind)``."""
+        return min(
+            link.peak_bw_per_dir * efficiency(link.kind)
+            for _, _, link in self.hops
+        )
+
+    def describe(self) -> str:
+        parts = [str(self.hops[0][0])]
+        for _, dst, link in self.hops:
+            parts.append(f"--{link.kind.name}--> {dst}")
+        return " ".join(parts)
+
+
+class Fabric:
+    """The node's interconnect graph.
+
+    Nodes are either ``(HOST, socket)`` tuples or :class:`StackRef`s.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.Graph()
+        self._planes: tuple[frozenset[StackRef], ...] = ()
+
+    # -- construction -------------------------------------------------
+
+    def add_host(self, socket: int) -> None:
+        self._g.add_node((HOST, socket))
+
+    def add_stack(self, ref: StackRef) -> None:
+        self._g.add_node(ref)
+
+    def connect(self, a, b, link: Link) -> None:
+        if a not in self._g or b not in self._g:
+            raise TopologyError(f"unknown endpoint in {a} -- {b}")
+        self._g.add_edge(a, b, link=link)
+
+    def set_planes(self, planes: Sequence[Iterable[StackRef]]) -> None:
+        self._planes = tuple(frozenset(p) for p in planes)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def stacks(self) -> list[StackRef]:
+        return sorted(n for n in self._g.nodes if isinstance(n, StackRef))
+
+    @property
+    def planes(self) -> tuple[frozenset[StackRef], ...]:
+        return self._planes
+
+    def plane_of(self, ref: StackRef) -> int:
+        for i, plane in enumerate(self._planes):
+            if ref in plane:
+                return i
+        raise TopologyError(f"{ref} is not in any plane")
+
+    def same_plane(self, a: StackRef, b: StackRef) -> bool:
+        return self.plane_of(a) == self.plane_of(b)
+
+    def link_between(self, a, b) -> Link | None:
+        data = self._g.get_edge_data(a, b)
+        return None if data is None else data["link"]
+
+    def _as_route(self, nodes: Sequence) -> Route:
+        hops = []
+        for u, v in zip(nodes, nodes[1:]):
+            link = self.link_between(u, v)
+            if link is None:  # pragma: no cover - guarded by nx paths
+                raise TopologyError(f"no link {u} -- {v}")
+            hops.append((u, v, link))
+        return Route(tuple(hops))
+
+    def routes(self, src, dst) -> list[Route]:
+        """All minimum-hop routes (plus ties) from *src* to *dst*.
+
+        Device-to-device routes never detour through a host socket (the
+        driver moves GPU buffers over the GPU fabric); for cross-plane PVC
+        stack pairs this returns exactly the two 2-hop alternatives the
+        paper describes.
+        """
+        if src == dst:
+            raise TopologyError("src == dst")
+        graph = self._g
+        if isinstance(src, StackRef) and isinstance(dst, StackRef):
+            graph = self._g.subgraph(
+                [n for n in self._g.nodes if isinstance(n, StackRef)]
+            )
+        try:
+            shortest = nx.shortest_path_length(graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise TopologyError(f"no route {src} -> {dst}") from None
+        routes = [
+            self._as_route(p)
+            for p in nx.all_simple_paths(graph, src, dst, cutoff=shortest)
+            if len(p) - 1 == shortest
+        ]
+        routes.sort(key=lambda r: (r.n_hops, r.describe()))
+        if not routes:  # pragma: no cover
+            raise TopologyError(f"no route {src} -> {dst}")
+        return routes
+
+    def route(self, src, dst) -> Route:
+        """A deterministic best (minimum-hop, lexicographically first) route."""
+        return self.routes(src, dst)[0]
+
+    def host_route(self, socket: int, ref: StackRef) -> Route:
+        """Route from a host socket to a stack (via PCIe, + MDFI if needed)."""
+        return self.route((HOST, socket), ref)
+
+    def degree(self, node) -> int:
+        return self._g.degree[node]
+
+    def xelink_neighbors(self, ref: StackRef) -> list[StackRef]:
+        out = []
+        for nbr in self._g.neighbors(ref):
+            link = self.link_between(ref, nbr)
+            if link is not None and link.kind is LinkKind.XELINK:
+                out.append(nbr)
+        return sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+def aurora_planes() -> list[list[StackRef]]:
+    """The Aurora Xe-Link plane assignment quoted verbatim in Section IV-A."""
+    plane_a = ["0.0", "1.1", "2.0", "3.0", "4.0", "5.1"]
+    plane_b = ["0.1", "1.0", "2.1", "3.1", "4.1", "5.0"]
+    from .ids import parse_stack_ref
+
+    return [[parse_stack_ref(s) for s in plane_a],
+            [parse_stack_ref(s) for s in plane_b]]
+
+
+def parity_planes(n_cards: int) -> list[list[StackRef]]:
+    """A generic two-plane assignment for systems whose exact wiring the
+    paper does not publish (Dawn): alternate stacks by card parity."""
+    plane_a, plane_b = [], []
+    for card in range(n_cards):
+        first, second = StackRef(card, 0), StackRef(card, 1)
+        if card % 2 == 0:
+            plane_a.append(first)
+            plane_b.append(second)
+        else:
+            plane_a.append(second)
+            plane_b.append(first)
+    return [plane_a, plane_b]
+
+
+def build_pvc_fabric(
+    n_cards: int,
+    socket_of_card: Sequence[int],
+    planes: Sequence[Iterable[StackRef]] | None = None,
+    pcie: LinkKind = LinkKind.PCIE_GEN5_X16,
+) -> Fabric:
+    """Fabric for a PVC node: per-card PCIe on stack 0, MDFI between
+    siblings, all-to-all Xe-Link within each plane."""
+    if len(socket_of_card) != n_cards:
+        raise TopologyError("socket_of_card length mismatch")
+    fabric = Fabric()
+    for socket in sorted(set(socket_of_card)):
+        fabric.add_host(socket)
+    for card in range(n_cards):
+        s0, s1 = StackRef(card, 0), StackRef(card, 1)
+        fabric.add_stack(s0)
+        fabric.add_stack(s1)
+        fabric.connect((HOST, socket_of_card[card]), s0, Link(pcie))
+        fabric.connect(s0, s1, Link(LinkKind.MDFI, latency_s=0.5e-6))
+    if planes is None:
+        planes = parity_planes(n_cards)
+    fabric.set_planes(planes)
+    for plane in fabric.planes:
+        for a, b in itertools.combinations(sorted(plane), 2):
+            fabric.connect(a, b, Link(LinkKind.XELINK, latency_s=1.5e-6))
+    return fabric
+
+
+def build_single_device_fabric(
+    n_cards: int,
+    socket_of_card: Sequence[int],
+    pcie: LinkKind,
+    gpu_link: LinkKind,
+) -> Fabric:
+    """Fabric for single-device cards (H100 node): PCIe per GPU plus an
+    all-to-all GPU link (NVLink/NVSwitch abstracted as direct links)."""
+    fabric = Fabric()
+    for socket in sorted(set(socket_of_card)):
+        fabric.add_host(socket)
+    refs = [StackRef(card, 0) for card in range(n_cards)]
+    for card, ref in enumerate(refs):
+        fabric.add_stack(ref)
+        fabric.connect((HOST, socket_of_card[card]), ref, Link(pcie))
+    for a, b in itertools.combinations(refs, 2):
+        fabric.connect(a, b, Link(gpu_link, latency_s=1.0e-6))
+    fabric.set_planes([refs])
+    return fabric
+
+
+def build_dual_gcd_fabric(
+    n_cards: int,
+    socket_of_card: Sequence[int],
+    pcie: LinkKind = LinkKind.PCIE_GEN4_X16,
+) -> Fabric:
+    """Fabric for the MI250 node: each card's GCD 0 on PCIe, Infinity
+    Fabric between sibling GCDs and xGMI between cards."""
+    fabric = Fabric()
+    for socket in sorted(set(socket_of_card)):
+        fabric.add_host(socket)
+    for card in range(n_cards):
+        g0, g1 = StackRef(card, 0), StackRef(card, 1)
+        fabric.add_stack(g0)
+        fabric.add_stack(g1)
+        fabric.connect((HOST, socket_of_card[card]), g0, Link(pcie))
+        fabric.connect(g0, g1, Link(LinkKind.INFINITY_FABRIC, latency_s=1.0e-6))
+    for a, b in itertools.combinations(range(n_cards), 2):
+        fabric.connect(
+            StackRef(a, 0), StackRef(b, 0), Link(LinkKind.XGMI, latency_s=1.5e-6)
+        )
+    fabric.set_planes(parity_planes(n_cards))
+    return fabric

@@ -1,0 +1,139 @@
+"""A compute node: CPU sockets + GPU cards + interconnect fabric.
+
+This is the unit every benchmark in the paper runs on.  The node knows
+its explicit-scaling decomposition (one MPI rank per logical device,
+Section II), which socket each card hangs off (for rank binding and
+host-side contention), and the full fabric for transfer routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .cpu import CpuSocket
+from .gpu import DeviceModel, GpuCardModel
+from .ids import StackRef
+from .interconnect import Fabric
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One node of a system.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node label ("Aurora node", ...).
+    sockets:
+        The CPU sockets (all paper systems are dual-socket).
+    card:
+        The GPU card model (all cards in a node are identical).
+    n_cards:
+        Cards in the node (6 on Aurora, 4 elsewhere).
+    socket_of_card:
+        Which socket index each card attaches to.
+    fabric:
+        Interconnect graph over host sockets and logical devices.
+    """
+
+    name: str
+    sockets: tuple[CpuSocket, ...]
+    card: GpuCardModel
+    n_cards: int
+    socket_of_card: tuple[int, ...]
+    fabric: Fabric = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.socket_of_card) != self.n_cards:
+            raise ConfigurationError(
+                f"{self.name}: socket_of_card must list all {self.n_cards} cards"
+            )
+        for s in self.socket_of_card:
+            if not (0 <= s < len(self.sockets)):
+                raise ConfigurationError(f"{self.name}: bad socket index {s}")
+        missing = [r for r in self.stacks() if r not in set(self.fabric.stacks)]
+        if missing:
+            raise ConfigurationError(
+                f"{self.name}: fabric missing stacks {missing}"
+            )
+
+    # -- device enumeration ----------------------------------------------
+
+    @property
+    def device(self) -> DeviceModel:
+        """The logical device model (identical across the node)."""
+        return self.card.device
+
+    @property
+    def n_stacks(self) -> int:
+        """Total logical devices (PVC stacks / GCDs / H100s)."""
+        return self.n_cards * self.card.n_devices
+
+    def stacks(self) -> list[StackRef]:
+        """All logical devices in deterministic (card, stack) order."""
+        return [
+            StackRef(card, stack)
+            for card in range(self.n_cards)
+            for stack in range(self.card.n_devices)
+        ]
+
+    def stacks_of_card(self, card: int) -> list[StackRef]:
+        self._check_card(card)
+        return [StackRef(card, s) for s in range(self.card.n_devices)]
+
+    def _check_card(self, card: int) -> None:
+        if not (0 <= card < self.n_cards):
+            raise ConfigurationError(f"{self.name}: no card {card}")
+
+    # -- locality ----------------------------------------------------------
+
+    def socket_of(self, ref: StackRef) -> int:
+        """The socket closest to a logical device (its card's socket)."""
+        self._check_card(ref.card)
+        return self.socket_of_card[ref.card]
+
+    def stacks_on_socket(self, socket: int) -> list[StackRef]:
+        return [r for r in self.stacks() if self.socket_of(r) == socket]
+
+    def cards_on_socket(self, socket: int) -> list[int]:
+        return [
+            c for c in range(self.n_cards) if self.socket_of_card[c] == socket
+        ]
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        return sum(s.cores for s in self.sockets)
+
+    @property
+    def usable_cores(self) -> int:
+        return sum(s.usable_cores for s in self.sockets)
+
+    @property
+    def total_hbm_bytes(self) -> int:
+        return self.n_stacks * self.device.hbm_capacity_bytes
+
+    @property
+    def total_ddr_bw(self) -> float:
+        return sum(s.ddr_peak_bw for s in self.sockets)
+
+    @property
+    def total_host_mem_bw(self) -> float:
+        """Best host memory bandwidth (HBM-backed sockets count their HBM)."""
+        return sum(s.best_mem_bw for s in self.sockets)
+
+    def gpus_per_socket(self, socket: int) -> int:
+        return len(self.cards_on_socket(socket))
+
+    def describe(self) -> str:
+        sock = self.sockets[0]
+        return (
+            f"{self.name}: 2x {sock.model} ({sock.cores}c), "
+            f"{self.n_cards}x {self.card.name} "
+            f"({self.n_stacks} logical devices)"
+        )

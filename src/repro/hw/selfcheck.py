@@ -1,0 +1,123 @@
+"""Hardware-model self-checks.
+
+Structural invariants every node model must satisfy, runnable as a
+diagnostic (``pvc-bench selfcheck``) and asserted by the test suite.
+A failed check means a construction bug, not a calibration issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dtypes import Precision
+from .node import Node
+from .systems import System
+
+__all__ = ["CheckResult", "self_check"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check(name: str, condition: bool, detail: str) -> CheckResult:
+    return CheckResult(name, bool(condition), detail)
+
+
+def self_check(system: System) -> list[CheckResult]:
+    """All structural invariants for one system."""
+    node: Node = system.node
+    fabric = node.fabric
+    checks: list[CheckResult] = []
+
+    # 1. Every logical device appears in the fabric.
+    fabric_stacks = set(fabric.stacks)
+    checks.append(
+        _check(
+            "fabric covers all stacks",
+            set(node.stacks()) == fabric_stacks,
+            f"{len(fabric_stacks)} fabric vs {node.n_stacks} node stacks",
+        )
+    )
+
+    # 2. Planes partition the stacks exactly.
+    if fabric.planes:
+        union = set().union(*fabric.planes)
+        overlap = (
+            set(fabric.planes[0]) & set(fabric.planes[1])
+            if len(fabric.planes) > 1
+            else set()
+        )
+        checks.append(
+            _check(
+                "planes partition the stacks",
+                union == fabric_stacks and not overlap,
+                f"{len(union)} in planes, {len(overlap)} overlapping",
+            )
+        )
+
+    # 3. Each card's stack 0 reaches its host socket.
+    reachable = all(
+        fabric.host_route(node.socket_of_card[card], node.stacks_of_card(card)[0])
+        for card in range(node.n_cards)
+    )
+    checks.append(_check("every card has a host route", reachable, ""))
+
+    # 4. Every stack pair is routable without the host.
+    stacks = node.stacks()
+    ok = True
+    for a in stacks:
+        for b in stacks:
+            if a != b and not fabric.routes(a, b):
+                ok = False
+    checks.append(_check("all-to-all device routing", ok, ""))
+
+    # 5. Peaks are consistent: FP32 >= FP64 for every declared precision.
+    dev = node.device
+    if Precision.FP64 in dev.flops_per_clock and Precision.FP32 in dev.flops_per_clock:
+        checks.append(
+            _check(
+                "FP32 peak >= FP64 peak",
+                dev.peak_flops(Precision.FP32) >= dev.peak_flops(Precision.FP64),
+                "",
+            )
+        )
+
+    # 6. Memory hierarchy grows in size and latency (already enforced at
+    # construction; re-checked here as belt and braces).
+    levels = dev.memory.levels
+    checks.append(
+        _check(
+            "memory hierarchy monotone",
+            all(
+                a.capacity_bytes < b.capacity_bytes
+                and a.latency_cycles < b.latency_cycles
+                for a, b in zip(levels, levels[1:])
+            ),
+            " -> ".join(l.name for l in levels),
+        )
+    )
+
+    # 7. Socket attachment is balanced (paper nodes split cards evenly).
+    per_socket = [node.gpus_per_socket(s) for s in range(len(node.sockets))]
+    checks.append(
+        _check(
+            "cards balanced across sockets",
+            max(per_socket) - min(per_socket) <= 1,
+            str(per_socket),
+        )
+    )
+
+    # 8. HBM capacity aggregates correctly.
+    checks.append(
+        _check(
+            "HBM totals consistent",
+            node.total_hbm_bytes
+            == node.n_stacks * dev.hbm_capacity_bytes,
+            f"{node.total_hbm_bytes / 1e9:.0f} GB",
+        )
+    )
+    return checks

@@ -1,0 +1,213 @@
+"""Intel Data Center GPU Max 1550 ("Ponte Vecchio") architecture model.
+
+Section II of the paper, bottom-up:
+
+* the basic element is the **Xe-Core**: 8 vector engines + 8 matrix engines
+  and a 512 KB register file;
+* the vector engine is 512-bit wide (8-wide FP64), performs two FP64 FMAs
+  per clock, so one Xe-Core retires ``8 engines x 8 SIMD x 2 FMA x 2 = 256``
+  FP64 flops per clock (and, by design, the same FP32 throughput);
+* the matrix engine is 4096-bit wide and supports only lower precisions;
+* 16 Xe-Cores form a **Xe-Slice**; 4 slices form a **Xe-Stack** with its own
+  192 MiB LLC and HBM2e stacks; 2 stacks form one Max 1550 card
+  (128 Xe-Cores, 32768 FP64+FP32 flops per clock);
+* only stack 0 carries the PCIe Gen5 host link; stack 1 reaches the host
+  via the stack-to-stack interconnect (MDFI).
+
+All quantities here are *specifications*; achieved performance is derived
+by :mod:`repro.sim` from these plus the frequency model and calibrated
+efficiencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.units import GB, KIB, MIB, TERA
+from ..dtypes import ENGINE_MATRIX, ENGINE_VECTOR, Precision
+
+__all__ = [
+    "VectorEngine",
+    "MatrixEngine",
+    "XeCore",
+    "XeSlice",
+    "XeStack",
+    "PVCCard",
+    "PVC_MAX_CLOCK_HZ",
+    "PVC_FP64_FMA_CLOCK_HZ",
+]
+
+#: Maximum GPU clock (Section II); sustained FP64 FMA clock under TDP
+#: (Section IV-B.2: "the PVC operated at ~1.2GHz for FP64 and ~1.6GHz for
+#: FP32 FMA operations").
+PVC_MAX_CLOCK_HZ = 1.6e9
+PVC_FP64_FMA_CLOCK_HZ = 1.2e9
+
+
+@dataclass(frozen=True, slots=True)
+class VectorEngine:
+    """One 512-bit vector engine (8 FP64 lanes, dual-issue FMA)."""
+
+    simd_bits: int = 512
+    fmas_per_clock: int = 2  # two double-precision FMAs per clock
+
+    def lanes(self, precision: Precision) -> int:
+        """SIMD lanes for *precision*.
+
+        PVC is specified with equal FP32 and FP64 throughput (Section
+        IV-B.2 cites [17]), so both map to the 8-wide configuration the
+        paper's peak formula uses; FP16 is not a vector-engine target in
+        this suite.
+        """
+        if precision in (Precision.FP64, Precision.FP32):
+            return self.simd_bits // 64
+        raise ValueError(f"vector engine does not serve {precision}")
+
+    def flops_per_clock(self, precision: Precision) -> int:
+        """Flops per clock: lanes x FMAs-per-clock x 2 (an FMA is 2 flops)."""
+        return self.lanes(precision) * self.fmas_per_clock * 2
+
+
+@dataclass(frozen=True, slots=True)
+class MatrixEngine:
+    """One 4096-bit matrix (XMX) engine; lower precisions only.
+
+    Ops-per-clock values reproduce the Max 1550 card specification at
+    1.6 GHz: FP16/BF16 839 TFlop/s, TF32 419 TFlop/s, I8 1678 TOp/s per
+    card (1024 engines), i.e. 512 / 512 / 256 / 1024 ops per engine-clock.
+    """
+
+    width_bits: int = 4096
+    _OPS: dict = field(
+        default_factory=lambda: {
+            Precision.FP16: 512,
+            Precision.BF16: 512,
+            Precision.TF32: 256,
+            Precision.I8: 1024,
+        }
+    )
+
+    def ops_per_clock(self, precision: Precision) -> int:
+        try:
+            return self._OPS[precision]
+        except KeyError:
+            raise ValueError(f"matrix engine does not serve {precision}") from None
+
+
+@dataclass(frozen=True, slots=True)
+class XeCore:
+    """Xe-Core: 8 vector + 8 matrix engines, 512 KB register file."""
+
+    n_vector_engines: int = 8
+    n_matrix_engines: int = 8
+    register_file_bytes: int = 512 * 1024
+    l1_cache_bytes: int = 512 * KIB  # Section IV-B.6 / Fig. 1
+    vector_engine: VectorEngine = field(default_factory=VectorEngine)
+    matrix_engine: MatrixEngine = field(default_factory=MatrixEngine)
+
+    def flops_per_clock(self, precision: Precision) -> int:
+        """Flops (or int-ops) per clock for the whole Xe-Core."""
+        if precision.engine == ENGINE_VECTOR:
+            return self.n_vector_engines * self.vector_engine.flops_per_clock(
+                precision
+            )
+        assert precision.engine == ENGINE_MATRIX
+        return self.n_matrix_engines * self.matrix_engine.ops_per_clock(precision)
+
+    def hw_thread_partitions(self) -> dict[int, int]:
+        """Register-file partitioning options (Section II).
+
+        Returns {active hardware threads: registers per thread}.
+        """
+        return {8: 128, 4: 256}
+
+
+@dataclass(frozen=True, slots=True)
+class XeSlice:
+    """Sixteen Xe-Cores grouped into a slice."""
+
+    n_xe_cores: int = 16
+    xe_core: XeCore = field(default_factory=XeCore)
+
+
+@dataclass(frozen=True, slots=True)
+class XeStack:
+    """A Xe-Stack: 4 slices, shared 192 MiB LLC, local HBM2e.
+
+    ``active_xe_cores`` models product binning: on Dawn all 64 Xe-Cores per
+    stack are active; on Aurora only 56 (Section III).
+    """
+
+    n_slices: int = 4
+    active_xe_cores: int = 64
+    llc_bytes: int = 192 * MIB
+    hbm_capacity_bytes: int = 64 * GB
+    # Card HBM2e spec is ~3.2768 TB/s (paper quotes "3 TB/s [15]");
+    # each stack owns half.
+    hbm_peak_bw: float = 3.2768 * TERA / 2
+    slice_: XeSlice = field(default_factory=XeSlice)
+
+    def __post_init__(self) -> None:
+        total = self.n_slices * self.slice_.n_xe_cores
+        if not (0 < self.active_xe_cores <= total):
+            raise ValueError(
+                f"active_xe_cores must be in (0, {total}]: {self.active_xe_cores}"
+            )
+
+    @property
+    def xe_core(self) -> XeCore:
+        return self.slice_.xe_core
+
+    @property
+    def n_vector_engines(self) -> int:
+        """Active vector engines (the paper's '448 per Stack' on Aurora)."""
+        return self.active_xe_cores * self.xe_core.n_vector_engines
+
+    @property
+    def n_matrix_engines(self) -> int:
+        return self.active_xe_cores * self.xe_core.n_matrix_engines
+
+    def flops_per_clock(self, precision: Precision) -> int:
+        return self.active_xe_cores * self.xe_core.flops_per_clock(precision)
+
+    def peak_flops(self, precision: Precision, clock_hz: float) -> float:
+        """Theoretical peak at a given clock.
+
+        The paper's own arithmetic (Section IV-B.1): 1.2 GHz x 448 engines
+        x 8 SIMD x 2 FMA x 2 = 17 TFlop/s for an Aurora stack.
+        """
+        return self.flops_per_clock(precision) * clock_hz
+
+
+@dataclass(frozen=True, slots=True)
+class PVCCard:
+    """One Intel Data Center GPU Max 1550 card: two Xe-Stacks.
+
+    Only stack 0 has the PCIe Gen5 link to the host; traffic originating
+    on stack 1 crosses the stack-to-stack interconnect first (Section II).
+    """
+
+    stack: XeStack = field(default_factory=XeStack)
+    n_stacks: int = 2
+    pcie_stack: int = 0
+
+    @property
+    def total_xe_cores(self) -> int:
+        return self.n_stacks * self.stack.active_xe_cores
+
+    @property
+    def hbm_capacity_bytes(self) -> int:
+        return self.n_stacks * self.stack.hbm_capacity_bytes
+
+    def flops_per_clock(self, precision: Precision) -> int:
+        return self.n_stacks * self.stack.flops_per_clock(precision)
+
+
+def full_pvc_card() -> PVCCard:
+    """A fully-enabled Max 1550 (Dawn binning: 64 Xe-Cores per stack)."""
+    return PVCCard(stack=XeStack(active_xe_cores=64))
+
+
+def aurora_pvc_card() -> PVCCard:
+    """Aurora binning: 56 active Xe-Cores per stack (Section III)."""
+    return PVCCard(stack=XeStack(active_xe_cores=56))

@@ -1,0 +1,65 @@
+"""Shared microbenchmark machinery.
+
+Every microbenchmark follows the paper's protocol (Section IV-A): run
+several repetitions, report the best.  :class:`MicroBenchmark` wires that
+protocol to the performance engine and exposes a uniform
+``measure(engine, n_stacks)`` entry point used by the table regenerators.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.result import BenchmarkResult, DeviceScope, Measurement
+from ..core.runner import RunPlan, Runner
+from ..sim.engine import PerfEngine
+
+__all__ = ["MicroBenchmark", "scope_for"]
+
+
+def scope_for(engine: PerfEngine, n_stacks: int) -> DeviceScope:
+    """Map a stack count to the paper's scope names for this system."""
+    node = engine.node
+    per_card = node.card.n_devices
+    if n_stacks == 1:
+        name = "One Stack" if per_card == 2 else "One GPU"
+    elif n_stacks == per_card:
+        name = "One PVC" if engine.device.arch == "pvc" else "One GPU"
+    elif n_stacks == node.n_stacks:
+        name = engine.system.full_node_scope_name()
+    else:
+        name = f"{n_stacks} Stacks"
+    return DeviceScope(name, n_stacks)
+
+
+class MicroBenchmark(abc.ABC):
+    """Base class for the seven microbenchmarks of Table I."""
+
+    #: Set by the @register decorator.
+    benchmark_name: str = ""
+
+    @abc.abstractmethod
+    def _measure_once(
+        self, engine: PerfEngine, n_stacks: int, rep: int
+    ) -> Measurement:
+        """One repetition: returns elapsed simulated time + work done."""
+
+    def measure(
+        self,
+        engine: PerfEngine,
+        n_stacks: int = 1,
+        plan: RunPlan | None = None,
+    ) -> BenchmarkResult:
+        """Run the repeat-and-take-best protocol at the given scope."""
+        runner = Runner(plan)
+        return runner.run(
+            benchmark=self.benchmark_name or type(self).__name__,
+            system=engine.system.name,
+            scope=scope_for(engine, n_stacks),
+            measure=lambda rep: self._measure_once(engine, n_stacks, rep),
+            params=self.params(),
+        )
+
+    def params(self) -> dict:
+        """Benchmark-specific configuration recorded with results."""
+        return {}

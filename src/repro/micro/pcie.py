@@ -1,0 +1,110 @@
+"""Host <-> device transfer bandwidth over PCIe (Section IV-A.3).
+
+"This benchmark measures the time to transfer data over the PCIe bus,
+500 MB in the case of host-to-device, device-to-host, or a total of 1 GB
+when transferred simultaneously in both directions.  We use
+sycl::malloc_host() for the host memory."
+
+Three scopes appear in Table II: one stack, one PVC (both stacks of one
+card — they share the card's single PCIe link, so the rate barely moves),
+and the full node (where the host-side aggregate cap produces the "scales
+poorly, 40%" result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.registry import register
+from ..core.result import Measurement
+from ..core.units import MB
+from ..hw.ids import StackRef
+from ..sim.engine import PerfEngine
+from ..runtime.sycl import SyclRuntime
+from .common import MicroBenchmark
+
+__all__ = ["PcieBandwidth", "TRANSFER_BYTES"]
+
+#: Section IV-A.3: 500 MB per direction.
+TRANSFER_BYTES = 500 * MB
+
+
+@register(
+    name="pcie",
+    category="micro",
+    programming_model="SYCL",
+    description="Compute the Bandwidth of the PCIe datatransfer",
+)
+class PcieBandwidth(MicroBenchmark):
+    """The PCIe rows of Table II.
+
+    ``direction`` is ``"h2d"``, ``"d2h"`` or ``"bidir"``.
+    """
+
+    def __init__(
+        self,
+        direction: str = "h2d",
+        nbytes: int = TRANSFER_BYTES,
+        payload_bytes: int | None = None,
+    ) -> None:
+        if direction not in ("h2d", "d2h", "bidir"):
+            raise ValueError(f"bad direction {direction!r}")
+        self.direction = direction
+        self.nbytes = nbytes
+        # Functional buffer size; defaults to the full declared message.
+        self.payload_bytes = min(payload_bytes or nbytes, nbytes)
+
+    def params(self) -> dict:
+        return {"direction": self.direction, "nbytes": self.nbytes}
+
+    def _single_transfer(
+        self, engine: PerfEngine, rep: int
+    ) -> tuple[float, float]:
+        """One queue doing the 500 MB (or 1 GB bidir) transfer via SYCL."""
+        rt = SyclRuntime(engine)
+        queue = rt.queue()
+        queue.set_repetition(rep)
+        payload = self.payload_bytes
+        host = queue.malloc_host(payload)
+        dev = queue.malloc_device(payload)
+        host.buffer[:8] = np.arange(8, dtype=np.uint8)
+        if self.direction == "h2d":
+            ev = queue.memcpy(dev, host, timed_nbytes=self.nbytes)
+            moved = float(self.nbytes)
+            if dev.buffer[3] != 3:
+                raise AssertionError("H2D payload corrupted")
+        elif self.direction == "d2h":
+            dev.buffer[:8] = np.arange(8, dtype=np.uint8)
+            ev = queue.memcpy(host, dev, timed_nbytes=self.nbytes)
+            moved = float(self.nbytes)
+            if host.buffer[3] != 3:
+                raise AssertionError("D2H payload corrupted")
+        else:
+            host2 = queue.malloc_host(payload)
+            dev2 = queue.malloc_device(payload)
+            ev = queue.memcpy_bidirectional(
+                host2, dev2, dev, host, payload, timed_nbytes=self.nbytes
+            )
+            moved = 2.0 * self.nbytes
+        return ev.duration_s, moved
+
+    def _measure_once(
+        self, engine: PerfEngine, n_stacks: int, rep: int
+    ) -> Measurement:
+        if n_stacks == 1:
+            elapsed, moved = self._single_transfer(engine, rep)
+            return Measurement(elapsed_s=elapsed, work=moved, unit="B/s")
+        # Concurrent transfers from n_stacks stacks: aggregate bandwidth
+        # through the card-sharing + host-cap contention model.
+        refs = engine.node.stacks()[:n_stacks]
+        agg_bw = engine.transfers.node_host_bw(self.direction, refs)
+        per_flow_bytes = float(self.nbytes) * (
+            2.0 if self.direction == "bidir" else 1.0
+        )
+        total_bytes = per_flow_bytes * len({r.card for r in refs})
+        elapsed = engine.noise.apply(
+            total_bytes / agg_bw,
+            f"{engine.system.name}:pcie-agg:{self.direction}:{n_stacks}",
+            rep,
+        )
+        return Measurement(elapsed_s=elapsed, work=total_bytes, unit="B/s")

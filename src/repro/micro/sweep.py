@@ -1,0 +1,110 @@
+"""Parameter sweeps over the microbenchmarks.
+
+Beyond the single-point numbers of Table II, benchmark suites like the
+paper's (and clpeak, which its FMA benchmark follows) sweep parameters to
+expose the underlying mechanisms.  Three sweeps:
+
+* :func:`message_size_sweep` — P2P / PCIe bandwidth vs message size:
+  the classic latency-to-bandwidth ramp ``B(s) = s / (latency + s/BW)``
+  with its half-bandwidth point at ``s = latency * BW``;
+* :func:`gemm_size_sweep` — GEMM throughput vs N, showing the ramp to the
+  compute roof (small N are bandwidth/launch-bound);
+* :func:`fma_chain_sweep` — flops vs chain length (clpeak-style), showing
+  the latency-hiding ramp of the FMA pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dtypes import Precision
+from ..hw.ids import StackRef
+from ..sim.engine import PerfEngine
+from ..sim.kernel import gemm_kernel
+
+__all__ = [
+    "SweepPoint",
+    "message_size_sweep",
+    "gemm_size_sweep",
+    "fma_chain_sweep",
+    "half_bandwidth_point",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One point of a parameter sweep."""
+
+    x: float
+    value: float
+
+
+def message_size_sweep(
+    engine: PerfEngine,
+    src: StackRef,
+    dst: StackRef,
+    sizes: np.ndarray | None = None,
+) -> list[SweepPoint]:
+    """Achieved P2P bandwidth vs message size.
+
+    Uses the route's fixed latency plus its bottleneck bandwidth — the
+    standard alpha-beta model the MPI benchmark community plots.
+    """
+    if sizes is None:
+        sizes = np.logspace(2, np.log10(500e6), 24)
+    out = []
+    for s in sizes:
+        t = engine.transfers.p2p_transfer_time(src, dst, float(s))
+        out.append(SweepPoint(float(s), float(s) / t))
+    return out
+
+
+def half_bandwidth_point(points: list[SweepPoint]) -> float:
+    """The message size reaching half the asymptotic bandwidth (n_1/2)."""
+    if len(points) < 2:
+        raise ValueError("need at least two sweep points")
+    peak = points[-1].value
+    for p in points:
+        if p.value >= 0.5 * peak:
+            return p.x
+    return points[-1].x
+
+
+def gemm_size_sweep(
+    engine: PerfEngine,
+    precision: Precision = Precision.FP64,
+    sizes: tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192, 20480),
+) -> list[SweepPoint]:
+    """GEMM throughput vs matrix size.
+
+    Small matrices are DRAM-bound (O(N^2) traffic cannot amortise);
+    the paper's N = 20480 sits far up the compute roof.
+    """
+    out = []
+    for n in sizes:
+        spec = gemm_kernel(precision, n)
+        t = engine.kernel_time_s(spec)
+        out.append(SweepPoint(float(n), spec.flops / t))
+    return out
+
+
+def fma_chain_sweep(
+    engine: PerfEngine,
+    precision: Precision = Precision.FP64,
+    chain_lengths: tuple[int, ...] = (1, 2, 4, 8, 16, 64, 256, 2048),
+    pipeline_depth: float = 8.0,
+) -> list[SweepPoint]:
+    """Achieved flops vs FMA chain length (clpeak's ramp).
+
+    Short dependent chains cannot hide the FMA pipeline latency; the
+    achieved rate ramps as ``L / (L + depth - 1)`` toward the peak, which
+    is why the paper's kernel uses a 16x128-long chain.
+    """
+    peak = engine.fma_rate(precision, 1)
+    out = []
+    for length in chain_lengths:
+        efficiency = length / (length + pipeline_depth - 1.0)
+        out.append(SweepPoint(float(length), peak * efficiency))
+    return out

@@ -1,0 +1,84 @@
+"""Mini-app/application base class.
+
+Each entry of the paper's Table V becomes a class with two legs:
+
+* a **functional implementation** — the actual algorithm (docking energy,
+  hydrodynamics, QMC, RI-MP2, transport, N-body/SPH) in vectorised NumPy,
+  run at test scale and validated for physical correctness;
+* a **figure-of-merit model** — the paper-scale workload driven through
+  the performance engine and the app calibration, producing the Table VI
+  cells and the Figures 2-4 ratios.
+
+``fom(engine, n_stacks)`` returns the FOM at a scope, or raises
+:class:`repro.errors.NotMeasuredError` for cells the paper leaves blank
+(and :class:`repro.errors.BuildError` where the paper's build failed).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.fom import FOM_SPECS, FomSpec
+from ..errors import NotMeasuredError
+from ..runtime.toolchain import Binary, toolchain_for
+from ..sim.engine import PerfEngine
+
+__all__ = ["MiniApp"]
+
+
+class MiniApp(abc.ABC):
+    """Base class for the four mini-apps and two applications."""
+
+    #: Key into :data:`repro.core.fom.FOM_SPECS` (and the app calibration).
+    app_key: str = ""
+    #: Set by the @register decorator.
+    benchmark_name: str = ""
+
+    @property
+    def fom_spec(self) -> FomSpec:
+        return FOM_SPECS[self.app_key]
+
+    # -- toolchain ----------------------------------------------------------
+
+    def build(self, engine: PerfEngine) -> Binary:
+        """'Compile' the app for the target system.
+
+        Raises :class:`repro.errors.BuildError` where the paper's build
+        failed (GAMESS RI-MP2 with the AMD Fortran compiler).
+        """
+        spec = self.fom_spec
+        model = spec.programming_model.split(",")[0].strip().lower()
+        if "openmp" in spec.programming_model.lower():
+            model = "openmp"
+        elif engine.device.arch == "h100":
+            model = "cuda"
+        elif engine.device.arch == "mi250":
+            model = "hip"
+        else:
+            model = "sycl"
+        return toolchain_for(engine.system).build(
+            self.fom_spec.name, spec.language, model
+        )
+
+    # -- figure of merit ------------------------------------------------------
+
+    @abc.abstractmethod
+    def fom(self, engine: PerfEngine, n_stacks: int = 1) -> float:
+        """The Table VI figure-of-merit at the given scope."""
+
+    def fom_or_none(self, engine: PerfEngine, n_stacks: int) -> float | None:
+        """``fom`` with paper-blank cells mapped to None."""
+        try:
+            return self.fom(engine, n_stacks)
+        except NotMeasuredError:
+            return None
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _check_stacks(engine: PerfEngine, n_stacks: int) -> None:
+        if not (1 <= n_stacks <= engine.node.n_stacks):
+            raise ValueError(
+                f"{engine.system.name}: n_stacks must be in "
+                f"[1, {engine.node.n_stacks}], got {n_stacks}"
+            )

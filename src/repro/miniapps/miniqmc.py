@@ -1,0 +1,411 @@
+"""miniQMC: real-space quantum Monte Carlo (Section V-A.3).
+
+"miniQMC contains a simplified but computationally accurate
+implementation of the real space quantum Monte Carlo algorithms
+implemented in the full production QMCPACK application. ... The FOM is
+defined as N_walkers x N_elec^3 / T_diffusion and the simulation uses a
+2x2x1 cell and 320 walkers per GPU.  The computation is weak scaled with
+MPI on every Stack."
+
+Functional leg, mirroring miniQMC's kernel mix:
+
+* a **3D uniform cubic B-spline evaluator** (the einspline substitute) —
+  the orbital-evaluation kernel that dominates QMCPACK;
+* **walker drift-diffusion** with Metropolis acceptance against a Gaussian
+  trial wavefunction in a harmonic trap.  With the variational parameter
+  at its exact value the local energy is 3*omega/2 with *zero variance* —
+  a sharp correctness oracle the tests exploit.
+
+FOM leg: the paper's key finding for miniQMC is that it is **CPU
+congestion bound** at high GPU-per-CPU ratios ("resources on each CPU
+socket are shared by more GPUs attached to it on Aurora ... the high GPU
+to CPU ratio doesn't benefit miniQMC") — the model is
+``t(r) = t_gpu + t_host * r**p`` with ``r`` the ranks sharing a socket,
+which reproduces the Aurora-full-node < Dawn-full-node inversion of
+Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.registry import register
+from ..errors import ConfigurationError
+from ..runtime.binding import explicit_scaling_binding, ranks_per_socket
+from ..sim.calibration import MiniQmcCalibration, get_app_calibration
+from ..sim.engine import PerfEngine
+from .base import MiniApp
+
+__all__ = [
+    "CubicBspline3D",
+    "SplineOrbitalSet",
+    "HarmonicTrialWavefunction",
+    "VmcDriver",
+    "DmcDriver",
+    "MiniQmc",
+    "PAPER_WALKERS_PER_GPU",
+    "PAPER_ELECTRONS",
+]
+
+#: Paper run configuration: 2x2x1 cell, 320 walkers per GPU.  The NiO
+#: 2x2x1 cell used by miniQMC carries 128 electrons.
+PAPER_WALKERS_PER_GPU = 320
+PAPER_ELECTRONS = 128
+
+
+class CubicBspline3D:
+    """Uniform periodic cubic B-spline interpolation on a 3D grid.
+
+    The einspline-style orbital evaluator: coefficients live on a uniform
+    grid; evaluation gathers a 4x4x4 neighbourhood with the cubic
+    B-spline basis.  Vectorised over arbitrary batches of points.
+    """
+
+    def __init__(self, values: np.ndarray, box: float) -> None:
+        """Build spline coefficients that *interpolate* ``values``.
+
+        For a uniform cubic B-spline, interpolation requires solving the
+        cyclic tridiagonal system (1/6, 4/6, 1/6) per axis; we do it
+        spectrally (the system is circulant for periodic data).
+        """
+        if values.ndim != 3:
+            raise ConfigurationError("values must be a 3D grid")
+        if box <= 0:
+            raise ConfigurationError("box must be positive")
+        self.box = float(box)
+        self.n = values.shape[0]
+        if values.shape != (self.n, self.n, self.n):
+            raise ConfigurationError("grid must be cubic")
+        self.coeffs = self._solve_coefficients(np.asarray(values, dtype=np.float64))
+
+    def _solve_coefficients(self, values: np.ndarray) -> np.ndarray:
+        n = self.n
+        k = np.arange(n)
+        # Eigenvalues of the circulant (1/6, 4/6, 1/6) filter.
+        eig = (4.0 + 2.0 * np.cos(2.0 * np.pi * k / n)) / 6.0
+        out = values
+        for axis in range(3):
+            spectrum = np.fft.fft(out, axis=axis)
+            shape = [1, 1, 1]
+            shape[axis] = n
+            spectrum /= eig.reshape(shape)
+            out = np.real(np.fft.ifft(spectrum, axis=axis))
+        return out
+
+    @staticmethod
+    def _basis(t: np.ndarray) -> np.ndarray:
+        """The four cubic B-spline weights for fractional offsets *t*.
+
+        Returns shape (4, ...) with the classic basis:
+        w0=(1-t)^3/6, w1=(3t^3-6t^2+4)/6, w2=(-3t^3+3t^2+3t+1)/6, w3=t^3/6.
+        """
+        t2 = t * t
+        t3 = t2 * t
+        return np.stack(
+            [
+                (1.0 - 3.0 * t + 3.0 * t2 - t3) / 6.0,
+                (3.0 * t3 - 6.0 * t2 + 4.0) / 6.0,
+                (-3.0 * t3 + 3.0 * t2 + 3.0 * t + 1.0) / 6.0,
+                t3 / 6.0,
+            ]
+        )
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """Spline values at Cartesian *points* of shape (..., 3)."""
+        pts = np.asarray(points, dtype=np.float64)
+        if pts.shape[-1] != 3:
+            raise ConfigurationError("points must end in an xyz axis")
+        flat = pts.reshape(-1, 3)
+        g = flat / self.box * self.n  # grid units, periodic
+        base = np.floor(g).astype(np.int64)
+        frac = g - base
+        n = self.n
+        result = np.zeros(flat.shape[0])
+        wx = self._basis(frac[:, 0])
+        wy = self._basis(frac[:, 1])
+        wz = self._basis(frac[:, 2])
+        for i in range(4):
+            ix = (base[:, 0] + i - 1) % n
+            for j in range(4):
+                iy = (base[:, 1] + j - 1) % n
+                wij = wx[i] * wy[j]
+                for k in range(4):
+                    iz = (base[:, 2] + k - 1) % n
+                    result += wij * wz[k] * self.coeffs[ix, iy, iz]
+        return result.reshape(pts.shape[:-1])
+
+
+class SplineOrbitalSet:
+    """A bank of B-spline orbitals — miniQMC's dominant kernel.
+
+    QMCPACK stores single-particle orbitals as 3D B-spline tables
+    (einspline) and evaluates *all* orbitals for each electron move; that
+    evaluation is what miniQMC times.  The coefficient grids are stacked
+    so one gather serves every orbital (exactly the memory layout trick
+    the real einspline multi-spline uses).
+    """
+
+    def __init__(self, grids: np.ndarray, box: float) -> None:
+        """``grids``: (n_orbitals, n, n, n) sample values to interpolate."""
+        if grids.ndim != 4:
+            raise ConfigurationError("grids must be (n_orbitals, n, n, n)")
+        self.n_orbitals = grids.shape[0]
+        self.box = float(box)
+        self._splines = [CubicBspline3D(g, box) for g in grids]
+        # Stack coefficients: (n, n, n, n_orbitals) for gather locality.
+        self.coeffs = np.stack([s.coeffs for s in self._splines], axis=-1)
+        self.n = grids.shape[1]
+
+    @classmethod
+    def plane_waves(
+        cls, n_orbitals: int, grid_n: int = 16, box: float = 2.0
+    ) -> "SplineOrbitalSet":
+        """Plane-wave-like test orbitals with increasing wavevectors."""
+        x = np.arange(grid_n) / grid_n * box
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        grids = np.stack(
+            [
+                np.cos(2 * np.pi * ((k % 3 + 1) * xx + (k % 2) * yy) / box)
+                * np.cos(2 * np.pi * (k // 3) * zz / box)
+                for k in range(n_orbitals)
+            ]
+        )
+        return cls(grids, box)
+
+    def evaluate(self, points: np.ndarray) -> np.ndarray:
+        """All orbitals at all points: (..., n_orbitals).
+
+        One 4x4x4 gather of the stacked coefficients per point serves
+        every orbital (the multi-spline optimisation).
+        """
+        pts = np.asarray(points, dtype=np.float64)
+        flat = pts.reshape(-1, 3)
+        g = flat / self.box * self.n
+        base = np.floor(g).astype(np.int64)
+        frac = g - base
+        wx = CubicBspline3D._basis(frac[:, 0])
+        wy = CubicBspline3D._basis(frac[:, 1])
+        wz = CubicBspline3D._basis(frac[:, 2])
+        n = self.n
+        out = np.zeros((flat.shape[0], self.n_orbitals))
+        for i in range(4):
+            ix = (base[:, 0] + i - 1) % n
+            for j in range(4):
+                iy = (base[:, 1] + j - 1) % n
+                wij = wx[i] * wy[j]
+                for k in range(4):
+                    iz = (base[:, 2] + k - 1) % n
+                    out += (wij * wz[k])[:, None] * self.coeffs[ix, iy, iz]
+        return out.reshape(*pts.shape[:-1], self.n_orbitals)
+
+    def evaluate_single(self, orbital: int, points: np.ndarray) -> np.ndarray:
+        """One orbital via its standalone spline (for cross-checking)."""
+        return self._splines[orbital].evaluate(points)
+
+
+@dataclass(frozen=True)
+class HarmonicTrialWavefunction:
+    """Gaussian trial state ``psi = exp(-alpha sum_i r_i^2 / 2)`` for
+    independent electrons in an isotropic harmonic trap ``V = omega^2 r^2/2``
+    (hbar = m = 1)."""
+
+    alpha: float
+    omega: float = 1.0
+
+    def log_psi(self, r: np.ndarray) -> np.ndarray:
+        """log |psi| for walker configurations (..., N_elec, 3)."""
+        return -0.5 * self.alpha * np.sum(r * r, axis=(-2, -1))
+
+    def local_energy(self, r: np.ndarray) -> np.ndarray:
+        """E_L per walker.
+
+        ``E_L = N * 3*alpha/2 + (omega^2 - alpha^2)/2 * sum r^2``;
+        at ``alpha == omega`` this is exactly ``N * 3*omega/2`` for every
+        configuration (zero variance).
+        """
+        n_elec = r.shape[-2]
+        r2 = np.sum(r * r, axis=(-2, -1))
+        return 1.5 * self.alpha * n_elec + 0.5 * (
+            self.omega**2 - self.alpha**2
+        ) * r2
+
+    def drift(self, r: np.ndarray) -> np.ndarray:
+        """Quantum drift velocity ``grad log psi = -alpha r``."""
+        return -self.alpha * r
+
+
+class VmcDriver:
+    """Variational Monte Carlo over a population of walkers."""
+
+    def __init__(
+        self,
+        wavefunction: HarmonicTrialWavefunction,
+        n_walkers: int,
+        n_electrons: int,
+        timestep: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if n_walkers < 1 or n_electrons < 1:
+            raise ConfigurationError("need at least one walker and electron")
+        self.psi = wavefunction
+        self.rng = np.random.default_rng(seed)
+        self.timestep = timestep
+        self.r = self.rng.standard_normal((n_walkers, n_electrons, 3)) / np.sqrt(
+            wavefunction.alpha
+        )
+        self.accept_count = 0
+        self.move_count = 0
+
+    def step(self) -> np.ndarray:
+        """One drift-diffusion Metropolis sweep; returns E_L per walker."""
+        tau = self.timestep
+        old = self.r
+        proposal = (
+            old
+            + tau * self.psi.drift(old)
+            + np.sqrt(tau) * self.rng.standard_normal(old.shape)
+        )
+        # Metropolis-Hastings with the drift-diffusion proposal density.
+        log_ratio = 2.0 * (self.psi.log_psi(proposal) - self.psi.log_psi(old))
+        fwd = proposal - old - tau * self.psi.drift(old)
+        rev = old - proposal - tau * self.psi.drift(proposal)
+        log_g = (
+            np.sum(fwd * fwd, axis=(-2, -1)) - np.sum(rev * rev, axis=(-2, -1))
+        ) / (2.0 * tau)
+        accept = np.log(self.rng.uniform(size=log_ratio.shape)) < (
+            log_ratio + log_g
+        )
+        self.r = np.where(accept[:, None, None], proposal, old)
+        self.accept_count += int(np.count_nonzero(accept))
+        self.move_count += accept.size
+        return self.psi.local_energy(self.r)
+
+    def run(self, n_steps: int, warmup: int = 10) -> tuple[float, float]:
+        """Returns (mean local energy, standard error)."""
+        for _ in range(warmup):
+            self.step()
+        samples = np.concatenate([self.step() for _ in range(n_steps)])
+        return float(samples.mean()), float(
+            samples.std(ddof=1) / np.sqrt(samples.size)
+        )
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.accept_count / max(self.move_count, 1)
+
+
+class DmcDriver:
+    """Diffusion Monte Carlo with importance sampling and branching.
+
+    The "diffusion" of the paper's ``T_diffusion``: walkers drift-diffuse
+    with the trial wavefunction's quantum force and carry branching
+    weights ``exp(-tau (E_L - E_T))``; stochastic reconfiguration keeps
+    the population near its target.  For the harmonic trap the projected
+    ground-state energy is ``1.5 * N * omega`` regardless of the trial
+    alpha — the property the tests exploit (VMC with a bad alpha is
+    biased; DMC is not, up to timestep error).
+    """
+
+    def __init__(
+        self,
+        wavefunction: HarmonicTrialWavefunction,
+        n_walkers: int,
+        n_electrons: int,
+        timestep: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if n_walkers < 8:
+            raise ConfigurationError("DMC needs a reasonable population")
+        self.psi = wavefunction
+        self.target_walkers = n_walkers
+        self.timestep = timestep
+        self.rng = np.random.default_rng(seed)
+        self.r = self.rng.standard_normal(
+            (n_walkers, n_electrons, 3)
+        ) / np.sqrt(wavefunction.alpha)
+        self.e_trial = float(np.mean(self.psi.local_energy(self.r)))
+
+    @property
+    def population(self) -> int:
+        return self.r.shape[0]
+
+    def step(self) -> float:
+        """One DMC generation; returns the population-weighted energy."""
+        tau = self.timestep
+        e_old = self.psi.local_energy(self.r)
+        self.r = (
+            self.r
+            + tau * self.psi.drift(self.r)
+            + np.sqrt(tau) * self.rng.standard_normal(self.r.shape)
+        )
+        e_new = self.psi.local_energy(self.r)
+        weights = np.exp(-tau * (0.5 * (e_old + e_new) - self.e_trial))
+        energy = float(np.sum(weights * e_new) / np.sum(weights))
+        # Stochastic reconfiguration back to the target population.
+        p = weights / weights.sum()
+        idx = self.rng.choice(self.population, size=self.target_walkers, p=p)
+        self.r = self.r[idx]
+        # Population-control feedback on the trial energy.
+        self.e_trial = energy - 0.1 / tau * np.log(
+            weights.mean()
+        )
+        return energy
+
+    def run(self, n_steps: int, warmup: int = 50) -> tuple[float, float]:
+        """(mean projected energy, standard error) over n_steps."""
+        for _ in range(warmup):
+            self.step()
+        samples = np.array([self.step() for _ in range(n_steps)])
+        return float(samples.mean()), float(
+            samples.std(ddof=1) / np.sqrt(samples.size)
+        )
+
+
+@register(
+    name="miniqmc",
+    category="miniapp",
+    programming_model="OpenMP",
+    description="Real-space QMC kernels (compute/BW + CPU congestion bound)",
+)
+class MiniQmc(MiniApp):
+    """FOM = N_w * N_e^3 * 1e-11 / T_diffusion (Table V)."""
+
+    app_key = "miniqmc"
+
+    def __init__(
+        self,
+        walkers_per_gpu: int = PAPER_WALKERS_PER_GPU,
+        n_electrons: int = PAPER_ELECTRONS,
+    ) -> None:
+        self.walkers_per_gpu = walkers_per_gpu
+        self.n_electrons = n_electrons
+
+    # -- functional ----------------------------------------------------------
+
+    def run_functional(
+        self, n_walkers: int = 64, n_electrons: int = 8, steps: int = 40
+    ) -> tuple[float, float]:
+        psi = HarmonicTrialWavefunction(alpha=1.0, omega=1.0)
+        driver = VmcDriver(psi, n_walkers, n_electrons)
+        return driver.run(steps)
+
+    # -- FOM -------------------------------------------------------------------
+
+    def _ranks_per_socket(self, engine: PerfEngine, n_stacks: int) -> int:
+        bindings = explicit_scaling_binding(engine.node, n_stacks)
+        return max(ranks_per_socket(bindings, len(engine.node.sockets)))
+
+    def diffusion_time(self, engine: PerfEngine, n_stacks: int = 1) -> float:
+        """Per-rank diffusion time in units of the single-rank time."""
+        cal = get_app_calibration("miniqmc", engine.system.calibration_key)
+        assert isinstance(cal, MiniQmcCalibration)
+        r = self._ranks_per_socket(engine, n_stacks)
+        return cal.t_gpu + cal.t_host * r**cal.congestion_exponent
+
+    def fom(self, engine: PerfEngine, n_stacks: int = 1) -> float:
+        self._check_stacks(engine, n_stacks)
+        cal = get_app_calibration("miniqmc", engine.system.calibration_key)
+        assert isinstance(cal, MiniQmcCalibration)
+        return n_stacks * cal.fom_single / self.diffusion_time(engine, n_stacks)

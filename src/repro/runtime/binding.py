@@ -1,0 +1,80 @@
+"""Rank-to-CPU-core and rank-to-stack binding (Section IV-A).
+
+The paper's protocol: *"binding the MPI ranks to the CPU closest to the
+GPU ensures data transfer doesn't happen between CPU sockets.  For
+example, Aurora uses CPU cores 0 and 52 (the first core from each CPU
+socket) for OS kernel threads.  Therefore, rank 0 is bound to CPU core 1
+and PVC 0 Stack 0.  Each Stack is mapped to one MPI rank."*
+
+:func:`explicit_scaling_binding` reproduces this: ranks enumerate stacks
+card-major, each rank binds to the first free non-reserved core of its
+card's socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hw.ids import StackRef
+from ..hw.node import Node
+
+__all__ = ["RankBinding", "explicit_scaling_binding", "ranks_per_socket"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankBinding:
+    """Where one MPI rank lives: its stack, socket, and pinned CPU core."""
+
+    rank: int
+    stack: StackRef
+    socket: int
+    cpu_core: int
+
+
+def explicit_scaling_binding(
+    node: Node, n_ranks: int | None = None
+) -> list[RankBinding]:
+    """One rank per stack, bound to the closest socket's next free core.
+
+    Cores are numbered globally with socket 0 owning ``[0, cores)`` and
+    socket 1 owning ``[cores, 2*cores)``; the first ``os_reserved_cores``
+    of each socket are skipped (core 0 and core 52 on Aurora).
+    """
+    stacks = node.stacks()
+    if n_ranks is None:
+        n_ranks = len(stacks)
+    if not (1 <= n_ranks <= len(stacks)):
+        raise ConfigurationError(
+            f"n_ranks must be in [1, {len(stacks)}], got {n_ranks}"
+        )
+    core_base = [0]
+    for sock in node.sockets[:-1]:
+        core_base.append(core_base[-1] + sock.cores)
+    next_free = [
+        core_base[i] + node.sockets[i].os_reserved_cores
+        for i in range(len(node.sockets))
+    ]
+    bindings: list[RankBinding] = []
+    for rank in range(n_ranks):
+        ref = stacks[rank]
+        socket = node.socket_of(ref)
+        limit = core_base[socket] + node.sockets[socket].cores
+        core = next_free[socket]
+        if core >= limit:
+            raise ConfigurationError(
+                f"socket {socket} has no free core for rank {rank}"
+            )
+        next_free[socket] += 1
+        bindings.append(
+            RankBinding(rank=rank, stack=ref, socket=socket, cpu_core=core)
+        )
+    return bindings
+
+
+def ranks_per_socket(bindings: list[RankBinding], n_sockets: int) -> list[int]:
+    """How many ranks share each socket (drives the congestion models)."""
+    counts = [0] * n_sockets
+    for b in bindings:
+        counts[b.socket] += 1
+    return counts

@@ -1,0 +1,82 @@
+"""An OpenMP-target-offload-like facade.
+
+The paper's peak-flops and triad microbenchmarks, plus miniQMC, RI-MP2
+and OpenMC, are written in OpenMP target offload.  This facade maps the
+``target teams distribute parallel for`` idiom onto the simulated device:
+the loop body executes vectorised on the host (NumPy) for functional
+results, while elapsed time comes from the engine's roofline for the
+declared workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..hw.ids import StackRef
+from ..sim.engine import PerfEngine
+from ..sim.kernel import KernelSpec
+
+__all__ = ["OmpTargetRegion", "OpenMPRuntime"]
+
+
+@dataclass(frozen=True, slots=True)
+class OmpTargetRegion:
+    """Result of one offloaded region: wall time + mapping traffic."""
+
+    kernel_s: float
+    map_to_s: float
+    map_from_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.kernel_s + self.map_to_s + self.map_from_s
+
+
+class OpenMPRuntime:
+    """One device's OpenMP offload context."""
+
+    def __init__(self, engine: PerfEngine, device: StackRef | None = None) -> None:
+        self.engine = engine
+        self.device = device or engine.node.stacks()[0]
+        self._rep = 0
+
+    def set_repetition(self, rep: int) -> None:
+        self._rep = rep
+
+    def target_teams_loop(
+        self,
+        spec: KernelSpec,
+        body: Callable[[], None] | None = None,
+        *,
+        map_to_bytes: float = 0.0,
+        map_from_bytes: float = 0.0,
+        n_stacks: int = 1,
+    ) -> OmpTargetRegion:
+        """``#pragma omp target teams distribute parallel for``.
+
+        ``map_to_bytes`` / ``map_from_bytes`` model ``map(to:)`` /
+        ``map(from:)`` clauses — explicit H2D/D2H traffic around the
+        kernel.
+        """
+        eng = self.engine
+        map_to_s = (
+            eng.host_transfer_time(self.device, map_to_bytes, "h2d", rep=self._rep)
+            if map_to_bytes
+            else 0.0
+        )
+        map_from_s = (
+            eng.host_transfer_time(self.device, map_from_bytes, "d2h", rep=self._rep)
+            if map_from_bytes
+            else 0.0
+        )
+        if body is not None:
+            body()
+        kernel_s = eng.kernel_time_s(spec, n_stacks, rep=self._rep)
+        return OmpTargetRegion(kernel_s, map_to_s, map_from_s)
+
+    def parallel_for(self, n: int, fn: Callable[[np.ndarray], None]) -> None:
+        """Host-side ``parallel for``: vectorised over the index space."""
+        fn(np.arange(n))

@@ -1,0 +1,113 @@
+"""Per-system software toolchain model.
+
+Section III fixes the software stack per system (oneAPI 2024.1 on the PVC
+machines, NVHPC 24.1 + CUDA 12.3 on JLSE-H100, ROCm 6.1 on JLSE-MI250),
+and Section V-B.3 reports one concrete toolchain failure: *"The
+mini-GAMESS MI250 FOM results are absent since it failed to build with
+the AMD Fortran compiler."*
+
+This module reproduces that: building a (language, programming-model)
+combination on a system either returns a :class:`Binary` or raises
+:class:`repro.errors.BuildError` — and the ROCm Fortran+OpenMP-offload
+combination fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BuildError
+from ..hw.systems import System
+
+__all__ = ["Toolchain", "Binary", "toolchain_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class Binary:
+    """A successfully 'built' application."""
+
+    app: str
+    system: str
+    language: str
+    programming_model: str
+    compiler: str
+
+
+@dataclass(frozen=True, slots=True)
+class Toolchain:
+    """The compilers available on one system."""
+
+    system: str
+    name: str
+    c_cxx_compiler: str
+    fortran_compiler: str | None
+    #: (language, model) combinations known to fail on this stack.
+    broken: frozenset[tuple[str, str]] = frozenset()
+
+    def build(self, app: str, language: str, programming_model: str) -> Binary:
+        language = language.lower()
+        model = programming_model.lower()
+        if language == "fortran" and self.fortran_compiler is None:
+            raise BuildError(
+                f"{self.name}: no Fortran compiler available for {app}"
+            )
+        if (language, model) in self.broken:
+            compiler = (
+                self.fortran_compiler
+                if language == "fortran"
+                else self.c_cxx_compiler
+            )
+            raise BuildError(
+                f"{app} failed to build with {compiler} "
+                f"({language}/{programming_model} is broken on {self.system})"
+            )
+        compiler = (
+            self.fortran_compiler if language == "fortran" else self.c_cxx_compiler
+        )
+        assert compiler is not None
+        return Binary(
+            app=app,
+            system=self.system,
+            language=language,
+            programming_model=programming_model,
+            compiler=compiler,
+        )
+
+
+_TOOLCHAINS: dict[str, Toolchain] = {
+    "aurora": Toolchain(
+        system="aurora",
+        name="Intel oneAPI 2024.1",
+        c_cxx_compiler="icpx",
+        fortran_compiler="ifx",
+    ),
+    "dawn": Toolchain(
+        system="dawn",
+        name="Intel oneAPI 2024.1",
+        c_cxx_compiler="icpx",
+        fortran_compiler="ifx",
+    ),
+    "jlse-h100": Toolchain(
+        system="jlse-h100",
+        name="NVHPC 24.1 + CUDA 12.3.0",
+        c_cxx_compiler="nvc++",
+        fortran_compiler="nvfortran",
+    ),
+    "jlse-mi250": Toolchain(
+        system="jlse-mi250",
+        name="ROCm 6.1.0",
+        c_cxx_compiler="hipcc",
+        fortran_compiler="amdflang",
+        # Section V-B.3: GAMESS RI-MP2 (Fortran + OpenMP offload) fails.
+        broken=frozenset({("fortran", "openmp")}),
+    ),
+}
+
+
+def toolchain_for(system: System | str) -> Toolchain:
+    """The software stack of a system (Section III's per-system list)."""
+    key = system.calibration_key if isinstance(system, System) else system
+    try:
+        return _TOOLCHAINS[key]
+    except KeyError:
+        raise BuildError(f"no toolchain registered for {key!r}") from None

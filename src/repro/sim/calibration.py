@@ -1,0 +1,555 @@
+"""Calibrated efficiency constants, one table per system.
+
+POLICY (DESIGN.md Section 4): everything that can be derived from first
+principles — theoretical peaks, plane topology, cache sizes, latency
+ratios — is *derived* in :mod:`repro.hw` and never appears here.  This
+module holds only the *achieved-fraction-of-derived-peak* constants that,
+on real hardware, come out of the measurement itself.  Every value is
+annotated with the paper table/section that motivates it, so the
+provenance of each number is auditable.
+
+Two kinds of entries:
+
+* **Micro efficiencies** (:class:`SystemCalibration`): fraction of the
+  derived peak each microbenchmark achieves, e.g. Aurora DGEMM = 0.756 of
+  the 17.2 TFlop/s sustained FP64 peak because Table II reports
+  13 TFlop/s (the paper itself highlights "DGEMM reaches nearly 80% of
+  the measured peak", Section IV-B.5).
+* **Scaling curves** (:class:`ScalingCurve`): multi-stack parallel
+  efficiency, e.g. Aurora flops scale at 97% for two stacks and ~95% for
+  the full node (Section IV-B.1).
+
+Application-level constants (mini-app achieved fractions, congestion
+fits) live in :data:`APP_CALIBRATIONS`, keyed by ``(app, system)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..core.units import GIGA
+from ..dtypes import Precision
+from ..errors import CalibrationError
+from ..hw.interconnect import LinkKind
+
+__all__ = [
+    "ScalingCurve",
+    "SystemCalibration",
+    "get_calibration",
+    "CALIBRATIONS",
+    "APP_CALIBRATIONS",
+    "MiniBudeCalibration",
+    "CloverLeafCalibration",
+    "MiniQmcCalibration",
+    "Rimp2Calibration",
+    "OpenMcCalibration",
+    "HaccCalibration",
+    "get_app_calibration",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingCurve:
+    """Piecewise-linear parallel-efficiency curve over stack counts.
+
+    ``points`` maps a stack count to the aggregate efficiency at that
+    count; intermediate counts interpolate linearly, counts beyond the
+    largest point clamp to its efficiency.
+    """
+
+    points: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise CalibrationError("scaling curve needs at least one point")
+        ns = [n for n, _ in self.points]
+        if ns != sorted(ns) or len(set(ns)) != len(ns):
+            raise CalibrationError(f"curve points must be strictly sorted: {ns}")
+        for n, eff in self.points:
+            if n < 1 or not (0.0 < eff <= 1.001):
+                raise CalibrationError(f"bad curve point ({n}, {eff})")
+
+    @classmethod
+    def of(cls, mapping: Mapping[int, float]) -> "ScalingCurve":
+        return cls(tuple(sorted(mapping.items())))
+
+    def efficiency(self, n: int) -> float:
+        """Aggregate efficiency when n stacks run concurrently."""
+        if n < 1:
+            raise CalibrationError(f"stack count must be >= 1: {n}")
+        pts = self.points
+        if n <= pts[0][0]:
+            return pts[0][1]
+        for (n0, e0), (n1, e1) in zip(pts, pts[1:]):
+            if n <= n1:
+                frac = (n - n0) / (n1 - n0)
+                return e0 + frac * (e1 - e0)
+        return pts[-1][1]
+
+    def aggregate(self, single_rate: float, n: int) -> float:
+        """Aggregate rate of *n* stacks given a single-stack rate."""
+        return single_rate * n * self.efficiency(n)
+
+
+PERFECT = ScalingCurve.of({1: 1.0})
+
+
+@dataclass(frozen=True)
+class SystemCalibration:
+    """Microbenchmark efficiency constants for one system."""
+
+    name: str
+    #: Fraction of the *sustained* theoretical peak the FMA-chain achieves.
+    fma_efficiency: Mapping[Precision, float]
+    #: Triad bandwidth as a fraction of the HBM spec peak.
+    stream_efficiency: float
+    #: GEMM throughput as a fraction of the sustained peak per precision.
+    gemm_efficiency: Mapping[Precision, float]
+    #: Multiplier on the device's flops_per_clock used as the GEMM peak
+    #: reference (MI250 GEMMs run on the matrix cores at 2x the vector
+    #: peak, Section IV-B.5).
+    gemm_peak_multiplier: Mapping[Precision, float]
+    #: Achieved single-precision FFT rate as a fraction of sustained FP32
+    #: peak, keyed by transform dimensionality.
+    fft_fraction: Mapping[int, float]
+    #: PCIe link efficiency per transfer direction.
+    pcie_efficiency: Mapping[str, float]
+    #: Measured bidirectional speedup over unidirectional (ideal = 2.0;
+    #: the paper observes only ~1.4x, Section IV-B.4).
+    pcie_bidir_factor: float
+    #: Node-level aggregate host transfer caps in B/s (None = unbounded);
+    #: the origin of the "scales poorly for the full node, 40%" result.
+    host_agg_caps: Mapping[str, float | None]
+    #: Per-link-kind achieved fraction of the raw link bandwidth.
+    link_efficiency: Mapping[LinkKind, float]
+    #: Per-link-kind bidirectional speedup factor (ideal = 2.0).
+    link_bidir_factor: Mapping[LinkKind, float]
+    #: Parallel efficiency when all stack-pairs communicate at once.
+    p2p_parallel_efficiency: Mapping[str, float]
+    #: Multi-stack scaling curves keyed by benchmark family.
+    scaling: Mapping[str, ScalingCurve]
+    #: Run-to-run variation amplitude for the noise model.
+    noise_amplitude: float = 0.012
+
+    def scaling_curve(self, family: str) -> ScalingCurve:
+        if family in self.scaling:
+            return self.scaling[family]
+        return self.scaling.get("default", PERFECT)
+
+    def require_gemm(self, precision: Precision) -> float:
+        try:
+            return self.gemm_efficiency[precision]
+        except KeyError:
+            raise CalibrationError(
+                f"{self.name}: no GEMM calibration for {precision}"
+            ) from None
+
+
+def _mp(d: dict) -> Mapping:
+    return MappingProxyType(dict(d))
+
+
+# ---------------------------------------------------------------------------
+# Aurora  (Table II "Aurora (PVC)" column block; Sections IV-B.1..7)
+# ---------------------------------------------------------------------------
+_AURORA = SystemCalibration(
+    name="aurora",
+    # Table II: 17 / 23 TFlop/s vs derived sustained peaks 17.2 / 22.9.
+    fma_efficiency=_mp({Precision.FP64: 0.99, Precision.FP32: 1.00}),
+    # Table II triad 1 TB/s vs 1.638 TB/s per-stack HBM spec (Section
+    # IV-B.3 notes the stream number is low vs the HBM2e spec).
+    stream_efficiency=0.61,
+    # Table II GEMM rows vs sustained peaks (Section IV-B.5: "SGEMM
+    # reaches nearly 95% of the peak, and DGEMM reaches nearly 80%").
+    gemm_efficiency=_mp(
+        {
+            Precision.FP64: 0.756,  # 13 / 17.2
+            Precision.FP32: 0.916,  # 21 / 22.9
+            Precision.FP16: 0.564,  # 207 / 367 (matrix peak @1.6 GHz)
+            Precision.BF16: 0.589,  # 216 / 367
+            Precision.TF32: 0.583,  # 107 / 183.5
+            Precision.I8: 0.610,  # 448 / 734
+        }
+    ),
+    gemm_peak_multiplier=_mp({}),
+    # Table II FFT rows vs 22.9 TFlop/s FP32 sustained peak.
+    fft_fraction=_mp({1: 0.135, 2: 0.148}),
+    # Table II: H2D 54, D2H 53 GB/s vs PCIe Gen5 x16 = 64 GB/s.
+    pcie_efficiency=_mp({"h2d": 0.844, "d2h": 0.828}),
+    # Table II: 76 GB/s bidir vs 54 uni -> 1.4x (Section IV-B.4).
+    pcie_bidir_factor=1.41,
+    # Table II full-node rows: H2D 329, D2H 264, bidir 350 GB/s; D2H and
+    # bidir are host-side-contention-limited ("40% = 264/(53x12)").
+    host_agg_caps=_mp(
+        {"h2d": 330 * GIGA, "d2h": 264 * GIGA, "bidir": 350 * GIGA}
+    ),
+    # Table III: local stack pair 197 GB/s vs 230 GB/s MDFI raw; remote
+    # (Xe-Link) 15 GB/s vs 26.6 GB/s raw ("55% efficiency in each
+    # direction", Section IV-B.7).
+    link_efficiency=_mp(
+        {
+            LinkKind.MDFI: 0.857,
+            LinkKind.XELINK: 0.564,
+            LinkKind.PCIE_GEN5_X16: 0.844,
+        }
+    ),
+    # Table III: bidir 284 vs uni 197 -> 1.44x; remote 23 vs 15 -> 1.53x.
+    link_bidir_factor=_mp({LinkKind.MDFI: 1.44, LinkKind.XELINK: 1.53}),
+    # Table III: six local pairs 1129 vs 6x197 -> 95.5% ("The parallel
+    # efficiency is scaling linearly as expected ... 95%").
+    p2p_parallel_efficiency=_mp({"local": 0.955, "remote": 1.0}),
+    scaling=_mp(
+        {
+            # Section IV-B.1: 97% for two stacks, 95% full node.
+            "flops-fp64": ScalingCurve.of({1: 1.0, 2: 0.97, 12: 0.955}),
+            "flops-fp32": ScalingCurve.of({1: 1.0, 2: 0.98, 12: 0.97}),
+            # Table II GEMM rows: ~0.93-0.97 full-node scaling.
+            "gemm": ScalingCurve.of({1: 1.0, 2: 0.99, 12: 0.94}),
+            "fft1d": ScalingCurve.of({1: 1.0, 2: 0.95, 12: 0.887}),
+            "fft2d": ScalingCurve.of({1: 1.0, 2: 0.88, 12: 0.833}),
+            # Section IV-B.1: "perfect scaling of main memory bandwidth".
+            "stream": PERFECT,
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# Dawn  (Table II "Dawn (PVC)" column block)
+# ---------------------------------------------------------------------------
+_DAWN = SystemCalibration(
+    name="dawn",
+    # Table II: 20 / 26 TFlop/s vs derived 19.7 / 26.2.
+    fma_efficiency=_mp({Precision.FP64: 1.00, Precision.FP32: 0.99}),
+    stream_efficiency=0.61,
+    gemm_efficiency=_mp(
+        {
+            Precision.FP64: 0.865,  # 17 / 19.7
+            Precision.FP32: 0.963,  # 25 / 26.0
+            Precision.FP16: 0.587,  # 246 / 419.4
+            Precision.BF16: 0.606,  # 254 / 419.4
+            Precision.TF32: 0.563,  # 118 / 209.7
+            Precision.I8: 0.626,  # 525 / 838.9
+        }
+    ),
+    gemm_peak_multiplier=_mp({}),
+    fft_fraction=_mp({1: 0.139, 2: 0.139}),
+    # Table II: H2D 53, D2H 51 GB/s.
+    pcie_efficiency=_mp({"h2d": 0.828, "d2h": 0.797}),
+    # Table II: 72 vs 53 -> 1.36x.
+    pcie_bidir_factor=1.36,
+    # Dawn's 4 cards never saturate the host side (Table II full-node
+    # PCIe rows are ~4x the single-card rates).
+    host_agg_caps=_mp({"h2d": None, "d2h": None, "bidir": None}),
+    link_efficiency=_mp(
+        {
+            LinkKind.MDFI: 0.852,  # Table III: 196 GB/s local pair
+            LinkKind.XELINK: 0.564,  # not measured on Dawn; same silicon
+            LinkKind.PCIE_GEN5_X16: 0.828,
+        }
+    ),
+    link_bidir_factor=_mp({LinkKind.MDFI: 1.46, LinkKind.XELINK: 1.53}),
+    # Table III: four local pairs 786 vs 4x196 -> ~100%.
+    p2p_parallel_efficiency=_mp({"local": 1.0, "remote": 1.0}),
+    scaling=_mp(
+        {
+            # Section IV-B.1: "92% and 88% scaling efficiency ... on Dawn"
+            # (FP64); FP32 scales essentially perfectly in Table II.
+            "flops-fp64": ScalingCurve.of({1: 1.0, 2: 0.94, 8: 0.885}),
+            "flops-fp32": ScalingCurve.of({1: 1.0, 2: 1.0, 8: 0.995}),
+            "gemm": ScalingCurve.of({1: 1.0, 2: 0.96, 8: 0.92}),
+            "fft1d": ScalingCurve.of({1: 1.0, 2: 0.917, 8: 0.90}),
+            "fft2d": ScalingCurve.of({1: 1.0, 2: 0.90, 8: 0.868}),
+            "stream": PERFECT,
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# JLSE-H100  (reference points: Table IV + mini-app sections)
+# ---------------------------------------------------------------------------
+_H100 = SystemCalibration(
+    name="jlse-h100",
+    fma_efficiency=_mp({Precision.FP64: 0.985, Precision.FP32: 0.985}),
+    # Published H100 stream results sit near 80% of the 3.35 TB/s spec.
+    stream_efficiency=0.82,
+    gemm_efficiency=_mp(
+        {
+            Precision.FP64: 0.985,
+            Precision.FP32: 0.95,
+            Precision.FP16: 0.70,
+            Precision.BF16: 0.70,
+            Precision.TF32: 0.70,
+            Precision.I8: 0.72,
+        }
+    ),
+    gemm_peak_multiplier=_mp({}),
+    fft_fraction=_mp({1: 0.14, 2: 0.14}),
+    pcie_efficiency=_mp({"h2d": 0.86, "d2h": 0.86}),
+    pcie_bidir_factor=1.7,
+    host_agg_caps=_mp({"h2d": None, "d2h": None, "bidir": None}),
+    link_efficiency=_mp(
+        {LinkKind.NVLINK4: 0.85, LinkKind.PCIE_GEN5_X16: 0.86}
+    ),
+    link_bidir_factor=_mp({LinkKind.NVLINK4: 1.9}),
+    p2p_parallel_efficiency=_mp({"local": 0.97, "remote": 0.97}),
+    scaling=_mp(
+        {
+            "flops-fp64": ScalingCurve.of({1: 1.0, 4: 0.98}),
+            "flops-fp32": ScalingCurve.of({1: 1.0, 4: 0.98}),
+            "gemm": ScalingCurve.of({1: 1.0, 4: 0.97}),
+            "fft1d": ScalingCurve.of({1: 1.0, 4: 0.95}),
+            "fft2d": ScalingCurve.of({1: 1.0, 4: 0.95}),
+            "stream": PERFECT,
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# JLSE-MI250  (reference points: Table IV, MI250x Frontier data [13])
+# ---------------------------------------------------------------------------
+_MI250 = SystemCalibration(
+    name="jlse-mi250",
+    fma_efficiency=_mp({Precision.FP64: 0.97, Precision.FP32: 0.97}),
+    # Frontier MI250x reaches 1.3 TB/s per GCD vs 1.6 spec ("matching the
+    # expected 80% of the theoretical peak", Section IV-B.3).
+    stream_efficiency=0.8125,
+    # Section IV-B.5: MI250x GEMMs use the matrix cores (2x vector peak)
+    # at ~50% efficiency: 24.1 / 48 FP64, 33.8 / 45.3 FP32 per GCD.
+    gemm_efficiency=_mp(
+        {
+            Precision.FP64: 0.53,
+            Precision.FP32: 0.747,
+            Precision.FP16: 0.60,
+            Precision.BF16: 0.60,
+            Precision.I8: 0.60,
+        }
+    ),
+    gemm_peak_multiplier=_mp({Precision.FP64: 2.0, Precision.FP32: 2.0}),
+    fft_fraction=_mp({1: 0.12, 2: 0.12}),
+    # Table IV: 25 GB/s measured unidirectional over PCIe Gen4 (32 GB/s).
+    pcie_efficiency=_mp({"h2d": 0.78, "d2h": 0.78}),
+    pcie_bidir_factor=1.5,
+    host_agg_caps=_mp({"h2d": None, "d2h": None, "bidir": None}),
+    # Table IV: 37 GB/s GCD-to-GCD on Frontier vs 50 GB/s IF raw.
+    link_efficiency=_mp(
+        {
+            LinkKind.INFINITY_FABRIC: 0.74,
+            LinkKind.XGMI: 0.74,
+            LinkKind.PCIE_GEN4_X16: 0.78,
+        }
+    ),
+    link_bidir_factor=_mp(
+        {LinkKind.INFINITY_FABRIC: 1.6, LinkKind.XGMI: 1.6}
+    ),
+    p2p_parallel_efficiency=_mp({"local": 0.95, "remote": 0.95}),
+    scaling=_mp(
+        {
+            "flops-fp64": ScalingCurve.of({1: 1.0, 8: 0.96}),
+            "flops-fp32": ScalingCurve.of({1: 1.0, 8: 0.96}),
+            "gemm": ScalingCurve.of({1: 1.0, 8: 0.95}),
+            "fft1d": ScalingCurve.of({1: 1.0, 8: 0.93}),
+            "fft2d": ScalingCurve.of({1: 1.0, 8: 0.93}),
+            "stream": PERFECT,
+        }
+    ),
+)
+
+# ---------------------------------------------------------------------------
+# JLSE-A100 (extension system; Section V-B.2's miniBUDE comparison point)
+# ---------------------------------------------------------------------------
+_A100 = SystemCalibration(
+    name="jlse-a100",
+    fma_efficiency=_mp({Precision.FP64: 0.98, Precision.FP32: 0.98}),
+    stream_efficiency=0.87,  # ~1.35 TB/s of 1.555 spec (published stream)
+    gemm_efficiency=_mp(
+        {
+            Precision.FP64: 0.95,
+            Precision.FP32: 0.93,
+            Precision.FP16: 0.70,
+            Precision.BF16: 0.70,
+            Precision.TF32: 0.70,
+            Precision.I8: 0.72,
+        }
+    ),
+    # A100 DGEMM runs on the FP64 tensor cores at 2x the vector peak.
+    gemm_peak_multiplier=_mp({Precision.FP64: 2.0}),
+    fft_fraction=_mp({1: 0.14, 2: 0.14}),
+    pcie_efficiency=_mp({"h2d": 0.81, "d2h": 0.81}),
+    pcie_bidir_factor=1.7,
+    host_agg_caps=_mp({"h2d": None, "d2h": None, "bidir": None}),
+    link_efficiency=_mp(
+        {LinkKind.NVLINK4: 0.85, LinkKind.PCIE_GEN4_X16: 0.81}
+    ),
+    link_bidir_factor=_mp({LinkKind.NVLINK4: 1.9}),
+    p2p_parallel_efficiency=_mp({"local": 0.97, "remote": 0.97}),
+    scaling=_mp(
+        {
+            "flops-fp64": ScalingCurve.of({1: 1.0, 4: 0.98}),
+            "flops-fp32": ScalingCurve.of({1: 1.0, 4: 0.98}),
+            "gemm": ScalingCurve.of({1: 1.0, 4: 0.97}),
+            "fft1d": ScalingCurve.of({1: 1.0, 4: 0.95}),
+            "fft2d": ScalingCurve.of({1: 1.0, 4: 0.95}),
+            "stream": PERFECT,
+        }
+    ),
+)
+
+CALIBRATIONS: Mapping[str, SystemCalibration] = _mp(
+    {
+        "aurora": _AURORA,
+        "dawn": _DAWN,
+        "jlse-h100": _H100,
+        "jlse-mi250": _MI250,
+        "jlse-a100": _A100,
+    }
+)
+
+
+def get_calibration(key: str) -> SystemCalibration:
+    """Look up a system's calibration table by its calibration key."""
+    try:
+        return CALIBRATIONS[key]
+    except KeyError:
+        raise CalibrationError(f"no calibration for system {key!r}") from None
+
+
+# ===========================================================================
+# Application-level calibrations
+# ===========================================================================
+
+
+@dataclass(frozen=True, slots=True)
+class MiniBudeCalibration:
+    """Achieved fraction of sustained FP32 peak (Section V-B: "the results
+    on Aurora and Dawn place them around 45% and 49% of their peak single
+    precision flops ... H100 reaches 30% of its peak")."""
+
+    fp32_fraction: float
+
+
+@dataclass(frozen=True, slots=True)
+class CloverLeafCalibration:
+    """Achieved fraction of stream bandwidth, plus MPI weak-scaling
+    efficiency (derived from Table VI rows)."""
+
+    stream_fraction: float
+    weak_scaling: ScalingCurve
+
+
+@dataclass(frozen=True, slots=True)
+class MiniQmcCalibration:
+    """CPU-congestion fit for the diffusion time (Section V-B.1: shared
+    DDR and PCIe buses penalize intra-node weak scaling; none of the
+    microbenchmarks capture this bottleneck).
+
+    Per-rank diffusion time is modelled ``t_gpu + t_host * r**p`` in units
+    of the single-rank time, where ``r`` is the max number of ranks
+    sharing a CPU socket.  ``fom_single`` anchors the absolute FOM.
+    """
+
+    fom_single: float
+    t_gpu: float
+    t_host: float
+    congestion_exponent: float
+
+
+@dataclass(frozen=True, slots=True)
+class Rimp2Calibration:
+    """Serial (non-DGEMM) walltime seconds for the W90.rand input; the
+    DGEMM part uses the engine's measured DGEMM rate (Table V: "DGEMM
+    bound", strong scaling)."""
+
+    serial_seconds: float
+    #: The paper reports the MI250 build failed with the AMD Fortran
+    #: compiler (Section V-B.3); systems listed here raise BuildError.
+    build_fails: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class OpenMcCalibration:
+    """Per logical device particle rate (thousand particles/s) on the SMR
+    depleted-fuel benchmark (Table VI full-node FOMs / device count)."""
+
+    kparticles_per_device: float
+
+
+@dataclass(frozen=True, slots=True)
+class HaccCalibration:
+    """Two-term CRK-HACC node model: GPU FP32-bound force kernels plus
+    host-side SPH/CPU work (Table V: "CPU memory BW bound, GPU FP32
+    flop-rate bound")."""
+
+    gpu_efficiency: float
+    #: Effective CPU-core multiplier (Aurora's HBM-backed Xeons act like
+    #: ~25% more cores for the bandwidth-bound host phase).
+    cpu_core_boost: float
+
+
+APP_CALIBRATIONS: Mapping[tuple[str, str], object] = _mp(
+    {
+        # ---- miniBUDE (fractions reproduce Table VI at 35.3 flops per
+        # pose-atom-atom interaction) ----
+        ("minibude", "aurora"): MiniBudeCalibration(0.4509),
+        ("minibude", "dawn"): MiniBudeCalibration(0.4981),
+        ("minibude", "jlse-h100"): MiniBudeCalibration(0.3368),
+        ("minibude", "jlse-mi250"): MiniBudeCalibration(0.3021),
+        # Section V-B.2: "we also performed a similar test on an A100,
+        # which reached 62% of its peak".
+        ("minibude", "jlse-a100"): MiniBudeCalibration(0.62),
+        # ---- CloverLeaf ----
+        ("cloverleaf", "aurora"): CloverLeafCalibration(
+            0.8495, ScalingCurve.of({1: 1.0, 2: 0.9705, 12: 0.9642})
+        ),
+        ("cloverleaf", "dawn"): CloverLeafCalibration(
+            0.9164, ScalingCurve.of({1: 1.0, 2: 0.9332, 8: 0.9303})
+        ),
+        ("cloverleaf", "jlse-h100"): CloverLeafCalibration(
+            0.9779, ScalingCurve.of({1: 1.0, 4: 0.9919})
+        ),
+        ("cloverleaf", "jlse-mi250"): CloverLeafCalibration(
+            0.8069, ScalingCurve.of({1: 1.0, 8: 0.9368})
+        ),
+        # ---- miniQMC (fits to the three Table VI points per system; the
+        # congestion exponent differs per host because the paper's own
+        # data shows Dawn's 4-rank-per-socket point degrading much faster
+        # than Aurora's trajectory) ----
+        ("miniqmc", "aurora"): MiniQmcCalibration(3.16, 0.9161, 0.0839, 1.613),
+        ("miniqmc", "dawn"): MiniQmcCalibration(3.72, 0.98869, 0.011313, 3.1065),
+        ("miniqmc", "jlse-h100"): MiniQmcCalibration(3.89, 0.87054, 0.12946, 1.6),
+        ("miniqmc", "jlse-mi250"): MiniQmcCalibration(0.50, 0.57941, 0.42059, 1.6),
+        # ---- GAMESS RI-MP2 ----
+        ("rimp2", "aurora"): Rimp2Calibration(serial_seconds=2.54),
+        ("rimp2", "dawn"): Rimp2Calibration(serial_seconds=2.07),
+        ("rimp2", "jlse-h100"): Rimp2Calibration(serial_seconds=2.0),
+        ("rimp2", "jlse-mi250"): Rimp2Calibration(
+            serial_seconds=2.0, build_fails=True
+        ),
+        # ---- OpenMC (Aurora 2039/12, H100 1191/4, MI250 720/8; Dawn not
+        # measured in the paper — predicted from the PVC rate scaled by
+        # active Xe-Cores) ----
+        ("openmc", "aurora"): OpenMcCalibration(169.9),
+        ("openmc", "dawn"): OpenMcCalibration(169.9 * 64 / 56),
+        ("openmc", "jlse-h100"): OpenMcCalibration(297.75),
+        ("openmc", "jlse-mi250"): OpenMcCalibration(90.0),
+        # ---- CRK-HACC (gpu_efficiency folds the per-implementation SYCL/
+        # CUDA/HIP force-kernel efficiency; Dawn's >1 value reflects that
+        # its measured FP32 flops baseline understates what the SYCL HACC
+        # kernels sustain relative to H100's CUDA baseline) ----
+        ("hacc", "aurora"): HaccCalibration(0.924, 1.25),
+        ("hacc", "dawn"): HaccCalibration(1.213, 1.0),
+        ("hacc", "jlse-h100"): HaccCalibration(1.0, 1.0),
+        ("hacc", "jlse-mi250"): HaccCalibration(1.0, 1.0),
+    }
+)
+
+
+def get_app_calibration(app: str, system: str):
+    """Look up one (application, system) calibration entry."""
+    try:
+        return APP_CALIBRATIONS[(app, system)]
+    except KeyError:
+        raise CalibrationError(
+            f"no calibration for app {app!r} on system {system!r}"
+        ) from None

@@ -1,0 +1,48 @@
+"""Shared-resource contention.
+
+The paper's full-node PCIe result — "The PCIe bandwidth between the host
+CPU and the GPU scales poorly for the full node, 40% = 264/(53x12),
+suggesting some contention on the host side" (Section IV-B.4) — is the
+canonical instance: twelve stack-level transfers demand ~12x the single
+link rate, but the host can only source/sink a node-level aggregate.
+
+The model is proportional-share throttling: when aggregate demand exceeds
+the cap, every flow is scaled by ``cap / demand``.  This is what a fair
+PCIe/IOMMU arbiter converges to for equal-sized concurrent transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["shared_throughput", "proportional_share", "aggregate_rate"]
+
+
+def proportional_share(
+    demands: Sequence[float], cap: float | None
+) -> list[float]:
+    """Achieved per-flow rates under a shared aggregate *cap*.
+
+    ``cap=None`` means the resource is not limiting.
+    """
+    if any(d < 0 for d in demands):
+        raise ValueError("demands must be non-negative")
+    total = sum(demands)
+    if cap is None or total <= cap or total == 0:
+        return list(demands)
+    scale = cap / total
+    return [d * scale for d in demands]
+
+
+def aggregate_rate(demands: Sequence[float], cap: float | None) -> float:
+    """Total achieved rate under the cap."""
+    return sum(proportional_share(demands, cap))
+
+
+def shared_throughput(
+    per_flow_rate: float, n_flows: int, cap: float | None
+) -> float:
+    """Aggregate rate of *n_flows* identical flows under a shared cap."""
+    if n_flows < 0:
+        raise ValueError("n_flows must be non-negative")
+    return aggregate_rate([per_flow_rate] * n_flows, cap)

@@ -1,0 +1,226 @@
+"""The performance engine: hardware model + calibration -> simulated time.
+
+:class:`PerfEngine` is the single place where architectural derivations
+(:mod:`repro.hw`), calibrated efficiencies (:mod:`repro.sim.calibration`),
+the roofline (:mod:`repro.sim.roofline`), the transfer model and the noise
+model meet.  Microbenchmarks, the runtime layers, mini-apps and the
+analysis code all consume this one API.
+
+Ablation switches (each maps to a discussion point in the paper):
+
+* ``enable_tdp=False`` — clocks never downclock; kills the FP32:FP64=1.3x
+  observation of Section IV-B.2.
+* ``enable_contention=False`` — no host-side aggregate cap; kills the
+  "PCIe scales poorly for the full node" result of Section IV-B.4.
+* ``enable_planes=False`` — remote stacks become directly connected;
+  removes the extra-hop routing of Section IV-A.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..dtypes import ENGINE_MATRIX, Precision
+from ..hw.frequency import WorkloadKind
+from ..hw.ids import StackRef
+from ..hw.systems import System
+from .calibration import SystemCalibration, get_calibration
+from .kernel import KernelSpec
+from .noise import NoiseModel, QUIET
+from .roofline import RooflinePoint, kernel_time
+from .transfer import TransferModel
+
+__all__ = ["PerfEngine"]
+
+
+class PerfEngine:
+    """Simulated performance of one system."""
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        noise: NoiseModel | None = None,
+        enable_tdp: bool = True,
+        enable_contention: bool = True,
+        enable_planes: bool = True,
+    ) -> None:
+        self.system = system
+        self.node = system.node
+        self.device = system.device
+        self.cal: SystemCalibration = get_calibration(system.calibration_key)
+        self.noise = noise if noise is not None else NoiseModel(
+            amplitude=self.cal.noise_amplitude
+        )
+        self.enable_tdp = enable_tdp
+        self.transfers = TransferModel(
+            self.node,
+            self.cal,
+            enable_planes=enable_planes,
+            enable_contention=enable_contention,
+        )
+
+    # ------------------------------------------------------------------
+    # clocks and peaks
+    # ------------------------------------------------------------------
+
+    def sustained_hz(
+        self, precision: Precision | None, kind: WorkloadKind
+    ) -> float:
+        if not self.enable_tdp:
+            return self.device.frequency.max_hz
+        return self.device.frequency.sustained_hz(precision, kind)
+
+    def sustained_peak(
+        self, precision: Precision, kind: WorkloadKind = WorkloadKind.FMA_CHAIN
+    ) -> float:
+        """Theoretical peak at the sustained (TDP-aware) clock, one stack."""
+        try:
+            per_clock = self.device.flops_per_clock[precision]
+        except KeyError:
+            raise ValueError(
+                f"{self.device.name} has no {precision} pipeline"
+            ) from None
+        return per_clock * self.sustained_hz(precision, kind)
+
+    # ------------------------------------------------------------------
+    # achieved rates (fold in calibration + multi-stack scaling)
+    # ------------------------------------------------------------------
+
+    def _scaled(self, family: str, single: float, n_stacks: int) -> float:
+        self._check_stacks(n_stacks)
+        return self.cal.scaling_curve(family).aggregate(single, n_stacks)
+
+    def _check_stacks(self, n: int) -> None:
+        if not (1 <= n <= self.node.n_stacks):
+            raise ValueError(
+                f"{self.system.name} has 1..{self.node.n_stacks} stacks, got {n}"
+            )
+
+    def fma_rate(self, precision: Precision, n_stacks: int = 1) -> float:
+        """Achieved FMA-chain flop rate (the paper's Peak Flops rows)."""
+        eff = self.cal.fma_efficiency.get(precision, 1.0)
+        single = self.sustained_peak(precision, WorkloadKind.FMA_CHAIN) * eff
+        return self._scaled(f"flops-{precision.label}", single, n_stacks)
+
+    def stream_bw(self, n_stacks: int = 1) -> float:
+        """Achieved triad bandwidth (Device Memory Bandwidth rows)."""
+        single = self.device.hbm_peak_bw * self.cal.stream_efficiency
+        return self._scaled("stream", single, n_stacks)
+
+    def gemm_rate(self, precision: Precision, n_stacks: int = 1) -> float:
+        """Achieved GEMM rate for a precision (Table II GEMM rows)."""
+        eff = self.cal.require_gemm(precision)
+        mult = self.cal.gemm_peak_multiplier.get(precision, 1.0)
+        single = (
+            self.sustained_peak(precision, WorkloadKind.GEMM) * mult * eff
+        )
+        return self._scaled("gemm", single, n_stacks)
+
+    def fft_rate(self, ndim: int, n_stacks: int = 1) -> float:
+        """Achieved single-precision C2C FFT flop rate (Table II FFT rows)."""
+        try:
+            frac = self.cal.fft_fraction[ndim]
+        except KeyError:
+            raise ValueError(f"no FFT calibration for {ndim}D") from None
+        single = (
+            self.sustained_peak(Precision.FP32, WorkloadKind.STREAM) * frac
+        )
+        return self._scaled(f"fft{ndim}d", single, n_stacks)
+
+    # ------------------------------------------------------------------
+    # latency
+    # ------------------------------------------------------------------
+
+    def latency_cycles(self, working_set_bytes: int) -> float:
+        """Pointer-chase latency in cycles (the Fig. 1 y-axis)."""
+        return self.device.memory.latency_cycles(working_set_bytes)
+
+    def latency_seconds(self, working_set_bytes: int) -> float:
+        clock = self.sustained_hz(None, WorkloadKind.STREAM)
+        return self.latency_cycles(working_set_bytes) / clock
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+
+    def _compute_rate_for(self, spec: KernelSpec, n_stacks: int) -> float:
+        precision = spec.precision or Precision.FP32
+        if spec.kind is WorkloadKind.GEMM or precision.engine == ENGINE_MATRIX:
+            return self.gemm_rate(precision, n_stacks)
+        return self.fma_rate(precision, n_stacks)
+
+    def roofline(self, spec: KernelSpec, n_stacks: int = 1) -> RooflinePoint:
+        """Roofline decomposition of *spec* on *n_stacks* stacks."""
+        rate = self._compute_rate_for(spec, n_stacks)
+        bw = self.stream_bw(n_stacks)
+        chase = (
+            self.latency_seconds(spec.working_set_bytes)
+            if spec.serial_chases
+            else 0.0
+        )
+        return kernel_time(spec, rate, bw, chase)
+
+    def kernel_time_s(
+        self,
+        spec: KernelSpec,
+        n_stacks: int = 1,
+        *,
+        rep: int | None = None,
+    ) -> float:
+        """Simulated execution time; pass *rep* to include run-to-run noise."""
+        t = self.roofline(spec, n_stacks).total_s
+        if rep is not None:
+            t = self.noise.apply(t, f"{self.system.name}:{spec.name}", rep)
+        return t
+
+    # ------------------------------------------------------------------
+    # transfers (delegate to the transfer model, adding noise hooks)
+    # ------------------------------------------------------------------
+
+    def host_transfer_time(
+        self,
+        ref: StackRef,
+        nbytes: float,
+        direction: str = "h2d",
+        *,
+        rep: int | None = None,
+    ) -> float:
+        t = self.transfers.host_transfer_time(ref, nbytes, direction)
+        if rep is not None:
+            t = self.noise.apply(
+                t, f"{self.system.name}:pcie:{direction}:{ref}", rep
+            )
+        return t
+
+    def p2p_transfer_time(
+        self,
+        src: StackRef,
+        dst: StackRef,
+        nbytes: float,
+        *,
+        rep: int | None = None,
+    ) -> float:
+        t = self.transfers.p2p_transfer_time(src, dst, nbytes)
+        if rep is not None:
+            t = self.noise.apply(
+                t, f"{self.system.name}:p2p:{src}:{dst}", rep
+            )
+        return t
+
+    # ------------------------------------------------------------------
+    # convenience for the analysis layer
+    # ------------------------------------------------------------------
+
+    def quiet(self) -> "PerfEngine":
+        """A copy of this engine with the noise model disabled."""
+        return PerfEngine(
+            self.system,
+            noise=QUIET,
+            enable_tdp=self.enable_tdp,
+            enable_contention=self.transfers.enable_contention,
+            enable_planes=self.transfers.enable_planes,
+        )
+
+    def all_stacks(self) -> Sequence[StackRef]:
+        return self.node.stacks()

@@ -1,0 +1,64 @@
+"""Deterministic run-to-run variation.
+
+Real benchmark repetitions differ by a few percent (clock jitter, page
+faults, link training); the paper's protocol neutralises this by taking
+the best of several repetitions.  To exercise that protocol end-to-end the
+engine injects a *deterministic* pseudo-random slowdown per repetition,
+derived from a SHA-256 hash of (seed, key, repetition) — stable across
+processes and Python hash randomisation.
+
+Repetition 0 additionally carries a first-touch penalty, modelling warm-up
+effects the paper's scripts discard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+__all__ = ["NoiseModel", "QUIET"]
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseModel:
+    """Multiplicative slowdown factors in ``[1, 1 + amplitude]``.
+
+    A factor of 1.0 is the best (fastest) repetition; the best-of-N
+    protocol converges to the noise-free value as N grows.
+    """
+
+    amplitude: float = 0.012
+    warmup_penalty: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0 or self.warmup_penalty < 0:
+            raise ValueError("noise parameters must be non-negative")
+
+    def _unit(self, key: str, rep: int) -> float:
+        """A stable uniform sample in [0, 1) for (seed, key, rep)."""
+        digest = hashlib.sha256(
+            f"{self.seed}|{key}|{rep}".encode()
+        ).digest()
+        (word,) = struct.unpack_from("<Q", digest)
+        return word / 2**64
+
+    def slowdown(self, key: str, rep: int) -> float:
+        """Multiplicative time factor (>= 1) for repetition *rep*.
+
+        One repetition in each window of ~3 lands exactly at 1.0 so the
+        best-of-N protocol can actually observe the clean value.
+        """
+        u = self._unit(key, rep)
+        base = 1.0 + self.amplitude * u if u > 1.0 / 3.0 else 1.0
+        if rep == 0:
+            base += self.warmup_penalty
+        return base
+
+    def apply(self, time_s: float, key: str, rep: int) -> float:
+        return time_s * self.slowdown(key, rep)
+
+
+#: A noiseless model (used by analytical queries and expected-bar math).
+QUIET = NoiseModel(amplitude=0.0, warmup_penalty=0.0)

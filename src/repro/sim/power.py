@@ -1,0 +1,118 @@
+"""Power and energy-to-solution model.
+
+TDP is the paper's recurring explanatory variable: the FP64 downclock
+(Section IV-B.2), the per-card power caps that differ between Dawn
+(600 W) and Aurora (500 W, Section III), and the speculation that DGEMM's
+efficiency drop is thermal.  This module makes those effects quantifiable:
+
+* a compute-saturating kernel pins the card at its power cap — that is
+  *why* the clock drops for FP64 FMA chains rather than the chip slowing
+  down gratuitously;
+* bandwidth-bound kernels draw a calibrated fraction of the cap;
+* energy-to-solution = power x simulated time, giving perf/W comparisons
+  between the systems (Aurora's lower cap and fewer active Xe-Cores make
+  it the more efficient FP64 part per watt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.frequency import WorkloadKind
+from .engine import PerfEngine
+from .kernel import KernelSpec
+
+__all__ = ["PowerModel", "EnergyReport"]
+
+#: Fraction of the card cap drawn per workload class.
+_DRAW_FRACTION = {
+    WorkloadKind.FMA_CHAIN: 1.00,  # compute-saturating: pinned at cap
+    WorkloadKind.GEMM: 1.00,
+    WorkloadKind.STREAM: 0.62,  # HBM streaming without full ALU load
+    WorkloadKind.IDLE: 0.18,
+}
+
+#: Host power charged per active rank's core (W) — small but nonzero.
+_HOST_W_PER_CORE = 6.0
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Energy accounting for one kernel execution."""
+
+    time_s: float
+    gpu_power_w: float
+    host_power_w: float
+    work: float
+    work_unit: str
+
+    @property
+    def total_power_w(self) -> float:
+        return self.gpu_power_w + self.host_power_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_power_w * self.time_s
+
+    @property
+    def work_per_joule(self) -> float:
+        return self.work / self.energy_j if self.energy_j else 0.0
+
+
+class PowerModel:
+    """Power draw and energy-to-solution on one system."""
+
+    def __init__(self, engine: PerfEngine) -> None:
+        self.engine = engine
+
+    @property
+    def card_cap_w(self) -> float:
+        cap = self.engine.device.frequency.power_cap_w
+        if cap is None:
+            raise ValueError(
+                f"{self.engine.device.name} has no power cap configured"
+            )
+        return cap
+
+    def stack_power_w(self, kind: WorkloadKind) -> float:
+        """Per-stack draw for a workload class.
+
+        The cap is per *card*; a PVC stack owns half of it.
+        """
+        per_device = self.card_cap_w / self.engine.node.card.n_devices
+        return per_device * _DRAW_FRACTION[kind]
+
+    def kernel_power_w(self, spec: KernelSpec, n_stacks: int = 1) -> float:
+        """Aggregate GPU power while *spec* runs on *n_stacks* stacks."""
+        return self.stack_power_w(spec.kind) * n_stacks
+
+    def energy_to_solution(
+        self, spec: KernelSpec, n_stacks: int = 1
+    ) -> EnergyReport:
+        """Run *spec* through the engine and account its energy."""
+        time_s = self.engine.kernel_time_s(spec, n_stacks)
+        gpu_w = self.kernel_power_w(spec, n_stacks)
+        host_w = _HOST_W_PER_CORE * n_stacks  # one bound core per rank
+        unit = "Iop" if (spec.precision and spec.precision.is_integer) else "Flop"
+        work = spec.flops if spec.flops else spec.total_bytes
+        if not spec.flops:
+            unit = "B"
+        return EnergyReport(
+            time_s=time_s,
+            gpu_power_w=gpu_w,
+            host_power_w=host_w,
+            work=work,
+            work_unit=unit,
+        )
+
+    def flops_per_watt(self, precision, n_stacks: int = 1) -> float:
+        """Sustained flop/s per GPU watt for an FMA-chain workload."""
+        rate = self.engine.fma_rate(precision, n_stacks)
+        power = self.stack_power_w(WorkloadKind.FMA_CHAIN) * n_stacks
+        return rate / power
+
+    def node_power_budget_w(self) -> float:
+        """Full-node GPU power at the caps (the node-design quantity the
+        paper's TDP discussion turns on: 6 x 500 W on Aurora vs
+        4 x 600 W on Dawn)."""
+        return self.card_cap_w * self.engine.node.n_cards

@@ -1,0 +1,73 @@
+"""Roofline time estimation.
+
+The classic roofline: a kernel's time is the maximum of its compute time
+and its memory time (overlapped execution), plus a serialized
+latency term for dependent-load chains (which overlap with nothing).
+
+This module is pure arithmetic — the engine supplies achieved rates that
+already fold in calibration and scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .kernel import KernelSpec
+
+__all__ = ["RooflinePoint", "kernel_time", "classify"]
+
+
+@dataclass(frozen=True, slots=True)
+class RooflinePoint:
+    """Diagnostic decomposition of a kernel's roofline time."""
+
+    compute_s: float
+    memory_s: float
+    latency_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.latency_s
+
+    @property
+    def bound(self) -> str:
+        if self.latency_s > max(self.compute_s, self.memory_s):
+            return "latency"
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+
+def kernel_time(
+    spec: KernelSpec,
+    compute_rate: float,
+    mem_bw: float,
+    chase_latency_s: float = 0.0,
+) -> RooflinePoint:
+    """Roofline execution time of *spec*.
+
+    Parameters
+    ----------
+    compute_rate:
+        Achieved flop/s (or iop/s) for this kernel's precision/engine.
+    mem_bw:
+        Achieved device-memory bandwidth in B/s.
+    chase_latency_s:
+        Load-to-use latency per dependent access (for pointer chases).
+    """
+    if compute_rate <= 0 or mem_bw <= 0:
+        raise ValueError("rates must be positive")
+    compute_s = spec.flops / compute_rate if spec.flops else 0.0
+    memory_s = spec.total_bytes / mem_bw if spec.total_bytes else 0.0
+    latency_s = spec.serial_chases * chase_latency_s
+    return RooflinePoint(compute_s, memory_s, latency_s)
+
+
+def classify(
+    spec: KernelSpec, compute_rate: float, mem_bw: float
+) -> str:
+    """Which side of the roofline ridge the kernel sits on.
+
+    Returns ``"compute"`` or ``"memory"``; the ridge is at arithmetic
+    intensity ``compute_rate / mem_bw`` flops per byte.
+    """
+    ridge = compute_rate / mem_bw
+    return "compute" if spec.arithmetic_intensity >= ridge else "memory"

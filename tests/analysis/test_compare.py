@@ -1,0 +1,49 @@
+"""Every prose claim of the evaluation section must hold in simulation."""
+
+from repro.analysis.compare import (
+    all_claims,
+    fp32_fp64_ratio,
+    gemm_efficiencies,
+    latency_relations,
+    miniqmc_inversion,
+    pcie_full_node_scaling,
+    scaling_efficiencies,
+    xelink_slower_than_pcie,
+)
+
+
+class TestIndividualClaimGroups:
+    def test_scaling_efficiencies(self):
+        assert all(c.holds for c in scaling_efficiencies())
+
+    def test_fp32_fp64_ratio(self):
+        assert all(c.holds for c in fp32_fp64_ratio())
+
+    def test_gemm_efficiencies(self):
+        assert all(c.holds for c in gemm_efficiencies())
+
+    def test_pcie_full_node_scaling(self):
+        assert all(c.holds for c in pcie_full_node_scaling())
+
+    def test_xelink_slower_than_pcie(self):
+        assert all(c.holds for c in xelink_slower_than_pcie())
+
+    def test_latency_relations(self):
+        assert all(c.holds for c in latency_relations())
+
+    def test_miniqmc_inversion(self):
+        assert all(c.holds for c in miniqmc_inversion())
+
+
+class TestAllClaims:
+    def test_every_claim_holds(self):
+        claims = all_claims()
+        failing = [c.name for c in claims if not c.holds]
+        assert not failing, failing
+
+    def test_claim_count_substantial(self):
+        assert len(all_claims()) >= 20
+
+    def test_claims_carry_both_sides(self):
+        for c in all_claims():
+            assert c.paper and c.simulated

@@ -1,0 +1,72 @@
+"""Expected-ratio black bars (the appendix's worked examples)."""
+
+import pytest
+
+from repro.analysis.expected import fig2_expected, fig3_expected, fig4_expected
+
+
+class TestFig2Bars:
+    def test_minibude_0p88(self, aurora, dawn):
+        # "the expected relative performance is the ratio of the peak
+        # single precision performance on Aurora to that on Dawn, 0.88X
+        # (23 Tflops/s / 26 Tflop/s)".
+        bar = fig2_expected("minibude", aurora, dawn)
+        assert bar.ratio == pytest.approx(23 / 26, rel=0.02)
+
+    def test_cloverleaf_unity(self, aurora, dawn):
+        # Memory-bound: both systems stream at the same per-stack rate.
+        bar = fig2_expected("cloverleaf", aurora, dawn)
+        assert bar.ratio == pytest.approx(1.0, rel=0.01)
+
+    def test_rimp2_dgemm_ratio(self, aurora, dawn):
+        bar = fig2_expected("rimp2", aurora, dawn)
+        assert bar.ratio == pytest.approx(13 / 17, rel=0.03)
+
+    def test_miniqmc_has_no_bar(self, aurora, dawn):
+        # "miniQMC does not have the expected performance bars".
+        assert fig2_expected("miniqmc", aurora, dawn).ratio is None
+
+    def test_unknown_app_rejected(self, aurora, dawn):
+        with pytest.raises(ValueError):
+            fig2_expected("hacc", aurora, dawn)
+
+
+class TestFig3Bars:
+    def test_cloverleaf_0p59(self, aurora):
+        # "the expected ratio is 0.59" (2 TB/s / 3.35 TB/s).
+        bar = fig3_expected("cloverleaf", aurora, "gpu")
+        assert bar.ratio == pytest.approx(2.0 / 3.35, rel=0.02)
+
+    def test_minibude_one_pvc_vs_h100(self, aurora):
+        bar = fig3_expected("minibude", aurora, "gpu")
+        assert bar.ratio == pytest.approx(45 / 67, rel=0.03)
+
+    def test_node_scope_scales_reference(self, aurora):
+        gpu = fig3_expected("cloverleaf", aurora, "gpu")
+        node = fig3_expected("cloverleaf", aurora, "node")
+        # 12 TB/s vs 4 x 3.35 TB/s = 0.896.
+        assert node.ratio == pytest.approx(12 / 13.4, rel=0.02)
+        assert node.ratio > gpu.ratio
+
+    def test_bad_scope(self, aurora):
+        with pytest.raises(ValueError):
+            fig3_expected("minibude", aurora, "rack")
+
+
+class TestFig4Bars:
+    def test_minibude_aurora_unity(self, aurora):
+        # Appendix: "For Aurora it's 1.0X (23 Tflops/s / (45.3/2) Tflop/s)".
+        bar = fig4_expected("minibude", aurora, "stack")
+        assert bar.ratio == pytest.approx(23 / (45.3 / 2), rel=0.02)
+
+    def test_minibude_dawn_1p1(self, dawn):
+        bar = fig4_expected("minibude", dawn, "stack")
+        assert bar.ratio == pytest.approx(26 / (45.3 / 2), rel=0.02)
+
+    def test_cloverleaf_stack_vs_gcd(self, aurora):
+        bar = fig4_expected("cloverleaf", aurora, "stack")
+        assert bar.ratio == pytest.approx(1.0 / 1.6, rel=0.02)
+
+    def test_formula_recorded(self, aurora):
+        bar = fig4_expected("rimp2", aurora, "stack")
+        assert "mi250" in bar.formula

@@ -1,0 +1,122 @@
+"""Figure regenerators: series shapes and paper ratios."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure1, figure2, figure3, figure4
+
+
+class TestFigure1:
+    def test_four_series(self):
+        series = figure1()
+        assert {s.system for s in series} == {
+            "aurora",
+            "dawn",
+            "jlse-h100",
+            "jlse-mi250",
+        }
+
+    def test_curves_monotone_nondecreasing(self):
+        for s in figure1():
+            assert np.all(np.diff(s.latency_cycles) >= -1e-9), s.system
+
+    def test_pvc_systems_track_each_other(self):
+        series = {s.system: s for s in figure1()}
+        a, d = series["aurora"], series["dawn"]
+        n = min(len(a.sizes_bytes), len(d.sizes_bytes))
+        assert np.allclose(
+            a.latency_cycles[:n], d.latency_cycles[:n], rtol=0.02
+        )
+
+    def test_h100_fastest_l1(self):
+        series = {s.system: s for s in figure1()}
+        assert series["jlse-h100"].latency_cycles[0] < min(
+            series["aurora"].latency_cycles[0],
+            series["jlse-mi250"].latency_cycles[0],
+        )
+
+    def test_mi250_l2_plateau_below_pvc(self):
+        series = {s.system: s for s in figure1()}
+
+        def at(s, size):
+            idx = int(np.argmin(np.abs(s.sizes_bytes - size)))
+            return s.latency_cycles[idx]
+
+        assert at(series["jlse-mi250"], 4 << 20) < at(series["aurora"], 4 << 20)
+
+
+class TestFigure2:
+    def test_measured_ratios_match_paper(self):
+        points = {(p.app, p.scope): p for p in figure2()}
+        # Paper Table VI ratios.
+        assert points[("minibude", "One Stack")].ratio == pytest.approx(
+            293.02 / 366.17, rel=0.03
+        )
+        assert points[("miniqmc", "Full node")].ratio == pytest.approx(
+            15.64 / 16.28, rel=0.05
+        )
+
+    def test_bars_near_measurements(self):
+        # "In general the black expected performance bars are close to the
+        # columns" — every bar within 25% where one exists.
+        for p in figure2():
+            if p.expected.ratio is not None and p.ratio is not None:
+                assert p.within_expectation, (p.app, p.scope)
+
+    def test_miniqmc_has_no_bars(self):
+        for p in figure2():
+            if p.app == "miniqmc":
+                assert p.expected.ratio is None
+
+
+class TestFigure3:
+    def test_single_gpu_range_0p6_to_1p8(self):
+        # "The performance of a single PVC on Aurora and Dawn relative to
+        # an H100 ranges from 0.6x and 1.8x".
+        ratios = [
+            p.ratio
+            for p in figure3()
+            if p.scope in ("gpu",) and p.ratio is not None
+        ]
+        assert 0.55 <= min(ratios) <= 0.7
+        assert 1.3 <= max(ratios) <= 1.9
+
+    def test_cloverleaf_lowest_miniqmc_highest(self):
+        points = [p for p in figure3() if p.scope == "gpu" and p.ratio]
+        lowest = min(points, key=lambda p: p.ratio)
+        highest = max(points, key=lambda p: p.ratio)
+        assert lowest.app.startswith("cloverleaf")
+        assert highest.app.startswith("miniqmc")
+
+    def test_minibude_beats_expectation(self):
+        # "we see miniBUDE performing better than expected".
+        for p in figure3():
+            if p.app.startswith("minibude") and p.expected.ratio is not None:
+                assert p.ratio > p.expected.ratio
+
+
+class TestFigure4:
+    def test_stack_vs_gcd_range_0p8_to_7p5(self):
+        # "the performance of a single Stack ... range from 0.8x to 7.5x,
+        # with again Cloverleaf as the lowest and miniQMC as the highest".
+        points = [p for p in figure4() if p.scope == "stack" and p.ratio]
+        ratios = [p.ratio for p in points]
+        assert 0.7 <= min(ratios) <= 0.95
+        assert 6.0 <= max(ratios) <= 8.0
+        assert min(points, key=lambda p: p.ratio).app.startswith("cloverleaf")
+        assert max(points, key=lambda p: p.ratio).app.startswith("miniqmc")
+
+    def test_node_miniqmc_up_to_18x(self):
+        # "For a single node, the performance ... ranges from 0.8x to 18x".
+        node_qmc = [
+            p.ratio
+            for p in figure4()
+            if p.app.startswith("miniqmc") and p.scope == "node" and p.ratio
+        ]
+        assert max(node_qmc) == pytest.approx(16.28 / 0.90, rel=0.1)
+
+    def test_rimp2_absent_for_mi250(self):
+        # mini-GAMESS failed to build on MI250: ratios undefined.
+        for p in figure4():
+            if p.app.startswith("rimp2"):
+                assert p.ratio is None

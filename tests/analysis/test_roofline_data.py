@@ -1,0 +1,57 @@
+"""Roofline chart data."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.roofline_data import paper_kernels, roofline_series
+from repro.dtypes import Precision
+
+
+class TestRooflineSeries:
+    def test_ridge_point_is_roof_over_slope(self, aurora):
+        series = roofline_series(aurora, Precision.FP64)
+        assert series.ridge_intensity == pytest.approx(
+            series.compute_roof / series.memory_slope
+        )
+        # PVC stack: 17e12 / 1e12 = 13 flop/B.
+        assert series.ridge_intensity == pytest.approx(17.0, rel=0.05)
+
+    def test_attainable_below_both_roofs(self, aurora):
+        series = roofline_series(aurora, Precision.FP64)
+        assert np.all(series.attainable <= series.compute_roof + 1e-6)
+        assert np.all(
+            series.attainable <= series.memory_slope * series.intensity + 1e-6
+        )
+
+    def test_attainable_monotone(self, aurora):
+        series = roofline_series(aurora, Precision.FP32)
+        assert np.all(np.diff(series.attainable) >= -1e-9)
+
+    def test_full_node_roof_scales(self, aurora):
+        one = roofline_series(aurora, Precision.FP64, n_stacks=1)
+        node = roofline_series(aurora, Precision.FP64, n_stacks=12)
+        assert node.compute_roof > 11 * one.compute_roof
+
+
+class TestPaperKernels:
+    def test_kernels_classified_correctly(self, aurora):
+        points = {p.name: p for p in paper_kernels(aurora)}
+        assert points["stream-triad"].bound == "memory"
+        assert points["gemm-fp64-n20480"].bound == "compute"
+        assert points["fma-chain-fp64"].bound == "compute"
+
+    def test_triad_sits_left_of_ridge(self, aurora):
+        series = roofline_series(aurora, Precision.FP64)
+        points = {p.name: p for p in paper_kernels(aurora)}
+        assert points["stream-triad"].intensity < series.ridge_intensity
+        assert points["gemm-fp64-n20480"].intensity > series.ridge_intensity
+
+    def test_achieved_below_attainable(self, aurora):
+        series = roofline_series(aurora, Precision.FP64)
+        for p in paper_kernels(aurora):
+            if p.name.startswith("gemm-fp32"):
+                continue  # FP32 kernel judged against its own roof
+            roof = min(
+                series.compute_roof, series.memory_slope * p.intensity
+            )
+            assert p.achieved <= roof * 1.05

@@ -1,0 +1,72 @@
+"""Scaling-curve studies and hardware self-checks."""
+
+import pytest
+
+from repro.analysis.scaling_study import app_scaling, micro_scaling
+from repro.hw.selfcheck import self_check
+from repro.hw.systems import all_systems
+
+
+class TestMicroScaling:
+    def test_full_curves_cover_all_counts(self, aurora):
+        studies = {s.name: s for s in micro_scaling(aurora)}
+        assert len(studies["fp64_flops"].points) == 12
+        assert studies["fp64_flops"].points[0].efficiency == pytest.approx(1.0)
+
+    def test_triad_is_perfectly_efficient(self, aurora):
+        studies = {s.name: s for s in micro_scaling(aurora)}
+        assert studies["triad"].full_node_efficiency == pytest.approx(1.0)
+        assert studies["triad"].knee(0.99) is None
+
+    def test_flops_knee_matches_quote(self, aurora):
+        # Aurora FP64 scaling dips to ~95% at the full node.
+        studies = {s.name: s for s in micro_scaling(aurora)}
+        assert studies["fp64_flops"].full_node_efficiency == pytest.approx(
+            0.955, abs=0.01
+        )
+
+    def test_pcie_d2h_knee_from_contention(self, aurora):
+        """The D2H curve collapses once the host cap binds (~42%)."""
+        studies = {s.name: s for s in micro_scaling(aurora)}
+        d2h = studies["pcie_d2h"]
+        assert d2h.full_node_efficiency < 0.5
+        assert d2h.knee(0.9) is not None
+
+    def test_dawn_curves_shorter(self, dawn):
+        studies = micro_scaling(dawn)
+        assert all(s.points[-1].n_stacks == 8 for s in studies)
+
+
+class TestAppScaling:
+    def test_miniqmc_congestion_knee(self, aurora):
+        studies = {s.name: s for s in app_scaling(aurora)}
+        qmc = studies["miniqmc"]
+        # Efficiency collapses well before the full node.
+        assert qmc.full_node_efficiency < 0.5
+        assert qmc.knee(0.8) is not None
+        assert qmc.knee(0.8) <= 8
+
+    def test_cloverleaf_stays_efficient(self, aurora):
+        studies = {s.name: s for s in app_scaling(aurora)}
+        assert studies["cloverleaf"].full_node_efficiency > 0.9
+
+    def test_rimp2_strong_scaling_decay(self, aurora):
+        studies = {s.name: s for s in app_scaling(aurora)}
+        effs = [p.efficiency for p in studies["rimp2"].points]
+        # Strong scaling: monotonically decaying efficiency.
+        assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+class TestSelfCheck:
+    @pytest.mark.parametrize("system", all_systems(), ids=lambda s: s.name)
+    def test_every_paper_system_passes(self, system):
+        results = self_check(system)
+        failing = [c.name for c in results if not c.passed]
+        assert not failing, failing
+        assert len(results) >= 7
+
+    def test_extension_systems_pass(self):
+        from repro.hw.extensions import frontier, jlse_a100
+
+        for system in (frontier(), jlse_a100()):
+            assert all(c.passed for c in self_check(system)), system.name

@@ -1,0 +1,64 @@
+"""Shannon-entropy source-convergence diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.apps.openmc import (
+    KEigenvalueSolver,
+    Material,
+    TransportProblem,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_source_maximal(self):
+        rng = np.random.default_rng(0)
+        sites = rng.uniform(0, 10.0, (50_000, 3))
+        h = shannon_entropy(sites, np.ones(50_000), size=10.0, nmesh=4)
+        assert h == pytest.approx(np.log2(64), abs=0.01)
+
+    def test_point_source_zero(self):
+        sites = np.full((100, 3), 5.0)
+        assert shannon_entropy(sites, np.ones(100), 10.0, 4) == 0.0
+
+    def test_empty_bank(self):
+        assert shannon_entropy(np.empty((0, 3)), np.empty(0), 10.0, 4) == 0.0
+
+    def test_weights_shift_entropy(self):
+        # Two cells, all weight pushed onto one -> entropy drops.
+        sites = np.array([[1.0, 1.0, 1.0], [9.0, 9.0, 9.0]])
+        equal = shannon_entropy(sites, np.array([1.0, 1.0]), 10.0, 2)
+        skewed = shannon_entropy(sites, np.array([1.0, 1e-9]), 10.0, 2)
+        assert equal == pytest.approx(1.0)
+        assert skewed < 0.01
+
+
+class TestSourceConvergence:
+    def test_infinite_medium_converges(self):
+        medium = Material(
+            name="m",
+            sigma_t=np.array([1.0]),
+            sigma_a=np.array([0.4]),
+            scatter=np.array([[0.6]]),
+            nu_fission=np.array([0.44]),
+        )
+        problem = TransportProblem(
+            (medium,), boundary="reflective", checkerboard=False, nmesh=4
+        )
+        result = KEigenvalueSolver(
+            problem, 2000, inactive_batches=4, active_batches=6, seed=3
+        ).solve()
+        assert result.entropy_per_batch is not None
+        assert len(result.entropy_per_batch) == 10
+        assert result.source_converged()
+        # Near-uniform converged source in an infinite medium.
+        assert result.entropy_per_batch[-1] == pytest.approx(
+            np.log2(64), abs=0.5
+        )
+
+    def test_unconverged_without_history(self):
+        from repro.apps.openmc import KEffResult
+
+        r = KEffResult(k_per_batch=np.array([1.0]), inactive=0)
+        assert not r.source_converged()

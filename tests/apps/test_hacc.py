@@ -1,0 +1,154 @@
+"""CRK-HACC: gravity + CRK-SPH physics oracles + node FOM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hacc import (
+    Hacc,
+    NBodySystem,
+    crk_coefficients,
+    crk_interpolate,
+    cubic_spline_kernel,
+    sph_density,
+    two_body_circular,
+)
+from repro.errors import ConfigurationError, NotMeasuredError
+
+
+class TestGravity:
+    def test_momentum_conserved_exactly(self):
+        rng = np.random.default_rng(0)
+        system = NBodySystem(
+            pos=rng.uniform(-1, 1, (32, 3)),
+            vel=rng.normal(0, 0.1, (32, 3)),
+            mass=rng.uniform(0.5, 1.5, 32),
+            softening=0.05,
+        )
+        p0 = system.total_momentum()
+        system.run(50, dt=0.01)
+        assert np.allclose(system.total_momentum(), p0, atol=1e-10)
+
+    def test_two_body_energy_stable(self):
+        system = two_body_circular()
+        e0 = system.total_energy()
+        system.run(500, dt=0.005)
+        assert system.total_energy() == pytest.approx(e0, rel=1e-5)
+
+    def test_two_body_orbit_period(self):
+        # Circular orbit: separation stays constant over a full period.
+        system = two_body_circular(separation=1.0, mass=0.5)
+        sep0 = np.linalg.norm(system.pos[1] - system.pos[0])
+        system.run(200, dt=0.01)
+        sep = np.linalg.norm(system.pos[1] - system.pos[0])
+        assert sep == pytest.approx(sep0, rel=1e-3)
+
+    def test_forces_antisymmetric(self):
+        system = two_body_circular()
+        acc = system.accelerations()
+        # Equal masses: a_0 = -a_1.
+        assert np.allclose(acc[0], -acc[1], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NBodySystem(
+                pos=np.zeros((2, 3)),
+                vel=np.zeros((2, 3)),
+                mass=np.array([1.0, -1.0]),
+            )
+        system = two_body_circular()
+        with pytest.raises(ConfigurationError):
+            system.step(-0.1)
+
+
+class TestSph:
+    def test_kernel_normalised(self):
+        # Integral of W over 3D space = 1 (radial quadrature).
+        h = 1.0
+        r = np.linspace(0, 2 * h, 4001)
+        w = cubic_spline_kernel(r, h)
+        integral = np.trapezoid(4 * np.pi * r**2 * w, r)
+        assert integral == pytest.approx(1.0, rel=1e-4)
+
+    def test_kernel_compact_support(self):
+        assert cubic_spline_kernel(np.array([2.1]), 1.0)[0] == 0.0
+        assert cubic_spline_kernel(np.array([0.5]), 1.0)[0] > 0.0
+
+    def test_kernel_monotone_decreasing(self):
+        r = np.linspace(0, 2, 100)
+        w = cubic_spline_kernel(r, 1.0)
+        assert np.all(np.diff(w) <= 1e-12)
+
+    def test_density_of_uniform_lattice(self):
+        # Regular lattice of unit-density particles: SPH density near 1.
+        n = 6
+        x = (np.arange(n) + 0.5) / n
+        grid = np.stack(np.meshgrid(x, x, x, indexing="ij"), axis=-1).reshape(-1, 3)
+        mass = np.full(len(grid), 1.0 / len(grid))
+        rho = sph_density(grid, mass, h=1.6 / n)
+        inner = rho.reshape(n, n, n)[2:-2, 2:-2, 2:-2]
+        assert np.allclose(inner, 1.0, rtol=0.05)
+
+    def test_rejects_bad_h(self):
+        with pytest.raises(ConfigurationError):
+            cubic_spline_kernel(np.ones(3), 0.0)
+
+
+class TestCrk:
+    def _cloud(self, n=100, seed=0):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 1, (n, 3))
+        vol = np.full(n, 1.0 / n)
+        return pos, vol
+
+    def test_moment_conditions_hold(self):
+        pos, vol = self._cloud()
+        a, b = crk_coefficients(pos, vol, h=0.35)
+        # Corrected kernel must reproduce the constant field 1.
+        ones = crk_interpolate(pos, vol, np.ones(len(pos)), h=0.35)
+        assert np.allclose(ones, 1.0, atol=1e-12)
+        assert np.all(np.isfinite(a)) and np.all(np.isfinite(b))
+
+    def test_linear_field_reproduced_exactly(self):
+        # The CRKSPH property standard SPH lacks.
+        pos, vol = self._cloud(seed=2)
+        field = 1.0 + 2.0 * pos[:, 0] - 0.5 * pos[:, 1] + 3.0 * pos[:, 2]
+        interp = crk_interpolate(pos, vol, field, h=0.4)
+        assert np.allclose(interp, field, atol=1e-10)
+
+    def test_standard_sph_fails_where_crk_succeeds(self):
+        pos, vol = self._cloud(seed=3)
+        field = np.ones(len(pos))
+        # Plain SPH "interpolation" of 1 is sum V W != 1 on irregular sets.
+        diff = pos[:, None, :] - pos[None, :, :]
+        r = np.sqrt((diff**2).sum(-1))
+        plain = cubic_spline_kernel(r, 0.4) @ (vol * field)
+        crk = crk_interpolate(pos, vol, field, h=0.4)
+        assert np.abs(plain - 1.0).max() > 0.05
+        assert np.abs(crk - 1.0).max() < 1e-10
+
+
+class TestFom:
+    def test_table_vi_full_nodes(self, engines):
+        paper = {
+            "aurora": 13.81,
+            "dawn": 12.26,
+            "jlse-h100": 12.46,
+            "jlse-mi250": 10.70,
+        }
+        app = Hacc()
+        for name, value in paper.items():
+            assert app.fom(engines[name]) == pytest.approx(value, rel=0.02), name
+
+    def test_partial_node_not_measured(self, aurora):
+        with pytest.raises(NotMeasuredError):
+            Hacc().fom(aurora, 2)
+
+    def test_ranking_matches_paper(self, engines):
+        app = Hacc()
+        foms = {n: app.fom(e) for n, e in engines.items()}
+        order = sorted(foms, key=foms.get, reverse=True)
+        assert order == ["aurora", "jlse-h100", "dawn", "jlse-mi250"]
+
+    def test_functional_runner(self):
+        system = Hacc().run_functional(n_particles=16, steps=5)
+        assert system.n == 16

@@ -1,0 +1,129 @@
+"""k-eigenvalue power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.openmc import (
+    KEigenvalueSolver,
+    Material,
+    TransportProblem,
+    smr_materials,
+)
+from repro.errors import ConfigurationError
+
+
+def _critical_medium(k_inf: float, sigma_a=0.3, sigma_s=0.7) -> Material:
+    return Material(
+        name="medium",
+        sigma_t=np.array([sigma_a + sigma_s]),
+        sigma_a=np.array([sigma_a]),
+        scatter=np.array([[sigma_s]]),
+        nu_fission=np.array([k_inf * sigma_a]),
+    )
+
+
+def _infinite_problem(k_inf: float) -> TransportProblem:
+    return TransportProblem(
+        (_critical_medium(k_inf),),
+        boundary="reflective",
+        checkerboard=False,
+        nmesh=2,
+    )
+
+
+class TestPowerIteration:
+    def test_k_converges_to_analytic_k_inf(self):
+        solver = KEigenvalueSolver(
+            _infinite_problem(1.10),
+            particles_per_batch=3000,
+            inactive_batches=2,
+            active_batches=8,
+            seed=3,
+        )
+        result = solver.solve()
+        assert result.k_eff == pytest.approx(1.10, abs=4 * result.k_std_error)
+        assert result.k_eff == pytest.approx(1.10, rel=0.03)
+
+    def test_subcritical_medium(self):
+        solver = KEigenvalueSolver(
+            _infinite_problem(0.80),
+            particles_per_batch=2000,
+            inactive_batches=2,
+            active_batches=6,
+            seed=5,
+        )
+        assert solver.solve().k_eff == pytest.approx(0.80, rel=0.04)
+
+    def test_leakage_lowers_k_below_k_inf(self):
+        # A finite vacuum-bounded core must be less reactive than the
+        # infinite medium with the same composition.
+        fuel, moderator = smr_materials()
+        finite = TransportProblem((fuel, moderator), size=30.0, nmesh=4)
+        big = TransportProblem((fuel, moderator), size=120.0, nmesh=4)
+        k_small = KEigenvalueSolver(
+            finite, 2000, inactive_batches=2, active_batches=5, seed=1
+        ).solve()
+        k_big = KEigenvalueSolver(
+            big, 2000, inactive_batches=2, active_batches=5, seed=1
+        ).solve()
+        assert k_small.k_eff < k_big.k_eff
+
+    def test_batch_accounting(self):
+        result = KEigenvalueSolver(
+            _infinite_problem(1.0),
+            particles_per_batch=500,
+            inactive_batches=3,
+            active_batches=4,
+            seed=0,
+        ).solve()
+        assert len(result.k_per_batch) == 7
+        assert len(result.active_batches) == 4
+        assert result.k_std_error > 0
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            KEigenvalueSolver(_infinite_problem(1.0), particles_per_batch=5)
+        with pytest.raises(ConfigurationError):
+            KEigenvalueSolver(_infinite_problem(1.0), active_batches=0)
+
+
+class TestFissionBank:
+    def test_banked_sites_have_weights(self):
+        problem = _infinite_problem(1.05)
+        result = problem.run(1000, seed=2, bank_fission=True)
+        assert result.fission_sites is not None
+        assert result.fission_weights is not None
+        assert len(result.fission_sites) == len(result.fission_weights)
+        assert len(result.fission_sites) > 0
+        assert np.all(result.fission_weights > 0)
+
+    def test_bank_total_matches_production(self):
+        problem = _infinite_problem(1.05)
+        result = problem.run(1000, seed=2, bank_fission=True)
+        assert result.fission_weights.sum() == pytest.approx(
+            result.fission_production
+        )
+
+    def test_no_bank_by_default(self):
+        result = _infinite_problem(1.0).run(200, seed=1)
+        assert result.fission_sites is None
+
+    def test_custom_source_shape_validated(self):
+        problem = _infinite_problem(1.0)
+        with pytest.raises(ConfigurationError):
+            problem.run(100, source=np.zeros((50, 3)))
+
+    def test_source_positions_used(self):
+        # All particles born in one corner: early collisions cluster there.
+        problem = TransportProblem(
+            (_critical_medium(1.0, sigma_a=1.0, sigma_s=1.0),),
+            size=40.0,
+            boundary="reflective",
+            checkerboard=False,
+            nmesh=4,
+        )
+        corner = np.full((2000, 3), 2.0)
+        result = problem.run(2000, seed=4, source=corner)
+        corner_tally = result.flux[0, 0, 0].sum()
+        far_tally = result.flux[3, 3, 3].sum()
+        assert corner_tally > far_tally

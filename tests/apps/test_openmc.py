@@ -1,0 +1,148 @@
+"""OpenMC-style transport: physics oracles + FOM."""
+
+import numpy as np
+import pytest
+
+from repro.apps.openmc import (
+    Material,
+    OpenMc,
+    TransportProblem,
+    smr_materials,
+)
+from repro.errors import ConfigurationError
+
+
+def _one_group_medium(sigma_a=0.2, sigma_s=0.8, nu_f=0.0) -> Material:
+    return Material(
+        name="medium",
+        sigma_t=np.array([sigma_a + sigma_s]),
+        sigma_a=np.array([sigma_a]),
+        scatter=np.array([[sigma_s]]),
+        nu_fission=np.array([nu_f]),
+    )
+
+
+class TestMaterial:
+    def test_cross_section_balance_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Material(
+                name="bad",
+                sigma_t=np.array([1.0]),
+                sigma_a=np.array([0.5]),
+                scatter=np.array([[0.6]]),  # 0.5 + 0.6 != 1.0
+                nu_fission=np.zeros(1),
+            )
+
+    def test_smr_materials_consistent(self):
+        fuel, moderator = smr_materials()
+        assert fuel.n_groups == 2
+        assert moderator.nu_fission.sum() == 0.0
+        assert fuel.n_nuclides == 16
+
+
+class TestInfiniteMediumPhysics:
+    """Reflective box with one material = infinite medium: analytic answers."""
+
+    def _run(self, sigma_a, sigma_s, nu_f=0.0, n=20000):
+        problem = TransportProblem(
+            (_one_group_medium(sigma_a, sigma_s, nu_f),),
+            boundary="reflective",
+            checkerboard=False,
+            nmesh=2,
+        )
+        return problem.run(n, seed=42)
+
+    def test_collisions_per_history(self):
+        # Expected collisions per absorbed history = sigma_t / sigma_a.
+        res = self._run(sigma_a=0.25, sigma_s=0.75)
+        assert res.collisions_per_history == pytest.approx(4.0, rel=0.05)
+
+    def test_all_histories_absorbed(self):
+        res = self._run(sigma_a=0.5, sigma_s=0.5, n=5000)
+        assert res.absorptions == res.histories
+        assert res.leaks == 0
+
+    def test_k_inf_matches_analytic(self):
+        # k_inf = nu*sigma_f / sigma_a for a one-group infinite medium.
+        res = self._run(sigma_a=0.3, sigma_s=0.7, nu_f=0.36)
+        assert res.k_estimate == pytest.approx(0.36 / 0.3, rel=0.05)
+
+    def test_pure_absorber_one_collision(self):
+        res = self._run(sigma_a=1.0, sigma_s=0.0, n=5000)
+        assert res.collisions_per_history == pytest.approx(1.0, rel=0.02)
+
+
+class TestVacuumLeakage:
+    def test_small_box_leaks_heavily(self):
+        thin = TransportProblem(
+            (_one_group_medium(0.05, 0.05),),
+            size=1.0,
+            boundary="vacuum",
+            checkerboard=False,
+        )
+        res = thin.run(4000, seed=1)
+        assert res.leakage_fraction > 0.8
+
+    def test_big_dense_box_leaks_little(self):
+        thick = TransportProblem(
+            (_one_group_medium(0.5, 1.0),),
+            size=200.0,
+            boundary="vacuum",
+            checkerboard=False,
+        )
+        res = thick.run(2000, seed=1)
+        assert res.leakage_fraction < 0.05
+
+    def test_conservation_of_histories(self):
+        problem = TransportProblem(smr_materials(), size=30.0)
+        res = problem.run(3000, seed=7)
+        assert res.absorptions + res.leaks == res.histories
+
+
+class TestTallies:
+    def test_flux_shape_includes_nuclide_axis(self):
+        problem = TransportProblem(smr_materials(n_nuclides=16), nmesh=4)
+        res = problem.run(2000, seed=0)
+        assert res.flux.shape == (4, 4, 4, 2, 16)
+        assert res.flux.sum() == res.collisions
+
+    def test_fuel_cells_see_fast_flux(self):
+        problem = TransportProblem(smr_materials(), nmesh=4, size=40.0)
+        res = problem.run(5000, seed=3)
+        # Group 0 (fast) collisions happen everywhere the source is born.
+        assert res.flux[..., 0, :].sum() > 0
+
+    def test_deterministic_given_seed(self):
+        problem = TransportProblem(smr_materials(), nmesh=2)
+        a = problem.run(1000, seed=5)
+        b = problem.run(1000, seed=5)
+        assert a.collisions == b.collisions
+        assert np.array_equal(a.flux, b.flux)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransportProblem((), boundary="vacuum")
+        with pytest.raises(ConfigurationError):
+            TransportProblem(smr_materials(), boundary="mirror")
+        problem = TransportProblem(smr_materials())
+        with pytest.raises(ConfigurationError):
+            problem.run(0)
+
+
+class TestFom:
+    def test_table_vi_full_nodes(self, engines):
+        paper = {"aurora": 2039.0, "jlse-h100": 1191.0, "jlse-mi250": 720.0}
+        app = OpenMc()
+        for name, value in paper.items():
+            assert app.fom(engines[name]) == pytest.approx(value, rel=0.02), name
+
+    def test_dawn_prediction_scales_with_xe_cores(self, aurora, dawn):
+        # The paper leaves Dawn blank; the model predicts 64/56 per stack.
+        app = OpenMc()
+        per_stack_a = app.fom(aurora) / 12
+        per_stack_d = app.fom(dawn) / 8
+        assert per_stack_d / per_stack_a == pytest.approx(64 / 56, rel=0.01)
+
+    def test_functional_smoke(self):
+        res = OpenMc().run_functional(n_particles=500)
+        assert res.histories == 500

@@ -1,0 +1,136 @@
+"""SPH gas dynamics (the hydrodynamic half of CRK-HACC)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hacc import SphGasSystem, cubic_spline_gradient
+from repro.errors import ConfigurationError
+
+
+def _lattice_gas(n: int = 5, u0: float = 1.0) -> SphGasSystem:
+    x = (np.arange(n) + 0.5) / n
+    grid = np.stack(np.meshgrid(x, x, x, indexing="ij"), axis=-1).reshape(-1, 3)
+    count = len(grid)
+    return SphGasSystem(
+        pos=grid.copy(),
+        vel=np.zeros((count, 3)),
+        mass=np.full(count, 1.0 / count),
+        internal_energy=np.full(count, u0),
+        h=2.0 / n,
+    )
+
+
+class TestKernelGradient:
+    def test_points_from_j_toward_lower_w(self):
+        # dW/dr < 0 inside support: gradient w.r.t. x_i points away from j
+        # with negative magnitude along +diff.
+        diff = np.array([[0.5, 0.0, 0.0]])
+        r = np.array([0.5])
+        g = cubic_spline_gradient(diff, r, h=1.0)
+        assert g[0, 0] < 0.0
+        assert g[0, 1] == 0.0
+
+    def test_zero_outside_support(self):
+        diff = np.array([[3.0, 0.0, 0.0]])
+        g = cubic_spline_gradient(diff, np.array([3.0]), h=1.0)
+        assert np.allclose(g, 0.0)
+
+    def test_antisymmetry(self):
+        diff = np.array([[0.4, 0.3, -0.2]])
+        r = np.linalg.norm(diff, axis=1)
+        g_ij = cubic_spline_gradient(diff, r, h=1.0)
+        g_ji = cubic_spline_gradient(-diff, r, h=1.0)
+        assert np.allclose(g_ij, -g_ji)
+
+    def test_finite_difference_check(self):
+        from repro.apps.hacc import cubic_spline_kernel
+
+        h, eps = 1.0, 1e-6
+        diff = np.array([[0.7, 0.2, 0.1]])
+        r = np.linalg.norm(diff, axis=1)
+        g = cubic_spline_gradient(diff, r, h)[0]
+        for axis in range(3):
+            d_plus = diff.copy()
+            d_plus[0, axis] += eps
+            d_minus = diff.copy()
+            d_minus[0, axis] -= eps
+            w_plus = cubic_spline_kernel(np.linalg.norm(d_plus, axis=1), h)
+            w_minus = cubic_spline_kernel(np.linalg.norm(d_minus, axis=1), h)
+            fd = (w_plus[0] - w_minus[0]) / (2 * eps)
+            assert g[axis] == pytest.approx(fd, rel=1e-4, abs=1e-8)
+
+    def test_bad_h_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cubic_spline_gradient(np.zeros((1, 3)), np.zeros(1), h=0.0)
+
+
+class TestGasDynamics:
+    def test_momentum_conserved_to_roundoff(self):
+        gas = _lattice_gas()
+        p0 = gas.total_momentum()
+        for _ in range(8):
+            gas.step()
+        assert np.abs(gas.total_momentum() - p0).max() < 1e-12
+
+    def test_energy_conserved_to_integration_error(self):
+        gas = _lattice_gas()
+        e0 = gas.total_energy()
+        t = 0.0
+        while t < 0.05:
+            t += gas.step(gas.stable_dt() * 0.25)
+        assert gas.total_energy() == pytest.approx(e0, rel=0.01)
+
+    def test_energy_drift_converges_with_dt(self):
+        drifts = []
+        for scale in (1.0, 0.25):
+            gas = _lattice_gas()
+            e0 = gas.total_energy()
+            t = 0.0
+            while t < 0.04:
+                t += gas.step(gas.stable_dt() * scale)
+            drifts.append(abs(gas.total_energy() - e0) / e0)
+        assert drifts[1] < 0.5 * drifts[0]
+
+    def test_free_expansion_converts_thermal_to_kinetic(self):
+        gas = _lattice_gas(u0=2.0)
+        thermal0 = float(np.sum(gas.mass * gas.internal_energy))
+        for _ in range(10):
+            gas.step()
+        thermal1 = float(np.sum(gas.mass * gas.internal_energy))
+        kinetic1 = 0.5 * float(
+            np.sum(gas.mass * np.sum(gas.vel**2, axis=1))
+        )
+        assert thermal1 < thermal0
+        assert kinetic1 > 0.01
+
+    def test_edge_particles_accelerate_outward(self):
+        gas = _lattice_gas()
+        acc = gas.accelerations()
+        centre = gas.pos - 0.5
+        radial = np.einsum("ik,ik->i", acc, centre)
+        # Outermost particles feel net outward pressure force.
+        outer = np.linalg.norm(centre, axis=1) > 0.6
+        assert np.all(radial[outer] > 0)
+
+    def test_pressure_ideal_gas(self):
+        gas = _lattice_gas(u0=3.0)
+        rho = gas.density()
+        p = gas.pressure(rho)
+        assert np.allclose(p, (gas.gamma - 1.0) * rho * 3.0)
+
+    def test_stable_dt_positive(self):
+        gas = _lattice_gas()
+        assert 0 < gas.stable_dt() < 1.0
+
+    def test_validation(self):
+        gas = _lattice_gas()
+        with pytest.raises(ConfigurationError):
+            gas.step(-0.1)
+        with pytest.raises(ConfigurationError):
+            SphGasSystem(
+                pos=np.zeros((2, 3)),
+                vel=np.zeros((2, 3)),
+                mass=np.ones(2),
+                internal_energy=np.array([1.0, -1.0]),
+                h=0.5,
+            )

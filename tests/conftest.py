@@ -1,0 +1,45 @@
+"""Shared fixtures: one quiet engine per system, reused session-wide."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.systems import get_system
+from repro.sim.engine import PerfEngine
+from repro.sim.noise import QUIET
+
+
+@pytest.fixture(scope="session")
+def aurora() -> PerfEngine:
+    return PerfEngine(get_system("aurora"), noise=QUIET)
+
+
+@pytest.fixture(scope="session")
+def dawn() -> PerfEngine:
+    return PerfEngine(get_system("dawn"), noise=QUIET)
+
+
+@pytest.fixture(scope="session")
+def h100() -> PerfEngine:
+    return PerfEngine(get_system("jlse-h100"), noise=QUIET)
+
+
+@pytest.fixture(scope="session")
+def mi250() -> PerfEngine:
+    return PerfEngine(get_system("jlse-mi250"), noise=QUIET)
+
+
+@pytest.fixture(scope="session")
+def engines(aurora, dawn, h100, mi250) -> dict[str, PerfEngine]:
+    return {
+        "aurora": aurora,
+        "dawn": dawn,
+        "jlse-h100": h100,
+        "jlse-mi250": mi250,
+    }
+
+
+@pytest.fixture()
+def noisy_aurora() -> PerfEngine:
+    """An engine with the default (non-quiet) noise model."""
+    return PerfEngine(get_system("aurora"))

@@ -1,0 +1,36 @@
+"""Table V FOM specifications."""
+
+from repro.core.fom import FOM_SPECS, Bound
+
+
+class TestFomSpecs:
+    def test_all_six_apps_present(self):
+        assert set(FOM_SPECS) == {
+            "minibude",
+            "cloverleaf",
+            "miniqmc",
+            "rimp2",
+            "openmc",
+            "hacc",
+        }
+
+    def test_bounds_match_table_v(self):
+        assert FOM_SPECS["minibude"].bound is Bound.FP32_FLOPS
+        assert FOM_SPECS["cloverleaf"].bound is Bound.MEMORY_BW
+        assert FOM_SPECS["rimp2"].bound is Bound.DGEMM
+        assert FOM_SPECS["openmc"].bound is Bound.MEMORY_LATENCY
+        assert FOM_SPECS["hacc"].bound is Bound.CPU_BW_FP32
+        assert FOM_SPECS["miniqmc"].bound is Bound.MIXED_CPU
+
+    def test_languages(self):
+        assert FOM_SPECS["rimp2"].language == "Fortran"
+        assert FOM_SPECS["cloverleaf"].language == "C++"
+
+    def test_describe_mentions_formula(self):
+        text = FOM_SPECS["miniqmc"].describe()
+        assert "N_w" in text and "diffusion" in text
+
+    def test_scaling_modes(self):
+        assert FOM_SPECS["rimp2"].scaling.value == "Strong"
+        assert FOM_SPECS["cloverleaf"].scaling.value == "Weak"
+        assert FOM_SPECS["minibude"].scaling.value == "N/A"

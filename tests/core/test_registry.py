@@ -1,0 +1,84 @@
+"""Benchmark registry."""
+
+import pytest
+
+from repro.core.registry import BenchmarkInfo, Registry, global_registry
+from repro.errors import UnknownBenchmarkError
+
+
+def _info(name: str, category: str = "micro") -> BenchmarkInfo:
+    return BenchmarkInfo(
+        name=name,
+        category=category,
+        programming_model="SYCL",
+        description="test",
+        factory=dict,
+    )
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        r = Registry()
+        r.add(_info("a"))
+        assert r.get("a").name == "a"
+        assert "a" in r
+
+    def test_duplicate_rejected(self):
+        r = Registry()
+        r.add(_info("a"))
+        with pytest.raises(ValueError):
+            r.add(_info("a"))
+
+    def test_unknown_raises_with_suggestions(self):
+        r = Registry()
+        r.add(_info("triad"))
+        with pytest.raises(UnknownBenchmarkError, match="triad"):
+            r.get("nope")
+
+    def test_category_filter(self):
+        r = Registry()
+        r.add(_info("a", "micro"))
+        r.add(_info("b", "miniapp"))
+        assert r.names("micro") == ["a"]
+        assert r.names() == ["a", "b"]
+
+    def test_create_instantiates(self):
+        r = Registry()
+        r.add(_info("a"))
+        assert r.create("a") == {}
+
+    def test_len_iter(self):
+        r = Registry()
+        r.add(_info("a"))
+        r.add(_info("b"))
+        assert len(r) == 2
+        assert {i.name for i in r} == {"a", "b"}
+
+
+class TestGlobalRegistry:
+    def test_all_seven_micros_registered(self):
+        import repro.micro  # noqa: F401
+
+        names = global_registry().names("micro")
+        assert set(names) >= {
+            "peak_flops",
+            "triad",
+            "pcie",
+            "p2p",
+            "gemm",
+            "fft",
+            "lats",
+        }
+
+    def test_miniapps_and_apps_registered(self):
+        import repro.apps  # noqa: F401
+        import repro.miniapps  # noqa: F401
+
+        reg = global_registry()
+        assert set(reg.names("miniapp")) >= {
+            "minibude",
+            "cloverleaf",
+            "miniqmc",
+            "rimp2",
+        }
+        assert set(reg.names("app")) >= {"openmc", "hacc"}

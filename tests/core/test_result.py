@@ -1,0 +1,112 @@
+"""Measurement protocol containers."""
+
+import pytest
+
+from repro.core.result import (
+    BenchmarkResult,
+    DeviceScope,
+    Measurement,
+    ResultTable,
+    SampleSet,
+)
+from repro.core.units import Quantity
+
+
+class TestMeasurement:
+    def test_rate(self):
+        m = Measurement(elapsed_s=2.0, work=10.0, unit="Flop/s")
+        assert m.rate == pytest.approx(5.0)
+
+    def test_rejects_zero_elapsed(self):
+        with pytest.raises(ValueError):
+            Measurement(elapsed_s=0.0, work=1.0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Measurement(elapsed_s=1.0, work=-1.0)
+
+    def test_as_quantity(self):
+        m = Measurement(elapsed_s=1.0, work=17e12, unit="Flop/s")
+        assert str(m.as_quantity()) == "17 TFlop/s"
+
+
+class TestSampleSet:
+    def _samples(self):
+        return SampleSet(
+            [
+                Measurement(elapsed_s=1.2, work=10.0),
+                Measurement(elapsed_s=1.0, work=10.0),  # best
+                Measurement(elapsed_s=1.5, work=10.0),  # worst
+            ]
+        )
+
+    def test_best_is_highest_rate(self):
+        assert self._samples().best.elapsed_s == pytest.approx(1.0)
+
+    def test_worst(self):
+        assert self._samples().worst.elapsed_s == pytest.approx(1.5)
+
+    def test_median(self):
+        assert self._samples().median_rate == pytest.approx(10.0 / 1.2)
+
+    def test_spread_nonnegative(self):
+        assert 0.0 <= self._samples().spread < 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _ = SampleSet().best
+
+    def test_add_and_len(self):
+        s = SampleSet()
+        s.add(Measurement(elapsed_s=1.0, work=1.0))
+        assert len(s) == 1
+
+
+class TestDeviceScope:
+    def test_rejects_zero_stacks(self):
+        with pytest.raises(ValueError):
+            DeviceScope("bad", 0)
+
+    def test_str(self):
+        assert str(DeviceScope("One PVC", 2)) == "One PVC"
+
+
+class TestBenchmarkResult:
+    def test_quantity_uses_best(self):
+        samples = SampleSet(
+            [
+                Measurement(elapsed_s=2.0, work=10.0, unit="B/s"),
+                Measurement(elapsed_s=1.0, work=10.0, unit="B/s"),
+            ]
+        )
+        result = BenchmarkResult(
+            benchmark="x",
+            system="aurora",
+            scope=DeviceScope("One Stack", 1),
+            samples=samples,
+        )
+        assert result.value == pytest.approx(10.0)
+        assert "aurora" in result.describe()
+
+
+class TestResultTable:
+    def test_render_has_dash_for_none(self):
+        t = ResultTable("T")
+        t.set("row", "colA", Quantity(1e12, "Flop/s"))
+        t.set("row", "colB", None)
+        rendered = t.render()
+        assert "1 TFlop/s" in rendered
+        assert "-" in rendered
+
+    def test_row_column_order_preserved(self):
+        t = ResultTable("T")
+        t.set("r2", "c1", None)
+        t.set("r1", "c2", None)
+        assert t.rows == ["r2", "r1"]
+        assert t.columns == ["c1", "c2"]
+
+    def test_get_roundtrip(self):
+        t = ResultTable("T")
+        q = Quantity(5.0, "B/s")
+        t.set("r", "c", q)
+        assert t.get("r", "c") == q

@@ -1,0 +1,58 @@
+"""Repeat-and-take-best protocol."""
+
+import pytest
+
+from repro.core.result import DeviceScope, Measurement
+from repro.core.runner import RunPlan, Runner
+
+
+class TestRunPlan:
+    def test_defaults(self):
+        plan = RunPlan()
+        assert plan.repetitions >= 1
+
+    def test_rejects_zero_reps(self):
+        with pytest.raises(ValueError):
+            RunPlan(repetitions=0)
+
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            RunPlan(warmup=-1)
+
+
+class TestRunner:
+    def test_warmup_discarded(self):
+        seen = []
+
+        def measure(rep):
+            seen.append(rep)
+            # Repetition 0 is artificially slow (warm-up).
+            elapsed = 10.0 if rep == 0 else 1.0 + 0.01 * rep
+            return Measurement(elapsed_s=elapsed, work=1.0)
+
+        result = Runner(RunPlan(repetitions=4, warmup=1)).run(
+            "bench", "sys", DeviceScope("One Stack", 1), measure
+        )
+        assert seen == [0, 1, 2, 3, 4]
+        assert len(result.samples) == 4
+        # Warm-up sample (rate 0.1) must not be in the set.
+        assert result.samples.worst.rate > 0.5
+
+    def test_best_of_n_converges_to_fastest(self):
+        def measure(rep):
+            return Measurement(elapsed_s=1.0 + (rep % 3) * 0.5, work=1.0)
+
+        result = Runner(RunPlan(repetitions=6, warmup=0)).run(
+            "bench", "sys", DeviceScope("One Stack", 1), measure
+        )
+        assert result.best.elapsed_s == pytest.approx(1.0)
+
+    def test_params_recorded(self):
+        result = Runner(RunPlan(repetitions=1, warmup=0)).run(
+            "bench",
+            "sys",
+            DeviceScope("One Stack", 1),
+            lambda rep: Measurement(elapsed_s=1.0, work=1.0),
+            params={"dtype": "fp64"},
+        )
+        assert result.params["dtype"] == "fp64"

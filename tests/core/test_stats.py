@@ -1,0 +1,86 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import Measurement, SampleSet
+from repro.core.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    harmonic_mean,
+    sample_set_ci,
+    speedup_summary,
+)
+
+
+class TestMeans:
+    def test_geometric_mean_of_reciprocal_ratios_is_one(self):
+        # The defining property: speedup and slowdown cancel.
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_geometric_mean_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_harmonic_mean_of_rates(self):
+        # Half the work at 60, half at 30 -> overall 40 (classic).
+        assert harmonic_mean([60.0, 30.0]) == pytest.approx(40.0)
+
+    def test_ordering(self):
+        vals = [1.0, 2.0, 8.0]
+        assert harmonic_mean(vals) < geometric_mean(vals) < np.mean(vals)
+
+    @pytest.mark.parametrize("fn", [geometric_mean, harmonic_mean])
+    def test_rejects_empty_and_nonpositive(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+        with pytest.raises(ValueError):
+            fn([1.0, -1.0])
+
+
+class TestBootstrap:
+    def test_ci_contains_true_mean_for_clean_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 1.0, 40)
+        ci = bootstrap_ci(data)
+        assert 10.0 in ci
+        assert ci.low < ci.point < ci.high
+
+    def test_ci_narrows_with_samples(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_ci(rng.normal(5, 1, 10), seed=2)
+        large = bootstrap_ci(rng.normal(5, 1, 200), seed=2)
+        assert large.half_width < small.half_width
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_sample_set_ci(self):
+        samples = SampleSet(
+            Measurement(elapsed_s=1.0 + 0.01 * i, work=100.0) for i in range(8)
+        )
+        ci = sample_set_ci(samples)
+        assert ci.low <= samples.median_rate <= ci.high
+
+
+class TestSpeedupSummary:
+    def test_paper_abstract_envelope(self):
+        # "0.6-1.8X the performance of an H100".
+        summary = speedup_summary([0.61, 0.93, 1.39, 1.76])
+        assert summary["min"] == pytest.approx(0.61)
+        assert summary["max"] == pytest.approx(1.76)
+        assert 0.9 < summary["geomean"] < 1.2
+
+    def test_filters_none(self):
+        summary = speedup_summary([1.0, None, 2.0])
+        assert summary["count"] == 2
+
+    def test_rejects_all_none(self):
+        with pytest.raises(ValueError):
+            speedup_summary([None])

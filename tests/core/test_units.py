@@ -1,0 +1,112 @@
+"""Units and paper-style formatting."""
+
+import math
+
+import pytest
+
+from repro.core.units import (
+    GIGA,
+    KIB,
+    MIB,
+    PETA,
+    TERA,
+    Quantity,
+    bandwidth,
+    flops,
+    iops,
+    parse_rate,
+    si_format,
+)
+
+
+class TestSiFormat:
+    def test_teraflops(self):
+        assert si_format(17e12, "Flop/s") == "17 TFlop/s"
+
+    def test_gigabytes(self):
+        assert si_format(54e9, "B/s") == "54 GB/s"
+
+    def test_petaiops(self):
+        assert si_format(5.0e15, "Iop/s") == "5 PIop/s"
+
+    def test_fractional(self):
+        assert si_format(3.1e12, "Flop/s") == "3.1 TFlop/s"
+
+    def test_fixed_prefix_keeps_gb(self):
+        # Table III prints "1129 GB/s", not "1.13 TB/s".
+        assert si_format(1129e9, "B/s", prefix="G") == "1129 GB/s"
+
+    def test_zero(self):
+        assert si_format(0.0, "B/s") == "0 B/s"
+
+    def test_negative(self):
+        assert si_format(-2e9, "B/s").startswith("-2 ")
+
+    def test_trailing_zeros_dropped(self):
+        assert si_format(2.0e12, "Flop/s") == "2 TFlop/s"
+
+
+class TestParseRate:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("17 TFlop/s", 17e12),
+            ("54 GB/s", 54e9),
+            ("5 PIop/s", 5e15),
+            ("1.3 TB/s", 1.3e12),
+        ],
+    )
+    def test_roundtrip(self, text, value):
+        assert parse_rate(text) == pytest.approx(value)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_rate("fast")
+
+
+class TestQuantity:
+    def test_str_flops(self):
+        assert str(flops(17e12)) == "17 TFlop/s"
+
+    def test_nonscalable_unit_prints_raw(self):
+        assert str(Quantity(2039.0, "kparticles/s")) == "2039 kparticles/s"
+
+    def test_add_same_unit(self):
+        q = flops(1e12) + flops(2e12)
+        assert q.value == pytest.approx(3e12)
+
+    def test_add_mismatched_units_raises(self):
+        with pytest.raises(ValueError):
+            flops(1.0) + bandwidth(1.0)
+
+    def test_scale(self):
+        assert (2 * flops(1e12)).value == pytest.approx(2e12)
+
+    def test_ratio(self):
+        assert flops(2e12).ratio(flops(1e12)) == pytest.approx(2.0)
+
+    def test_divide_by_scalar(self):
+        assert (flops(2e12) / 2).value == pytest.approx(1e12)
+
+    def test_divide_by_quantity_is_dimensionless(self):
+        assert flops(2e12) / flops(1e12) == pytest.approx(2.0)
+
+    def test_ordering(self):
+        assert flops(1e12) < flops(2e12)
+        assert flops(1e12) <= flops(1e12)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Quantity(math.nan, "B/s")
+
+    def test_iops_unit(self):
+        assert iops(448e12).unit == "Iop/s"
+
+
+class TestConstants:
+    def test_binary_vs_decimal(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIGA == 1e9
+        assert TERA == 1e12
+        assert PETA == 1e15

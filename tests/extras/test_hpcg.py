@@ -1,0 +1,101 @@
+"""HPCG-style CG solver + HPL/HPCG node models."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import Precision
+from repro.extras.hpcg import (
+    HpcgModel,
+    HplModel,
+    build_hpcg_operator,
+    conjugate_gradient,
+)
+
+
+class TestOperator:
+    def test_symmetric(self):
+        a = build_hpcg_operator(5)
+        assert (a - a.T).nnz == 0
+
+    def test_diagonal_26(self):
+        a = build_hpcg_operator(4)
+        assert np.allclose(a.diagonal(), 26.0)
+
+    def test_interior_row_has_27_entries(self):
+        n = 5
+        a = build_hpcg_operator(n)
+        interior = (n * n + n + 1) * 1 + n * n + n + 1  # an interior index
+        interior = np.ravel_multi_index((2, 2, 2), (n, n, n))
+        row = a.getrow(interior)
+        assert row.nnz == 27
+        assert row.sum() == pytest.approx(0.0)  # 26 - 26 neighbours
+
+    def test_positive_definite(self):
+        a = build_hpcg_operator(4).toarray()
+        eigenvalues = np.linalg.eigvalsh(a)
+        assert eigenvalues.min() > 0
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            build_hpcg_operator(1)
+
+
+class TestConjugateGradient:
+    def test_solves_against_direct(self):
+        import scipy.sparse.linalg as spla
+
+        a = build_hpcg_operator(5)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(a.shape[0])
+        result = conjugate_gradient(a, b, tol=1e-10)
+        assert result.converged
+        direct = spla.spsolve(a.tocsc(), b)
+        assert np.allclose(result.x, direct, atol=1e-7)
+
+    def test_preconditioner_reduces_iterations(self):
+        # Large enough that the near-singular interior (zero row sums)
+        # makes the SGS preconditioner pay off.
+        a = build_hpcg_operator(8)
+        b = np.random.default_rng(1).standard_normal(a.shape[0])
+        plain = conjugate_gradient(a, b, preconditioned=False, tol=1e-9)
+        pre = conjugate_gradient(a, b, preconditioned=True, tol=1e-9)
+        assert pre.converged and plain.converged
+        assert pre.iterations < plain.iterations
+
+    def test_residual_reported(self):
+        a = build_hpcg_operator(4)
+        b = np.ones(a.shape[0])
+        result = conjugate_gradient(a, b, tol=1e-12, max_iter=3)
+        assert not result.converged
+        assert result.residual_norm > 0
+
+    def test_shape_mismatch_rejected(self):
+        a = build_hpcg_operator(3)
+        with pytest.raises(ValueError):
+            conjugate_gradient(a, np.ones(5))
+
+
+class TestNodeModels:
+    def test_hpl_is_dgemm_bound(self, aurora):
+        hpl = HplModel(aurora)
+        assert hpl.node_rate() == pytest.approx(
+            aurora.gemm_rate(Precision.FP64, 12) * 0.92
+        )
+        assert 0.6 < hpl.fraction_of_peak() < 0.9
+
+    def test_hpcg_tiny_fraction_of_peak(self, aurora):
+        # The Top500 phenomenon: HPCG is a percent-scale fraction of HPL.
+        hpcg = HpcgModel(aurora)
+        assert hpcg.fraction_of_peak() < 0.02
+        assert hpcg.node_rate() > 0
+
+    def test_hpcg_tracks_bandwidth_not_compute(self, aurora, h100):
+        # Aurora node streams 12 TB/s vs H100 node ~11 TB/s: HPCG ratio
+        # follows bandwidth, not the 195-vs-134 TF FP64 ratio.
+        r_aurora = HpcgModel(aurora).node_rate()
+        r_h100 = HpcgModel(h100).node_rate()
+        bw_ratio = aurora.stream_bw(12) / h100.stream_bw(4)
+        assert r_aurora / r_h100 == pytest.approx(bw_ratio, rel=0.01)
+
+    def test_aurora_hpl_beats_dawn(self, aurora, dawn):
+        assert HplModel(aurora).node_rate() > HplModel(dawn).node_rate()

@@ -1,0 +1,52 @@
+"""TDP/DVFS frequency model (Section IV-B.2)."""
+
+import pytest
+
+from repro.dtypes import Precision
+from repro.hw.frequency import FrequencyModel, WorkloadKind
+
+
+def _pvc() -> FrequencyModel:
+    return FrequencyModel(
+        max_hz=1.6e9, fp64_fma_hz=1.2e9, idle_hz=1.6e9, power_cap_w=500.0
+    )
+
+
+class TestFrequencyModel:
+    def test_fp64_fma_downclocks(self):
+        # "the PVC operated at ~1.2GHz for FP64 ... FMA operations".
+        assert _pvc().sustained_hz(Precision.FP64, WorkloadKind.FMA_CHAIN) == 1.2e9
+
+    def test_fp32_fma_full_clock(self):
+        # "~1.6GHz for FP32".
+        assert _pvc().sustained_hz(Precision.FP32, WorkloadKind.FMA_CHAIN) == 1.6e9
+
+    def test_fp64_gemm_also_downclocks(self):
+        assert _pvc().sustained_hz(Precision.FP64, WorkloadKind.GEMM) == 1.2e9
+
+    def test_stream_at_max(self):
+        assert _pvc().sustained_hz(None, WorkloadKind.STREAM) == 1.6e9
+
+    def test_idle_pinned(self):
+        # Aurora pins the idle frequency to 1.6 GHz (Section III).
+        assert _pvc().sustained_hz(None, WorkloadKind.IDLE) == 1.6e9
+
+    def test_downclock_ratio_origin_of_1p3x(self):
+        # 1.6/1.2 = 1.33x is the paper's FP32:FP64 flops ratio cause.
+        model = _pvc()
+        ratio = model.downclock_ratio(Precision.FP32) / model.downclock_ratio(
+            Precision.FP64
+        )
+        assert ratio == pytest.approx(4.0 / 3.0)
+
+    def test_no_downclock_model(self):
+        flat = FrequencyModel(max_hz=1.98e9)
+        assert flat.sustained_hz(Precision.FP64, WorkloadKind.FMA_CHAIN) == 1.98e9
+
+    def test_rejects_fp64_clock_above_max(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(max_hz=1.0e9, fp64_fma_hz=2.0e9)
+
+    def test_rejects_nonpositive_max(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(max_hz=0.0)

@@ -1,0 +1,83 @@
+"""Device models: derived latencies and peaks."""
+
+import pytest
+
+from repro.core.units import KIB, MIB
+from repro.dtypes import Precision
+from repro.hw.gpu import (
+    H100_MEMORY_LATENCY_CYCLES,
+    MI250_MEMORY_LATENCY_CYCLES,
+    PVC_MEMORY_LATENCY_CYCLES,
+    h100_sxm5_device,
+    mi250_gcd_device,
+    pvc_stack_device,
+)
+
+
+class TestLatencyDerivations:
+    """The Section IV-B.6 percentages must hold by construction."""
+
+    def test_pvc_l1_90pct_above_h100(self):
+        assert PVC_MEMORY_LATENCY_CYCLES["L1"] == pytest.approx(
+            H100_MEMORY_LATENCY_CYCLES["L1"] * 1.90
+        )
+
+    def test_pvc_l1_51pct_below_mi250(self):
+        assert PVC_MEMORY_LATENCY_CYCLES["L1"] == pytest.approx(
+            MI250_MEMORY_LATENCY_CYCLES["L1"] * 0.49
+        )
+
+    def test_pvc_l2_50_and_78pct_higher(self):
+        assert PVC_MEMORY_LATENCY_CYCLES["L2"] == pytest.approx(
+            H100_MEMORY_LATENCY_CYCLES["L2"] * 1.50
+        )
+        assert PVC_MEMORY_LATENCY_CYCLES["L2"] == pytest.approx(
+            MI250_MEMORY_LATENCY_CYCLES["L2"] * 1.78
+        )
+
+    def test_pvc_hbm_23_and_44pct_higher(self):
+        assert PVC_MEMORY_LATENCY_CYCLES["HBM"] == pytest.approx(
+            H100_MEMORY_LATENCY_CYCLES["HBM"] * 1.23
+        )
+        assert PVC_MEMORY_LATENCY_CYCLES["HBM"] == pytest.approx(
+            MI250_MEMORY_LATENCY_CYCLES["HBM"] * 1.44
+        )
+
+
+class TestPvcDevice:
+    def test_cache_sizes(self):
+        dev = pvc_stack_device(64, power_cap_w=600, idle_pinned=False)
+        assert dev.memory["L1"].capacity_bytes == 512 * KIB
+        assert dev.memory["L2"].capacity_bytes == 192 * MIB
+
+    def test_matrix_precisions_available(self):
+        dev = pvc_stack_device(56, power_cap_w=500, idle_pinned=True)
+        for p in (Precision.FP16, Precision.BF16, Precision.TF32, Precision.I8):
+            assert dev.flops_per_clock[p] > 0
+
+    def test_nameplate_vs_sustained_fp64(self):
+        dev = pvc_stack_device(56, power_cap_w=500, idle_pinned=True)
+        # Nameplate (1.6 GHz) exceeds sustained (1.2 GHz) by 4/3.
+        assert dev.nameplate_flops(Precision.FP64) == pytest.approx(
+            dev.peak_flops(Precision.FP64) * 4.0 / 3.0
+        )
+
+    def test_unknown_precision_raises(self):
+        dev = h100_sxm5_device()
+        with pytest.raises(ValueError):
+            # H100 model declares no FP8-style precision beyond I8 table.
+            dev.peak_flops("not-a-precision")  # type: ignore[arg-type]
+
+
+class TestReferenceDevices:
+    def test_h100_hbm_bandwidth(self):
+        assert h100_sxm5_device().hbm_peak_bw == pytest.approx(3.35e12)
+
+    def test_mi250_gcd_hbm_is_half_card(self):
+        assert mi250_gcd_device().hbm_peak_bw == pytest.approx(1.6e12)
+
+    def test_mi250_has_no_tf32(self):
+        assert Precision.TF32 not in mi250_gcd_device().flops_per_clock
+
+    def test_mi250_l1_smallest(self):
+        assert mi250_gcd_device().memory["L1"].capacity_bytes == 16 * KIB

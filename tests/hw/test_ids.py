@@ -1,0 +1,36 @@
+"""GPU_ID.STACK_ID notation."""
+
+import pytest
+
+from repro.hw.ids import StackRef, parse_stack_ref
+
+
+class TestStackRef:
+    def test_str_matches_paper_notation(self):
+        assert str(StackRef(5, 1)) == "5.1"
+
+    def test_ordering_card_major(self):
+        refs = sorted([StackRef(1, 0), StackRef(0, 1), StackRef(0, 0)])
+        assert refs == [StackRef(0, 0), StackRef(0, 1), StackRef(1, 0)]
+
+    def test_sibling(self):
+        assert StackRef(3, 0).sibling() == StackRef(3, 1)
+        assert StackRef(3, 1).sibling() == StackRef(3, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StackRef(-1, 0)
+
+    def test_hashable(self):
+        assert len({StackRef(0, 0), StackRef(0, 0), StackRef(0, 1)}) == 2
+
+
+class TestParse:
+    def test_parse_roundtrip(self):
+        assert parse_stack_ref("2.1") == StackRef(2, 1)
+        assert parse_stack_ref(" 0.0 ") == StackRef(0, 0)
+
+    @pytest.mark.parametrize("bad", ["", "x.y", "1", "1.2.3", "-1.0"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_stack_ref(bad)

@@ -1,0 +1,85 @@
+"""Memory-hierarchy model behind Figure 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import KIB, MIB
+from repro.hw.memory import MemoryHierarchy, MemoryLevel
+
+
+def _hierarchy() -> MemoryHierarchy:
+    return MemoryHierarchy(
+        [
+            MemoryLevel("L1", 512 * KIB, 76.0),
+            MemoryLevel("L2", 192 * MIB, 396.0),
+            MemoryLevel("HBM", 64 * 10**9, 689.0),
+        ]
+    )
+
+
+class TestMemoryLevel:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("L1", 0, 1.0)
+        with pytest.raises(ValueError):
+            MemoryLevel("L1", 1, 0.0)
+
+
+class TestMemoryHierarchy:
+    def test_levels_must_grow(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                [MemoryLevel("a", 100, 10.0), MemoryLevel("b", 50, 20.0)]
+            )
+
+    def test_latency_must_grow(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                [MemoryLevel("a", 100, 20.0), MemoryLevel("b", 200, 10.0)]
+            )
+
+    def test_level_for_small_set_is_l1(self):
+        assert _hierarchy().level_for(1024).name == "L1"
+
+    def test_level_for_huge_set_is_hbm(self):
+        assert _hierarchy().level_for(10**12).name == "HBM"
+
+    def test_boundary_belongs_to_smaller_level(self):
+        h = _hierarchy()
+        assert h.level_for(512 * KIB).name == "L1"
+        assert h.level_for(512 * KIB + 1).name == "L2"
+
+    def test_getitem(self):
+        assert _hierarchy()["L2"].latency_cycles == 396.0
+        with pytest.raises(KeyError):
+            _hierarchy()["L3"]
+
+    def test_smoothed_latency_monotone(self):
+        h = _hierarchy()
+        sizes = np.logspace(3, 10.5, 60)
+        lats = h.latency_curve(sizes.astype(int))
+        assert np.all(np.diff(lats) >= -1e-9)
+
+    def test_plateaus_far_from_boundaries(self):
+        h = _hierarchy()
+        assert h.latency_cycles(16 * KIB) == pytest.approx(76.0, rel=0.02)
+        assert h.latency_cycles(16 * MIB) == pytest.approx(396.0, rel=0.02)
+        assert h.latency_cycles(8 * 10**9) == pytest.approx(689.0, rel=0.02)
+
+    def test_transition_region_blends(self):
+        h = _hierarchy()
+        at_boundary = h.latency_cycles(512 * KIB)
+        assert 76.0 < at_boundary < 396.0
+
+    def test_rejects_nonpositive_working_set(self):
+        with pytest.raises(ValueError):
+            _hierarchy().latency_cycles(0)
+
+    def test_plateau_latency_is_staircase(self):
+        h = _hierarchy()
+        assert h.plateau_latency(1024) == 76.0
+        assert h.plateau_latency(1 * MIB) == 396.0
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])

@@ -1,0 +1,61 @@
+"""Node model: enumeration, locality, aggregates."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.ids import StackRef
+from repro.hw.systems import get_system
+
+
+class TestEnumeration:
+    def test_stacks_card_major(self):
+        node = get_system("aurora").node
+        stacks = node.stacks()
+        assert stacks[0] == StackRef(0, 0)
+        assert stacks[1] == StackRef(0, 1)
+        assert stacks[2] == StackRef(1, 0)
+        assert len(stacks) == 12
+
+    def test_stacks_of_card(self):
+        node = get_system("dawn").node
+        assert node.stacks_of_card(2) == [StackRef(2, 0), StackRef(2, 1)]
+        with pytest.raises(ConfigurationError):
+            node.stacks_of_card(4)
+
+
+class TestLocality:
+    def test_socket_of_follows_card_placement(self):
+        node = get_system("aurora").node  # cards 0-2 socket 0, 3-5 socket 1
+        assert node.socket_of(StackRef(0, 1)) == 0
+        assert node.socket_of(StackRef(3, 0)) == 1
+
+    def test_stacks_on_socket(self):
+        node = get_system("aurora").node
+        assert len(node.stacks_on_socket(0)) == 6
+        assert len(node.stacks_on_socket(1)) == 6
+
+    def test_cards_on_socket(self):
+        node = get_system("dawn").node
+        assert node.cards_on_socket(0) == [0, 1]
+        assert node.cards_on_socket(1) == [2, 3]
+
+
+class TestAggregates:
+    def test_total_cores(self):
+        assert get_system("aurora").node.total_cores == 104
+        assert get_system("jlse-mi250").node.total_cores == 128
+
+    def test_usable_cores_excludes_os_reserved(self):
+        node = get_system("aurora").node
+        # One core reserved per socket (cores 0 and 52).
+        assert node.usable_cores == 102
+
+    def test_total_hbm(self):
+        node = get_system("aurora").node
+        assert node.total_hbm_bytes == 12 * 64 * 10**9
+
+    def test_host_mem_bw_prefers_hbm(self):
+        aurora = get_system("aurora").node
+        dawn = get_system("dawn").node
+        # Aurora's HBM-backed Xeons beat Dawn's DDR5-only sockets.
+        assert aurora.total_host_mem_bw > dawn.total_host_mem_bw

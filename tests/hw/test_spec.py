@@ -1,0 +1,128 @@
+"""PVC architecture model: every derivation in Section II must hold."""
+
+import pytest
+
+from repro.core.units import GB, KIB, MIB
+from repro.dtypes import Precision
+from repro.hw.spec import (
+    PVC_FP64_FMA_CLOCK_HZ,
+    PVC_MAX_CLOCK_HZ,
+    MatrixEngine,
+    PVCCard,
+    VectorEngine,
+    XeCore,
+    XeSlice,
+    XeStack,
+    aurora_pvc_card,
+    full_pvc_card,
+)
+
+
+class TestVectorEngine:
+    def test_fp64_is_8_wide(self):
+        assert VectorEngine().lanes(Precision.FP64) == 8
+
+    def test_two_fmas_per_clock(self):
+        # 8 lanes x 2 FMA x 2 flops = 32 flops/clock (the paper's factors).
+        assert VectorEngine().flops_per_clock(Precision.FP64) == 32
+
+    def test_fp32_same_throughput_as_fp64(self):
+        ve = VectorEngine()
+        assert ve.flops_per_clock(Precision.FP32) == ve.flops_per_clock(
+            Precision.FP64
+        )
+
+    def test_rejects_matrix_precisions(self):
+        with pytest.raises(ValueError):
+            VectorEngine().lanes(Precision.FP16)
+
+
+class TestMatrixEngine:
+    def test_lower_precision_only(self):
+        me = MatrixEngine()
+        with pytest.raises(ValueError):
+            me.ops_per_clock(Precision.FP64)
+
+    def test_i8_is_twice_fp16(self):
+        me = MatrixEngine()
+        assert me.ops_per_clock(Precision.I8) == 2 * me.ops_per_clock(
+            Precision.FP16
+        )
+
+    def test_tf32_is_half_bf16(self):
+        me = MatrixEngine()
+        assert 2 * me.ops_per_clock(Precision.TF32) == me.ops_per_clock(
+            Precision.BF16
+        )
+
+
+class TestXeCore:
+    def test_256_fp64_flops_per_clock(self):
+        # Section II: "together all the vector engines in each Xe-Core can
+        # perform 256 double precision floating point operations per clock".
+        assert XeCore().flops_per_clock(Precision.FP64) == 256
+
+    def test_register_file_512kb(self):
+        assert XeCore().register_file_bytes == 512 * 1024
+
+    def test_hw_thread_partitions(self):
+        # "8 active hardware threads with 128 registers each, or 4 active
+        # hardware threads with 256 registers each".
+        assert XeCore().hw_thread_partitions() == {8: 128, 4: 256}
+
+    def test_l1_is_512_kib(self):
+        assert XeCore().l1_cache_bytes == 512 * KIB
+
+
+class TestXeStack:
+    def test_slice_has_16_cores(self):
+        assert XeSlice().n_xe_cores == 16
+
+    def test_dawn_stack_has_512_vector_engines(self):
+        assert XeStack(active_xe_cores=64).n_vector_engines == 512
+
+    def test_aurora_stack_has_448_vector_engines(self):
+        # The paper's peak formula uses "448 (vector engines per Stack)".
+        assert XeStack(active_xe_cores=56).n_vector_engines == 448
+
+    def test_llc_is_192_mib(self):
+        assert XeStack().llc_bytes == 192 * MIB
+
+    def test_hbm_capacity_64gb(self):
+        assert XeStack().hbm_capacity_bytes == 64 * GB
+
+    def test_aurora_theoretical_fp64_peak(self):
+        # 1.2 GHz x 448 x 8 x 2 x 2 = 17.2 TFlop/s (Section IV-B.1).
+        stack = XeStack(active_xe_cores=56)
+        peak = stack.peak_flops(Precision.FP64, PVC_FP64_FMA_CLOCK_HZ)
+        assert peak == pytest.approx(17.2e12, rel=1e-3)
+
+    def test_dawn_fp32_peak_at_max_clock(self):
+        stack = XeStack(active_xe_cores=64)
+        peak = stack.peak_flops(Precision.FP32, PVC_MAX_CLOCK_HZ)
+        assert peak == pytest.approx(26.2e12, rel=1e-2)
+
+    def test_rejects_bad_core_count(self):
+        with pytest.raises(ValueError):
+            XeStack(active_xe_cores=0)
+        with pytest.raises(ValueError):
+            XeStack(active_xe_cores=65)
+
+
+class TestPVCCard:
+    def test_card_fp64_flops_per_clock(self):
+        # "32,768 double precision ... floating point operations per clock"
+        # for the full 128-Xe-Core card.
+        assert full_pvc_card().flops_per_clock(Precision.FP64) == 32_768
+
+    def test_card_has_128_xe_cores(self):
+        assert full_pvc_card().total_xe_cores == 128
+
+    def test_aurora_card_has_112_active_cores(self):
+        assert aurora_pvc_card().total_xe_cores == 112
+
+    def test_hbm_128gb_per_card(self):
+        assert full_pvc_card().hbm_capacity_bytes == 128 * GB
+
+    def test_pcie_on_stack_zero_only(self):
+        assert PVCCard().pcie_stack == 0

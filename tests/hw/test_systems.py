@@ -1,0 +1,101 @@
+"""System factories must match the node inventories of Section III."""
+
+import pytest
+
+from repro.core.units import GB
+from repro.dtypes import Precision
+from repro.errors import UnknownSystemError
+from repro.hw.systems import SYSTEM_NAMES, all_systems, get_system
+
+
+class TestInventory:
+    def test_aurora_six_pvc_two_52core_sockets(self):
+        node = get_system("aurora").node
+        assert node.n_cards == 6
+        assert node.n_stacks == 12
+        assert all(s.cores == 52 for s in node.sockets)
+        assert all(s.threads == 104 for s in node.sockets)
+        assert all(s.hbm_capacity_bytes == 64 * GB for s in node.sockets)
+
+    def test_aurora_56_active_xe_cores(self):
+        dev = get_system("aurora").device
+        assert dev.spec is not None
+        assert dev.spec.active_xe_cores == 56
+
+    def test_dawn_four_pvc_64_cores_per_stack(self):
+        system = get_system("dawn")
+        assert system.node.n_cards == 4
+        assert system.node.n_stacks == 8
+        assert system.device.spec.active_xe_cores == 64
+        assert all(s.cores == 48 for s in system.node.sockets)
+
+    def test_power_caps(self):
+        # 600 W on Dawn, 500 W on Aurora (Section III).
+        assert get_system("aurora").device.frequency.power_cap_w == 500.0
+        assert get_system("dawn").device.frequency.power_cap_w == 600.0
+
+    def test_h100_node(self):
+        node = get_system("jlse-h100").node
+        assert node.n_cards == 4
+        assert node.n_stacks == 4
+        assert node.device.hbm_capacity_bytes == 80 * GB
+
+    def test_mi250_node(self):
+        node = get_system("jlse-mi250").node
+        assert node.n_cards == 4
+        assert node.n_stacks == 8  # two GCDs per card
+        assert all(s.cores == 64 for s in node.sockets)
+
+    def test_cards_split_across_sockets(self):
+        for system in all_systems():
+            node = system.node
+            per_socket = [node.gpus_per_socket(s) for s in range(2)]
+            assert sum(per_socket) == node.n_cards
+            assert abs(per_socket[0] - per_socket[1]) <= 0
+
+
+class TestPeaks:
+    def test_aurora_stack_peaks_match_paper_arithmetic(self, aurora):
+        dev = aurora.device
+        assert dev.peak_flops(Precision.FP64) == pytest.approx(17.2e12, rel=1e-3)
+        assert dev.peak_flops(Precision.FP32) == pytest.approx(22.9e12, rel=1e-2)
+
+    def test_dawn_stack_peaks(self, dawn):
+        dev = dawn.device
+        assert dev.peak_flops(Precision.FP64) == pytest.approx(19.7e12, rel=1e-2)
+        assert dev.peak_flops(Precision.FP32) == pytest.approx(26.2e12, rel=1e-2)
+
+    def test_h100_table_iv_peaks(self, h100):
+        dev = h100.device
+        assert dev.peak_flops(Precision.FP32) == pytest.approx(67e12, rel=2e-2)
+        assert dev.peak_flops(Precision.FP64) == pytest.approx(34e12, rel=2e-2)
+
+    def test_mi250_gcd_is_half_card(self, mi250):
+        dev = mi250.device
+        assert dev.peak_flops(Precision.FP64) == pytest.approx(
+            45.3e12 / 2, rel=2e-2
+        )
+        # MI250: FP32 vector peak equals FP64 (Table IV).
+        assert dev.peak_flops(Precision.FP32) == dev.peak_flops(Precision.FP64)
+
+
+class TestLookup:
+    def test_names(self):
+        assert set(SYSTEM_NAMES) == {"aurora", "dawn", "jlse-h100", "jlse-mi250"}
+
+    def test_aliases(self):
+        assert get_system("H100").name == "jlse-h100"
+        assert get_system("mi250").name == "jlse-mi250"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownSystemError):
+            get_system("frontier")
+
+    def test_full_node_scope_names(self):
+        assert get_system("aurora").full_node_scope_name() == "Six PVC"
+        assert get_system("dawn").full_node_scope_name() == "Four PVC"
+        assert get_system("jlse-h100").full_node_scope_name() == "Four GPU"
+
+    def test_describe_mentions_hardware(self):
+        text = get_system("aurora").node.describe()
+        assert "Max 1550" in text and "12" in text

@@ -1,0 +1,58 @@
+"""CLI smoke tests (every subcommand)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "fig2",
+            "claims",
+            "systems",
+            "roofline",
+            "top500",
+        ],
+    )
+    def test_command_runs(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_table2_prints_paper_rows(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "Double Precision Peak Flops" in out
+        assert "Aurora (PVC) / Six PVC" in out
+        assert "17 TFlop/s" in out
+
+    def test_table6_prints_foms(self, capsys):
+        main(["table6"])
+        out = capsys.readouterr().out
+        assert "miniBUDE" in out and "HACC" in out
+
+    def test_claims_all_pass(self, capsys):
+        main(["claims"])
+        out = capsys.readouterr().out
+        assert "FAIL" not in out
+
+    def test_fig1_prints_series(self, capsys):
+        main(["fig1"])
+        out = capsys.readouterr().out
+        assert "# aurora" in out and "cycles" in out
+
+    def test_fig3_marks_minibude_deviation(self, capsys):
+        main(["fig3"])
+        out = capsys.readouterr().out
+        assert "[deviates]" in out  # miniBUDE beats its expected bar
+        assert "[as expected]" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table9"])

@@ -1,0 +1,94 @@
+"""Distributed functional drivers over the simulated MPI fabric."""
+
+import numpy as np
+import pytest
+
+from repro.apps.openmc import TransportProblem, run_distributed, smr_materials
+from repro.miniapps.rimp2 import (
+    make_input,
+    rimp2_energy,
+    rimp2_energy_distributed,
+)
+from repro.runtime.mpi import SimMPI
+
+
+class TestDistributedRimp2:
+    def test_matches_serial_exactly(self, aurora):
+        inp = make_input(n_aux=12, n_occ=6, n_virt=8, seed=2)
+        serial = rimp2_energy(inp)
+        results = SimMPI(aurora, 4).run(
+            lambda comm: rimp2_energy_distributed(comm, inp)
+        )
+        for value in results:
+            assert value == pytest.approx(serial, rel=1e-12)
+
+    def test_rank_count_invariance(self, aurora):
+        inp = make_input(n_aux=10, n_occ=5, n_virt=7, seed=7)
+        one = SimMPI(aurora, 1).run(
+            lambda comm: rimp2_energy_distributed(comm, inp)
+        )[0]
+        six = SimMPI(aurora, 6).run(
+            lambda comm: rimp2_energy_distributed(comm, inp)
+        )[0]
+        assert one == pytest.approx(six, rel=1e-12)
+
+    def test_more_ranks_than_pairs(self, aurora):
+        # 2 occupied orbitals -> 4 pairs over 8 ranks: idle ranks must
+        # still participate in the Allreduce.
+        inp = make_input(n_aux=8, n_occ=2, n_virt=4, seed=1)
+        results = SimMPI(aurora, 8).run(
+            lambda comm: rimp2_energy_distributed(comm, inp)
+        )
+        assert results[0] == pytest.approx(rimp2_energy(inp), rel=1e-12)
+
+
+class TestDistributedOpenMc:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return TransportProblem(smr_materials(), nmesh=2)
+
+    def test_all_ranks_agree_after_reduce(self, aurora, problem):
+        results = SimMPI(aurora, 4).run(
+            lambda comm: run_distributed(comm, problem, 300, seed=11)
+        )
+        first = results[0]
+        for r in results[1:]:
+            assert np.array_equal(r.flux, first.flux)
+            assert r.collisions == first.collisions
+
+    def test_history_conservation_across_ranks(self, aurora, problem):
+        result = SimMPI(aurora, 4).run(
+            lambda comm: run_distributed(comm, problem, 250, seed=3)
+        )[0]
+        assert result.histories == 1000
+        assert result.absorptions + result.leaks == result.histories
+
+    def test_reduction_equals_sum_of_rank_runs(self, aurora, problem):
+        n_ranks, per_rank, seed = 3, 200, 21
+        combined = SimMPI(aurora, n_ranks).run(
+            lambda comm: run_distributed(comm, problem, per_rank, seed=seed)
+        )[0]
+        manual = sum(
+            problem.run(per_rank, seed=seed + 1000 * r).collisions
+            for r in range(n_ranks)
+        )
+        assert combined.collisions == manual
+
+    def test_statistics_tighten_with_ranks(self, aurora):
+        """More ranks, more histories: k estimate approaches analytic."""
+        from repro.apps.openmc import Material
+
+        medium = Material(
+            name="m",
+            sigma_t=np.array([1.0]),
+            sigma_a=np.array([0.4]),
+            scatter=np.array([[0.6]]),
+            nu_fission=np.array([0.44]),
+        )
+        problem = TransportProblem(
+            (medium,), boundary="reflective", checkerboard=False, nmesh=2
+        )
+        result = SimMPI(aurora, 8).run(
+            lambda comm: run_distributed(comm, problem, 1000, seed=5)
+        )[0]
+        assert result.k_estimate == pytest.approx(1.1, rel=0.03)

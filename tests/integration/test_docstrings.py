@@ -1,0 +1,61 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+_SKIP_MODULES = {"repro.cli"}  # argparse plumbing
+
+
+def _public_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _SKIP_MODULES or "._" in info.name:
+            continue
+        out.append(info.name)
+    return sorted(out)
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+    assert len(module.__doc__.strip()) > 20
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    public = getattr(module, "__all__", None)
+    if public is None:
+        return
+    undocumented = []
+    for name in public:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if obj.__module__ != module_name:
+                continue  # re-export; documented at its home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+def test_every_package_exports_all():
+    missing = []
+    for module_name in _public_modules():
+        module = importlib.import_module(module_name)
+        if module_name.count(".") == 1 and not hasattr(module, "__file__"):
+            continue
+        if not hasattr(module, "__all__") and not module_name.endswith(
+            ("conftest",)
+        ):
+            # Top-level subpackage __init__s and leaf modules both export.
+            if getattr(module, "__package__", "") == module_name:
+                continue
+            missing.append(module_name)
+    # Allow a handful of internal helpers, but the norm is explicit __all__.
+    assert len(missing) <= 3, missing

@@ -1,0 +1,156 @@
+"""Failure injection: every guarded error path fires correctly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AffinityError,
+    AllocationError,
+    BuildError,
+    CalibrationError,
+    ConfigurationError,
+    MPIError,
+    NotMeasuredError,
+    ReproError,
+    TopologyError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            AffinityError,
+            AllocationError,
+            BuildError,
+            CalibrationError,
+            ConfigurationError,
+            MPIError,
+            NotMeasuredError,
+            TopologyError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_single_catch_clause_works(self, mi250):
+        from repro.miniapps import Rimp2
+
+        with pytest.raises(ReproError):
+            Rimp2().fom(mi250, 1)
+
+
+class TestMpiDeadlockDetection:
+    def test_recv_without_send_times_out(self, aurora, monkeypatch):
+        import repro.runtime.mpi as mpi_mod
+
+        monkeypatch.setattr(mpi_mod, "_TIMEOUT_S", 0.3)
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.Recv(source=0)  # rank 0 never sends
+            return None
+
+        with pytest.raises(MPIError, match="timed out"):
+            mpi_mod.SimMPI(aurora, 2).run(prog)
+
+    def test_mismatched_collective_times_out(self, aurora, monkeypatch):
+        import repro.runtime.mpi as mpi_mod
+
+        monkeypatch.setattr(mpi_mod, "_TIMEOUT_S", 0.3)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Barrier()  # rank 1 never enters
+            return None
+
+        with pytest.raises(MPIError, match="timed out"):
+            mpi_mod.SimMPI(aurora, 2).run(prog)
+
+
+class TestAllocatorFailures:
+    def test_oversubscribed_hbm(self, aurora):
+        from repro.runtime.sycl import SyclRuntime
+
+        queue = SyclRuntime(aurora).queue()
+        with pytest.raises(AllocationError):
+            queue.malloc_device(100 * 10**9)  # > 64 GB stack HBM
+
+    def test_double_free_detected(self, aurora):
+        from repro.runtime.sycl import SyclRuntime
+
+        queue = SyclRuntime(aurora).queue()
+        alloc = queue.malloc_host(64)
+        queue.free(alloc)
+        with pytest.raises(AllocationError):
+            queue.free(alloc)
+
+    def test_memcpy_into_freed_buffer(self, aurora):
+        from repro.runtime.sycl import SyclRuntime
+
+        queue = SyclRuntime(aurora).queue()
+        a = queue.malloc_host(64)
+        b = queue.malloc_host(64)
+        queue.free(b)
+        with pytest.raises(AllocationError):
+            queue.memcpy(b, a)
+
+    def test_timed_nbytes_below_payload(self, aurora):
+        from repro.runtime.sycl import SyclRuntime
+
+        queue = SyclRuntime(aurora).queue()
+        a = queue.malloc_host(128)
+        b = queue.malloc_host(128)
+        with pytest.raises(AllocationError):
+            queue.memcpy(b, a, timed_nbytes=64)
+
+
+class TestTopologyFailures:
+    def test_route_to_unknown_stack(self, aurora):
+        from repro.hw.ids import StackRef
+
+        with pytest.raises(TopologyError):
+            aurora.node.fabric.route(StackRef(0, 0), StackRef(9, 0))
+
+    def test_affinity_mask_beyond_node(self, aurora):
+        from repro.runtime.ze import ZeDriver
+
+        with pytest.raises(AffinityError):
+            ZeDriver(aurora.node, "7.0")
+
+
+class TestEngineGuards:
+    def test_zero_stacks_rejected_everywhere(self, aurora):
+        from repro.dtypes import Precision
+
+        for call in (
+            lambda: aurora.fma_rate(Precision.FP64, 0),
+            lambda: aurora.stream_bw(0),
+            lambda: aurora.gemm_rate(Precision.FP64, 0),
+            lambda: aurora.fft_rate(1, 0),
+        ):
+            with pytest.raises(ValueError):
+                call()
+
+    def test_oversized_scope_rejected(self, dawn):
+        from repro.dtypes import Precision
+
+        with pytest.raises(ValueError):
+            dawn.fma_rate(Precision.FP64, 9)  # Dawn has 8 stacks
+
+    def test_fom_scope_validation(self, aurora):
+        from repro.miniapps import CloverLeaf
+
+        with pytest.raises(ValueError):
+            CloverLeaf().fom(aurora, 0)
+
+
+class TestDeterminismUnderFailure:
+    def test_failed_rank_does_not_corrupt_survivors(self, aurora):
+        """A raising rank aborts the job but the error is the rank's own."""
+        from repro.runtime.mpi import SimMPI
+
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("injected")
+            return comm.rank
+
+        with pytest.raises(ValueError, match="injected"):
+            SimMPI(aurora, 3).run(prog)

@@ -1,0 +1,104 @@
+"""Our FFT stack (radix-2 + Bluestein + 2D) and the Table II FFT rates."""
+
+import numpy as np
+import pytest
+
+from repro.micro.fft import FFT_1D_SIZES, FFT_2D_SIZE, Fft, fft, fft2, ifft, ifft2
+
+
+def _rand(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestForward1D:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_power_of_two_matches_numpy(self, n):
+        x = _rand(n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 12, 20, 100, 625])
+    def test_bluestein_matches_numpy(self, n):
+        x = _rand(n, seed=n)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+    def test_paper_size_20000_class(self):
+        # 20,000 is not a power of two; a reduced same-factorisation size
+        # (2^5 x 5^4 / 10 = 2000) exercises the same Bluestein path.
+        x = _rand(2000)
+        assert np.allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+    def test_batched_transform(self):
+        x = _rand((5, 64))
+        assert np.allclose(fft(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_single_point(self):
+        x = np.array([3.0 + 1j])
+        assert np.allclose(fft(x), x)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fft(np.empty(0))
+
+    def test_linearity(self):
+        x, y = _rand(32, 1), _rand(32, 2)
+        assert np.allclose(fft(2 * x + 3 * y), 2 * fft(x) + 3 * fft(y))
+
+    def test_parseval(self):
+        x = _rand(128)
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft(x)) ** 2) / 128
+        assert energy_freq == pytest.approx(energy_time)
+
+
+class TestBackward:
+    @pytest.mark.parametrize("n", [16, 20, 243])
+    def test_roundtrip(self, n):
+        x = _rand(n, seed=n)
+        assert np.allclose(ifft(fft(x)), x, atol=1e-8)
+
+    def test_matches_numpy_ifft(self):
+        x = _rand(60)
+        assert np.allclose(ifft(x), np.fft.ifft(x), atol=1e-9)
+
+
+class Test2D:
+    @pytest.mark.parametrize("shape", [(8, 8), (16, 4), (12, 20)])
+    def test_matches_numpy_fft2(self, shape):
+        x = _rand(shape)
+        assert np.allclose(fft2(x), np.fft.fft2(x), atol=1e-8)
+
+    def test_roundtrip_2d(self):
+        x = _rand((24, 24))
+        assert np.allclose(ifft2(fft2(x)), x, atol=1e-8)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            fft2(np.ones(8, dtype=complex))
+
+
+class TestRates:
+    def test_aurora_1d_3p1t(self, aurora):
+        assert Fft(1).measure(aurora, 1).value == pytest.approx(3.1e12, rel=0.03)
+
+    def test_aurora_2d_3p4t(self, aurora):
+        assert Fft(2).measure(aurora, 1).value == pytest.approx(3.4e12, rel=0.03)
+
+    def test_backward_same_rate(self, aurora):
+        fwd = Fft(1).measure(aurora, 1).value
+        bwd = Fft(1, backward=True).measure(aurora, 1).value
+        assert bwd == pytest.approx(fwd, rel=0.01)
+
+    def test_node_scaling_aurora(self, aurora):
+        assert Fft(1).measure(aurora, 12).value == pytest.approx(33e12, rel=0.03)
+        assert Fft(2).measure(aurora, 12).value == pytest.approx(34e12, rel=0.03)
+
+    def test_paper_sizes_recorded(self):
+        assert FFT_1D_SIZES == (4096, 20_000)
+        assert FFT_2D_SIZE == 10_000
+        assert Fft(1).n == 20_000
+        assert Fft(2).n == 10_000
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            Fft(3)

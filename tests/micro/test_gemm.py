@@ -1,0 +1,81 @@
+"""GEMM microbenchmark: blocked-GEMM numerics + Table II rates."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import Precision
+from repro.micro.gemm import GEMM_PRECISIONS, Gemm, blocked_gemm
+
+
+class TestBlockedGemm:
+    def test_matches_numpy_fp64(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((37, 23))
+        b = rng.standard_normal((23, 41))
+        assert np.allclose(blocked_gemm(a, b, block=8), a @ b)
+
+    def test_non_divisible_blocks(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((17, 17))
+        b = rng.standard_normal((17, 17))
+        assert np.allclose(blocked_gemm(a, b, block=5), a @ b)
+
+    def test_int8_accumulates_in_int32(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(-128, 127, (64, 64), dtype=np.int8)
+        b = rng.integers(-128, 127, (64, 64), dtype=np.int8)
+        c = blocked_gemm(a, b, block=16)
+        assert c.dtype == np.int32
+        assert np.array_equal(c, a.astype(np.int32) @ b.astype(np.int32))
+
+    def test_out_buffer(self):
+        a = np.eye(8)
+        out = np.full((8, 8), 99.0)
+        result = blocked_gemm(a, a, block=4, out=out)
+        assert result is out
+        assert np.allclose(out, np.eye(8))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            blocked_gemm(np.ones((2, 3)), np.ones((4, 5)))
+        with pytest.raises(ValueError):
+            blocked_gemm(np.ones((2, 2)), np.ones((2, 2)), block=0)
+
+
+class TestRates:
+    def test_table_ii_rows_aurora_one_stack(self, aurora):
+        expected = {
+            Precision.FP64: 13e12,
+            Precision.FP32: 21e12,
+            Precision.FP16: 207e12,
+            Precision.BF16: 216e12,
+            Precision.TF32: 107e12,
+            Precision.I8: 448e12,
+        }
+        for precision, value in expected.items():
+            got = Gemm(precision).measure(aurora, 1).value
+            assert got == pytest.approx(value, rel=0.03), precision
+
+    def test_i8_reports_iops(self, aurora):
+        result = Gemm(Precision.I8).measure(aurora, 1)
+        assert result.best.unit == "Iop/s"
+
+    def test_dgemm_efficiency_below_sgemm(self, dawn):
+        from repro.dtypes import Precision as P
+
+        dg = Gemm(P.FP64).measure(dawn, 1).value / dawn.fma_rate(P.FP64, 1)
+        sg = Gemm(P.FP32).measure(dawn, 1).value / dawn.fma_rate(P.FP32, 1)
+        assert dg < sg  # "relative drop of DGEMM efficiency"
+
+    def test_mi250_dgemm_24t(self, mi250):
+        assert Gemm(Precision.FP64).measure(mi250, 1).value == pytest.approx(
+            24.1e12, rel=0.03
+        )
+
+    def test_mi250_sgemm_33p8t(self, mi250):
+        assert Gemm(Precision.FP32).measure(mi250, 1).value == pytest.approx(
+            33.8e12, rel=0.03
+        )
+
+    def test_all_precision_list(self):
+        assert len(GEMM_PRECISIONS) == 6

@@ -1,0 +1,96 @@
+"""Pointer-chase latency benchmark (Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import KIB, MIB
+from repro.micro.lats import (
+    SUBGROUP_SIZE,
+    Lats,
+    build_chain,
+    chase,
+    chase_coalesced,
+    default_sizes,
+    latency_curve,
+)
+
+
+class TestChainConstruction:
+    def test_random_chain_is_single_cycle(self):
+        n = 257
+        chain = build_chain(n, seed=3)
+        seen = set()
+        idx = 0
+        for _ in range(n):
+            seen.add(idx)
+            idx = int(chain[idx])
+        assert idx == 0  # returned to start after exactly n steps
+        assert len(seen) == n  # visited every slot
+
+    def test_ring_chain(self):
+        chain = build_chain(8, ring=True)
+        assert list(chain) == [1, 2, 3, 4, 5, 6, 7, 0]
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(build_chain(64, 0), build_chain(64, 1))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            build_chain(1)
+
+
+class TestChase:
+    def test_full_cycle_returns_home(self):
+        chain = build_chain(100, seed=1)
+        assert chase(chain, 100) == 0
+
+    def test_partial_chase_moves(self):
+        chain = build_chain(100, seed=1)
+        assert chase(chain, 1) != 0
+
+    def test_coalesced_lockstep(self):
+        chain = build_chain(64, seed=2)
+        end = chase_coalesced(chain, 64)
+        assert np.array_equal(end, np.arange(SUBGROUP_SIZE))
+
+    def test_coalesced_width_validation(self):
+        chain = build_chain(8)
+        with pytest.raises(ValueError):
+            chase_coalesced(chain, 1, width=0)
+        with pytest.raises(ValueError):
+            chase_coalesced(chain, 1, width=9)
+
+
+class TestLatencyCurve:
+    def test_default_sizes_monotone(self):
+        sizes = default_sizes(1 << 30)
+        assert np.all(np.diff(sizes) > 0)
+        assert sizes[0] == 16 * KIB
+
+    def test_staircase_levels_visible(self, aurora):
+        sizes, lats = latency_curve(aurora)
+        assert np.all(np.diff(lats) >= -1e-9)
+        # Deep-L1 plateau ~76 cycles; deep-HBM plateau ~689.
+        assert lats[0] == pytest.approx(76.0, rel=0.05)
+        assert lats[-1] == pytest.approx(689.0, rel=0.05)
+
+    def test_l2_plateau(self, aurora):
+        lat = Lats(16 * MIB).latency_cycles(aurora)
+        assert lat == pytest.approx(396.0, rel=0.03)
+
+    def test_dawn_aurora_within_2pct(self, aurora, dawn):
+        # "both Dawn and Aurora consistently perform within 1-2% of each
+        # other, as expected, since it's the same architecture".
+        for size in (64 * KIB, 16 * MIB, 1 << 30):
+            a = Lats(size).latency_cycles(aurora)
+            d = Lats(size).latency_cycles(dawn)
+            assert a == pytest.approx(d, rel=0.02)
+
+    def test_measurement_runs(self, aurora):
+        result = Lats(64 * KIB).measure(aurora, 1)
+        assert result.value > 0
+        assert result.params["working_set_bytes"] == 64 * KIB
+
+    def test_ring_mode_measurement(self, aurora):
+        result = Lats(64 * KIB, coalesced=False).measure(aurora, 1)
+        assert result.value > 0

@@ -1,0 +1,75 @@
+"""Device-to-device microbenchmark (Table III)."""
+
+import pytest
+
+from repro.hw.ids import StackRef
+from repro.micro.p2p import MESSAGE_BYTES, P2PBandwidth, local_pairs, remote_pairs
+
+
+class TestPairEnumeration:
+    def test_aurora_local_pairs(self, aurora):
+        pairs = local_pairs(aurora)
+        assert len(pairs) == 6
+        assert pairs[0] == (StackRef(0, 0), StackRef(0, 1))
+
+    def test_aurora_remote_pairs_disjoint(self, aurora):
+        pairs = remote_pairs(aurora)
+        assert len(pairs) == 6
+        used = [r for pair in pairs for r in pair]
+        assert len(set(used)) == len(used)
+
+    def test_dawn_has_four_each(self, dawn):
+        assert len(local_pairs(dawn)) == 4
+        assert len(remote_pairs(dawn)) == 4
+
+    def test_h100_has_no_local_pairs(self, h100):
+        assert local_pairs(h100) == []
+        with pytest.raises(ValueError):
+            P2PBandwidth("local").measure(h100, 1)
+
+    def test_bad_class_rejected(self):
+        with pytest.raises(ValueError):
+            P2PBandwidth("diagonal")
+
+
+class TestSinglePair:
+    def test_local_uni_197(self, aurora):
+        result = P2PBandwidth("local").measure(aurora, 1)
+        assert result.value == pytest.approx(197e9, rel=0.03)
+        assert "One Stack-Pair" in str(result.scope)
+
+    def test_local_bidir_284(self, aurora):
+        result = P2PBandwidth("local", bidirectional=True).measure(aurora, 1)
+        assert result.value == pytest.approx(284e9, rel=0.03)
+
+    def test_remote_uni_15(self, aurora):
+        assert P2PBandwidth("remote").measure(aurora, 1).value == pytest.approx(
+            15e9, rel=0.03
+        )
+
+    def test_remote_bidir_23(self, aurora):
+        result = P2PBandwidth("remote", bidirectional=True).measure(aurora, 1)
+        assert result.value == pytest.approx(23e9, rel=0.03)
+
+    def test_message_size_is_500mb(self):
+        assert MESSAGE_BYTES == 500 * 10**6
+
+
+class TestAllPairs:
+    def test_aurora_six_local_pairs_1129(self, aurora):
+        result = P2PBandwidth("local").measure(aurora, 12)
+        assert result.value == pytest.approx(1129e9, rel=0.03)
+        assert "Six Stack-Pairs" in str(result.scope)
+
+    def test_aurora_six_local_bidir_1661(self, aurora):
+        result = P2PBandwidth("local", bidirectional=True).measure(aurora, 12)
+        assert result.value == pytest.approx(1661e9, rel=0.03)
+
+    def test_dawn_four_local_pairs_786(self, dawn):
+        result = P2PBandwidth("local").measure(dawn, 8)
+        assert result.value == pytest.approx(786e9, rel=0.03)
+
+    def test_remote_all_pairs_aurora(self, aurora):
+        result = P2PBandwidth("remote").measure(aurora, 12)
+        # Paper: 95 GB/s; the model's 6 x 15 with unit parallel efficiency.
+        assert result.value == pytest.approx(95e9, rel=0.07)

@@ -1,0 +1,71 @@
+"""Peak-flops microbenchmark."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import Precision
+from repro.micro.peak_flops import (
+    CHAIN_LENGTH,
+    PeakFlops,
+    fma_chain,
+    fma_chain_reference,
+)
+
+
+class TestFmaChainNumerics:
+    def test_matches_closed_form(self):
+        x0 = np.linspace(-1, 1, 32)
+        out = fma_chain(x0, 0.5, 2.0, 100)
+        ref = fma_chain_reference(x0, 0.5, 2.0, 100)
+        assert np.allclose(out, ref)
+
+    def test_identity_coefficient(self):
+        x0 = np.ones(4)
+        # a=1: x_n = x_0 + n*b.
+        assert np.allclose(fma_chain(x0, 1.0, 0.25, 8), 3.0)
+        assert np.allclose(fma_chain_reference(x0, 1.0, 0.25, 8), 3.0)
+
+    def test_zero_length_chain(self):
+        x0 = np.array([3.0])
+        assert fma_chain(x0, 0.9, 1.0, 0)[0] == 3.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            fma_chain(np.ones(2), 0.9, 1.0, -1)
+
+    def test_paper_chain_length(self):
+        assert CHAIN_LENGTH == 16 * 128
+
+
+class TestMeasurement:
+    def test_fp64_rate_matches_engine(self, aurora):
+        result = PeakFlops(Precision.FP64).measure(aurora, 1)
+        assert result.value == pytest.approx(
+            aurora.fma_rate(Precision.FP64, 1), rel=0.01
+        )
+
+    def test_fp32_faster_than_fp64(self, aurora):
+        r64 = PeakFlops(Precision.FP64).measure(aurora, 1).value
+        r32 = PeakFlops(Precision.FP32).measure(aurora, 1).value
+        assert r32 / r64 == pytest.approx(1.35, abs=0.07)
+
+    def test_full_node_aurora_195t(self, aurora):
+        result = PeakFlops(Precision.FP64).measure(aurora, 12)
+        assert result.value == pytest.approx(195e12, rel=0.03)
+
+    def test_best_of_n_with_noise(self, noisy_aurora):
+        result = PeakFlops(Precision.FP64).measure(noisy_aurora, 1)
+        # Best-of-5 lands on (or within noise amplitude of) the clean rate.
+        clean = noisy_aurora.quiet().fma_rate(Precision.FP64, 1)
+        assert result.value == pytest.approx(clean, rel=0.02)
+        assert result.samples.spread < 0.05
+
+    def test_params_recorded(self, aurora):
+        result = PeakFlops(Precision.FP32).measure(aurora, 1)
+        assert result.params["precision"] == "fp32"
+
+    def test_scope_names(self, aurora, h100):
+        assert str(PeakFlops().measure(aurora, 1).scope) == "One Stack"
+        assert str(PeakFlops().measure(aurora, 2).scope) == "One PVC"
+        assert str(PeakFlops().measure(aurora, 12).scope) == "Six PVC"
+        assert str(PeakFlops().measure(h100, 1).scope) == "One GPU"

@@ -1,0 +1,81 @@
+"""The full STREAM kernel suite and the quantization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.micro.gemm import quantize_bf16, quantize_tf32
+from repro.micro.triad import (
+    STREAM_BYTES_PER_ELEMENT,
+    stream_add,
+    stream_copy,
+    stream_scale,
+)
+
+
+class TestStreamKernels:
+    def test_copy(self):
+        a = np.arange(8.0)
+        out = stream_copy(a)
+        assert np.array_equal(out, a)
+        assert out is not a
+
+    def test_scale(self):
+        a = np.arange(8.0)
+        assert np.allclose(stream_scale(a, 2.5), 2.5 * a)
+
+    def test_add(self):
+        a, b = np.arange(8.0), np.ones(8)
+        assert np.allclose(stream_add(a, b), a + 1.0)
+        with pytest.raises(ValueError):
+            stream_add(a, np.ones(4))
+
+    def test_out_buffers_reused(self):
+        a = np.arange(8.0)
+        out = np.empty(8)
+        assert stream_copy(a, out) is out
+        assert stream_scale(a, 2.0, out) is out
+        assert stream_add(a, a, out) is out
+
+    def test_bytes_accounting(self):
+        assert STREAM_BYTES_PER_ELEMENT["copy"] == 16
+        assert STREAM_BYTES_PER_ELEMENT["triad"] == 24
+        # Add and triad move the same traffic; copy and scale likewise.
+        assert (
+            STREAM_BYTES_PER_ELEMENT["add"] == STREAM_BYTES_PER_ELEMENT["triad"]
+        )
+
+
+class TestQuantization:
+    def test_bf16_idempotent(self):
+        x = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        q = quantize_bf16(x)
+        assert np.array_equal(quantize_bf16(q), q)
+
+    def test_tf32_idempotent(self):
+        x = np.random.default_rng(1).standard_normal(100).astype(np.float32)
+        q = quantize_tf32(x)
+        assert np.array_equal(quantize_tf32(q), q)
+
+    def test_bf16_relative_error_bound(self):
+        # 7-bit explicit mantissa: round-to-nearest error <= 2^-8 relative.
+        x = np.random.default_rng(2).uniform(0.5, 2.0, 1000).astype(np.float32)
+        q = quantize_bf16(x)
+        assert np.max(np.abs(q - x) / x) <= 2.0**-8 + 1e-7
+
+    def test_tf32_relative_error_bound(self):
+        # 10-bit mantissa: rounding error <= 2^-11 relative.
+        x = np.random.default_rng(3).uniform(0.5, 2.0, 1000).astype(np.float32)
+        q = quantize_tf32(x)
+        assert np.max(np.abs(q - x) / x) <= 2.0**-11 + 1e-7
+
+    def test_tf32_finer_than_bf16(self):
+        x = np.random.default_rng(4).standard_normal(1000).astype(np.float32)
+        err_bf16 = np.abs(quantize_bf16(x) - x).mean()
+        err_tf32 = np.abs(quantize_tf32(x) - x).mean()
+        assert err_tf32 < err_bf16
+
+    def test_exact_values_preserved(self):
+        # Powers of two and small integers are exactly representable.
+        x = np.array([1.0, 2.0, 0.5, -4.0, 0.0], dtype=np.float32)
+        assert np.array_equal(quantize_bf16(x), x)
+        assert np.array_equal(quantize_tf32(x), x)

@@ -1,0 +1,67 @@
+"""Microbenchmark parameter sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import Precision
+from repro.hw.ids import StackRef
+from repro.micro.sweep import (
+    fma_chain_sweep,
+    gemm_size_sweep,
+    half_bandwidth_point,
+    message_size_sweep,
+)
+
+
+class TestMessageSizeSweep:
+    def test_ramps_to_link_bandwidth(self, aurora):
+        points = message_size_sweep(aurora, StackRef(0, 0), StackRef(0, 1))
+        values = [p.value for p in points]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(197e9, rel=0.02)
+        assert values[0] < 0.1 * values[-1]  # latency-dominated start
+
+    def test_remote_link_ramps_lower(self, aurora):
+        local = message_size_sweep(aurora, StackRef(0, 0), StackRef(0, 1))
+        remote = message_size_sweep(aurora, StackRef(0, 0), StackRef(1, 0))
+        assert remote[-1].value == pytest.approx(15e9, rel=0.02)
+        assert remote[-1].value < local[-1].value
+
+    def test_half_bandwidth_point(self, aurora):
+        points = message_size_sweep(aurora, StackRef(0, 0), StackRef(0, 1))
+        n_half = half_bandwidth_point(points)
+        # alpha-beta model: n_1/2 ~ latency x BW ~ 0.5 us x 197 GB/s ~ 100 kB.
+        assert 1e4 < n_half < 1e7
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            half_bandwidth_point([])
+
+
+class TestGemmSizeSweep:
+    def test_ramps_to_dgemm_roof(self, aurora):
+        points = gemm_size_sweep(aurora, Precision.FP64)
+        values = [p.value for p in points]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(13e12, rel=0.03)
+
+    def test_small_matrices_memory_bound(self, aurora):
+        points = gemm_size_sweep(aurora, Precision.FP64, sizes=(64,))
+        # N=64: AI = N/12 ~ 5.3 flop/B for fp64 -> below the ~13 ridge.
+        assert points[0].value < 0.55 * 13e12
+
+
+class TestFmaChainSweep:
+    def test_short_chains_stall_the_pipeline(self, aurora):
+        points = fma_chain_sweep(aurora, Precision.FP64)
+        assert points[0].value < 0.2 * points[-1].value
+
+    def test_long_chains_reach_peak(self, aurora):
+        points = fma_chain_sweep(aurora, Precision.FP64)
+        assert points[-1].value == pytest.approx(
+            aurora.fma_rate(Precision.FP64, 1), rel=0.01
+        )
+
+    def test_monotone(self, aurora):
+        values = [p.value for p in fma_chain_sweep(aurora, Precision.FP32)]
+        assert all(b > a for a, b in zip(values, values[1:]))

@@ -1,0 +1,53 @@
+"""STREAM triad microbenchmark."""
+
+import numpy as np
+import pytest
+
+from repro.core.units import MIB
+from repro.micro.triad import STREAM_FACTOR, Triad, triad, triad_array_bytes
+
+
+class TestTriadNumerics:
+    def test_elementwise_result(self):
+        b = np.arange(10.0)
+        c = np.ones(10)
+        assert np.allclose(triad(b, c, 2.5), b + 2.5)
+
+    def test_out_buffer_reused(self):
+        b = np.ones(8)
+        c = np.ones(8)
+        out = np.empty(8)
+        result = triad(b, c, 1.0, out=out)
+        assert result is out
+        assert np.allclose(out, 2.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            triad(np.ones(4), np.ones(5), 1.0)
+
+
+class TestSizing:
+    def test_pvc_arrays_are_4x_llc(self, aurora):
+        # 192 MiB LLC x 4 = the paper's 805 MB per array.
+        assert triad_array_bytes(aurora) == 192 * MIB * STREAM_FACTOR
+
+    def test_h100_arrays_follow_its_l2(self, h100):
+        assert triad_array_bytes(h100) == 50 * MIB * STREAM_FACTOR
+
+
+class TestMeasurement:
+    def test_one_stack_1tb(self, aurora):
+        result = Triad().measure(aurora, 1)
+        assert result.value == pytest.approx(1e12, rel=0.02)
+
+    def test_scaling_is_linear(self, aurora):
+        r1 = Triad().measure(aurora, 1).value
+        r12 = Triad().measure(aurora, 12).value
+        assert r12 == pytest.approx(12 * r1, rel=0.01)
+
+    def test_h100_stream_2p7tb(self, h100):
+        assert Triad().measure(h100, 1).value == pytest.approx(2.75e12, rel=0.03)
+
+    def test_mi250_gcd_1p3tb(self, mi250):
+        # Table IV: 1.3 TB/s per GCD.
+        assert Triad().measure(mi250, 1).value == pytest.approx(1.3e12, rel=0.02)

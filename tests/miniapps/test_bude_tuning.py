@@ -1,0 +1,71 @@
+"""miniBUDE launch-parameter autotuning."""
+
+import pytest
+
+from repro.miniapps.bude_tuning import (
+    DEFAULT_PPWI,
+    DEFAULT_WGSIZES,
+    BudeAutotuner,
+)
+
+
+@pytest.fixture(scope="module")
+def tuner(aurora):
+    return BudeAutotuner(aurora)
+
+
+class TestSweep:
+    def test_covers_full_grid(self, tuner):
+        results = tuner.sweep()
+        assert len(results) == len(DEFAULT_PPWI) * len(DEFAULT_WGSIZES)
+
+    def test_best_is_max(self, tuner):
+        results = tuner.sweep()
+        best = tuner.best()
+        assert best.ginteractions_per_s == max(
+            r.ginteractions_per_s for r in results
+        )
+
+    def test_optimum_is_interior_in_ppwi(self, tuner):
+        """Throughput rises with ppwi (reuse) then collapses (spills)."""
+        at = {
+            (r.ppwi, r.wgsize): r.ginteractions_per_s for r in tuner.sweep()
+        }
+        best = tuner.best()
+        assert 1 < best.ppwi < 128
+        assert at[(1, best.wgsize)] < best.ginteractions_per_s
+        assert at[(128, best.wgsize)] < best.ginteractions_per_s
+
+    def test_spill_point_matches_register_budget(self, tuner):
+        # 24 + 5*ppwi <= 128 -> ppwi <= 20: spill kicks in above 16.
+        assert tuner._spill_factor(16) == 1.0
+        assert tuner._spill_factor(32) < 1.0
+
+    def test_tiny_workgroups_underfill(self, tuner):
+        at = {
+            (r.ppwi, r.wgsize): r.ginteractions_per_s for r in tuner.sweep()
+        }
+        assert at[(16, 32)] < at[(16, 256)]
+
+    def test_invalid_config_rejected(self, tuner):
+        with pytest.raises(ValueError):
+            tuner.throughput(0, 64)
+        with pytest.raises(ValueError):
+            tuner.throughput(4, 0)
+
+
+class TestTunedFraction:
+    def test_aurora_near_measured_45_percent(self, tuner):
+        # The tuned model reproduces the paper's ~45-50% achieved peak.
+        frac = tuner.tuned_fraction_of_peak()
+        assert 0.42 <= frac <= 0.52
+
+    def test_h100_model_same_shape(self, h100):
+        tuner = BudeAutotuner(h100)
+        best = tuner.best()
+        assert best.ppwi == 16  # same register-pressure optimum
+        assert best.ginteractions_per_s > 0
+
+    def test_result_str(self, tuner):
+        text = str(tuner.best())
+        assert "ppwi=" in text and "GI/s" in text

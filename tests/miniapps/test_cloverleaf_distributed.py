@@ -1,0 +1,41 @@
+"""Distributed CloverLeaf driver (library code)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.cloverleaf import (
+    EulerSolver2D,
+    run_distributed,
+    sod_state,
+)
+
+
+class TestRunDistributed:
+    def test_bit_identical_to_serial(self, aurora):
+        n, steps = 32, 5
+        serial = EulerSolver2D(sod_state(n), boundary="periodic")
+        serial.run(steps)
+        state, _ = run_distributed(aurora, n=n, steps=steps, n_ranks=4)
+        assert np.allclose(state.u, serial.state.u, atol=1e-12)
+
+    def test_rank_count_invariance(self, aurora):
+        two, _ = run_distributed(aurora, n=24, steps=4, n_ranks=2)
+        four, _ = run_distributed(aurora, n=24, steps=4, n_ranks=4)
+        assert np.allclose(two.u, four.u, atol=1e-12)
+
+    def test_vtime_positive_and_grows_with_steps(self, aurora):
+        _, t1 = run_distributed(aurora, n=16, steps=2, n_ranks=2)
+        _, t2 = run_distributed(aurora, n=16, steps=8, n_ranks=2)
+        assert 0 < t1 < t2
+
+    def test_indivisible_grid_rejected(self, aurora):
+        with pytest.raises(ConfigurationError):
+            run_distributed(aurora, n=30, steps=1, n_ranks=4)
+
+    def test_conservation_preserved(self, aurora):
+        n = 16
+        initial = sod_state(n)
+        before = initial.totals()
+        state, _ = run_distributed(aurora, n=n, steps=6, n_ranks=4)
+        assert np.allclose(state.totals(), before, rtol=1e-10)

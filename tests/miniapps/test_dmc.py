@@ -1,0 +1,49 @@
+"""Diffusion Monte Carlo driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps import DmcDriver, HarmonicTrialWavefunction, VmcDriver
+
+
+class TestDmc:
+    def test_projects_out_trial_bias(self):
+        """With a *wrong* alpha, VMC is biased above the ground state but
+        DMC projects to 1.5*N*omega (up to timestep error)."""
+        psi = HarmonicTrialWavefunction(alpha=0.6, omega=1.0)
+        n_elec = 2
+        exact = 1.5 * n_elec
+
+        vmc = VmcDriver(psi, n_walkers=256, n_electrons=n_elec, seed=4)
+        vmc_mean, vmc_err = vmc.run(80, warmup=30)
+        assert vmc_mean > exact + 5 * vmc_err  # variational bias visible
+
+        dmc = DmcDriver(psi, n_walkers=400, n_electrons=n_elec, seed=1)
+        dmc_mean, dmc_err = dmc.run(300, warmup=100)
+        assert dmc_mean == pytest.approx(exact, rel=0.03)
+        assert abs(dmc_mean - exact) < abs(vmc_mean - exact)
+
+    def test_exact_trial_has_tiny_variance(self):
+        psi = HarmonicTrialWavefunction(alpha=1.0, omega=1.0)
+        dmc = DmcDriver(psi, n_walkers=200, n_electrons=4, seed=2)
+        mean, err = dmc.run(50, warmup=10)
+        assert mean == pytest.approx(6.0, rel=1e-6)
+        assert err < 1e-6  # zero-variance principle survives branching
+
+    def test_population_stays_at_target(self):
+        psi = HarmonicTrialWavefunction(alpha=0.8)
+        dmc = DmcDriver(psi, n_walkers=128, n_electrons=2, seed=3)
+        for _ in range(20):
+            dmc.step()
+            assert dmc.population == 128
+
+    def test_trial_energy_tracks_estimate(self):
+        psi = HarmonicTrialWavefunction(alpha=0.7)
+        dmc = DmcDriver(psi, n_walkers=256, n_electrons=2, seed=5)
+        for _ in range(100):
+            dmc.step()
+        assert dmc.e_trial == pytest.approx(3.0, rel=0.15)
+
+    def test_small_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DmcDriver(HarmonicTrialWavefunction(alpha=1.0), 4, 2)

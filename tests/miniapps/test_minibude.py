@@ -1,0 +1,111 @@
+"""miniBUDE: docking-energy numerics + FOM model."""
+
+import numpy as np
+import pytest
+
+from repro.miniapps.minibude import (
+    FLOPS_PER_INTERACTION,
+    MiniBude,
+    evaluate_poses,
+    make_deck,
+    pose_transforms,
+)
+
+
+class TestPoseTransforms:
+    def test_rotations_are_orthonormal(self):
+        deck = make_deck(n_poses=16)
+        rot, _ = pose_transforms(deck.poses)
+        eye = np.einsum("nij,nkj->nik", rot, rot)
+        assert np.allclose(eye, np.eye(3), atol=1e-5)
+
+    def test_determinant_plus_one(self):
+        deck = make_deck(n_poses=8, seed=5)
+        rot, _ = pose_transforms(deck.poses)
+        assert np.allclose(np.linalg.det(rot), 1.0, atol=1e-5)
+
+    def test_zero_pose_is_identity(self):
+        rot, trans = pose_transforms(np.zeros((1, 6), dtype=np.float32))
+        assert np.allclose(rot[0], np.eye(3), atol=1e-6)
+        assert np.allclose(trans[0], 0.0)
+
+
+class TestEnergies:
+    def test_energy_per_pose_shape(self):
+        deck = make_deck(n_ligand=8, n_protein=16, n_poses=10)
+        energies = evaluate_poses(deck)
+        assert energies.shape == (10,)
+        assert energies.dtype == np.float32
+
+    def test_translation_symmetry_of_far_poses(self):
+        # A pose translated far away has zero steric and zero capped
+        # electrostatic energy.
+        deck = make_deck(n_ligand=4, n_protein=4, n_poses=1)
+        far = deck.poses.copy()
+        far[0, 3:] = 1000.0
+        from dataclasses import replace
+
+        deck_far = replace(deck, poses=far)
+        assert evaluate_poses(deck_far)[0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_steric_clash_raises_energy(self):
+        # Identical positions -> maximal overlap -> large positive energy.
+        deck = make_deck(n_ligand=4, n_protein=4, n_poses=2, seed=1)
+        from dataclasses import replace
+
+        clash = replace(
+            deck,
+            protein_pos=deck.ligand_pos.copy(),
+            poses=np.zeros((1, 6), dtype=np.float32),
+        )
+        assert evaluate_poses(clash)[0] > 100.0
+
+    def test_best_pose_is_argmin(self):
+        deck = make_deck(n_poses=32, seed=7)
+        app = MiniBude()
+        assert app.best_pose(deck) == int(np.argmin(evaluate_poses(deck)))
+
+    def test_pose_block_selects_subset(self):
+        deck = make_deck(n_poses=10)
+        full = evaluate_poses(deck)
+        part = evaluate_poses(deck, pose_block=slice(2, 5))
+        assert np.allclose(part, full[2:5])
+
+    def test_interaction_count(self):
+        deck = make_deck(n_ligand=8, n_protein=16, n_poses=10)
+        assert deck.n_interactions == 10 * 8 * 16
+
+
+class TestFom:
+    def test_paper_deck_size(self):
+        app = MiniBude()
+        assert app.interactions() == pytest.approx(983040 * 2672 * 2672)
+
+    def test_table_vi_values(self, engines):
+        paper = {
+            "aurora": 293.02,
+            "dawn": 366.17,
+            "jlse-h100": 638.40,
+            "jlse-mi250": 193.66,
+        }
+        app = MiniBude()
+        for name, value in paper.items():
+            assert app.fom(engines[name], 1) == pytest.approx(value, rel=0.04), name
+
+    def test_one_pvc_doubles_single_stack(self, aurora):
+        app = MiniBude()
+        assert app.fom(aurora, 2) == pytest.approx(2 * app.fom(aurora, 1))
+
+    def test_achieved_fraction_matches_prose(self, aurora):
+        # "around 45% ... of their peak single precision flops".
+        assert MiniBude().achieved_fp32_fraction(aurora) == pytest.approx(
+            0.45, abs=0.01
+        )
+
+    def test_flops_per_interaction_constant(self):
+        assert 30.0 < FLOPS_PER_INTERACTION < 40.0
+
+    def test_builds_everywhere(self, engines):
+        app = MiniBude()
+        for engine in engines.values():
+            assert app.build(engine).app == "miniBUDE"

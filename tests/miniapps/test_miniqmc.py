@@ -1,0 +1,138 @@
+"""miniQMC: B-spline evaluator, VMC physics, congestion FOM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.miniqmc import (
+    CubicBspline3D,
+    HarmonicTrialWavefunction,
+    MiniQmc,
+    VmcDriver,
+)
+
+
+class TestBspline:
+    def _grid_function(self, n=16, box=2.0):
+        x = np.arange(n) / n * box
+        xx, yy, zz = np.meshgrid(x, x, x, indexing="ij")
+        values = np.sin(2 * np.pi * xx / box) * np.cos(
+            2 * np.pi * yy / box
+        ) + 0.3 * np.sin(2 * np.pi * zz / box)
+        return values, box
+
+    def test_interpolates_grid_points_exactly(self):
+        values, box = self._grid_function()
+        spline = CubicBspline3D(values, box)
+        n = values.shape[0]
+        pts = np.array([[0, 0, 0], [3, 5, 7], [15, 1, 9]]) / n * box
+        got = spline.evaluate(pts)
+        want = [values[0, 0, 0], values[3, 5, 7], values[15, 1, 9]]
+        assert np.allclose(got, want, atol=1e-10)
+
+    def test_smooth_function_between_grid_points(self):
+        values, box = self._grid_function(n=32)
+        spline = CubicBspline3D(values, box)
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, box, (50, 3))
+        exact = np.sin(2 * np.pi * pts[:, 0] / box) * np.cos(
+            2 * np.pi * pts[:, 1] / box
+        ) + 0.3 * np.sin(2 * np.pi * pts[:, 2] / box)
+        assert np.allclose(spline.evaluate(pts), exact, atol=2e-3)
+
+    def test_periodic_wraparound(self):
+        values, box = self._grid_function()
+        spline = CubicBspline3D(values, box)
+        a = spline.evaluate(np.array([[0.1, 0.2, 0.3]]))
+        b = spline.evaluate(np.array([[0.1 + box, 0.2 - box, 0.3]]))
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_constant_field_reproduced(self):
+        spline = CubicBspline3D(np.full((8, 8, 8), 4.2), 1.0)
+        pts = np.random.default_rng(1).uniform(0, 1, (20, 3))
+        assert np.allclose(spline.evaluate(pts), 4.2, atol=1e-9)
+
+    def test_batch_shape_preserved(self):
+        values, box = self._grid_function()
+        spline = CubicBspline3D(values, box)
+        pts = np.zeros((4, 5, 3))
+        assert spline.evaluate(pts).shape == (4, 5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CubicBspline3D(np.zeros((4, 4)), 1.0)
+        with pytest.raises(ConfigurationError):
+            CubicBspline3D(np.zeros((4, 4, 5)), 1.0)
+        with pytest.raises(ConfigurationError):
+            CubicBspline3D(np.zeros((4, 4, 4)), -1.0)
+
+
+class TestVmc:
+    def test_zero_variance_at_exact_alpha(self):
+        # alpha = omega: E_L = 1.5 * N exactly for every configuration.
+        psi = HarmonicTrialWavefunction(alpha=1.0, omega=1.0)
+        driver = VmcDriver(psi, n_walkers=16, n_electrons=4, seed=1)
+        energies = driver.step()
+        assert np.allclose(energies, 1.5 * 4, atol=1e-10)
+
+    def test_variational_principle(self):
+        # Any other alpha must give mean energy above the ground state.
+        psi = HarmonicTrialWavefunction(alpha=0.6, omega=1.0)
+        driver = VmcDriver(psi, n_walkers=256, n_electrons=2, seed=2)
+        mean, err = driver.run(n_steps=60, warmup=20)
+        ground = 1.5 * 2
+        assert mean > ground - 3 * err
+        assert mean - ground > -0.05
+
+    def test_acceptance_reasonable(self):
+        psi = HarmonicTrialWavefunction(alpha=1.0)
+        driver = VmcDriver(psi, 64, 4, timestep=0.3, seed=3)
+        driver.run(30)
+        assert 0.5 < driver.acceptance_ratio <= 1.0
+
+    def test_local_energy_formula(self):
+        psi = HarmonicTrialWavefunction(alpha=0.5, omega=1.0)
+        r = np.ones((1, 2, 3))  # sum r^2 = 6
+        e = psi.local_energy(r)
+        expected = 1.5 * 0.5 * 2 + 0.5 * (1.0 - 0.25) * 6.0
+        assert e[0] == pytest.approx(expected)
+
+    def test_drift_direction(self):
+        psi = HarmonicTrialWavefunction(alpha=2.0)
+        r = np.ones((1, 1, 3))
+        assert np.allclose(psi.drift(r), -2.0)
+
+    def test_validation(self):
+        psi = HarmonicTrialWavefunction(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            VmcDriver(psi, 0, 4)
+
+
+class TestFom:
+    def test_table_vi_all_scopes(self, engines):
+        paper = {
+            "aurora": {1: 3.16, 2: 5.39, 12: 15.64},
+            "dawn": {1: 3.72, 2: 6.85, 8: 16.28},
+            "jlse-h100": {1: 3.89, 4: 12.32},
+            "jlse-mi250": {1: 0.50, 8: 0.90},
+        }
+        app = MiniQmc()
+        for name, cells in paper.items():
+            for n, value in cells.items():
+                got = app.fom(engines[name], n)
+                assert got == pytest.approx(value, rel=0.03), (name, n)
+
+    def test_aurora_full_below_dawn_full(self, aurora, dawn):
+        # The paper's headline inversion.
+        app = MiniQmc()
+        assert app.fom(aurora, 12) < app.fom(dawn, 8)
+
+    def test_congestion_grows_with_ranks_per_socket(self, aurora):
+        app = MiniQmc()
+        t1 = app.diffusion_time(aurora, 1)
+        t12 = app.diffusion_time(aurora, 12)
+        assert t12 > t1
+
+    def test_functional_vmc_converges(self):
+        mean, err = MiniQmc().run_functional(n_walkers=32, n_electrons=4, steps=20)
+        assert mean == pytest.approx(6.0, abs=1e-8)  # zero-variance oracle

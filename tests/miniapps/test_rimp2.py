@@ -1,0 +1,83 @@
+"""RI-MP2 mini-app: correlation-energy numerics + strong-scaled FOM."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BuildError, ConfigurationError
+from repro.miniapps.rimp2 import (
+    Rimp2,
+    Rimp2Input,
+    make_input,
+    rimp2_energy,
+    rimp2_energy_reference,
+)
+
+
+class TestEnergy:
+    def test_dgemm_path_matches_direct_contraction(self):
+        inp = make_input(n_aux=12, n_occ=4, n_virt=6, seed=3)
+        assert rimp2_energy(inp) == pytest.approx(
+            rimp2_energy_reference(inp), rel=1e-12
+        )
+
+    def test_energy_is_negative(self):
+        # MP2 correlation energy is strictly negative for a gapped system.
+        for seed in range(5):
+            inp = make_input(seed=seed)
+            assert rimp2_energy(inp) < 0.0
+
+    def test_scaling_with_integral_magnitude(self):
+        # E ~ B^4: doubling B multiplies the energy by 16.
+        inp = make_input(n_aux=8, n_occ=3, n_virt=5, seed=1)
+        doubled = Rimp2Input(b=2.0 * inp.b, e_occ=inp.e_occ, e_virt=inp.e_virt)
+        assert rimp2_energy(doubled) == pytest.approx(
+            16.0 * rimp2_energy(inp), rel=1e-10
+        )
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            Rimp2Input(
+                b=np.zeros((4, 2, 3)),
+                e_occ=np.array([0.5, -1.0]),  # occupied must be negative
+                e_virt=np.ones(3),
+            )
+        with pytest.raises(ConfigurationError):
+            Rimp2Input(
+                b=np.zeros((4, 2, 3)),
+                e_occ=-np.ones(2),
+                e_virt=np.ones(4),  # wrong length
+            )
+
+
+class TestFom:
+    def test_table_vi_pvc_cells(self, aurora, dawn):
+        app = Rimp2()
+        assert app.fom(aurora, 1) == pytest.approx(19.44, rel=0.03)
+        assert app.fom(aurora, 2) == pytest.approx(38.50, rel=0.03)
+        assert app.fom(aurora, 12) == pytest.approx(197.08, rel=0.04)
+        assert app.fom(dawn, 1) == pytest.approx(24.57, rel=0.04)
+        assert app.fom(dawn, 8) == pytest.approx(164.71, rel=0.05)
+
+    def test_h100_cells(self, h100):
+        app = Rimp2()
+        assert app.fom(h100, 1) == pytest.approx(49.30, rel=0.03)
+        assert app.fom(h100, 4) == pytest.approx(168.97, rel=0.04)
+
+    def test_mi250_build_fails(self, mi250):
+        # Section V-B.3: absent "since it failed to build with the AMD
+        # Fortran compiler".
+        with pytest.raises(BuildError):
+            Rimp2().fom(mi250, 1)
+
+    def test_strong_scaling_sublinear(self, aurora):
+        # Serial overhead: 12 stacks give < 12x the single-stack FOM.
+        app = Rimp2()
+        speedup = app.fom(aurora, 12) / app.fom(aurora, 1)
+        assert 9.0 < speedup < 12.0
+
+    def test_walltime_decreases_with_stacks(self, aurora):
+        app = Rimp2()
+        assert app.walltime_s(aurora, 12) < app.walltime_s(aurora, 2)
+
+    def test_functional_runner(self):
+        assert Rimp2().run_functional() < 0.0

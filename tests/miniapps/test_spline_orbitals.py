@@ -1,0 +1,66 @@
+"""Multi-spline orbital evaluation (miniQMC's dominant kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.miniapps.miniqmc import SplineOrbitalSet
+
+
+@pytest.fixture(scope="module")
+def orbitals():
+    return SplineOrbitalSet.plane_waves(6, grid_n=20, box=2.0)
+
+
+class TestMultiSpline:
+    def test_matches_single_spline_evaluation(self, orbitals):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 2, (40, 3))
+        multi = orbitals.evaluate(pts)
+        for k in range(orbitals.n_orbitals):
+            single = orbitals.evaluate_single(k, pts)
+            assert np.allclose(multi[:, k], single, atol=1e-12)
+
+    def test_output_shape(self, orbitals):
+        pts = np.zeros((4, 5, 3))
+        assert orbitals.evaluate(pts).shape == (4, 5, 6)
+
+    def test_interpolates_grid_points(self, orbitals):
+        n, box = orbitals.n, orbitals.box
+        pts = np.array([[2, 3, 4], [7, 1, 5]]) / n * box
+        vals = orbitals.evaluate(pts)
+        # The plane-wave construction is exactly recoverable at nodes.
+        x = pts / box * 2 * np.pi
+        for row, p in enumerate(pts):
+            k = 0  # orbital 0: cos(2pi*(1*x)/box) * cos(0)
+            expected = np.cos(2 * np.pi * p[0] / box)
+            assert vals[row, k] == pytest.approx(expected, abs=1e-9)
+
+    def test_periodicity(self, orbitals):
+        pts = np.array([[0.3, 0.4, 0.5]])
+        wrapped = pts + np.array([[orbitals.box, -orbitals.box, 0.0]])
+        assert np.allclose(
+            orbitals.evaluate(pts), orbitals.evaluate(wrapped), atol=1e-10
+        )
+
+    def test_smooth_between_nodes(self, orbitals):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(0, 2, (30, 3))
+        vals = orbitals.evaluate(pts)
+        # orbital 0 is cos(2 pi x / box): spline error ~ O(h^4).
+        expected = np.cos(2 * np.pi * pts[:, 0] / orbitals.box)
+        assert np.allclose(vals[:, 0], expected, atol=5e-4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SplineOrbitalSet(np.zeros((4, 4, 4)), 1.0)  # missing orbital axis
+
+
+class TestWalkerEvaluationPattern:
+    def test_all_electrons_all_orbitals(self, orbitals):
+        """The miniQMC access pattern: (walkers, electrons) x orbitals."""
+        rng = np.random.default_rng(2)
+        walkers = rng.uniform(0, 2, (8, 16, 3))  # 8 walkers, 16 electrons
+        vals = orbitals.evaluate(walkers)
+        assert vals.shape == (8, 16, 6)
+        assert np.all(np.isfinite(vals))

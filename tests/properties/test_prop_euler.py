@@ -1,0 +1,63 @@
+"""Property-based tests: the Euler solver conserves, stays positive."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.miniapps.cloverleaf import EulerSolver2D, EulerState
+
+
+def _random_state(n: int, seed: int) -> EulerState:
+    rng = np.random.default_rng(seed)
+    u = np.zeros((4, n, n))
+    u[0] = 0.5 + rng.random((n, n))  # density in [0.5, 1.5]
+    u[1] = 0.2 * rng.standard_normal((n, n)) * u[0]
+    u[2] = 0.2 * rng.standard_normal((n, n)) * u[0]
+    kinetic = 0.5 * (u[1] ** 2 + u[2] ** 2) / u[0]
+    u[3] = kinetic + (0.5 + rng.random((n, n))) / 0.4  # p in [0.5, 1.5]
+    return EulerState(u)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 24), seed=st.integers(0, 2**16), steps=st.integers(1, 15))
+def test_periodic_conservation(n, seed, steps):
+    solver = EulerSolver2D(_random_state(n, seed), boundary="periodic")
+    before = solver.state.totals()
+    solver.run(steps)
+    after = solver.state.totals()
+    assert np.allclose(before, after, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 24), seed=st.integers(0, 2**16))
+def test_density_and_pressure_stay_positive(n, seed):
+    solver = EulerSolver2D(_random_state(n, seed), boundary="periodic")
+    solver.run(10)
+    rho, _, _, p = solver.state.primitives()
+    assert np.all(rho > 0)
+    assert np.all(p > -1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(8, 20), seed=st.integers(0, 2**16))
+def test_reflective_walls_conserve_mass_and_energy(n, seed):
+    solver = EulerSolver2D(_random_state(n, seed), boundary="reflective")
+    before = solver.state.totals()
+    solver.run(8)
+    after = solver.state.totals()
+    assert np.isclose(after[0], before[0], rtol=1e-10)
+    assert np.isclose(after[3], before[3], rtol=1e-10)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(8, 16), seed=st.integers(0, 2**16))
+def test_galilean_shift_of_uniform_flow(n, seed):
+    """A uniform flow on a periodic domain stays exactly uniform."""
+    u = np.zeros((4, n, n))
+    u[0] = 1.3
+    u[1] = 1.3 * 0.4
+    u[2] = 1.3 * (-0.2)
+    u[3] = 0.5 * (u[1] ** 2 + u[2] ** 2) / u[0] + 2.0
+    solver = EulerSolver2D(EulerState(u.copy()), boundary="periodic")
+    solver.run(6)
+    assert np.allclose(solver.state.u, u, atol=1e-10)

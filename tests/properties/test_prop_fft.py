@@ -1,0 +1,74 @@
+"""Property-based tests for the FFT stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.micro.fft import fft, fft2, ifft
+
+_sizes = st.integers(min_value=2, max_value=96)
+
+
+def _signal(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16))
+def test_matches_numpy_for_any_size(n, seed):
+    x = _signal(n, seed)
+    assert np.allclose(fft(x), np.fft.fft(x), atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16))
+def test_roundtrip(n, seed):
+    x = _signal(n, seed)
+    assert np.allclose(ifft(fft(x)), x, atol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16), a=st.floats(-3, 3), b=st.floats(-3, 3))
+def test_linearity(n, seed, a, b):
+    x, y = _signal(n, seed), _signal(n, seed + 1)
+    assert np.allclose(
+        fft(a * x + b * y), a * fft(x) + b * fft(y), atol=1e-6
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16))
+def test_parseval(n, seed):
+    x = _signal(n, seed)
+    assert np.isclose(
+        np.sum(np.abs(fft(x)) ** 2) / n, np.sum(np.abs(x) ** 2), rtol=1e-9
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16), shift=st.integers(0, 95))
+def test_time_shift_preserves_magnitude(n, seed, shift):
+    """Circularly shifting the input only changes the spectrum's phase."""
+    x = _signal(n, seed)
+    shifted = np.roll(x, shift % n)
+    assert np.allclose(np.abs(fft(shifted)), np.abs(fft(x)), atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(2, 24),
+    cols=st.integers(2, 24),
+    seed=st.integers(0, 2**16),
+)
+def test_2d_matches_numpy(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols)) + 1j * rng.standard_normal((rows, cols))
+    assert np.allclose(fft2(x), np.fft.fft2(x), atol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=_sizes, seed=st.integers(0, 2**16))
+def test_dc_bin_is_sum(n, seed):
+    x = _signal(n, seed)
+    assert np.isclose(fft(x)[0], x.sum(), atol=1e-8)

@@ -1,0 +1,65 @@
+"""Property-based tests for the blocked GEMM."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.micro.gemm import blocked_gemm
+
+_dims = st.integers(min_value=1, max_value=48)
+_blocks = st.integers(min_value=1, max_value=64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(m=_dims, k=_dims, n=_dims, block=_blocks, seed=st.integers(0, 2**16))
+def test_matches_reference_for_any_shape_and_block(m, k, n, block, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    assert np.allclose(blocked_gemm(a, b, block=block), a @ b, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=_dims, b1=_blocks, b2=_blocks, seed=st.integers(0, 2**16))
+def test_block_size_invariance(n, b1, b2, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+    assert np.allclose(
+        blocked_gemm(a, b, block=b1), blocked_gemm(a, b, block=b2), atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=_dims, seed=st.integers(0, 2**16))
+def test_identity_is_neutral(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    assert np.allclose(blocked_gemm(a, np.eye(n), block=16), a, atol=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=_dims, k=_dims, n=_dims, alpha=st.floats(-4, 4), seed=st.integers(0, 2**16)
+)
+def test_scalar_homogeneity(m, k, n, alpha, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, k))
+    b = rng.standard_normal((k, n))
+    assert np.allclose(
+        blocked_gemm(alpha * a, b, block=8),
+        alpha * blocked_gemm(a, b, block=8),
+        atol=1e-8,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(1, 32), seed=st.integers(0, 2**16))
+def test_int8_never_overflows_int32_accumulator(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-128, 128, (n, n), dtype=np.int8)
+    b = rng.integers(-128, 128, (n, n), dtype=np.int8)
+    c = blocked_gemm(a, b, block=8)
+    # Worst case |sum| <= n * 128 * 128 < 2^31 for n <= 32.
+    assert c.dtype == np.int32
+    assert np.array_equal(c, a.astype(np.int64) @ b.astype(np.int64))

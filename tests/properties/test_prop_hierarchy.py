@@ -1,0 +1,83 @@
+"""Property-based tests for memory hierarchy and CRK-SPH invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.hacc import crk_interpolate
+from repro.hw.memory import MemoryHierarchy, MemoryLevel
+
+
+@st.composite
+def hierarchies(draw):
+    n_levels = draw(st.integers(2, 4))
+    caps = sorted(
+        draw(
+            st.lists(
+                st.integers(10, 10**9),
+                min_size=n_levels,
+                max_size=n_levels,
+                unique=True,
+            )
+        )
+    )
+    lats = sorted(
+        draw(
+            st.lists(
+                st.floats(1.0, 2000.0),
+                min_size=n_levels,
+                max_size=n_levels,
+                unique=True,
+            )
+        )
+    )
+    return MemoryHierarchy(
+        [
+            MemoryLevel(f"L{i}", cap, lat)
+            for i, (cap, lat) in enumerate(zip(caps, lats))
+        ]
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hierarchies(), size=st.integers(1, 10**10))
+def test_latency_bounded_by_extremes(h, size):
+    lat = h.latency_cycles(size)
+    assert h.levels[0].latency_cycles - 1e-9 <= lat
+    assert lat <= h.levels[-1].latency_cycles + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(h=hierarchies(), seed=st.integers(0, 999))
+def test_latency_monotone_in_working_set(h, seed):
+    rng = np.random.default_rng(seed)
+    sizes = np.sort(rng.integers(1, 10**10, size=20))
+    lats = [h.latency_cycles(int(s)) for s in sizes]
+    assert all(b >= a - 1e-9 for a, b in zip(lats, lats[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(h=hierarchies(), size=st.integers(1, 10**10))
+def test_level_for_contains_working_set(h, size):
+    level = h.level_for(size)
+    if level is not h.last:
+        assert size <= level.capacity_bytes
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(30, 90),
+    seed=st.integers(0, 2**16),
+    c0=st.floats(-5, 5),
+    cx=st.floats(-5, 5),
+    cy=st.floats(-5, 5),
+    cz=st.floats(-5, 5),
+)
+def test_crk_reproduces_arbitrary_linear_fields(n, seed, c0, cx, cy, cz):
+    """The CRKSPH defining property, for any coefficients and particle set."""
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 1, (n, 3))
+    vol = np.full(n, 1.0 / n)
+    field = c0 + cx * pos[:, 0] + cy * pos[:, 1] + cz * pos[:, 2]
+    interp = crk_interpolate(pos, vol, field, h=0.45)
+    assert np.allclose(interp, field, atol=1e-8)

@@ -1,0 +1,60 @@
+"""Property-based tests: pose transforms and docking energies."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.miniapps.minibude import evaluate_poses, make_deck, pose_transforms
+
+_angles = st.floats(-np.pi, np.pi, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ax=_angles, ay=_angles, az=_angles, tx=st.floats(-5, 5))
+def test_pose_rotations_orthonormal(ax, ay, az, tx):
+    poses = np.array([[ax, ay, az, tx, 0.0, 0.0]], dtype=np.float32)
+    rot, trans = pose_transforms(poses)
+    assert np.allclose(rot[0] @ rot[0].T, np.eye(3), atol=1e-5)
+    assert abs(np.linalg.det(rot[0]) - 1.0) < 1e-5
+    assert trans[0, 0] == np.float32(tx)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ax=_angles, ay=_angles, az=_angles, seed=st.integers(0, 999))
+def test_rotation_preserves_lengths(ax, ay, az, seed):
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(3).astype(np.float32)
+    rot, _ = pose_transforms(np.array([[ax, ay, az, 0, 0, 0]], dtype=np.float32))
+    assert abs(np.linalg.norm(rot[0] @ v) - np.linalg.norm(v)) < 1e-4
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_energy_invariant_under_pose_order(seed):
+    deck = make_deck(n_ligand=8, n_protein=8, n_poses=12, seed=seed)
+    energies = evaluate_poses(deck)
+    from dataclasses import replace
+
+    perm = np.random.default_rng(seed).permutation(12)
+    shuffled = replace(deck, poses=deck.poses[perm])
+    assert np.allclose(evaluate_poses(shuffled), energies[perm], rtol=1e-5)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16), shift=st.floats(50.0, 500.0))
+def test_far_translation_zeroes_energy(seed, shift):
+    """Beyond the electrostatic cutoff and any steric overlap, E = 0."""
+    deck = make_deck(n_ligand=6, n_protein=6, n_poses=4, seed=seed)
+    from dataclasses import replace
+
+    far = deck.poses.copy()
+    far[:, 3] += np.float32(shift)
+    assert np.allclose(evaluate_poses(replace(deck, poses=far)), 0.0, atol=1e-2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_energies_finite(seed):
+    deck = make_deck(n_ligand=10, n_protein=10, n_poses=16, seed=seed)
+    energies = evaluate_poses(deck)
+    assert np.all(np.isfinite(energies))

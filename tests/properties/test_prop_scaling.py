@@ -1,0 +1,76 @@
+"""Property-based invariants of calibration curves, contention, units."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.units import parse_rate, si_format
+from repro.sim.calibration import ScalingCurve
+from repro.sim.contention import aggregate_rate, proportional_share
+
+_eff = st.floats(0.05, 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    e2=_eff,
+    e_full=_eff,
+    n=st.integers(1, 12),
+)
+def test_curve_efficiency_stays_within_endpoints(e2, e_full, n):
+    lo, hi = sorted((e2, e_full))
+    curve = ScalingCurve.of({1: 1.0, 2: e2, 12: e_full})
+    eff = curve.efficiency(n)
+    assert min(lo, 1.0) - 1e-12 <= eff <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    single=st.floats(1e9, 1e14),
+    n=st.integers(1, 12),
+    eff=_eff,
+)
+def test_aggregate_bounded_by_linear(single, n, eff):
+    curve = ScalingCurve.of({1: 1.0, 12: eff})
+    agg = curve.aggregate(single, n)
+    assert agg <= single * n * (1 + 1e-12)
+    assert agg >= single * eff * n * (1 - 1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    demands=st.lists(st.floats(0, 1e12), min_size=0, max_size=16),
+    cap=st.one_of(st.none(), st.floats(1e3, 1e13)),
+)
+def test_proportional_share_never_exceeds_cap_or_demand(demands, cap):
+    shares = proportional_share(demands, cap)
+    assert len(shares) == len(demands)
+    for share, demand in zip(shares, demands):
+        assert share <= demand + 1e-6
+    if cap is not None:
+        assert sum(shares) <= cap * (1 + 1e-9)
+    assert aggregate_rate(demands, cap) == pytest.approx(sum(shares))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    demands=st.lists(st.floats(1e3, 1e12), min_size=2, max_size=8),
+    cap=st.floats(1e3, 1e13),
+)
+def test_throttling_preserves_demand_ordering(demands, cap):
+    shares = proportional_share(demands, cap)
+    order_before = sorted(range(len(demands)), key=demands.__getitem__)
+    order_after = sorted(range(len(shares)), key=shares.__getitem__)
+    assert order_before == order_after
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    value=st.floats(1.0, 9.99e15),
+    unit=st.sampled_from(["Flop/s", "B/s", "Iop/s"]),
+)
+def test_format_parse_roundtrip_within_rounding(value, unit):
+    text = si_format(value, unit)
+    parsed = parse_rate(text)
+    # Formatting keeps 2-3 significant digits.
+    assert parsed == pytest.approx(value, rel=0.06)

@@ -1,0 +1,62 @@
+"""Property-based tests for the B-spline substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.miniapps.miniqmc import CubicBspline3D
+
+
+def _random_grid(n: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).standard_normal((n, n, n))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(6, 14), seed=st.integers(0, 2**16))
+def test_interpolates_every_grid_node(n, seed):
+    values = _random_grid(n, seed)
+    spline = CubicBspline3D(values, box=1.0)
+    idx = np.stack(
+        np.meshgrid(np.arange(n), np.arange(n), np.arange(n), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    pts = idx / n
+    got = spline.evaluate(pts)
+    assert np.allclose(got, values.ravel(), atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(6, 12),
+    seed=st.integers(0, 2**16),
+    c=st.floats(-10, 10, allow_nan=False),
+)
+def test_linearity_in_grid_values(n, seed, c):
+    values = _random_grid(n, seed)
+    pts = np.random.default_rng(seed + 1).uniform(0, 1, (20, 3))
+    a = CubicBspline3D(values, 1.0).evaluate(pts)
+    b = CubicBspline3D(c * values, 1.0).evaluate(pts)
+    assert np.allclose(b, c * a, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(6, 12), seed=st.integers(0, 2**16))
+def test_periodic_shift_invariance(n, seed):
+    """Rolling the grid by one cell equals shifting evaluation points."""
+    values = _random_grid(n, seed)
+    rolled = np.roll(values, 1, axis=0)
+    pts = np.random.default_rng(seed + 2).uniform(0, 1, (15, 3))
+    shifted = pts.copy()
+    shifted[:, 0] -= 1.0 / n
+    a = CubicBspline3D(rolled, 1.0).evaluate(pts)
+    b = CubicBspline3D(values, 1.0).evaluate(shifted)
+    assert np.allclose(a, b, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_constant_grid_constant_everywhere(seed):
+    value = float(np.random.default_rng(seed).uniform(-5, 5))
+    spline = CubicBspline3D(np.full((8, 8, 8), value), 1.0)
+    pts = np.random.default_rng(seed + 3).uniform(-2, 3, (25, 3))
+    assert np.allclose(spline.evaluate(pts), value, atol=1e-9)

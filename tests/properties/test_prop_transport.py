@@ -1,0 +1,84 @@
+"""Property-based tests for the Monte Carlo transport kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.openmc import Material, TransportProblem
+
+
+def _medium(sigma_a: float, sigma_s: float, nu_f: float = 0.0) -> Material:
+    return Material(
+        name="m",
+        sigma_t=np.array([sigma_a + sigma_s]),
+        sigma_a=np.array([sigma_a]),
+        scatter=np.array([[sigma_s]]),
+        nu_fission=np.array([nu_f]),
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    sigma_a=st.floats(0.2, 1.0),
+    sigma_s=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_history_conservation(sigma_a, sigma_s, seed):
+    """Every history ends absorbed or leaked — no particles lost."""
+    problem = TransportProblem(
+        (_medium(sigma_a, sigma_s),), size=20.0, nmesh=2
+    )
+    result = problem.run(800, seed=seed)
+    assert result.absorptions + result.leaks == result.histories
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    sigma_a=st.floats(0.25, 1.0),
+    sigma_s=st.floats(0.0, 1.5),
+    seed=st.integers(0, 2**16),
+)
+def test_infinite_medium_collision_count(sigma_a, sigma_s, seed):
+    """E[collisions per history] = sigma_t / sigma_a, any cross sections."""
+    problem = TransportProblem(
+        (_medium(sigma_a, sigma_s),),
+        boundary="reflective",
+        checkerboard=False,
+        nmesh=2,
+    )
+    n = 4000
+    result = problem.run(n, seed=seed)
+    expected = (sigma_a + sigma_s) / sigma_a
+    # Binomial-ish error bar: generous 5-sigma band.
+    tolerance = 5.0 * expected / np.sqrt(n)
+    assert abs(result.collisions_per_history - expected) < max(tolerance, 0.15)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    k_inf=st.floats(0.3, 1.5),
+    seed=st.integers(0, 2**16),
+)
+def test_k_estimate_tracks_nu_over_absorption(k_inf, seed):
+    sigma_a, sigma_s = 0.4, 0.6
+    problem = TransportProblem(
+        (_medium(sigma_a, sigma_s, nu_f=k_inf * sigma_a),),
+        boundary="reflective",
+        checkerboard=False,
+        nmesh=2,
+    )
+    result = problem.run(4000, seed=seed)
+    assert result.k_estimate == pytest.approx(k_inf, rel=0.08)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), size=st.floats(2.0, 100.0))
+def test_leakage_monotone_in_optical_thickness(seed, size):
+    """Bigger boxes of the same material always leak less (statistically)."""
+    medium = (_medium(0.1, 0.2),)
+    small = TransportProblem(medium, size=size, nmesh=2)
+    large = TransportProblem(medium, size=size * 4.0, nmesh=2)
+    leak_small = small.run(1500, seed=seed).leakage_fraction
+    leak_large = large.run(1500, seed=seed).leakage_fraction
+    assert leak_large <= leak_small + 0.05

@@ -1,0 +1,65 @@
+"""Rank binding (Section IV-A)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.ids import StackRef
+from repro.hw.systems import get_system
+from repro.runtime.binding import explicit_scaling_binding, ranks_per_socket
+
+
+class TestExplicitScaling:
+    def test_rank0_is_core1_stack_0_0(self):
+        # "rank 0 is bound to CPU core 1 and PVC 0 Stack 0".
+        b = explicit_scaling_binding(get_system("aurora").node)[0]
+        assert b.cpu_core == 1
+        assert b.stack == StackRef(0, 0)
+        assert b.socket == 0
+
+    def test_one_rank_per_stack(self):
+        node = get_system("aurora").node
+        bindings = explicit_scaling_binding(node)
+        assert len(bindings) == 12
+        assert [b.stack for b in bindings] == node.stacks()
+
+    def test_socket1_ranks_skip_core_52(self):
+        # Aurora reserves cores 0 and 52 for the OS.
+        node = get_system("aurora").node
+        bindings = explicit_scaling_binding(node)
+        socket1 = [b for b in bindings if b.socket == 1]
+        assert socket1[0].cpu_core == 53
+
+    def test_cores_unique(self):
+        bindings = explicit_scaling_binding(get_system("dawn").node)
+        cores = [b.cpu_core for b in bindings]
+        assert len(set(cores)) == len(cores)
+
+    def test_ranks_bound_to_closest_socket(self):
+        node = get_system("dawn").node
+        for b in explicit_scaling_binding(node):
+            assert b.socket == node.socket_of(b.stack)
+
+    def test_partial_ranks(self):
+        bindings = explicit_scaling_binding(get_system("aurora").node, 2)
+        assert len(bindings) == 2
+        assert bindings[1].stack == StackRef(0, 1)
+
+    def test_rejects_too_many_ranks(self):
+        with pytest.raises(ConfigurationError):
+            explicit_scaling_binding(get_system("dawn").node, 9)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ConfigurationError):
+            explicit_scaling_binding(get_system("dawn").node, 0)
+
+
+class TestRanksPerSocket:
+    def test_aurora_full_is_6_per_socket(self):
+        node = get_system("aurora").node
+        counts = ranks_per_socket(explicit_scaling_binding(node), 2)
+        assert counts == [6, 6]
+
+    def test_two_ranks_both_on_socket0(self):
+        node = get_system("aurora").node
+        counts = ranks_per_socket(explicit_scaling_binding(node, 2), 2)
+        assert counts == [2, 0]

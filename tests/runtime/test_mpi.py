@@ -1,0 +1,218 @@
+"""Simulated MPI: point-to-point, collectives, virtual time, deadlocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MPIError
+from repro.runtime.mpi import MAX, SUM, SimMPI
+
+
+class TestPointToPoint:
+    def test_send_recv_payload(self, aurora):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(10.0), dest=1)
+                return None
+            if comm.rank == 1:
+                return comm.Recv(source=0)
+            return None
+
+        results = SimMPI(aurora, 2).run(prog)
+        assert np.array_equal(results[1], np.arange(10.0))
+
+    def test_isend_irecv_waitall(self, aurora):
+        def prog(comm):
+            peer = 1 - comm.rank
+            reqs = [
+                comm.Isend(np.full(4, float(comm.rank)), peer, tag=9),
+                comm.Irecv(peer, tag=9),
+            ]
+            out = comm.Waitall(reqs)
+            return out[1][0]
+
+        results = SimMPI(aurora, 2).run(prog)
+        assert results == [1.0, 0.0]
+
+    def test_declared_nbytes_drives_timing(self, aurora):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Isend(np.zeros(4), 1, nbytes=500_000_000).wait()
+                return comm.now
+            if comm.rank == 1:
+                comm.Irecv(0).wait()
+                return comm.now
+            return None
+
+        times = SimMPI(aurora, 2).run(prog)
+        # 500 MB over the 197 GB/s local pair: ~2.5 ms.
+        assert times[1] == pytest.approx(0.5e9 / 197e9, rel=0.05)
+
+    def test_declared_nbytes_smaller_than_payload_rejected(self, aurora):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Isend(np.zeros(100), 1, nbytes=8)
+            return None
+
+        with pytest.raises(MPIError):
+            SimMPI(aurora, 2).run(prog)
+
+    def test_tags_demultiplex(self, aurora):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Isend(np.array([1.0]), 1, tag=1)
+                comm.Isend(np.array([2.0]), 1, tag=2)
+                return None
+            if comm.rank == 1:
+                # Receive in reverse tag order.
+                b = comm.Irecv(0, tag=2).wait()
+                a = comm.Irecv(0, tag=1).wait()
+                return (a[0], b[0])
+            return None
+
+        results = SimMPI(aurora, 2).run(prog)
+        assert results[1] == (1.0, 2.0)
+
+    def test_self_send_rejected(self, aurora):
+        def prog(comm):
+            comm.Isend(np.zeros(1), comm.rank)
+
+        with pytest.raises(MPIError):
+            SimMPI(aurora, 1).run(prog)
+
+    def test_bad_rank_rejected(self, aurora):
+        def prog(comm):
+            comm.Isend(np.zeros(1), 99)
+
+        with pytest.raises(MPIError):
+            SimMPI(aurora, 2).run(prog)
+
+    def test_sendrecv_exchanges(self, aurora):
+        def prog(comm):
+            peer = 1 - comm.rank
+            got = comm.Sendrecv(np.array([float(comm.rank)]), peer)
+            return got[0]
+
+        assert SimMPI(aurora, 2).run(prog) == [1.0, 0.0]
+
+
+class TestVirtualTime:
+    def test_advance_accumulates(self, aurora):
+        def prog(comm):
+            comm.advance(1.5)
+            comm.advance(0.5)
+            return comm.now
+
+        assert SimMPI(aurora, 1).run(prog) == [2.0]
+
+    def test_advance_rejects_negative(self, aurora):
+        def prog(comm):
+            comm.advance(-1.0)
+
+        with pytest.raises(MPIError):
+            SimMPI(aurora, 1).run(prog)
+
+    def test_recv_waits_for_late_sender(self, aurora):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.advance(5.0)  # sender is busy for 5 s first
+                comm.Send(np.zeros(1), 1)
+                return comm.now
+            out = comm.Recv(source=0)
+            assert out is not None
+            return comm.now
+
+        times = SimMPI(aurora, 2).run(prog)
+        assert times[1] >= 5.0  # receiver clock jumped past the send time
+
+    def test_deterministic_regardless_of_scheduling(self, aurora):
+        def prog(comm):
+            peer = 1 - comm.rank
+            got = comm.Sendrecv(np.full(64, float(comm.rank)), peer)
+            comm.advance(0.001 * comm.rank)
+            return (comm.now, float(got[0]))
+
+        a = SimMPI(aurora, 2).run(prog)
+        for _ in range(3):
+            assert SimMPI(aurora, 2).run(prog) == a
+
+
+class TestCollectives:
+    def test_allreduce_sum(self, aurora):
+        def prog(comm):
+            return comm.Allreduce(np.array([comm.rank + 1.0]), SUM)[0]
+
+        results = SimMPI(aurora, 4).run(prog)
+        assert results == [10.0] * 4
+
+    def test_allreduce_max(self, aurora):
+        def prog(comm):
+            return comm.Allreduce(np.array([float(comm.rank)]), MAX)[0]
+
+        assert SimMPI(aurora, 3).run(prog) == [2.0] * 3
+
+    def test_allreduce_unknown_op(self, aurora):
+        def prog(comm):
+            comm.Allreduce(np.zeros(1), "median")
+
+        with pytest.raises(MPIError):
+            SimMPI(aurora, 2).run(prog)
+
+    def test_bcast(self, aurora):
+        def prog(comm):
+            data = np.arange(4.0) if comm.rank == 0 else None
+            return comm.Bcast(data, root=0)[2]
+
+        assert SimMPI(aurora, 3).run(prog) == [2.0] * 3
+
+    def test_gather_only_root_gets_data(self, aurora):
+        def prog(comm):
+            out = comm.Gather(np.array([float(comm.rank)]), root=0)
+            return None if out is None else [a[0] for a in out]
+
+        results = SimMPI(aurora, 3).run(prog)
+        assert results[0] == [0.0, 1.0, 2.0]
+        assert results[1] is None
+
+    def test_allgather(self, aurora):
+        def prog(comm):
+            out = comm.Allgather(np.array([float(comm.rank) * 2]))
+            return [a[0] for a in out]
+
+        assert SimMPI(aurora, 3).run(prog) == [[0.0, 2.0, 4.0]] * 3
+
+    def test_barrier_synchronizes_clocks(self, aurora):
+        def prog(comm):
+            comm.advance(float(comm.rank))
+            comm.Barrier()
+            return comm.now
+
+        times = SimMPI(aurora, 4).run(prog)
+        assert all(t >= 3.0 for t in times)
+        assert len(set(times)) == 1
+
+    def test_collectives_in_sequence(self, aurora):
+        def prog(comm):
+            a = comm.Allreduce(np.array([1.0]))[0]
+            comm.Barrier()
+            b = comm.Allreduce(np.array([2.0]))[0]
+            return (a, b)
+
+        assert SimMPI(aurora, 4).run(prog) == [(4.0, 8.0)] * 4
+
+
+class TestLauncher:
+    def test_default_one_rank_per_stack(self, aurora):
+        assert SimMPI(aurora).size == 12
+
+    def test_exception_propagates(self, aurora):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="boom"):
+            SimMPI(aurora, 2).run(prog)
+
+    def test_bindings_exposed(self, aurora):
+        mpi = SimMPI(aurora, 3)
+        assert mpi.bindings[0].cpu_core == 1

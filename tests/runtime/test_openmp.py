@@ -1,0 +1,48 @@
+"""OpenMP target offload facade."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import Precision
+from repro.runtime.openmp import OpenMPRuntime
+from repro.sim.kernel import fma_chain_kernel, triad_kernel
+
+
+class TestTargetRegion:
+    def test_body_executes(self, aurora):
+        rt = OpenMPRuntime(aurora)
+        hit = []
+        region = rt.target_teams_loop(triad_kernel(1 << 20), lambda: hit.append(1))
+        assert hit == [1]
+        assert region.kernel_s > 0
+        assert region.total_s == region.kernel_s
+
+    def test_map_clauses_add_transfer_time(self, aurora):
+        rt = OpenMPRuntime(aurora)
+        rt.set_repetition(2)
+        region = rt.target_teams_loop(
+            triad_kernel(1 << 20),
+            map_to_bytes=500e6,
+            map_from_bytes=500e6,
+        )
+        assert region.map_to_s == pytest.approx(500e6 / 54e9, rel=0.05)
+        assert region.map_from_s == pytest.approx(500e6 / 53e9, rel=0.05)
+        assert region.total_s > region.kernel_s
+
+    def test_kernel_rate_matches_engine(self, aurora):
+        rt = OpenMPRuntime(aurora)
+        spec = fma_chain_kernel(Precision.FP64, lanes=2**20)
+        region = rt.target_teams_loop(spec)
+        assert spec.flops / region.kernel_s == pytest.approx(
+            aurora.fma_rate(Precision.FP64, 1), rel=0.01
+        )
+
+    def test_parallel_for_vectorises(self, aurora):
+        rt = OpenMPRuntime(aurora)
+        out = np.zeros(8)
+
+        def body(idx):
+            out[idx] = idx * 2
+
+        rt.parallel_for(8, body)
+        assert np.array_equal(out, np.arange(8) * 2.0)

@@ -1,0 +1,46 @@
+"""Toolchain model: per-system compilers + the MI250 Fortran failure."""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.hw.systems import get_system
+from repro.runtime.toolchain import toolchain_for
+
+
+class TestToolchains:
+    def test_pvc_systems_use_oneapi(self):
+        assert "oneAPI" in toolchain_for("aurora").name
+        assert "oneAPI" in toolchain_for("dawn").name
+
+    def test_accepts_system_object(self):
+        tc = toolchain_for(get_system("jlse-h100"))
+        assert tc.c_cxx_compiler == "nvc++"
+
+    def test_unknown_system(self):
+        with pytest.raises(BuildError):
+            toolchain_for("frontier")
+
+
+class TestBuilds:
+    def test_sycl_builds_everywhere_cpp(self):
+        for name in ("aurora", "dawn", "jlse-h100", "jlse-mi250"):
+            binary = toolchain_for(name).build("CloverLeaf", "C++", "sycl")
+            assert binary.system == name
+
+    def test_fortran_openmp_fails_on_mi250(self):
+        # Section V-B.3: GAMESS RI-MP2 "failed to build with the AMD
+        # Fortran compiler".
+        with pytest.raises(BuildError, match="amdflang"):
+            toolchain_for("jlse-mi250").build(
+                "GAMESS RI-MP2 mini-app", "Fortran", "OpenMP"
+            )
+
+    def test_fortran_openmp_builds_on_intel_and_nvidia(self):
+        for name in ("aurora", "dawn", "jlse-h100"):
+            binary = toolchain_for(name).build("RI-MP2", "Fortran", "OpenMP")
+            assert binary.compiler in ("ifx", "nvfortran")
+
+    def test_binary_records_metadata(self):
+        b = toolchain_for("aurora").build("miniBUDE", "C++", "SYCL")
+        assert b.app == "miniBUDE"
+        assert b.programming_model == "SYCL"

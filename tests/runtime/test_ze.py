@@ -1,0 +1,71 @@
+"""ZE_AFFINITY_MASK semantics."""
+
+import pytest
+
+from repro.errors import AffinityError
+from repro.hw.ids import StackRef
+from repro.hw.systems import get_system
+from repro.runtime.ze import COMPOSITE, FLAT, ZeDriver, parse_affinity_mask
+
+
+@pytest.fixture(scope="module")
+def node():
+    return get_system("aurora").node
+
+
+class TestParse:
+    def test_card_entry_expands_both_stacks(self, node):
+        assert parse_affinity_mask("0", node) == [StackRef(0, 0), StackRef(0, 1)]
+
+    def test_stack_entry_single(self, node):
+        assert parse_affinity_mask("3.1", node) == [StackRef(3, 1)]
+
+    def test_mixed_list_keeps_order(self, node):
+        refs = parse_affinity_mask("5.1,0", node)
+        assert refs == [StackRef(5, 1), StackRef(0, 0), StackRef(0, 1)]
+
+    def test_duplicates_removed(self, node):
+        assert parse_affinity_mask("0.0,0.0", node) == [StackRef(0, 0)]
+
+    @pytest.mark.parametrize("bad", ["9", "0.5", "a.b", "0.0.0", ""])
+    def test_malformed_rejected(self, bad, node):
+        with pytest.raises(AffinityError):
+            parse_affinity_mask(bad, node)
+
+
+class TestDriver:
+    def test_no_mask_sees_everything_flat(self, node):
+        driver = ZeDriver(node)
+        assert driver.device_count() == 12
+        assert driver.devices()[0].stacks == (StackRef(0, 0),)
+
+    def test_mask_renumbers_densely(self, node):
+        driver = ZeDriver(node, "4.0,2.1")
+        devices = driver.devices()
+        assert [d.index for d in devices] == [0, 1]
+        assert devices[0].stacks == (StackRef(4, 0),)
+        assert devices[1].stacks == (StackRef(2, 1),)
+
+    def test_composite_groups_by_card(self, node):
+        driver = ZeDriver(node, "0,1", hierarchy=COMPOSITE)
+        devices = driver.devices()
+        assert len(devices) == 2
+        assert devices[0].n_sub_devices == 2
+        assert devices[0].sub_device(1) == StackRef(0, 1)
+
+    def test_composite_partial_card(self, node):
+        driver = ZeDriver(node, "0.1", hierarchy=COMPOSITE)
+        assert driver.devices()[0].stacks == (StackRef(0, 1),)
+
+    def test_sub_device_out_of_range(self, node):
+        dev = ZeDriver(node, "0.0").devices()[0]
+        with pytest.raises(AffinityError):
+            dev.sub_device(1)
+
+    def test_bad_hierarchy_rejected(self, node):
+        with pytest.raises(AffinityError):
+            ZeDriver(node, hierarchy="SIDEWAYS")
+
+    def test_h100_has_single_stack_devices(self):
+        driver = ZeDriver(get_system("jlse-h100").node)
+        assert driver.device_count() == 4

@@ -1,0 +1,117 @@
+"""Calibration tables and scaling curves."""
+
+import pytest
+
+from repro.dtypes import Precision
+from repro.errors import CalibrationError
+from repro.sim.calibration import (
+    APP_CALIBRATIONS,
+    CALIBRATIONS,
+    ScalingCurve,
+    get_app_calibration,
+    get_calibration,
+)
+
+
+class TestScalingCurve:
+    def test_interpolates_linearly(self):
+        c = ScalingCurve.of({1: 1.0, 3: 0.8})
+        assert c.efficiency(2) == pytest.approx(0.9)
+
+    def test_clamps_beyond_last_point(self):
+        c = ScalingCurve.of({1: 1.0, 2: 0.9})
+        assert c.efficiency(10) == pytest.approx(0.9)
+
+    def test_clamps_below_first_point(self):
+        c = ScalingCurve.of({2: 0.9})
+        assert c.efficiency(1) == pytest.approx(0.9)
+
+    def test_aggregate(self):
+        c = ScalingCurve.of({1: 1.0, 2: 0.5})
+        assert c.aggregate(10.0, 2) == pytest.approx(10.0)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(CalibrationError):
+            ScalingCurve(((2, 0.9), (1, 1.0)))
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(CalibrationError):
+            ScalingCurve.of({1: 1.5})
+
+    def test_rejects_zero_stacks(self):
+        with pytest.raises(CalibrationError):
+            ScalingCurve.of({1: 1.0}).efficiency(0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CalibrationError):
+            ScalingCurve(())
+
+
+class TestSystemCalibrations:
+    def test_all_four_paper_systems_present(self):
+        assert set(CALIBRATIONS) >= {"aurora", "dawn", "jlse-h100", "jlse-mi250"}
+
+    def test_unknown_system_raises(self):
+        with pytest.raises(CalibrationError):
+            get_calibration("frontier")
+
+    def test_efficiencies_are_fractions(self):
+        for cal in CALIBRATIONS.values():
+            assert 0 < cal.stream_efficiency <= 1
+            for eff in cal.gemm_efficiency.values():
+                assert 0 < eff <= 1
+            for eff in cal.pcie_efficiency.values():
+                assert 0 < eff <= 1
+
+    def test_aurora_scaling_quotes(self):
+        # Section IV-B.1: 97% two-stack, ~95% full-node FP64 scaling.
+        curve = get_calibration("aurora").scaling_curve("flops-fp64")
+        assert curve.efficiency(2) == pytest.approx(0.97, abs=0.01)
+        assert curve.efficiency(12) == pytest.approx(0.95, abs=0.01)
+
+    def test_pcie_bidir_factor_below_two(self):
+        # Section IV-B.4: "we observe only 1.4x bandwidth for bi- vs uni-".
+        for cal in CALIBRATIONS.values():
+            assert cal.pcie_bidir_factor < 2.0
+
+    def test_aurora_host_caps_bind_d2h(self):
+        caps = get_calibration("aurora").host_agg_caps
+        assert caps["d2h"] == pytest.approx(264e9)
+
+    def test_dawn_host_caps_unbounded(self):
+        caps = get_calibration("dawn").host_agg_caps
+        assert all(v is None for v in caps.values())
+
+    def test_missing_gemm_precision_raises(self):
+        cal = get_calibration("jlse-mi250")
+        with pytest.raises(CalibrationError):
+            cal.require_gemm(Precision.TF32)
+
+    def test_default_scaling_is_perfect(self):
+        cal = get_calibration("aurora")
+        assert cal.scaling_curve("nonexistent").efficiency(5) == 1.0
+
+
+class TestAppCalibrations:
+    def test_every_app_has_all_four_systems(self):
+        apps = {k[0] for k in APP_CALIBRATIONS}
+        for app in apps:
+            systems = {k[1] for k in APP_CALIBRATIONS if k[0] == app}
+            assert systems >= {"aurora", "dawn", "jlse-h100", "jlse-mi250"}, app
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(CalibrationError):
+            get_app_calibration("minibude", "frontier")
+
+    def test_minibude_fractions_match_prose(self):
+        # Section V-B: ~45% on Aurora, ~49% on Dawn.
+        assert get_app_calibration("minibude", "aurora").fp32_fraction == (
+            pytest.approx(0.45, abs=0.01)
+        )
+        assert get_app_calibration("minibude", "dawn").fp32_fraction == (
+            pytest.approx(0.49, abs=0.015)
+        )
+
+    def test_rimp2_mi250_marked_broken(self):
+        assert get_app_calibration("rimp2", "jlse-mi250").build_fails
+        assert not get_app_calibration("rimp2", "aurora").build_fails

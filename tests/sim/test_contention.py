@@ -1,0 +1,50 @@
+"""Proportional-share host contention."""
+
+import pytest
+
+from repro.sim.contention import (
+    aggregate_rate,
+    proportional_share,
+    shared_throughput,
+)
+
+
+class TestProportionalShare:
+    def test_no_cap_passthrough(self):
+        assert proportional_share([1.0, 2.0], None) == [1.0, 2.0]
+
+    def test_under_cap_passthrough(self):
+        assert proportional_share([1.0, 2.0], 10.0) == [1.0, 2.0]
+
+    def test_over_cap_scales_fairly(self):
+        shares = proportional_share([30.0, 10.0], 20.0)
+        assert shares == [pytest.approx(15.0), pytest.approx(5.0)]
+        assert sum(shares) == pytest.approx(20.0)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            proportional_share([-1.0], 10.0)
+
+    def test_empty(self):
+        assert proportional_share([], 10.0) == []
+
+
+class TestAggregateRate:
+    def test_paper_d2h_example(self):
+        # 12 stacks demand 53 GB/s each; host caps at 264 GB/s -> 40%.
+        total = aggregate_rate([53e9] * 12, 264e9)
+        assert total == pytest.approx(264e9)
+        assert total / (53e9 * 12) == pytest.approx(0.415, abs=0.01)
+
+
+class TestSharedThroughput:
+    def test_identical_flows(self):
+        assert shared_throughput(10.0, 4, 20.0) == pytest.approx(20.0)
+        assert shared_throughput(10.0, 1, 20.0) == pytest.approx(10.0)
+
+    def test_zero_flows(self):
+        assert shared_throughput(10.0, 0, 20.0) == 0.0
+
+    def test_rejects_negative_flows(self):
+        with pytest.raises(ValueError):
+            shared_throughput(10.0, -1, None)

@@ -1,0 +1,113 @@
+"""The performance engine: achieved rates, roofline, ablations."""
+
+import pytest
+
+from repro.dtypes import Precision
+from repro.hw.frequency import WorkloadKind
+from repro.hw.systems import get_system
+from repro.sim.engine import PerfEngine
+from repro.sim.kernel import gemm_kernel, pointer_chase_kernel, triad_kernel
+from repro.sim.noise import QUIET
+
+
+class TestRates:
+    def test_aurora_fp64_fma_17t(self, aurora):
+        assert aurora.fma_rate(Precision.FP64, 1) == pytest.approx(17e12, rel=0.02)
+
+    def test_fp32_fp64_ratio_1p3(self, aurora):
+        ratio = aurora.fma_rate(Precision.FP32, 1) / aurora.fma_rate(
+            Precision.FP64, 1
+        )
+        assert ratio == pytest.approx(23 / 17, rel=0.05)
+
+    def test_stream_1tb(self, aurora, dawn):
+        assert aurora.stream_bw(1) == pytest.approx(1e12, rel=0.02)
+        assert dawn.stream_bw(1) == pytest.approx(1e12, rel=0.02)
+
+    def test_stream_scales_perfectly(self, aurora):
+        assert aurora.stream_bw(12) == pytest.approx(12 * aurora.stream_bw(1))
+
+    def test_dgemm_13t(self, aurora):
+        assert aurora.gemm_rate(Precision.FP64, 1) == pytest.approx(
+            13e12, rel=0.02
+        )
+
+    def test_mi250_gemm_uses_matrix_cores(self, mi250):
+        # DGEMM (24.1) exceeds the vector FP64 peak (22.6) per GCD.
+        dgemm = mi250.gemm_rate(Precision.FP64, 1)
+        vector_peak = mi250.sustained_peak(Precision.FP64)
+        assert dgemm > vector_peak
+        assert dgemm == pytest.approx(24.1e12, rel=0.02)
+
+    def test_fft_rates(self, aurora):
+        assert aurora.fft_rate(1, 1) == pytest.approx(3.1e12, rel=0.02)
+        assert aurora.fft_rate(2, 1) == pytest.approx(3.4e12, rel=0.02)
+        with pytest.raises(ValueError):
+            aurora.fft_rate(3, 1)
+
+    def test_stack_count_validated(self, aurora):
+        with pytest.raises(ValueError):
+            aurora.fma_rate(Precision.FP64, 0)
+        with pytest.raises(ValueError):
+            aurora.fma_rate(Precision.FP64, 13)
+
+
+class TestLatency:
+    def test_l1_latency_76_cycles(self, aurora):
+        assert aurora.latency_cycles(16 * 1024) == pytest.approx(76.0, rel=0.02)
+
+    def test_latency_seconds_uses_stream_clock(self, aurora):
+        lat_s = aurora.latency_seconds(16 * 1024)
+        assert lat_s == pytest.approx(76.0 / 1.6e9, rel=0.02)
+
+
+class TestRoofline:
+    def test_triad_is_memory_bound(self, aurora):
+        pt = aurora.roofline(triad_kernel())
+        assert pt.bound == "memory"
+
+    def test_gemm_is_compute_bound(self, aurora):
+        pt = aurora.roofline(gemm_kernel(Precision.FP64))
+        assert pt.bound == "compute"
+
+    def test_pointer_chase_is_latency_bound(self, aurora):
+        pt = aurora.roofline(pointer_chase_kernel(1 << 30, n_chases=100_000))
+        assert pt.bound == "latency"
+
+    def test_kernel_time_with_noise_slower_or_equal(self, noisy_aurora):
+        spec = triad_kernel()
+        clean = noisy_aurora.kernel_time_s(spec)
+        noisy = noisy_aurora.kernel_time_s(spec, rep=0)
+        assert noisy >= clean
+
+
+class TestAblations:
+    def test_tdp_off_equalizes_fp32_fp64(self):
+        e = PerfEngine(get_system("aurora"), noise=QUIET, enable_tdp=False)
+        r64 = e.fma_rate(Precision.FP64, 1)
+        r32 = e.fma_rate(Precision.FP32, 1)
+        # fma efficiencies differ by ~1%; clocks are now equal.
+        assert r32 / r64 == pytest.approx(1.0, abs=0.02)
+
+    def test_tdp_off_raises_fp64_peak(self, aurora):
+        e = PerfEngine(get_system("aurora"), noise=QUIET, enable_tdp=False)
+        assert e.fma_rate(Precision.FP64, 1) > aurora.fma_rate(Precision.FP64, 1)
+
+    def test_quiet_copy_preserves_flags(self):
+        e = PerfEngine(
+            get_system("aurora"), enable_tdp=False, enable_planes=False
+        )
+        q = e.quiet()
+        assert q.enable_tdp is False
+        assert q.transfers.enable_planes is False
+
+
+class TestSustainedPeak:
+    def test_gemm_kind_downclocks_fp64(self, aurora):
+        fma = aurora.sustained_peak(Precision.FP64, WorkloadKind.FMA_CHAIN)
+        gemm = aurora.sustained_peak(Precision.FP64, WorkloadKind.GEMM)
+        assert fma == gemm  # both at the 1.2 GHz TDP clock
+
+    def test_unknown_precision_raises(self, mi250):
+        with pytest.raises(ValueError):
+            mi250.sustained_peak(Precision.TF32)

@@ -1,0 +1,96 @@
+"""Kernel workload descriptors."""
+
+import math
+
+import pytest
+
+from repro.core.units import MIB
+from repro.dtypes import Precision
+from repro.errors import KernelSpecError
+from repro.hw.frequency import WorkloadKind
+from repro.sim.kernel import (
+    GEMM_N,
+    TRIAD_ARRAY_BYTES,
+    KernelSpec,
+    fft_kernel,
+    fma_chain_kernel,
+    gemm_kernel,
+    pointer_chase_kernel,
+    triad_kernel,
+)
+
+
+class TestKernelSpec:
+    def test_rejects_negative_flops(self):
+        with pytest.raises(KernelSpecError):
+            KernelSpec("bad", flops=-1.0)
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(KernelSpecError):
+            KernelSpec("empty")
+
+    def test_arithmetic_intensity(self):
+        spec = KernelSpec("k", flops=100.0, bytes_read=40.0, bytes_written=10.0)
+        assert spec.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_pure_compute_intensity_infinite(self):
+        spec = KernelSpec("k", flops=1.0)
+        assert math.isinf(spec.arithmetic_intensity)
+
+    def test_scaled(self):
+        spec = triad_kernel(1000).scaled(2.0)
+        assert spec.bytes_read == pytest.approx(4000.0)
+        with pytest.raises(KernelSpecError):
+            spec.scaled(0.0)
+
+
+class TestConstructors:
+    def test_triad_sizing_rule(self):
+        # 192 MiB LLC x 4 = 805 MB per array (Section IV-A.2).
+        assert TRIAD_ARRAY_BYTES == 192 * MIB * 4
+        assert TRIAD_ARRAY_BYTES == pytest.approx(805e6, rel=2e-3)
+
+    def test_triad_two_loads_one_store(self):
+        spec = triad_kernel(100)
+        assert spec.bytes_read == pytest.approx(200.0)
+        assert spec.bytes_written == pytest.approx(100.0)
+        assert spec.kind is WorkloadKind.STREAM
+
+    def test_gemm_flop_count(self):
+        # "A total of 2 * N^3 floating point operations" (Section IV-A.5).
+        spec = gemm_kernel(Precision.FP64, 100)
+        assert spec.flops == pytest.approx(2.0 * 100**3)
+        assert GEMM_N == 20480
+
+    def test_gemm_bytes_follow_itemsize(self):
+        d = gemm_kernel(Precision.FP64, 64)
+        s = gemm_kernel(Precision.FP32, 64)
+        assert d.total_bytes == pytest.approx(2 * s.total_bytes)
+
+    def test_fft_complex_flop_rule(self):
+        # 5 N log2 N for complex transforms (Section IV-A.6).
+        n = 4096
+        spec = fft_kernel(n, ndim=1)
+        assert spec.flops == pytest.approx(5 * n * math.log2(n))
+
+    def test_fft_real_half_flops(self):
+        n = 4096
+        assert fft_kernel(n, real=True).flops == pytest.approx(
+            fft_kernel(n).flops / 2
+        )
+
+    def test_fft_2d_counts_total_points(self):
+        n = 64
+        spec = fft_kernel(n, ndim=2)
+        pts = n * n
+        assert spec.flops == pytest.approx(5 * pts * math.log2(pts))
+
+    def test_fma_chain_length(self):
+        # 16 x 128 FMAs x 2 flops per lane per repeat (Section IV-A.1).
+        spec = fma_chain_kernel(Precision.FP32, lanes=1, repeats=1)
+        assert spec.flops == pytest.approx(2 * 16 * 128)
+
+    def test_pointer_chase_latency_bound(self):
+        spec = pointer_chase_kernel(4096, n_chases=100)
+        assert spec.serial_chases == 100
+        assert spec.flops == 0

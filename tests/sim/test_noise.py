@@ -1,0 +1,53 @@
+"""Deterministic noise model."""
+
+import pytest
+
+from repro.sim.noise import QUIET, NoiseModel
+
+
+class TestNoiseModel:
+    def test_deterministic_across_instances(self):
+        a = NoiseModel(amplitude=0.02)
+        b = NoiseModel(amplitude=0.02)
+        for rep in range(10):
+            assert a.slowdown("key", rep) == b.slowdown("key", rep)
+
+    def test_different_keys_differ(self):
+        m = NoiseModel(amplitude=0.02)
+        factors_a = [m.slowdown("a", r) for r in range(1, 20)]
+        factors_b = [m.slowdown("b", r) for r in range(1, 20)]
+        assert factors_a != factors_b
+
+    def test_slowdown_at_least_one(self):
+        m = NoiseModel(amplitude=0.05)
+        assert all(m.slowdown("k", r) >= 1.0 for r in range(50))
+
+    def test_bounded_by_amplitude(self):
+        m = NoiseModel(amplitude=0.05, warmup_penalty=0.0)
+        assert all(m.slowdown("k", r) <= 1.05 + 1e-12 for r in range(1, 50))
+
+    def test_warmup_penalty_on_rep_zero(self):
+        m = NoiseModel(amplitude=0.0, warmup_penalty=0.25)
+        assert m.slowdown("k", 0) == pytest.approx(1.25)
+        assert m.slowdown("k", 1) == pytest.approx(1.0)
+
+    def test_some_repetition_hits_clean_value(self):
+        # Best-of-N must be able to observe the noise-free time.
+        m = NoiseModel(amplitude=0.05)
+        assert any(
+            m.slowdown("k", r) == pytest.approx(1.0) for r in range(1, 10)
+        )
+
+    def test_quiet_is_identity(self):
+        assert QUIET.apply(2.5, "k", 7) == 2.5
+
+    def test_seed_changes_stream(self):
+        a = NoiseModel(amplitude=0.02, seed=0)
+        b = NoiseModel(amplitude=0.02, seed=1)
+        assert [a.slowdown("k", r) for r in range(1, 10)] != [
+            b.slowdown("k", r) for r in range(1, 10)
+        ]
+
+    def test_rejects_negative_params(self):
+        with pytest.raises(ValueError):
+            NoiseModel(amplitude=-0.1)

@@ -1,0 +1,80 @@
+"""Power and energy-to-solution model."""
+
+import pytest
+
+from repro.dtypes import Precision
+from repro.hw.frequency import WorkloadKind
+from repro.sim.kernel import gemm_kernel, triad_kernel
+from repro.sim.power import PowerModel
+
+
+@pytest.fixture(scope="module")
+def power_aurora(aurora):
+    return PowerModel(aurora)
+
+
+@pytest.fixture(scope="module")
+def power_dawn(dawn):
+    return PowerModel(dawn)
+
+
+class TestPowerDraw:
+    def test_card_caps_per_system(self, power_aurora, power_dawn):
+        assert power_aurora.card_cap_w == 500.0
+        assert power_dawn.card_cap_w == 600.0
+
+    def test_compute_kernel_pins_the_cap(self, power_aurora):
+        # Two stacks of one card at a compute workload = the full cap.
+        assert power_aurora.kernel_power_w(
+            gemm_kernel(Precision.FP64), n_stacks=2
+        ) == pytest.approx(500.0)
+
+    def test_stream_draws_less_than_compute(self, power_aurora):
+        stream = power_aurora.stack_power_w(WorkloadKind.STREAM)
+        compute = power_aurora.stack_power_w(WorkloadKind.FMA_CHAIN)
+        assert stream < compute
+
+    def test_node_power_budget(self, power_aurora, power_dawn):
+        # 6 x 500 W = 3000 W vs 4 x 600 W = 2400 W.
+        assert power_aurora.node_power_budget_w() == 3000.0
+        assert power_dawn.node_power_budget_w() == 2400.0
+
+
+class TestEnergyToSolution:
+    def test_report_fields(self, power_aurora):
+        report = power_aurora.energy_to_solution(gemm_kernel(Precision.FP64))
+        assert report.time_s > 0
+        assert report.energy_j == pytest.approx(
+            report.total_power_w * report.time_s
+        )
+        assert report.work_per_joule > 0
+        assert report.work_unit == "Flop"
+
+    def test_pure_transfer_kernel_counts_bytes(self, power_aurora):
+        spec = triad_kernel(1 << 20)
+        report = power_aurora.energy_to_solution(spec)
+        assert report.work_unit == "Flop"  # triad does flops too
+
+    def test_host_power_scales_with_ranks(self, power_aurora):
+        one = power_aurora.energy_to_solution(gemm_kernel(Precision.FP64), 1)
+        twelve = power_aurora.energy_to_solution(
+            gemm_kernel(Precision.FP64), 12
+        )
+        assert twelve.host_power_w == pytest.approx(12 * one.host_power_w)
+
+
+class TestEfficiencyComparisons:
+    def test_aurora_more_fp64_flops_per_watt_than_dawn(
+        self, power_aurora, power_dawn
+    ):
+        """Aurora's 500 W cap + binned-down stacks still deliver slightly
+        better FP64 efficiency than Dawn's 600 W full parts."""
+        a = power_aurora.flops_per_watt(Precision.FP64)
+        d = power_dawn.flops_per_watt(Precision.FP64)
+        assert a > d
+
+    def test_fp32_more_efficient_than_fp64_on_pvc(self, power_aurora):
+        # Same power envelope, higher clock for FP32.
+        assert power_aurora.flops_per_watt(
+            Precision.FP32
+        ) > power_aurora.flops_per_watt(Precision.FP64)

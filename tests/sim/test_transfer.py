@@ -1,0 +1,156 @@
+"""Transfer model: PCIe, MDFI, Xe-Link, contention, ablations."""
+
+import pytest
+
+from repro.hw.ids import StackRef
+from repro.hw.interconnect import LinkKind
+from repro.hw.systems import get_system
+from repro.sim.calibration import get_calibration
+from repro.sim.engine import PerfEngine
+from repro.sim.noise import QUIET
+from repro.sim.transfer import TransferModel
+
+
+def _model(name="aurora", **kw) -> TransferModel:
+    system = get_system(name)
+    return TransferModel(system.node, get_calibration(name), **kw)
+
+
+class TestHostDevice:
+    def test_single_stack_h2d_matches_table_ii(self):
+        assert _model().host_device_bw(StackRef(0, 0), "h2d") == pytest.approx(
+            54e9, rel=0.01
+        )
+
+    def test_d2h_slightly_slower(self):
+        m = _model()
+        assert m.host_device_bw(StackRef(0, 0), "d2h") < m.host_device_bw(
+            StackRef(0, 0), "h2d"
+        )
+
+    def test_bidir_is_1p4x_not_2x(self):
+        m = _model()
+        uni = m.host_device_bw(StackRef(0, 0), "h2d")
+        bidir = m.host_device_bw(StackRef(0, 0), "bidir")
+        assert bidir / uni == pytest.approx(1.41, abs=0.02)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            _model().host_device_bw(StackRef(0, 0), "sideways")
+
+    def test_two_stacks_share_card_link(self):
+        # "One PVC" PCIe rate ~= "One Stack" rate (Table II).
+        m = _model()
+        card = m.node_host_bw("h2d", [StackRef(0, 0), StackRef(0, 1)])
+        single = m.host_device_bw(StackRef(0, 0), "h2d")
+        assert card == pytest.approx(single, rel=0.01)
+
+    def test_full_node_d2h_capped_at_264(self):
+        assert _model().node_host_bw("d2h") == pytest.approx(264e9, rel=0.01)
+
+    def test_full_node_h2d_near_linear_in_cards(self):
+        m = _model()
+        total = m.node_host_bw("h2d")
+        assert total == pytest.approx(6 * 54e9, rel=0.02)
+
+    def test_contention_ablation_removes_cap(self):
+        free = _model(enable_contention=False)
+        assert free.node_host_bw("d2h") == pytest.approx(6 * 53e9, rel=0.02)
+
+    def test_dawn_never_caps(self):
+        m = _model("dawn")
+        assert m.node_host_bw("h2d") == pytest.approx(4 * 53e9, rel=0.02)
+
+    def test_transfer_time_includes_latency(self):
+        m = _model()
+        t_small = m.host_transfer_time(StackRef(0, 0), 1.0)
+        assert t_small > 0
+        t_large = m.host_transfer_time(StackRef(0, 0), 500e6)
+        assert t_large == pytest.approx(500e6 / 54e9, rel=0.05)
+
+
+class TestPeerToPeer:
+    def test_local_pair_197(self):
+        m = _model()
+        assert m.p2p_bw(StackRef(0, 0), StackRef(0, 1)) == pytest.approx(
+            197e9, rel=0.01
+        )
+
+    def test_local_bidir_284(self):
+        m = _model()
+        bw = m.p2p_bw(StackRef(0, 0), StackRef(0, 1), bidirectional=True)
+        assert bw == pytest.approx(284e9, rel=0.01)
+
+    def test_remote_pair_15(self):
+        m = _model()
+        assert m.p2p_bw(StackRef(0, 0), StackRef(1, 0)) == pytest.approx(
+            15e9, rel=0.01
+        )
+
+    def test_remote_bidir_23(self):
+        m = _model()
+        bw = m.p2p_bw(StackRef(0, 0), StackRef(1, 0), bidirectional=True)
+        assert bw == pytest.approx(23e9, rel=0.01)
+
+    def test_remote_slower_than_pcie(self):
+        # Section IV-B.7: Xe-Link "in fact slower than PCIe".
+        m = _model()
+        assert m.p2p_bw(StackRef(0, 0), StackRef(1, 0)) < m.host_device_bw(
+            StackRef(0, 0), "h2d"
+        )
+
+    def test_cross_plane_same_rate_as_same_plane(self):
+        # The Xe-Link hop bottlenecks either route.
+        m = _model()
+        same_plane = m.p2p_bw(StackRef(0, 0), StackRef(2, 0))
+        cross_plane = m.p2p_bw(StackRef(0, 0), StackRef(1, 0))
+        assert same_plane == pytest.approx(cross_plane)
+
+    def test_pair_class(self):
+        m = _model()
+        assert m.pair_class(StackRef(0, 0), StackRef(0, 1)) == "local"
+        assert m.pair_class(StackRef(0, 0), StackRef(5, 1)) == "remote"
+
+    def test_concurrent_local_pairs_aurora(self):
+        # Table III: six local pairs -> 1129 GB/s (95% parallel eff).
+        m = _model()
+        pairs = [(StackRef(c, 0), StackRef(c, 1)) for c in range(6)]
+        assert m.concurrent_p2p_bw(pairs) == pytest.approx(1129e9, rel=0.01)
+
+    def test_concurrent_empty(self):
+        assert _model().concurrent_p2p_bw([]) == 0.0
+
+    def test_planes_ablation_keeps_remote_rate(self):
+        m = _model(enable_planes=False)
+        assert m.p2p_bw(StackRef(0, 0), StackRef(1, 0)) == pytest.approx(
+            15e9, rel=0.01
+        )
+
+    def test_mi250_gcd_to_gcd_37(self):
+        # Table IV: 37 GB/s GCD-to-GCD.
+        m = _model("jlse-mi250")
+        assert m.p2p_bw(StackRef(0, 0), StackRef(0, 1)) == pytest.approx(
+            37e9, rel=0.01
+        )
+
+    def test_achieved_link_bw_default_efficiency(self):
+        m = _model()
+        # NVLink isn't calibrated on Aurora; the default efficiency applies.
+        assert m.achieved_link_bw(LinkKind.NVLINK4) == pytest.approx(
+            450e9 * 0.85
+        )
+
+
+class TestEngineTransferFacade:
+    def test_engine_p2p_with_noise_reproducible(self):
+        e1 = PerfEngine(get_system("aurora"))
+        e2 = PerfEngine(get_system("aurora"))
+        t1 = e1.p2p_transfer_time(StackRef(0, 0), StackRef(0, 1), 5e8, rep=3)
+        t2 = e2.p2p_transfer_time(StackRef(0, 0), StackRef(0, 1), 5e8, rep=3)
+        assert t1 == t2
+
+    def test_quiet_engine_has_no_noise(self):
+        e = PerfEngine(get_system("aurora"), noise=QUIET)
+        t_a = e.host_transfer_time(StackRef(0, 0), 5e8, rep=0)
+        t_b = e.host_transfer_time(StackRef(0, 0), 5e8, rep=4)
+        assert t_a == t_b
