@@ -155,8 +155,30 @@ def figures_markdown() -> str:
     return out.getvalue()
 
 
-def full_report() -> str:
-    """The complete reproduction report as Markdown."""
+def fault_injection_markdown(ctx) -> str:
+    """Fault-injection section: active scenario, schedules, incident log."""
+    for name in ("aurora", "dawn"):
+        # Materialise the per-system plans so the section can list them.
+        ctx.engine(name)
+    out = io.StringIO()
+    out.write("```\n")
+    out.write(ctx.describe())
+    out.write("\n```\n")
+    incidents = ctx.incident_log()
+    if incidents:
+        out.write("\nIncidents applied during this report:\n\n")
+        for msg in incidents:
+            out.write(f"- {msg}\n")
+    out.write(f"\nWorst cell status: **{ctx.worst_status.name}**\n")
+    return out.getvalue()
+
+
+def full_report(ctx=None) -> str:
+    """The complete reproduction report as Markdown.
+
+    Pass an active :class:`~repro.faults.ExecutionContext` to append a
+    fault-injection section documenting the scenario and its incidents.
+    """
     parts = [
         "# Reproduction report",
         "",
@@ -166,7 +188,7 @@ def full_report() -> str:
         "## Table III: point-to-point",
         "",
         "```",
-        table_iii().render(),
+        table_iii(ctx=ctx).render(),
         "```",
         "",
         "## Table IV: reference GPUs",
@@ -191,4 +213,6 @@ def full_report() -> str:
         "",
         claims_markdown(),
     ]
+    if ctx is not None and ctx.active:
+        parts += ["## Fault injection", "", fault_injection_markdown(ctx)]
     return "\n".join(parts)

@@ -7,13 +7,24 @@ reader can hold next to the paper.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 from ..core.fom import FOM_SPECS
 from ..core.registry import global_registry
-from ..core.result import Quantity, ResultTable
+from ..core.result import BenchmarkResult, CellStatus, Quantity, ResultTable
 from ..core.runner import RunPlan
 from ..dtypes import Precision
-from ..errors import BuildError, NotMeasuredError
+from ..errors import (
+    AllocationError,
+    BuildError,
+    NotMeasuredError,
+    ReproError,
+    TransientKernelError,
+)
 from ..hw.systems import get_system
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.context import ExecutionContext
 from ..micro.fft import Fft
 from ..micro.gemm import Gemm
 from ..micro.p2p import P2PBandwidth
@@ -28,6 +39,40 @@ from .paper_values import TABLE_IV
 __all__ = ["table_i", "table_ii", "table_iii", "table_iv", "table_v", "table_vi"]
 
 _PLAN = RunPlan(repetitions=5, warmup=1)
+
+
+def _engine_for(sys_name: str, ctx: "ExecutionContext | None") -> PerfEngine:
+    if ctx is not None:
+        return ctx.engine(sys_name)
+    return PerfEngine(get_system(sys_name))
+
+
+def _measure_cell(
+    table: ResultTable,
+    row: str,
+    col: str,
+    ctx: "ExecutionContext | None",
+    fn: Callable[[], BenchmarkResult],
+) -> None:
+    """Fill one cell, isolating fault-injection failures to that cell.
+
+    Without an active fault context this is exactly ``table.set(fn())``,
+    so clean runs keep their fail-fast behaviour.  Under injection a
+    benchmark that cannot produce a number becomes a FAILED cell instead
+    of aborting the whole table.
+    """
+    if ctx is None or not ctx.active:
+        table.set(row, col, fn())
+        return
+    try:
+        result = fn()
+    except ReproError as exc:
+        table.set_failed(row, col, f"{type(exc).__name__}: {exc}")
+        ctx.record(CellStatus.FAILED)
+        return
+    table.set(row, col, result)
+    prov = result.provenance
+    ctx.record(prov.status if prov is not None else CellStatus.OK)
 
 
 def table_i() -> str:
@@ -61,11 +106,14 @@ _TABLE_II_ROWS = [
 ]
 
 
-def table_ii(systems: tuple[str, ...] = ("aurora", "dawn")) -> ResultTable:
+def table_ii(
+    systems: tuple[str, ...] = ("aurora", "dawn"),
+    ctx: "ExecutionContext | None" = None,
+) -> ResultTable:
     """Table II: microbenchmark results at one Stack / one PVC / full node."""
     table = ResultTable("Table II")
     for sys_name in systems:
-        engine = PerfEngine(get_system(sys_name))
+        engine = _engine_for(sys_name, ctx)
         scopes = [
             ("One Stack", 1),
             ("One PVC", engine.node.card.n_devices),
@@ -75,12 +123,20 @@ def table_ii(systems: tuple[str, ...] = ("aurora", "dawn")) -> ResultTable:
             bench = factory()
             for scope_name, n in scopes:
                 col = f"{engine.system.display_name} / {scope_name}"
-                result = bench.measure(engine, n, _PLAN)
-                table.set(row_name, col, result)
+                _measure_cell(
+                    table,
+                    row_name,
+                    col,
+                    ctx,
+                    lambda bench=bench, n=n: bench.measure(engine, n, _PLAN),
+                )
     return table
 
 
-def table_iii(systems: tuple[str, ...] = ("aurora", "dawn")) -> ResultTable:
+def table_iii(
+    systems: tuple[str, ...] = ("aurora", "dawn"),
+    ctx: "ExecutionContext | None" = None,
+) -> ResultTable:
     """Table III: stack-to-stack point-to-point bandwidths."""
     table = ResultTable("Table III")
     rows = [
@@ -90,7 +146,7 @@ def table_iii(systems: tuple[str, ...] = ("aurora", "dawn")) -> ResultTable:
         ("Remote Stack Bidirectional Bandwidth", "remote", True),
     ]
     for sys_name in systems:
-        engine = PerfEngine(get_system(sys_name))
+        engine = _engine_for(sys_name, ctx)
         n_pairs = engine.node.n_cards
         for row_name, pair_class, bidir in rows:
             bench = P2PBandwidth(pair_class, bidirectional=bidir)
@@ -101,8 +157,14 @@ def table_iii(systems: tuple[str, ...] = ("aurora", "dawn")) -> ResultTable:
                 table.set(row_name, one_col, None)
                 table.set(row_name, all_col, None)
                 continue
-            table.set(row_name, one_col, bench.measure(engine, 1, _PLAN))
-            table.set(row_name, all_col, bench.measure(engine, 2 * n_pairs, _PLAN))
+            _measure_cell(
+                table, row_name, one_col, ctx,
+                lambda bench=bench: bench.measure(engine, 1, _PLAN),
+            )
+            _measure_cell(
+                table, row_name, all_col, ctx,
+                lambda bench=bench: bench.measure(engine, 2 * n_pairs, _PLAN),
+            )
     return table
 
 
@@ -150,6 +212,7 @@ _TABLE_VI_APPS = [
 
 def table_vi(
     systems: tuple[str, ...] = ("aurora", "dawn", "jlse-h100", "jlse-mi250"),
+    ctx: "ExecutionContext | None" = None,
 ) -> ResultTable:
     """Table VI: mini-app and application FOMs across all four systems.
 
@@ -160,7 +223,8 @@ def table_vi(
     """
     table = ResultTable("Table VI")
     for sys_name in systems:
-        engine = PerfEngine(get_system(sys_name))
+        engine = _engine_for(sys_name, ctx)
+        injector = engine.faults
         is_pvc = engine.device.arch == "pvc"
         scopes: list[tuple[str, int]] = []
         if is_pvc:
@@ -172,15 +236,46 @@ def table_vi(
             app = cls()
             for scope_name, n in scopes:
                 col = f"{engine.system.display_name} / {scope_name}"
+                if injector is not None:
+                    # Apps don't go through a Runner, so the table driver
+                    # advances the fault clock once per cell.
+                    injector.tick()
                 try:
-                    fom = app.fom(engine, n)
+                    try:
+                        fom = app.fom(engine, n)
+                    except (TransientKernelError, AllocationError):
+                        if ctx is None or not ctx.active:
+                            raise
+                        # Transient faults clear on retry (the stream
+                        # counter has advanced past the event).
+                        fom = app.fom(engine, n)
                 except (NotMeasuredError, BuildError):
                     table.set(app_name, col, None)
+                    continue
+                except ReproError as exc:
+                    if ctx is None or not ctx.active:
+                        raise
+                    table.set_failed(
+                        app_name, col, f"{type(exc).__name__}: {exc}"
+                    )
+                    ctx.record(CellStatus.FAILED)
                     continue
                 # The paper measures miniBUDE on a single device only, and
                 # OpenMC/HACC on full nodes only.
                 if app_name == "miniBUDE" and n != 1:
                     table.set(app_name, col, None)
                     continue
-                table.set(app_name, col, Quantity(fom, app.fom_spec.unit))
+                incidents = injector.drain() if injector is not None else []
+                if incidents:
+                    table.set(
+                        app_name,
+                        col,
+                        Quantity(fom, app.fom_spec.unit),
+                        status=CellStatus.DEGRADED,
+                        note="; ".join(incidents),
+                    )
+                    if ctx is not None:
+                        ctx.record(CellStatus.DEGRADED)
+                else:
+                    table.set(app_name, col, Quantity(fom, app.fom_spec.unit))
     return table

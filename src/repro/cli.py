@@ -10,6 +10,14 @@ Mirrors the artifact's run scripts::
     pvc-bench fig2 | fig3 | fig4
     pvc-bench claims            # every checked prose claim
     pvc-bench systems           # node inventories
+
+Chaos testing (deterministic fault injection)::
+
+    pvc-bench table2 --inject device-loss --seed 0
+    pvc-bench health --inject plane-outage --seed 3
+
+Exit codes under injection: 0 = clean, 1 = degraded cells (faults were
+absorbed), 2 = failed cells or a fatal error.
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ from .analysis import (
     table_v,
     table_vi,
 )
+from .errors import ReproError
+from .faults import SCENARIO_NAMES, ExecutionContext
 from .hw.systems import all_systems
 
 __all__ = ["main"]
@@ -74,6 +84,25 @@ def _cmd_systems() -> None:
     for system in all_systems():
         print(system.node.describe())
         print(f"    software: {system.software}")
+
+
+def _cmd_health(ctx: ExecutionContext) -> None:
+    from .core.result import CellStatus
+    from .hw.selfcheck import node_health
+    from .hw.systems import get_system
+
+    for name in ("aurora", "dawn"):
+        if ctx.active:
+            engine = ctx.engine(name)
+            injector = engine.faults
+            injector.fast_forward()
+            report = node_health(engine.system, injector)
+            if not report.healthy:
+                ctx.record(CellStatus.DEGRADED)
+        else:
+            report = node_health(get_system(name))
+        print(report.render())
+        print()
 
 
 def _cmd_selfcheck() -> None:
@@ -148,13 +177,20 @@ def _cmd_top500() -> None:
         )
 
 
+# Commands that honour --inject take the execution context; the rest are
+# zero-arg and run exactly as before.
+_CTX_COMMANDS = {
+    "table2": lambda ctx: print(table_ii(ctx=ctx).render()),
+    "table3": lambda ctx: print(table_iii(ctx=ctx).render()),
+    "table6": lambda ctx: print(table_vi(ctx=ctx).render()),
+    "report": lambda ctx: print(full_report(ctx)),
+    "health": _cmd_health,
+}
+
 _COMMANDS = {
     "table1": lambda: print(table_i()),
-    "table2": lambda: print(table_ii().render()),
-    "table3": lambda: print(table_iii().render()),
     "table4": lambda: print(table_iv().render()),
     "table5": lambda: print(table_v()),
-    "table6": lambda: print(table_vi().render()),
     "fig1": _cmd_fig1,
     "fig2": lambda: _print_ratio_points(
         figure2(), "Figure 2: FOMs on Aurora relative to Dawn"
@@ -167,7 +203,6 @@ _COMMANDS = {
     ),
     "claims": _cmd_claims,
     "systems": _cmd_systems,
-    "report": lambda: print(full_report()),
     "roofline": _cmd_roofline,
     "top500": _cmd_top500,
     "selfcheck": _cmd_selfcheck,
@@ -181,10 +216,38 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's tables and figures on the "
         "simulated substrate.",
     )
-    parser.add_argument("command", choices=sorted(_COMMANDS))
+    parser.add_argument(
+        "command", choices=sorted(_COMMANDS) + sorted(_CTX_COMMANDS)
+    )
+    parser.add_argument(
+        "--inject",
+        metavar="SCENARIO",
+        default=None,
+        help="inject a deterministic fault scenario "
+        f"({', '.join(SCENARIO_NAMES)})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the fault schedule (default: 0)",
+    )
     args = parser.parse_args(argv)
-    _COMMANDS[args.command]()
-    return 0
+    try:
+        ctx = ExecutionContext(args.inject, args.seed)
+        if args.command in _CTX_COMMANDS:
+            _CTX_COMMANDS[args.command](ctx)
+        else:
+            if ctx.active:
+                print(
+                    f"pvc-bench: note: {args.command} ignores --inject",
+                    file=sys.stderr,
+                )
+            _COMMANDS[args.command]()
+    except ReproError as exc:
+        print(f"pvc-bench: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+    return ctx.exit_code()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,7 @@ with the configuration it was measured under (system, device scope, dtype,
 
 from __future__ import annotations
 
+import enum
 import statistics
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
@@ -22,7 +23,51 @@ __all__ = [
     "BenchmarkResult",
     "ResultTable",
     "DeviceScope",
+    "CellStatus",
+    "Provenance",
 ]
+
+
+class CellStatus(enum.IntEnum):
+    """Health of one table cell, ordered by severity.
+
+    ``OK`` is a clean measurement; ``DEGRADED`` means faults were absorbed
+    (retries, quarantined repetitions, rerouted traffic) but a number was
+    still produced; ``FAILED`` means no usable measurement exists.  The
+    worst status across a run decides the CLI exit code (0/1/2).
+    """
+
+    OK = 0
+    DEGRADED = 1
+    FAILED = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """How a result was obtained under fault injection.
+
+    Attached to a :class:`BenchmarkResult` by the resilient runner so
+    tables can mark cells and footnote the faults that touched them.
+    """
+
+    status: CellStatus = CellStatus.OK
+    faults: tuple[str, ...] = ()
+    retries: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    detail: str = ""
+
+    def summary(self) -> str:
+        parts = list(self.faults)
+        if self.retries:
+            parts.append(f"{self.retries} retried rep(s)")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined sample(s)")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed-out rep(s)")
+        if self.detail:
+            parts.append(self.detail)
+        return "; ".join(parts) if parts else "clean"
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,6 +184,8 @@ class BenchmarkResult:
     scope: DeviceScope
     samples: SampleSet
     params: Mapping[str, object] = field(default_factory=dict)
+    #: Fault-injection provenance (None for ordinary clean runs).
+    provenance: "Provenance | None" = None
 
     @property
     def best(self) -> Measurement:
@@ -173,18 +220,54 @@ class ResultTable:
         self._rows: list[str] = []
         self._cols: list[str] = []
         self._cells: dict[tuple[str, str], Quantity | None] = {}
+        self._status: dict[tuple[str, str], CellStatus] = {}
+        self._notes: dict[tuple[str, str], str] = {}
 
-    def set(self, row: str, col: str, value: BenchmarkResult | Quantity | None) -> None:
+    def set(
+        self,
+        row: str,
+        col: str,
+        value: BenchmarkResult | Quantity | None,
+        *,
+        status: CellStatus | None = None,
+        note: str | None = None,
+    ) -> None:
         if row not in self._rows:
             self._rows.append(row)
         if col not in self._cols:
             self._cols.append(col)
         if isinstance(value, BenchmarkResult):
+            prov = value.provenance
+            if prov is not None:
+                if status is None and prov.status is not CellStatus.OK:
+                    status = prov.status
+                if note is None and prov.status is not CellStatus.OK:
+                    note = prov.summary()
             value = value.quantity
         self._cells[(row, col)] = value
+        if status is not None and status is not CellStatus.OK:
+            self._status[(row, col)] = status
+            if note:
+                self._notes[(row, col)] = note
+
+    def set_failed(self, row: str, col: str, note: str) -> None:
+        """Record a cell whose measurement failed outright."""
+        self.set(row, col, None, status=CellStatus.FAILED, note=note)
 
     def get(self, row: str, col: str) -> Quantity | None:
         return self._cells[(row, col)]
+
+    def status(self, row: str, col: str) -> CellStatus:
+        return self._status.get((row, col), CellStatus.OK)
+
+    def note(self, row: str, col: str) -> str | None:
+        return self._notes.get((row, col))
+
+    def worst_status(self) -> CellStatus:
+        """Worst cell status in the table (drives the CLI exit code)."""
+        if not self._status:
+            return CellStatus.OK
+        return max(self._status.values())
 
     @property
     def rows(self) -> list[str]:
@@ -195,14 +278,39 @@ class ResultTable:
         return list(self._cols)
 
     def render(self) -> str:
-        """Render as a monospace table resembling the paper's layout."""
+        """Render as a monospace table resembling the paper's layout.
+
+        Cells touched by fault injection carry a marker (``*`` degraded,
+        ``FAILED`` for lost cells) and a deterministic footnote listing the
+        fault provenance.
+        """
         header = [self.title] + self._cols
         body: list[list[str]] = []
+        footnotes: list[str] = []
+        seen_notes: dict[tuple[str, str], int] = {}
         for row in self._rows:
             cells = [row]
             for col in self._cols:
                 q = self._cells.get((row, col))
-                cells.append("-" if q is None else str(q))
+                status = self._status.get((row, col), CellStatus.OK)
+                if status is CellStatus.FAILED:
+                    text = "FAILED"
+                elif q is None:
+                    text = "-"
+                else:
+                    text = str(q)
+                if status is not CellStatus.OK:
+                    note = self._notes.get((row, col))
+                    if note:
+                        idx = seen_notes.setdefault((row, col), len(seen_notes) + 1)
+                        footnotes.append(
+                            f"[{idx}] {row} / {col} "
+                            f"({status.name}): {note}"
+                        )
+                        text += f" *[{idx}]"
+                    else:
+                        text += " *"
+                cells.append(text)
             body.append(cells)
         widths = [
             max(len(line[i]) for line in [header] + body)
@@ -214,4 +322,8 @@ class ResultTable:
         rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
         out = [fmt(header), rule]
         out.extend(fmt(line) for line in body)
+        if footnotes:
+            out.append("")
+            out.append("fault provenance:")
+            out.extend(f"  {line}" for line in footnotes)
         return "\n".join(out)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
+from ..errors import BuildError, MeasurementError, NotMeasuredError, ReproError
 from .result import BenchmarkResult, DeviceScope, Measurement, SampleSet
 
 __all__ = ["Runner", "RunPlan"]
@@ -61,7 +62,21 @@ class Runner:
         samples = SampleSet()
         total = self.plan.warmup + self.plan.repetitions
         for rep in range(total):
-            sample = measure(rep)
+            try:
+                sample = measure(rep)
+            except (NotMeasuredError, BuildError, MeasurementError):
+                # Already carries context (or is the '-' sentinel): pass
+                # through so table code can keep its existing handling.
+                raise
+            except ReproError as exc:
+                raise MeasurementError(
+                    f"repetition {rep} of {benchmark} on {system} failed: "
+                    f"{exc}",
+                    benchmark=benchmark,
+                    system=system,
+                    repetition=rep,
+                    partial=samples,
+                ) from exc
             if rep >= self.plan.warmup:
                 samples.add(sample)
         return BenchmarkResult(

@@ -61,3 +61,52 @@ class KernelSpecError(ReproError):
 
 class NotMeasuredError(ReproError):
     """The paper did not measure this cell (rendered as '-' in its tables)."""
+
+
+class ScenarioError(ConfigurationError):
+    """A fault-injection scenario name or specification is invalid."""
+
+
+class DeviceLostError(ReproError):
+    """A logical device dropped off the bus (injected or detected).
+
+    Production PVC nodes lose stacks mid-run; the fault-injection layer
+    reproduces that by marking a stack dead in the fabric, after which any
+    attempt to move data to or from it raises this error.
+    """
+
+    def __init__(self, message: str, stack: object | None = None) -> None:
+        super().__init__(message)
+        self.stack = stack
+
+
+class TransientKernelError(ReproError):
+    """A kernel launch failed transiently; a retry may succeed."""
+
+
+class BenchmarkTimeoutError(ReproError):
+    """A repetition or benchmark exceeded its (simulated) time budget."""
+
+
+class MeasurementError(ReproError):
+    """A measurement failed mid-plan.
+
+    Carries the benchmark identity and the partial sample set collected
+    before the failure so callers can salvage a degraded result instead of
+    losing everything (the resilient runner does exactly that).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        benchmark: str = "?",
+        system: str = "?",
+        repetition: int = -1,
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.system = system
+        self.repetition = repetition
+        self.partial = partial

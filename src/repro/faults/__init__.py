@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the simulated benchmark suite.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — seeded, immutable fault schedules
+  (:class:`FaultPlan`) and the clocks that trigger them;
+* :mod:`repro.faults.scenarios` — named scenarios
+  (``pvc-bench --inject <name> --seed N``) built from those schedules;
+* :mod:`repro.faults.injectors` — the :class:`FaultInjector` that applies
+  a plan to a node as the suite's clocks advance, consulted by the
+  performance engine, the SYCL/Level-Zero runtimes and the MPI layer.
+
+:class:`ExecutionContext` ties one injector-equipped engine per system to
+the CLI's exit-code contract (0 clean / 1 degraded / 2 failed).
+"""
+
+from .context import ExecutionContext
+from .injectors import FaultInjector
+from .plan import FaultClock, FaultEvent, FaultKind, FaultPlan, SeededDraw
+from .scenarios import SCENARIO_NAMES, build_plan
+
+__all__ = [
+    "ExecutionContext",
+    "FaultInjector",
+    "FaultClock",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "SeededDraw",
+    "SCENARIO_NAMES",
+    "build_plan",
+]

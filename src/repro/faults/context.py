@@ -1,0 +1,103 @@
+"""Per-run fault-injection context shared by the CLI and table drivers.
+
+:class:`ExecutionContext` owns one :class:`FaultInjector`-equipped
+:class:`~repro.sim.engine.PerfEngine` per system, accumulates the worst
+cell status seen anywhere in the run, and turns it into the CLI's exit
+code contract: 0 clean, 1 degraded, 2 failed.
+"""
+
+from __future__ import annotations
+
+from ..core.result import CellStatus
+from ..hw.systems import System, get_system
+from ..sim.engine import PerfEngine
+from ..errors import ScenarioError
+from .injectors import FaultInjector
+from .scenarios import SCENARIO_NAMES, build_plan
+
+__all__ = ["ExecutionContext"]
+
+
+class ExecutionContext:
+    """One CLI invocation's fault-injection state.
+
+    ``scenario=None`` is the clean mode: engines carry no injector and
+    the exit code stays 0 unless something fails outright.
+    """
+
+    def __init__(self, scenario: str | None = None, seed: int = 0) -> None:
+        if scenario is not None and scenario not in SCENARIO_NAMES:
+            raise ScenarioError(
+                f"unknown fault scenario {scenario!r}; choose from: "
+                + ", ".join(SCENARIO_NAMES)
+            )
+        self.scenario = scenario
+        self.seed = seed
+        self._engines: dict[str, PerfEngine] = {}
+        self._injectors: dict[str, FaultInjector] = {}
+        self._worst = CellStatus.OK
+
+    @property
+    def active(self) -> bool:
+        return self.scenario is not None
+
+    # ------------------------------------------------------------------
+    # engines
+    # ------------------------------------------------------------------
+
+    def engine(self, sys_name: str) -> PerfEngine:
+        """The (cached) engine for a system, injector attached if active.
+
+        Each context builds its own fresh :class:`System`, so fabric
+        health mutations never leak between runs or into other contexts.
+        """
+        if sys_name not in self._engines:
+            system: System = get_system(sys_name)
+            injector = None
+            if self.active:
+                plan = build_plan(self.scenario, self.seed, system.node)
+                injector = FaultInjector(plan, system.node)
+                self._injectors[sys_name] = injector
+            self._engines[sys_name] = PerfEngine(system, faults=injector)
+        return self._engines[sys_name]
+
+    def injector(self, sys_name: str) -> FaultInjector | None:
+        self.engine(sys_name)
+        return self._injectors.get(sys_name)
+
+    # ------------------------------------------------------------------
+    # status accounting
+    # ------------------------------------------------------------------
+
+    def record(self, status: CellStatus) -> None:
+        if status > self._worst:
+            self._worst = status
+
+    @property
+    def worst_status(self) -> CellStatus:
+        return self._worst
+
+    def exit_code(self) -> int:
+        """0 clean, 1 degraded (faults absorbed), 2 failed cells."""
+        return int(self._worst)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        if not self.active:
+            return "fault injection: off"
+        lines = [
+            f"fault injection: scenario {self.scenario!r}, seed {self.seed}"
+        ]
+        for sys_name, injector in sorted(self._injectors.items()):
+            lines.append(f"  {sys_name}: {injector.plan.describe()}")
+        return "\n".join(lines)
+
+    def incident_log(self) -> list[str]:
+        """Every fault applied so far, across all systems, in order."""
+        out: list[str] = []
+        for sys_name, injector in sorted(self._injectors.items()):
+            out.extend(f"{sys_name}: {msg}" for msg in injector.history)
+        return out

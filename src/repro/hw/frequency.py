@@ -90,6 +90,27 @@ class FrequencyModel:
             return self.fp64_fma_hz
         return self.max_hz
 
+    def throttled(self, ratio: float) -> "FrequencyModel":
+        """A copy of this model during a DVFS throttle excursion.
+
+        Every clock is scaled by ``ratio`` (0 < ratio <= 1).  The fault
+        injector uses this to present the effective clocks of a thermally
+        throttled stack in health reports; the performance engine applies
+        the same ratio directly to its sustained rates.
+        """
+        if not (0.0 < ratio <= 1.0):
+            raise ValueError(f"throttle ratio must be in (0, 1]: {ratio}")
+        return FrequencyModel(
+            max_hz=self.max_hz * ratio,
+            fp64_fma_hz=(
+                None if self.fp64_fma_hz is None else self.fp64_fma_hz * ratio
+            ),
+            idle_hz=None if self.idle_hz is None else self.idle_hz * ratio,
+            power_cap_w=self.power_cap_w,
+            stream_hz=None if self.stream_hz is None else self.stream_hz * ratio,
+            _overrides={key: hz * ratio for key, hz in self._overrides.items()},
+        )
+
     def downclock_ratio(self, precision: Precision) -> float:
         """``sustained(precision) / max`` for FMA chains.
 

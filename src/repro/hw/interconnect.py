@@ -110,6 +110,11 @@ class Fabric:
     def __init__(self) -> None:
         self._g = nx.Graph()
         self._planes: tuple[frozenset[StackRef], ...] = ()
+        # Health overlay (fault injection).  The underlying graph is never
+        # mutated: dead stacks and dead/degraded links are tracked here and
+        # filtered out (or scaled) by the routing/bandwidth queries.
+        self._down_stacks: set[StackRef] = set()
+        self._link_health: dict[frozenset, float] = {}
 
     # -- construction -------------------------------------------------
 
@@ -127,11 +132,88 @@ class Fabric:
     def set_planes(self, planes: Sequence[Iterable[StackRef]]) -> None:
         self._planes = tuple(frozenset(p) for p in planes)
 
+    # -- health overlay (fault injection) -------------------------------
+
+    def set_stack_down(self, ref: StackRef) -> None:
+        """Mark a stack as lost: it disappears from routing and enumeration."""
+        if ref not in self._g:
+            raise TopologyError(f"unknown stack {ref}")
+        self._down_stacks.add(ref)
+
+    def revive_stack(self, ref: StackRef) -> None:
+        self._down_stacks.discard(ref)
+
+    def is_down(self, ref) -> bool:
+        return ref in self._down_stacks
+
+    def set_link_health(self, a, b, factor: float) -> None:
+        """Scale a link's bandwidth: 1.0 healthy, 0.0 outage."""
+        if self.link_between(a, b) is None:
+            raise TopologyError(f"no link {a} -- {b}")
+        if not (0.0 <= factor <= 1.0):
+            raise TopologyError(f"bad link health {factor}")
+        self._link_health[frozenset((a, b))] = factor
+
+    def set_plane_health(self, plane_index: int, factor: float) -> None:
+        """Degrade (or kill, factor=0) every Xe-Link edge inside a plane."""
+        try:
+            plane = self._planes[plane_index]
+        except IndexError:
+            raise TopologyError(f"no plane {plane_index}") from None
+        for a, b in itertools.combinations(sorted(plane), 2):
+            link = self.link_between(a, b)
+            if link is not None and link.kind is LinkKind.XELINK:
+                self.set_link_health(a, b, factor)
+
+    def link_health(self, a, b) -> float:
+        return self._link_health.get(frozenset((a, b)), 1.0)
+
+    def reset_health(self) -> None:
+        self._down_stacks.clear()
+        self._link_health.clear()
+
+    @property
+    def has_degradation(self) -> bool:
+        return bool(self._down_stacks) or any(
+            f < 1.0 for f in self._link_health.values()
+        )
+
+    @property
+    def down_stacks(self) -> list[StackRef]:
+        return sorted(self._down_stacks)
+
+    @property
+    def degraded_links(self) -> list[tuple[object, object, float]]:
+        """(a, b, health) for every link whose health is below 1.0."""
+        out = []
+        for key, health in self._link_health.items():
+            if health < 1.0:
+                a, b = sorted(key, key=str)
+                out.append((a, b, health))
+        return sorted(out, key=lambda t: (str(t[0]), str(t[1])))
+
+    def _alive_view(self, nodes: Iterable) -> "nx.Graph":
+        """Subgraph over *nodes* excluding dead stacks and dead links."""
+        keep = [n for n in nodes if n not in self._down_stacks]
+        view = self._g.subgraph(keep)
+        dead_edges = [
+            tuple(key)
+            for key, health in self._link_health.items()
+            if health == 0.0
+        ]
+        if not dead_edges:
+            return view
+        return nx.restricted_view(view, [], dead_edges)
+
     # -- queries --------------------------------------------------------
 
     @property
     def stacks(self) -> list[StackRef]:
         return sorted(n for n in self._g.nodes if isinstance(n, StackRef))
+
+    @property
+    def alive_stacks(self) -> list[StackRef]:
+        return [s for s in self.stacks if s not in self._down_stacks]
 
     @property
     def planes(self) -> tuple[frozenset[StackRef], ...]:
@@ -169,11 +251,10 @@ class Fabric:
         """
         if src == dst:
             raise TopologyError("src == dst")
-        graph = self._g
+        nodes = self._g.nodes
         if isinstance(src, StackRef) and isinstance(dst, StackRef):
-            graph = self._g.subgraph(
-                [n for n in self._g.nodes if isinstance(n, StackRef)]
-            )
+            nodes = [n for n in self._g.nodes if isinstance(n, StackRef)]
+        graph = self._alive_view(nodes)
         try:
             shortest = nx.shortest_path_length(graph, src, dst)
         except (nx.NetworkXNoPath, nx.NodeNotFound):
@@ -191,6 +272,30 @@ class Fabric:
     def route(self, src, dst) -> Route:
         """A deterministic best (minimum-hop, lexicographically first) route."""
         return self.routes(src, dst)[0]
+
+    def healthy_hops(self, src, dst) -> int:
+        """Minimum hop count ignoring the health overlay.
+
+        The degraded-routing model compares the current route against this
+        baseline: extra hops forced by dead links cost relay efficiency.
+        """
+        nodes = self._g.nodes
+        if isinstance(src, StackRef) and isinstance(dst, StackRef):
+            nodes = [n for n in self._g.nodes if isinstance(n, StackRef)]
+        try:
+            return nx.shortest_path_length(self._g.subgraph(nodes), src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            raise TopologyError(f"no route {src} -> {dst}") from None
+
+    def is_route_degraded(self, src, dst) -> bool:
+        """True when the best live route is longer than the healthy route
+        or crosses a bandwidth-degraded link."""
+        if not self.has_degradation:
+            return False
+        route = self.route(src, dst)  # raises TopologyError if unroutable
+        if route.n_hops > self.healthy_hops(src, dst):
+            return True
+        return any(self.link_health(u, v) < 1.0 for u, v, _ in route.hops)
 
     def host_route(self, socket: int, ref: StackRef) -> Route:
         """Route from a host socket to a stack (via PCIe, + MDFI if needed)."""

@@ -7,13 +7,19 @@ A failed check means a construction bug, not a calibration issue.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..dtypes import Precision
+from ..errors import TopologyError
 from .node import Node
 from .systems import System
 
-__all__ = ["CheckResult", "self_check"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injectors import FaultInjector
+
+__all__ = ["CheckResult", "self_check", "HealthReport", "node_health"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +127,91 @@ def self_check(system: System) -> list[CheckResult]:
         )
     )
     return checks
+
+
+# ---------------------------------------------------------------------------
+# Node health under fault injection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Snapshot of a node's health after faults have been applied.
+
+    ``pvc-bench health --inject <scenario>`` fast-forwards the fault plan
+    and prints this report, so operators can preview what a scenario does
+    to the topology before committing to a full benchmark run.
+    """
+
+    system: str
+    n_stacks: int
+    dead_stacks: tuple[str, ...] = ()
+    degraded_links: tuple[str, ...] = ()
+    unroutable_pairs: int = 0
+    clock_ratio: float = 1.0
+    incidents: tuple[str, ...] = ()
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            not self.dead_stacks
+            and not self.degraded_links
+            and self.unroutable_pairs == 0
+            and self.clock_ratio == 1.0
+        )
+
+    def render(self) -> str:
+        alive = self.n_stacks - len(self.dead_stacks)
+        lines = [
+            f"node health: {self.system}",
+            f"  stacks alive: {alive}/{self.n_stacks}"
+            + (
+                f" (lost: {', '.join(self.dead_stacks)})"
+                if self.dead_stacks
+                else ""
+            ),
+        ]
+        if self.degraded_links:
+            lines.append("  degraded links:")
+            lines.extend(f"    {entry}" for entry in self.degraded_links)
+        else:
+            lines.append("  degraded links: none")
+        lines.append(f"  unroutable device pairs: {self.unroutable_pairs}")
+        if self.clock_ratio != 1.0:
+            lines.append(f"  clocks throttled to {self.clock_ratio:.0%}")
+        if self.incidents:
+            lines.append("  fault history:")
+            lines.extend(f"    {msg}" for msg in self.incidents)
+        lines.append(
+            "  verdict: "
+            + ("HEALTHY" if self.healthy else "DEGRADED")
+        )
+        return "\n".join(lines)
+
+
+def node_health(
+    system: System, faults: "FaultInjector | None" = None
+) -> HealthReport:
+    """Assess a node's current health (fabric overlay + fault history)."""
+    node: Node = system.node
+    fabric = node.fabric
+    dead = tuple(str(r) for r in fabric.down_stacks)
+    degraded = tuple(
+        f"{a} -- {b}: {health:.0%} of nominal bandwidth"
+        for a, b, health in fabric.degraded_links
+    )
+    unroutable = 0
+    alive = fabric.alive_stacks
+    for a, b in itertools.combinations(alive, 2):
+        try:
+            fabric.route(a, b)
+        except TopologyError:
+            unroutable += 1
+    return HealthReport(
+        system=system.name,
+        n_stacks=node.n_stacks,
+        dead_stacks=dead,
+        degraded_links=degraded,
+        unroutable_pairs=unroutable,
+        clock_ratio=faults.clock_ratio() if faults is not None else 1.0,
+        incidents=tuple(faults.history) if faults is not None else (),
+    )

@@ -10,11 +10,28 @@ from __future__ import annotations
 
 import abc
 
+from ..core.resilient import ResilientRunner
 from ..core.result import BenchmarkResult, DeviceScope, Measurement
 from ..core.runner import RunPlan, Runner
 from ..sim.engine import PerfEngine
 
-__all__ = ["MicroBenchmark", "scope_for"]
+__all__ = ["MicroBenchmark", "scope_for", "runner_for"]
+
+
+def runner_for(
+    engine: PerfEngine, plan: RunPlan | None, runner: Runner | None = None
+) -> Runner:
+    """The runner a benchmark should use on *engine*.
+
+    An explicit *runner* wins; otherwise an engine with a fault injector
+    attached gets the resilient protocol (retry/timeout/quarantine) and a
+    clean engine keeps the plain repeat-and-take-best runner.
+    """
+    if runner is not None:
+        return runner
+    if engine.faults is not None:
+        return ResilientRunner(plan, injector=engine.faults)
+    return Runner(plan)
 
 
 def scope_for(engine: PerfEngine, n_stacks: int) -> DeviceScope:
@@ -49,9 +66,10 @@ class MicroBenchmark(abc.ABC):
         engine: PerfEngine,
         n_stacks: int = 1,
         plan: RunPlan | None = None,
+        runner: Runner | None = None,
     ) -> BenchmarkResult:
         """Run the repeat-and-take-best protocol at the given scope."""
-        runner = Runner(plan)
+        runner = runner_for(engine, plan, runner)
         return runner.run(
             benchmark=self.benchmark_name or type(self).__name__,
             system=engine.system.name,

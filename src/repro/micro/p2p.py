@@ -25,9 +25,10 @@ from ..core.result import BenchmarkResult, DeviceScope, Measurement, SampleSet
 from ..core.runner import RunPlan, Runner
 from ..core.units import MB
 from ..hw.ids import StackRef
+from ..errors import DeviceLostError, TopologyError
 from ..sim.engine import PerfEngine
 from ..runtime.mpi import Communicator, SimMPI
-from .common import MicroBenchmark
+from .common import MicroBenchmark, runner_for
 
 __all__ = ["P2PBandwidth", "MESSAGE_BYTES", "local_pairs", "remote_pairs"]
 
@@ -101,6 +102,38 @@ class P2PBandwidth(MicroBenchmark):
             raise ValueError(
                 f"{engine.system.name} has no {self.pair_class} stack pairs"
             )
+        if engine.faults is not None:
+            alive = [
+                (a, b)
+                for a, b in pairs
+                if not (engine.faults.is_dead(a) or engine.faults.is_dead(b))
+            ]
+            if len(alive) < len(pairs):
+                engine.faults.note(
+                    f"{len(pairs) - len(alive)} {self.pair_class} pair(s) "
+                    "skipped: endpoint device lost"
+                )
+            if not alive:
+                raise DeviceLostError(
+                    f"every {self.pair_class} stack pair has a lost endpoint"
+                )
+            pairs = alive
+            fabric = engine.node.fabric
+            if fabric.has_degradation:
+                def _degraded(a: StackRef, b: StackRef) -> bool:
+                    # Unroutable pairs are left in: measuring one raises
+                    # TopologyError and fails that cell, as intended.
+                    try:
+                        return fabric.is_route_degraded(a, b)
+                    except TopologyError:
+                        return False
+
+                hit = [(a, b) for a, b in pairs if _degraded(a, b)]
+                if hit:
+                    engine.faults.note(
+                        f"{len(hit)} {self.pair_class} pair(s) measured over "
+                        "degraded fabric (rerouted or reduced-health links)"
+                    )
         return pairs
 
     # -- single pair via the MPI layer -------------------------------------
@@ -155,6 +188,7 @@ class P2PBandwidth(MicroBenchmark):
         engine: PerfEngine,
         n_stacks: int = 1,
         plan: RunPlan | None = None,
+        runner: Runner | None = None,
     ) -> BenchmarkResult:
         """``n_stacks`` selects the scope: 1 => one pair, else all pairs."""
         all_pairs = n_stacks > 1
@@ -178,11 +212,14 @@ class P2PBandwidth(MicroBenchmark):
                     rep,
                 )
                 return Measurement(elapsed_s=elapsed, work=moved, unit="B/s")
+            # Re-select pairs each repetition: a device lost mid-benchmark
+            # drops its pair from the aggregate instead of failing the cell.
+            live = self._pairs(engine)
             agg = engine.transfers.concurrent_p2p_bw(
-                pairs, bidirectional=self.bidirectional
+                live, bidirectional=self.bidirectional
             )
             per_pair = float(self.nbytes) * (2.0 if self.bidirectional else 1.0)
-            total = per_pair * n_pairs
+            total = per_pair * len(live)
             elapsed = engine.noise.apply(
                 total / agg,
                 f"{engine.system.name}:p2pN:{self.pair_class}:"
@@ -191,7 +228,7 @@ class P2PBandwidth(MicroBenchmark):
             )
             return Measurement(elapsed_s=elapsed, work=total, unit="B/s")
 
-        runner = Runner(plan)
+        runner = runner_for(engine, plan, runner)
         return runner.run(
             benchmark=self.benchmark_name,
             system=engine.system.name,

@@ -18,10 +18,18 @@ import numpy as np
 from ..core.registry import register
 from ..core.result import Measurement
 from ..core.units import MB
+from ..errors import DeviceLostError
 from ..hw.ids import StackRef
 from ..sim.engine import PerfEngine
 from ..runtime.sycl import SyclRuntime
 from .common import MicroBenchmark
+
+
+def _host_routable(engine: PerfEngine, ref: StackRef) -> bool:
+    """Host traffic enters a card through stack 0 (Section II); losing
+    that stack orphans its sibling even if the sibling still computes."""
+    anchor = StackRef(ref.card, 0)
+    return not engine.node.fabric.is_down(anchor)
 
 __all__ = ["PcieBandwidth", "TRANSFER_BYTES"]
 
@@ -62,7 +70,19 @@ class PcieBandwidth(MicroBenchmark):
     ) -> tuple[float, float]:
         """One queue doing the 500 MB (or 1 GB bidir) transfer via SYCL."""
         rt = SyclRuntime(engine)
-        queue = rt.queue()
+        device = rt.default_device()
+        if engine.faults is not None and not _host_routable(engine, device.ref):
+            usable = [d for d in rt.devices() if _host_routable(engine, d.ref)]
+            if not usable:
+                raise DeviceLostError(
+                    "no enumerated device has a live PCIe path"
+                )
+            engine.faults.note(
+                f"PCIe benchmark moved from {device.ref} to {usable[0].ref}: "
+                "host path lost"
+            )
+            device = usable[0]
+        queue = rt.queue(device)
         queue.set_repetition(rep)
         payload = self.payload_bytes
         host = queue.malloc_host(payload)
@@ -95,8 +115,19 @@ class PcieBandwidth(MicroBenchmark):
             elapsed, moved = self._single_transfer(engine, rep)
             return Measurement(elapsed_s=elapsed, work=moved, unit="B/s")
         # Concurrent transfers from n_stacks stacks: aggregate bandwidth
-        # through the card-sharing + host-cap contention model.
-        refs = engine.node.stacks()[:n_stacks]
+        # through the card-sharing + host-cap contention model.  Lost
+        # devices are skipped (the surviving stacks still transfer).
+        refs = engine.select_stacks(n_stacks)
+        if engine.faults is not None:
+            routable = [r for r in refs if _host_routable(engine, r)]
+            if len(routable) < len(refs):
+                engine.faults.note(
+                    f"{len(refs) - len(routable)} stack(s) lost their host "
+                    "path (PCIe anchor down); excluded from the aggregate"
+                )
+            if not routable:
+                raise DeviceLostError("no stack has a live PCIe path")
+            refs = routable
         agg_bw = engine.transfers.node_host_bw(self.direction, refs)
         per_flow_bytes = float(self.nbytes) * (
             2.0 if self.direction == "bidir" else 1.0

@@ -50,18 +50,50 @@ class _Message:
     nbytes: int
     send_vtime: float
     src: int
+    #: CRC32 of the payload *as sent* — verified at receive so in-flight
+    #: corruption (injected or otherwise) is detected, not consumed.
+    checksum: int | None = None
 
 
 class _Context:
     """State shared by all ranks of one run."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, timeout_s: float | None = None) -> None:
         self.size = size
         self.cond = threading.Condition()
         self.mailboxes: dict[tuple[int, int, int], deque[_Message]] = {}
         self.coll_gen = 0
         self.coll_entries: dict[int, dict[int, tuple[float, object]]] = {}
         self.coll_result: dict[int, tuple[float, object]] = {}
+        #: Set (once) when any rank raises: ``(rank, exception)``.  Every
+        #: wait predicate checks it, so surviving ranks fail fast instead
+        #: of blocking out their full timeout.
+        self.poison: tuple[int, BaseException] | None = None
+        self._timeout_s = timeout_s
+
+    @property
+    def timeout_s(self) -> float:
+        # Fall back to the module global at *wait* time so tests that
+        # monkeypatch ``_TIMEOUT_S`` keep working.
+        return self._timeout_s if self._timeout_s is not None else _TIMEOUT_S
+
+    def set_poison(self, rank: int, exc: BaseException) -> None:
+        with self.cond:
+            if self.poison is None:
+                self.poison = (rank, exc)
+            self.cond.notify_all()
+
+
+def _poison_error(ctx: _Context, rank: int, doing: str) -> MPIError:
+    assert ctx.poison is not None
+    src_rank, cause = ctx.poison
+    err = MPIError(
+        f"rank {rank}: {doing} abandoned because rank {src_rank} failed: "
+        f"{cause}"
+    )
+    err.poisoned = True  # type: ignore[attr-defined]
+    err.failing_rank = src_rank  # type: ignore[attr-defined]
+    return err
 
 
 class Request:
@@ -167,11 +199,20 @@ class Communicator:
         size = buf.nbytes if nbytes is None else int(nbytes)
         if size < buf.nbytes:
             raise MPIError("declared nbytes smaller than the payload")
+        payload = buf.copy()
+        faults = self._engine.faults
+        checksum = None
+        if faults is not None:
+            # Checksum before any in-flight corruption so the receiver
+            # can detect (rather than silently consume) a damaged message.
+            checksum = faults.checksum(payload)
+            faults.corrupt_payload(payload, self.rank, dest)
         msg = _Message(
-            payload=buf.copy(),
+            payload=payload,
             nbytes=size,
             send_vtime=self._vtime,
             src=self.rank,
+            checksum=checksum,
         )
         key = (self.rank, dest, tag)
         with self._ctx.cond:
@@ -218,14 +259,30 @@ class Communicator:
         ctx = self._ctx
         with ctx.cond:
             ok = ctx.cond.wait_for(
-                lambda: ctx.mailboxes.get(key), timeout=_TIMEOUT_S
+                lambda: ctx.poison is not None or ctx.mailboxes.get(key),
+                timeout=ctx.timeout_s,
             )
-            if not ok:
+            if not ctx.mailboxes.get(key):
+                if ctx.poison is not None:
+                    raise _poison_error(
+                        ctx, self.rank, f"recv from {source} tag {tag}"
+                    )
+                assert not ok
                 raise MPIError(
                     f"rank {self.rank}: recv from {source} tag {tag} timed out"
                     " (deadlock?)"
                 )
             msg = ctx.mailboxes[key].popleft()
+        faults = self._engine.faults
+        if (
+            msg.checksum is not None
+            and faults is not None
+            and faults.checksum(msg.payload) != msg.checksum
+        ):
+            raise MPIError(
+                f"rank {self.rank}: message corruption detected "
+                f"(from {source}, tag {tag}): checksum mismatch"
+            )
         arrive = msg.send_vtime + self._transfer_seconds(
             source, self.rank, msg.nbytes
         )
@@ -257,9 +314,13 @@ class Communicator:
                 ctx.cond.notify_all()
             else:
                 ok = ctx.cond.wait_for(
-                    lambda: gen in ctx.coll_result, timeout=_TIMEOUT_S
+                    lambda: gen in ctx.coll_result or ctx.poison is not None,
+                    timeout=ctx.timeout_s,
                 )
-                if not ok:
+                if gen not in ctx.coll_result:
+                    if ctx.poison is not None:
+                        raise _poison_error(ctx, self.rank, "collective")
+                    assert not ok
                     raise MPIError(
                         f"rank {self.rank}: collective timed out (deadlock?)"
                     )
@@ -329,30 +390,64 @@ class SimMPI:
     rank-to-core/stack binding follows Section IV-A.
     """
 
-    def __init__(self, engine: PerfEngine, n_ranks: int | None = None) -> None:
+    def __init__(
+        self,
+        engine: PerfEngine,
+        n_ranks: int | None = None,
+        *,
+        timeout_s: float | None = None,
+    ) -> None:
         self.engine = engine
         self.bindings = explicit_scaling_binding(engine.node, n_ranks)
+        if timeout_s is None and engine.faults is not None:
+            # Fault plans with hang events shorten the deadlock watchdog
+            # so a hung rank surfaces in seconds, not minutes.
+            timeout_s = engine.faults.plan.mpi_timeout_s
+        self.timeout_s = timeout_s
 
     @property
     def size(self) -> int:
         return len(self.bindings)
 
     def run(self, fn: Callable[[Communicator], object]) -> list[object]:
-        """Run ``fn(comm)`` on every rank; returns per-rank results."""
-        ctx = _Context(self.size)
+        """Run ``fn(comm)`` on every rank; returns per-rank results.
+
+        If any rank raises, the shared context is *poisoned*: every rank
+        blocked in a wait fails immediately instead of sitting out its
+        timeout, and the first failure is re-raised with a
+        ``failing_rank`` attribute identifying the culprit.
+        """
+        ctx = _Context(self.size, self.timeout_s)
         results: list[object] = [None] * self.size
         errors: list[BaseException | None] = [None] * self.size
+        faults = self.engine.faults
+        hang_rank = (
+            faults.mpi_hang_rank(self.size) if faults is not None else None
+        )
 
         def worker(rank: int) -> None:
             comm = Communicator(
                 ctx, self.engine, self.bindings[rank], self.bindings
             )
             try:
+                if rank == hang_rank:
+                    _hang(ctx, rank)
                 results[rank] = fn(comm)
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 errors[rank] = exc
-                with ctx.cond:
-                    ctx.cond.notify_all()
+                ctx.set_poison(rank, exc)
+
+        def _hang(ctx: _Context, rank: int) -> None:
+            # An injected hang: the rank goes silent, then reports itself
+            # at half the watchdog — before its peers' waits expire — so
+            # the hang (not the peers' timeouts) is the root cause that
+            # poisons the job.
+            with ctx.cond:
+                ctx.cond.wait_for(
+                    lambda: ctx.poison is not None,
+                    timeout=ctx.timeout_s / 2,
+                )
+            raise MPIError(f"rank {rank} hung (injected fault)")
 
         threads = [
             threading.Thread(target=worker, args=(r,), daemon=True)
@@ -361,11 +456,40 @@ class SimMPI:
         for t in threads:
             t.start()
         for t in threads:
-            t.join(timeout=_TIMEOUT_S * 2)
-        for exc in errors:
-            if exc is not None:
-                raise exc
+            t.join(timeout=ctx.timeout_s * 2)
+        primary = self._primary_error(errors)
+        if primary is not None:
+            raise primary
         hung = [i for i, t in enumerate(threads) if t.is_alive()]
         if hung:
             raise MPIError(f"ranks {hung} did not terminate (deadlock?)")
         return results
+
+    @staticmethod
+    def _primary_error(
+        errors: Sequence[BaseException | None],
+    ) -> BaseException | None:
+        """The error to re-raise: prefer the root cause over fallout.
+
+        Poison-induced errors (ranks that bailed because *another* rank
+        failed) are fallout; the first non-poisoned error is the root
+        cause.  Either way the chosen exception carries ``failing_rank``.
+        """
+        first: tuple[int, BaseException] | None = None
+        for rank, exc in enumerate(errors):
+            if exc is None:
+                continue
+            if first is None:
+                first = (rank, exc)
+            if not getattr(exc, "poisoned", False):
+                first = (rank, exc)
+                break
+        if first is None:
+            return None
+        rank, exc = first
+        if not hasattr(exc, "failing_rank"):
+            try:
+                exc.failing_rank = rank  # type: ignore[attr-defined]
+            except AttributeError:
+                pass
+        return exc

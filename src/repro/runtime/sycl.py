@@ -161,6 +161,8 @@ class SyclQueue:
     def _alloc(self, kind: UsmKind, nbytes: int) -> UsmAllocation:
         if nbytes <= 0:
             raise AllocationError(f"allocation size must be positive: {nbytes}")
+        if self.engine.faults is not None:
+            self.engine.faults.on_alloc(kind.value, nbytes)
         if kind in (UsmKind.DEVICE, UsmKind.SHARED):
             if nbytes > self.engine.device.hbm_capacity_bytes:
                 raise AllocationError(
@@ -296,6 +298,11 @@ class SyclRuntime:
     ) -> None:
         self.engine = engine
         self.driver = ZeDriver(engine.node, affinity_mask, hierarchy)
+        if self.driver.excluded and engine.faults is not None:
+            engine.faults.note(
+                "SYCL runtime skipped lost device(s): "
+                + ", ".join(str(r) for r in self.driver.excluded)
+            )
 
     def devices(self) -> list[SyclDevice]:
         model = self.engine.device

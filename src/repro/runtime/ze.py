@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import AffinityError
+from ..errors import AffinityError, DeviceLostError
 from ..hw.ids import StackRef
 from ..hw.node import Node
 
@@ -108,9 +108,20 @@ class ZeDriver:
         self.node = node
         self.hierarchy = hierarchy
         if affinity_mask is None:
-            self._visible = node.stacks()
+            selected = node.stacks()
         else:
-            self._visible = parse_affinity_mask(affinity_mask, node)
+            selected = parse_affinity_mask(affinity_mask, node)
+        # Like the real driver, stacks that dropped off the bus simply do
+        # not enumerate; callers see the survivors, densely renumbered.
+        self._visible = [r for r in selected if not node.fabric.is_down(r)]
+        self.excluded: list[StackRef] = [
+            r for r in selected if node.fabric.is_down(r)
+        ]
+        if not self._visible:
+            raise DeviceLostError(
+                "no devices enumerate: "
+                f"{', '.join(str(r) for r in self.excluded)} lost"
+            )
 
     @property
     def visible_stacks(self) -> list[StackRef]:

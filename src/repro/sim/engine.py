@@ -18,9 +18,10 @@ Ablation switches (each maps to a discussion point in the paper):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..dtypes import ENGINE_MATRIX, Precision
+from ..errors import DeviceLostError
 from ..hw.frequency import WorkloadKind
 from ..hw.ids import StackRef
 from ..hw.systems import System
@@ -29,6 +30,9 @@ from .kernel import KernelSpec
 from .noise import NoiseModel, QUIET
 from .roofline import RooflinePoint, kernel_time
 from .transfer import TransferModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.injectors import FaultInjector
 
 __all__ = ["PerfEngine"]
 
@@ -44,6 +48,7 @@ class PerfEngine:
         enable_tdp: bool = True,
         enable_contention: bool = True,
         enable_planes: bool = True,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.system = system
         self.node = system.node
@@ -53,6 +58,7 @@ class PerfEngine:
             amplitude=self.cal.noise_amplitude
         )
         self.enable_tdp = enable_tdp
+        self.faults = faults
         self.transfers = TransferModel(
             self.node,
             self.cal,
@@ -67,9 +73,10 @@ class PerfEngine:
     def sustained_hz(
         self, precision: Precision | None, kind: WorkloadKind
     ) -> float:
+        ratio = 1.0 if self.faults is None else self.faults.clock_ratio()
         if not self.enable_tdp:
-            return self.device.frequency.max_hz
-        return self.device.frequency.sustained_hz(precision, kind)
+            return self.device.frequency.max_hz * ratio
+        return self.device.frequency.sustained_hz(precision, kind) * ratio
 
     def sustained_peak(
         self, precision: Precision, kind: WorkloadKind = WorkloadKind.FMA_CHAIN
@@ -89,6 +96,7 @@ class PerfEngine:
 
     def _scaled(self, family: str, single: float, n_stacks: int) -> float:
         self._check_stacks(n_stacks)
+        n_stacks = self._effective_stacks(n_stacks)
         return self.cal.scaling_curve(family).aggregate(single, n_stacks)
 
     def _check_stacks(self, n: int) -> None:
@@ -96,6 +104,36 @@ class PerfEngine:
             raise ValueError(
                 f"{self.system.name} has 1..{self.node.n_stacks} stacks, got {n}"
             )
+
+    def _effective_stacks(self, n: int) -> int:
+        """Clip a requested scope to the devices still alive."""
+        if self.faults is None:
+            return n
+        alive = len(self.faults.alive(self.node.stacks()))
+        if alive == 0:
+            raise DeviceLostError(f"{self.system.name}: all devices lost")
+        if n > alive:
+            self.faults.note(
+                f"scope clipped from {n} to {alive} stack(s) after device loss"
+            )
+            return alive
+        return n
+
+    def alive_stacks(self) -> list[StackRef]:
+        """Stacks not lost to injected faults (all stacks when clean)."""
+        refs = list(self.node.stacks())
+        return refs if self.faults is None else self.faults.alive(refs)
+
+    def select_stacks(self, n: int) -> list[StackRef]:
+        """The first *n* alive stacks (or all alive, if fewer survive)."""
+        alive = self.alive_stacks()
+        if not alive:
+            raise DeviceLostError(f"{self.system.name}: all devices lost")
+        if len(alive) < n and self.faults is not None:
+            self.faults.note(
+                f"requested {n} stack(s) but only {len(alive)} alive"
+            )
+        return alive[:n]
 
     def fma_rate(self, precision: Precision, n_stacks: int = 1) -> float:
         """Achieved FMA-chain flop rate (the paper's Peak Flops rows)."""
@@ -106,6 +144,10 @@ class PerfEngine:
     def stream_bw(self, n_stacks: int = 1) -> float:
         """Achieved triad bandwidth (Device Memory Bandwidth rows)."""
         single = self.device.hbm_peak_bw * self.cal.stream_efficiency
+        if self.faults is not None:
+            # HBM runs off the same clock domain: a DVFS excursion drops
+            # streaming rate along with the compute clocks.
+            single *= self.faults.clock_ratio()
         return self._scaled("stream", single, n_stacks)
 
     def gemm_rate(self, precision: Precision, n_stacks: int = 1) -> float:
@@ -169,6 +211,8 @@ class PerfEngine:
         rep: int | None = None,
     ) -> float:
         """Simulated execution time; pass *rep* to include run-to-run noise."""
+        if self.faults is not None:
+            self.faults.on_kernel(spec.name)
         t = self.roofline(spec, n_stacks).total_s
         if rep is not None:
             t = self.noise.apply(t, f"{self.system.name}:{spec.name}", rep)
@@ -186,6 +230,8 @@ class PerfEngine:
         *,
         rep: int | None = None,
     ) -> float:
+        if self.faults is not None:
+            self.faults.check_stack(ref)
         t = self.transfers.host_transfer_time(ref, nbytes, direction)
         if rep is not None:
             t = self.noise.apply(
@@ -201,6 +247,15 @@ class PerfEngine:
         *,
         rep: int | None = None,
     ) -> float:
+        if self.faults is not None:
+            self.faults.check_stack(src, dst)
+            if (
+                self.node.fabric.has_degradation
+                and self.node.fabric.is_route_degraded(src, dst)
+            ):
+                self.faults.note(
+                    f"p2p {src} -> {dst} rerouted over degraded fabric"
+                )
         t = self.transfers.p2p_transfer_time(src, dst, nbytes)
         if rep is not None:
             t = self.noise.apply(
@@ -220,6 +275,7 @@ class PerfEngine:
             enable_tdp=self.enable_tdp,
             enable_contention=self.transfers.enable_contention,
             enable_planes=self.transfers.enable_planes,
+            faults=self.faults,
         )
 
     def all_stacks(self) -> Sequence[StackRef]:

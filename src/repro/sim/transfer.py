@@ -28,6 +28,11 @@ __all__ = ["TransferModel"]
 
 _DEFAULT_LINK_EFFICIENCY = 0.85
 
+#: Per-extra-hop efficiency when a dead link forces a longer-than-healthy
+#: route: each relay stack forwards at a fraction of the link rate.  Healthy
+#: routes (hop count equal to the pristine topology's minimum) never pay it.
+_RELAY_EFFICIENCY = 0.6
+
 
 class TransferModel:
     """Achieved transfer bandwidths for one node.
@@ -136,9 +141,10 @@ class TransferModel:
         return "local" if src.card == dst.card else "remote"
 
     def _bottleneck(self, route: Route) -> tuple[LinkKind, float]:
+        fabric = self.node.fabric
         best_kind, best_bw = None, float("inf")
-        for _, _, link in route.hops:
-            bw = self.achieved_link_bw(link.kind)
+        for u, v, link in route.hops:
+            bw = self.achieved_link_bw(link.kind) * fabric.link_health(u, v)
             if bw < best_bw:
                 best_kind, best_bw = link.kind, bw
         assert best_kind is not None
@@ -159,7 +165,13 @@ class TransferModel:
             kind = self._remote_kind()
             uni = self.achieved_link_bw(kind)
         else:
-            kind, uni = self._bottleneck(self.p2p_route(src, dst))
+            fabric = self.node.fabric
+            route = self.p2p_route(src, dst)
+            kind, uni = self._bottleneck(route)
+            if fabric.has_degradation:
+                extra = route.n_hops - fabric.healthy_hops(src, dst)
+                if extra > 0:
+                    uni *= _RELAY_EFFICIENCY ** extra
         if bidirectional:
             return uni * self.link_bidir_factor(kind)
         return uni

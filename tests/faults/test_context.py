@@ -1,0 +1,105 @@
+"""ExecutionContext: engine caching, status accounting, isolation."""
+
+import pytest
+
+from repro.core.result import CellStatus
+from repro.errors import ScenarioError
+from repro.faults import ExecutionContext
+from repro.hw.ids import StackRef
+from repro.hw.systems import get_system
+
+
+class TestLifecycle:
+    def test_inactive_by_default(self):
+        ctx = ExecutionContext()
+        assert not ctx.active
+        assert ctx.engine("aurora").faults is None
+        assert ctx.exit_code() == 0
+        assert ctx.describe() == "fault injection: off"
+
+    def test_active_engines_carry_injector(self):
+        ctx = ExecutionContext("device-loss", 0)
+        engine = ctx.engine("aurora")
+        assert engine.faults is not None
+        assert engine.faults.plan.scenario == "device-loss"
+        assert ctx.engine("aurora") is engine  # cached
+
+    def test_bad_scenario_rejected_eagerly(self):
+        with pytest.raises(ScenarioError):
+            ExecutionContext("meteor-strike", 0)
+
+
+class TestStatusAccounting:
+    def test_worst_status_wins(self):
+        ctx = ExecutionContext("device-loss", 0)
+        ctx.record(CellStatus.OK)
+        assert ctx.exit_code() == 0
+        ctx.record(CellStatus.DEGRADED)
+        ctx.record(CellStatus.OK)
+        assert ctx.exit_code() == 1
+        ctx.record(CellStatus.FAILED)
+        assert ctx.exit_code() == 2
+        ctx.record(CellStatus.DEGRADED)
+        assert ctx.worst_status is CellStatus.FAILED
+
+
+class TestIsolation:
+    def test_fabric_mutations_do_not_leak(self):
+        ctx = ExecutionContext("device-loss", 0)
+        engine = ctx.engine("aurora")
+        engine.faults.fast_forward()
+        assert engine.node.fabric.has_degradation
+        # A fresh System (and any other context) sees a pristine fabric.
+        assert not get_system("aurora").node.fabric.has_degradation
+        other = ExecutionContext("device-loss", 0).engine("aurora")
+        assert not other.node.fabric.has_degradation
+
+    def test_same_seed_same_plan_across_contexts(self):
+        a = ExecutionContext("all", 5).engine("aurora").faults.plan
+        b = ExecutionContext("all", 5).engine("aurora").faults.plan
+        assert a.describe() == b.describe()
+
+
+class TestReporting:
+    def test_describe_lists_materialised_systems(self):
+        ctx = ExecutionContext("throttle", 0)
+        ctx.engine("aurora")
+        ctx.engine("dawn")
+        text = ctx.describe()
+        assert "scenario 'throttle'" in text
+        assert "aurora:" in text and "dawn:" in text
+
+    def test_incident_log_prefixes_system(self):
+        ctx = ExecutionContext("device-loss", 0)
+        ctx.engine("aurora").faults.fast_forward()
+        log = ctx.incident_log()
+        assert log and all(entry.startswith("aurora: ") for entry in log)
+
+
+class TestHealthReport:
+    def test_clean_node_healthy(self):
+        from repro.hw.selfcheck import node_health
+
+        report = node_health(get_system("aurora"))
+        assert report.healthy
+        assert "HEALTHY" in report.render()
+
+    def test_injected_node_degraded(self):
+        from repro.hw.selfcheck import node_health
+
+        ctx = ExecutionContext("device-loss", 0)
+        engine = ctx.engine("aurora")
+        engine.faults.fast_forward()
+        report = node_health(engine.system, engine.faults)
+        assert not report.healthy
+        assert report.dead_stacks
+        assert "DEGRADED" in report.render()
+
+    def test_partition_counts_unroutable_pairs(self):
+        from repro.hw.selfcheck import node_health
+
+        ctx = ExecutionContext("partition", 0)
+        engine = ctx.engine("aurora")
+        engine.faults.fast_forward()
+        report = node_health(engine.system, engine.faults)
+        assert report.unroutable_pairs > 0

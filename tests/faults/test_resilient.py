@@ -1,0 +1,186 @@
+"""ResilientRunner: retry, backoff, quarantine, timeouts, provenance."""
+
+import pytest
+
+from repro.core.resilient import ResiliencePolicy, ResilientRunner
+from repro.core.result import CellStatus, DeviceScope, Measurement
+from repro.core.runner import RunPlan
+from repro.errors import (
+    BenchmarkTimeoutError,
+    MeasurementError,
+    TransientKernelError,
+)
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.hw.systems import get_system
+
+_SCOPE = DeviceScope("One Stack", 1)
+
+
+def _run(runner, measure):
+    return runner.run(
+        benchmark="bench", system="test", scope=_SCOPE, measure=measure
+    )
+
+
+def _sample(elapsed=1e-3):
+    return Measurement(elapsed_s=elapsed, work=1.0, unit="B/s")
+
+
+class TestPolicy:
+    def test_defaults_valid(self):
+        ResiliencePolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_s": -0.1},
+            {"quarantine_ratio": 1.0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(**kwargs)
+
+    def test_backoff_doubles(self):
+        policy = ResiliencePolicy(backoff_s=0.5)
+        assert policy.backoff_for(1) == 0.5
+        assert policy.backoff_for(2) == 1.0
+        assert policy.backoff_for(3) == 2.0
+
+
+class TestRetry:
+    def test_transient_cleared_by_retry(self):
+        calls = {"n": 0}
+
+        def measure(rep):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientKernelError("injected")
+            return _sample()
+
+        runner = ResilientRunner(RunPlan(repetitions=3, warmup=0))
+        result = _run(runner, measure)
+        assert len(result.samples) == 3
+        prov = result.provenance
+        assert prov.status is CellStatus.DEGRADED
+        assert prov.retries == 1
+
+    def test_gives_up_after_max_retries(self):
+        def measure(rep):
+            raise TransientKernelError("permanent after all")
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=2, warmup=0),
+            ResiliencePolicy(max_retries=1),
+        )
+        with pytest.raises(MeasurementError) as info:
+            _run(runner, measure)
+        assert info.value.benchmark == "bench"
+        assert "no usable samples" in str(info.value)
+
+    def test_partial_loss_keeps_surviving_reps(self):
+        def measure(rep):
+            if rep == 1:
+                raise TransientKernelError("rep 1 always fails")
+            return _sample()
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=3, warmup=0),
+            ResiliencePolicy(max_retries=0),
+        )
+        result = _run(runner, measure)
+        assert len(result.samples) == 2
+        assert result.provenance.status is CellStatus.DEGRADED
+        assert any("gave up" in f for f in result.provenance.faults)
+
+
+class TestQuarantine:
+    def test_slow_outlier_quarantined(self):
+        def measure(rep):
+            return _sample(10e-3 if rep == 2 else 1e-3)
+
+        runner = ResilientRunner(RunPlan(repetitions=4, warmup=0))
+        result = _run(runner, measure)
+        assert len(result.samples) == 3
+        assert result.provenance.quarantined == 1
+        assert result.provenance.status is CellStatus.DEGRADED
+
+    def test_tight_spread_untouched(self):
+        runner = ResilientRunner(RunPlan(repetitions=4, warmup=0))
+        result = _run(runner, lambda rep: _sample(1e-3 * (1 + 0.01 * rep)))
+        assert len(result.samples) == 4
+        assert result.provenance.status is CellStatus.OK
+
+
+class TestTimeouts:
+    def test_rep_timeout_discards_sample(self):
+        def measure(rep):
+            return _sample(5.0 if rep == 1 else 1e-3)
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=3, warmup=0),
+            ResiliencePolicy(rep_timeout_s=1.0),
+        )
+        result = _run(runner, measure)
+        assert len(result.samples) == 2
+        assert result.provenance.timeouts == 1
+
+    def test_all_reps_timing_out_raises_timeout_error(self):
+        runner = ResilientRunner(
+            RunPlan(repetitions=2, warmup=0),
+            ResiliencePolicy(rep_timeout_s=0.1),
+        )
+        with pytest.raises(BenchmarkTimeoutError):
+            _run(runner, lambda rep: _sample(5.0))
+
+    def test_deadline_skips_remaining_reps(self):
+        seen = []
+
+        def measure(rep):
+            seen.append(rep)
+            return _sample(1.0)
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=10, warmup=0),
+            ResiliencePolicy(deadline_s=2.5),
+        )
+        result = _run(runner, measure)
+        assert len(seen) < 10
+        assert "deadline" in result.provenance.detail
+
+
+class TestInjectorIntegration:
+    def test_injected_transient_retries_and_degrades(self):
+        system = get_system("aurora")
+        plan = FaultPlan(
+            scenario="test",
+            seed=0,
+            events=(FaultEvent(FaultKind.KERNEL_TRANSIENT, at=2),),
+        )
+        injector = FaultInjector(plan, system.node)
+
+        def measure(rep):
+            injector.on_kernel("k")
+            return _sample()
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=3, warmup=0), injector=injector
+        )
+        result = _run(runner, measure)
+        assert len(result.samples) == 3
+        prov = result.provenance
+        assert prov.retries == 1
+        assert any("transient" in f for f in prov.faults)
+
+    def test_clean_run_is_ok(self):
+        system = get_system("aurora")
+        injector = FaultInjector(
+            FaultPlan(scenario="test", seed=0), system.node
+        )
+        runner = ResilientRunner(
+            RunPlan(repetitions=3, warmup=1), injector=injector
+        )
+        result = _run(runner, lambda rep: _sample())
+        assert result.provenance.status is CellStatus.OK
+        assert injector.clock.now == 4  # one tick per repetition

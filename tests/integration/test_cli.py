@@ -56,3 +56,67 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["table9"])
+
+
+class TestFaultInjectionCli:
+    def test_device_loss_degrades_but_completes(self, capsys):
+        # Acceptance: the full suite completes, affected cells are marked
+        # DEGRADED with provenance, and the exit code is 1 — no traceback.
+        assert main(["table2", "--inject", "device-loss", "--seed", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "fault provenance:" in out
+        assert "Double Precision Peak Flops" in out  # table still rendered
+
+    def test_injected_run_is_deterministic(self, capsys):
+        assert main(["table3", "--inject", "plane-outage", "--seed", "0"]) == 1
+        first = capsys.readouterr().out
+        assert main(["table3", "--inject", "plane-outage", "--seed", "0"]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_plane_outage_changes_table3_cells(self, capsys):
+        main(["table3"])
+        clean = capsys.readouterr().out
+        main(["table3", "--inject", "plane-outage", "--seed", "0"])
+        faulted = capsys.readouterr().out
+        # Values change (rerouted traffic), not just annotations.
+        clean_cells = [l.split("*")[0].rstrip() for l in clean.splitlines()]
+        faulted_cells = [
+            l.split("*")[0].rstrip()
+            for l in faulted.splitlines()[: len(clean_cells)]
+        ]
+        assert clean_cells != faulted_cells
+
+    def test_partition_fails_cells_exit_2(self, capsys):
+        assert main(["table3", "--inject", "partition", "--seed", "0"]) == 2
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "TopologyError" in out
+
+    def test_unknown_scenario_one_line_diagnosis(self, capsys):
+        assert main(["table2", "--inject", "meteor-strike"]) == 2
+        captured = capsys.readouterr()
+        assert "pvc-bench: ScenarioError:" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_clean_run_unchanged_by_flag_defaults(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "fault provenance" not in out
+
+    def test_health_clean(self, capsys):
+        assert main(["health"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: HEALTHY" in out
+
+    def test_health_under_injection(self, capsys):
+        assert main(["health", "--inject", "device-loss", "--seed", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: DEGRADED" in out
+        assert "fault history" in out
+
+    def test_inject_ignored_command_warns(self, capsys):
+        assert main(["table4", "--inject", "throttle"]) == 0
+        captured = capsys.readouterr()
+        assert "ignores --inject" in captured.err

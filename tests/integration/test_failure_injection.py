@@ -154,3 +154,138 @@ class TestDeterminismUnderFailure:
 
         with pytest.raises(ValueError, match="injected"):
             SimMPI(aurora, 3).run(prog)
+
+
+class TestEveryErrorHasACallSite:
+    """Each repro.errors subclass fires from at least one real code path."""
+
+    def test_unknown_system(self):
+        from repro.errors import UnknownSystemError
+        from repro.hw.systems import get_system
+
+        with pytest.raises(UnknownSystemError):
+            get_system("cray-1")
+
+    def test_unknown_benchmark(self):
+        from repro.core.registry import global_registry
+        from repro.errors import UnknownBenchmarkError
+
+        with pytest.raises(UnknownBenchmarkError):
+            global_registry().get("linpackzilla")
+
+    def test_missing_calibration(self):
+        from repro.sim.calibration import get_calibration
+
+        with pytest.raises(CalibrationError):
+            get_calibration("cray-1")
+
+    def test_unknown_scenario(self):
+        from repro.errors import ScenarioError
+        from repro.faults import ExecutionContext
+
+        with pytest.raises(ScenarioError):
+            ExecutionContext("meteor-strike", 0)
+
+    def test_bad_kernel_spec(self):
+        from repro.errors import KernelSpecError
+        from repro.sim.kernel import KernelSpec
+
+        with pytest.raises(KernelSpecError):
+            KernelSpec(name="bad", flops=-1.0)
+
+    def test_not_measured_scope(self, aurora):
+        from repro.apps import Hacc
+
+        with pytest.raises(NotMeasuredError):
+            Hacc().fom(aurora, 1)
+
+    def test_device_lost(self):
+        from repro.errors import DeviceLostError
+        from repro.faults import FaultInjector
+        from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+        from repro.hw.ids import StackRef
+        from repro.hw.systems import get_system
+        from repro.runtime.sycl import SyclRuntime
+        from repro.sim.engine import PerfEngine
+        from repro.sim.noise import QUIET
+
+        system = get_system("dawn")
+        events = tuple(
+            FaultEvent(FaultKind.DEVICE_LOSS, at=1, target=ref)
+            for ref in system.node.stacks()
+        )
+        injector = FaultInjector(
+            FaultPlan(scenario="test", seed=0, events=events), system.node
+        )
+        injector.fast_forward()
+        engine = PerfEngine(system, noise=QUIET, faults=injector)
+        with pytest.raises(DeviceLostError):
+            SyclRuntime(engine)  # no device enumerates
+
+    def test_transient_kernel_failure(self):
+        from repro.errors import TransientKernelError
+        from repro.faults import FaultInjector
+        from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+        from repro.hw.systems import get_system
+        from repro.sim.engine import PerfEngine
+        from repro.sim.kernel import KernelSpec
+        from repro.sim.noise import QUIET
+
+        system = get_system("aurora")
+        injector = FaultInjector(
+            FaultPlan(
+                scenario="test",
+                seed=0,
+                events=(FaultEvent(FaultKind.KERNEL_TRANSIENT, at=1),),
+            ),
+            system.node,
+        )
+        engine = PerfEngine(system, noise=QUIET, faults=injector)
+        spec = KernelSpec(name="k", flops=1e9)
+        with pytest.raises(TransientKernelError):
+            engine.kernel_time_s(spec)
+        engine.kernel_time_s(spec)  # transient: clears on retry
+
+    def test_benchmark_timeout(self):
+        from repro.core.resilient import ResiliencePolicy, ResilientRunner
+        from repro.core.result import DeviceScope, Measurement
+        from repro.core.runner import RunPlan
+        from repro.errors import BenchmarkTimeoutError
+
+        runner = ResilientRunner(
+            RunPlan(repetitions=2, warmup=0),
+            ResiliencePolicy(rep_timeout_s=0.5),
+        )
+        with pytest.raises(BenchmarkTimeoutError):
+            runner.run(
+                benchmark="slow",
+                system="test",
+                scope=DeviceScope("One Stack", 1),
+                measure=lambda rep: Measurement(
+                    elapsed_s=9.0, work=1.0, unit="B/s"
+                ),
+            )
+
+    def test_measurement_error_wraps_mid_plan_failure(self):
+        from repro.core.result import DeviceScope, Measurement
+        from repro.core.runner import Runner, RunPlan
+        from repro.errors import MeasurementError
+
+        def measure(rep):
+            if rep == 2:
+                raise AllocationError("out of device memory")
+            return Measurement(elapsed_s=1e-3, work=1.0, unit="B/s")
+
+        with pytest.raises(MeasurementError) as info:
+            Runner(RunPlan(repetitions=4, warmup=0)).run(
+                benchmark="bench",
+                system="sys",
+                scope=DeviceScope("One Stack", 1),
+                measure=measure,
+            )
+        err = info.value
+        assert err.benchmark == "bench"
+        assert err.system == "sys"
+        assert err.repetition == 2
+        assert len(err.partial) == 2  # the reps that did complete
+        assert isinstance(err.__cause__, AllocationError)

@@ -216,3 +216,172 @@ class TestLauncher:
     def test_bindings_exposed(self, aurora):
         mpi = SimMPI(aurora, 3)
         assert mpi.bindings[0].cpu_core == 1
+
+
+class TestFailFastPoisoning:
+    """One failing rank must not leave survivors waiting out the watchdog."""
+
+    def test_survivors_fail_fast_not_by_timeout(self, aurora, monkeypatch):
+        import time
+
+        import repro.runtime.mpi as mpi_mod
+
+        # A generous watchdog: if poisoning is broken, this test hangs for
+        # 30 s; with poisoning the survivors return almost immediately.
+        monkeypatch.setattr(mpi_mod, "_TIMEOUT_S", 30.0)
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise RuntimeError("rank 0 exploded")
+            comm.Recv(source=0)  # would block forever without poisoning
+            return None
+
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="exploded"):
+            mpi_mod.SimMPI(aurora, 2).run(prog)
+        assert time.monotonic() - start < 10.0
+
+    def test_primary_error_carries_failing_rank(self, aurora):
+        def prog(comm):
+            if comm.rank == 2:
+                raise ValueError("culprit")
+            comm.Barrier()
+            return None
+
+        with pytest.raises(ValueError) as info:
+            SimMPI(aurora, 4).run(prog)
+        assert info.value.failing_rank == 2
+
+    def test_poisoned_collective_blames_culprit(self, aurora):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("no barrier from me")
+            comm.Barrier()
+            return None
+
+        with pytest.raises(RuntimeError) as info:
+            SimMPI(aurora, 3).run(prog)
+        assert info.value.failing_rank == 1
+
+
+class TestDeadlockPaths:
+    def test_tag_mismatch_times_out(self, aurora, monkeypatch):
+        import repro.runtime.mpi as mpi_mod
+
+        monkeypatch.setattr(mpi_mod, "_TIMEOUT_S", 0.3)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Isend(np.zeros(4), 1, tag=7)
+            if comm.rank == 1:
+                comm.Recv(source=0, tag=8)  # wrong tag: never matches
+            return None
+
+        with pytest.raises(MPIError, match="timed out"):
+            mpi_mod.SimMPI(aurora, 2).run(prog)
+
+    def test_collective_reentry_mismatch_times_out(self, aurora, monkeypatch):
+        import repro.runtime.mpi as mpi_mod
+
+        monkeypatch.setattr(mpi_mod, "_TIMEOUT_S", 0.3)
+
+        def prog(comm):
+            comm.Barrier()
+            if comm.rank == 0:
+                comm.Barrier()  # re-enters; rank 1 never joins
+            return None
+
+        with pytest.raises(MPIError, match="timed out"):
+            mpi_mod.SimMPI(aurora, 2).run(prog)
+
+
+class TestInjectedFaults:
+    @staticmethod
+    def _engine(scenario, seed=0):
+        from repro.faults import FaultInjector, build_plan
+        from repro.hw.systems import get_system
+        from repro.sim.engine import PerfEngine
+        from repro.sim.noise import QUIET
+
+        system = get_system("aurora")
+        plan = build_plan(scenario, seed, system.node)
+        injector = FaultInjector(plan, system.node)
+        return PerfEngine(system, noise=QUIET, faults=injector)
+
+    @staticmethod
+    def _injector_engine(*events, timeout_s=None):
+        from repro.faults import FaultInjector
+        from repro.faults.plan import FaultPlan
+        from repro.hw.systems import get_system
+        from repro.sim.engine import PerfEngine
+        from repro.sim.noise import QUIET
+
+        system = get_system("aurora")
+        plan = FaultPlan(
+            scenario="test", seed=0, events=tuple(events),
+            mpi_timeout_s=timeout_s,
+        )
+        injector = FaultInjector(plan, system.node)
+        return PerfEngine(system, noise=QUIET, faults=injector)
+
+    def test_corruption_detected_at_receiver(self):
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        engine = self._injector_engine(
+            FaultEvent(FaultKind.MPI_CORRUPT, at=1)
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(16.0), dest=1)
+            if comm.rank == 1:
+                return comm.Recv(source=0)
+            return None
+
+        with pytest.raises(MPIError, match="corruption"):
+            SimMPI(engine, 2).run(prog)
+
+    def test_clean_send_after_corruption_window(self):
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        engine = self._injector_engine(
+            FaultEvent(FaultKind.MPI_CORRUPT, at=1)
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(16.0), dest=1)
+            if comm.rank == 1:
+                return comm.Recv(source=0)
+            return None
+
+        with pytest.raises(MPIError):
+            SimMPI(engine, 2).run(prog)
+        # The corruption event fired on send #1; the next job is clean.
+        out = SimMPI(engine, 2).run(prog)
+        assert np.array_equal(out[1], np.arange(16.0))
+
+    def test_injected_hang_surfaces_as_mpi_error(self):
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        engine = self._injector_engine(
+            FaultEvent(FaultKind.MPI_HANG, at=1, target=1),
+            timeout_s=0.5,
+        )
+
+        def prog(comm):
+            comm.Barrier()
+            return comm.rank
+
+        with pytest.raises(MPIError, match="hung") as info:
+            SimMPI(engine, 2).run(prog)
+        assert info.value.failing_rank == 1
+
+    def test_hang_timeout_comes_from_plan(self):
+        from repro.faults.plan import FaultEvent, FaultKind
+
+        engine = self._injector_engine(
+            FaultEvent(FaultKind.MPI_HANG, at=1, target=0),
+            timeout_s=0.5,
+        )
+        assert SimMPI(engine, 2).timeout_s == 0.5
