@@ -26,9 +26,8 @@ from repro.miniapps.cloverleaf import (
 )
 from repro.miniapps.rimp2 import make_input, rimp2_energy, rimp2_energy_distributed
 from repro.runtime.mpi import SimMPI
-from repro.runtime.sycl import SyclRuntime
-from repro.runtime.trace import TracedQueue, Tracer
 from repro.sim.kernel import gemm_kernel, triad_kernel
+from repro.telemetry import Telemetry
 from repro.dtypes import Precision
 
 def clover() -> None:
@@ -66,10 +65,9 @@ def openmc() -> None:
           f"leakage {result.leakage_fraction:.1%}")
 
 def trace() -> None:
-    engine = PerfEngine(get_system("aurora"))
-    tracer = Tracer()
-    rt = SyclRuntime(engine)
-    queue = TracedQueue(rt.queue(), tracer, lane="gpu 0.0")
+    telemetry = Telemetry()
+    engine = PerfEngine(get_system("aurora"), telemetry=telemetry)
+    queue = telemetry.sycl_queue(engine, engine.node.stacks()[0])
     queue.set_repetition(2)
     host = queue.malloc_host(1 << 26)
     dev = queue.malloc_device(1 << 26)
@@ -77,11 +75,13 @@ def trace() -> None:
     queue.submit(triad_kernel(1 << 26))
     queue.submit(gemm_kernel(Precision.FP64, 4096))
     queue.memcpy(host, dev)
+    tracer = telemetry.tracer
     print("\n4. execution trace of an offload pipeline (gpu 0.0)")
     for event in tracer.events:
         print(f"   {event.start_us:10.1f} us  {event.duration_us:10.1f} us  {event.name}")
     print(f"   total busy: {tracer.total_busy_us('gpu 0.0') / 1e3:.2f} ms; "
           f"export via tracer.export_json() -> chrome://tracing")
+    print("   " + telemetry.summary())
 
 def main() -> None:
     clover()

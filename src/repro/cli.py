@@ -16,8 +16,17 @@ Chaos testing (deterministic fault injection)::
     pvc-bench table2 --inject device-loss --seed 0
     pvc-bench health --inject plane-outage --seed 3
 
+Telemetry (span traces, metrics, run manifests)::
+
+    pvc-bench trace gemm --out trace.json          # Perfetto timeline
+    pvc-bench trace gemm --inject device-loss --seed 7 --out t.json
+    pvc-bench metrics triad                        # Prometheus text
+    pvc-bench table2 --manifest run.json           # run manifest rider
+
 Exit codes under injection: 0 = clean, 1 = degraded cells (faults were
-absorbed), 2 = failed cells or a fatal error.
+absorbed), 2 = failed cells or a fatal error.  With ``--manifest`` the
+exit code is always accompanied by a machine-readable manifest binding
+config, metrics and incident provenance.
 """
 
 from __future__ import annotations
@@ -39,11 +48,67 @@ from .analysis import (
     table_v,
     table_vi,
 )
-from .errors import ReproError
+from .errors import ReproError, UnknownBenchmarkError
 from .faults import SCENARIO_NAMES, ExecutionContext
 from .hw.systems import all_systems
 
 __all__ = ["main"]
+
+#: Benchmarks the ``trace`` / ``metrics`` commands can run.  The plan is
+#: long enough (warmup + 30 reps = 32 injector ticks) that every fault
+#: scenario's trigger tick falls inside the run.
+_TELEMETRY_BENCHES = ("gemm", "triad", "p2p")
+
+
+def _run_instrumented(ctx: ExecutionContext, args) -> None:
+    """Run one benchmark with the full telemetry session attached."""
+    from .core.runner import RunPlan
+    from .micro.gemm import Gemm
+    from .micro.p2p import P2PBandwidth
+    from .micro.triad import Triad
+
+    if args.bench not in _TELEMETRY_BENCHES:
+        raise UnknownBenchmarkError(
+            f"unknown benchmark {args.bench!r} for {args.command}; "
+            f"choose from: {', '.join(_TELEMETRY_BENCHES)}"
+        )
+    engine = ctx.engine(args.system)
+    if args.bench == "gemm":
+        bench, n_stacks = Gemm(), engine.node.n_stacks
+    elif args.bench == "triad":
+        bench, n_stacks = Triad(), engine.node.n_stacks
+    else:  # p2p: single pair, exercised through the simulated MPI layer
+        bench, n_stacks = P2PBandwidth("remote"), 1
+    plan = RunPlan(repetitions=30, warmup=2)
+    result = bench.measure(engine, n_stacks=n_stacks, plan=plan)
+    if result.provenance is not None:
+        ctx.record(result.provenance.status)
+    best = result.best
+    print(
+        f"# {args.bench} on {args.system} [{result.scope.name}]: "
+        f"best {best.work / best.elapsed_s:.4g} {best.unit} "
+        f"over {len(result.samples)} samples",
+        file=sys.stderr,
+    )
+
+
+def _cmd_trace(ctx: ExecutionContext, args) -> None:
+    _run_instrumented(ctx, args)
+    doc = ctx.telemetry.tracer.export_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(doc)
+            fh.write("\n")
+        ctx.trace_files.append(args.out)
+        print(f"trace written to {args.out}", file=sys.stderr)
+    else:
+        print(doc)
+    print(ctx.telemetry_summary(), file=sys.stderr)
+
+
+def _cmd_metrics(ctx: ExecutionContext, args) -> None:
+    _run_instrumented(ctx, args)
+    print(ctx.telemetry.metrics.to_prometheus(), end="")
 
 
 def _print_ratio_points(points, title: str) -> None:
@@ -103,6 +168,7 @@ def _cmd_health(ctx: ExecutionContext) -> None:
             report = node_health(get_system(name))
         print(report.render())
         print()
+    print(ctx.telemetry_summary())
 
 
 def _cmd_selfcheck() -> None:
@@ -187,6 +253,12 @@ _CTX_COMMANDS = {
     "health": _cmd_health,
 }
 
+# Commands that additionally need the parsed args (telemetry runs).
+_TELEMETRY_COMMANDS = {
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
+}
+
 _COMMANDS = {
     "table1": lambda: print(table_i()),
     "table4": lambda: print(table_iv().render()),
@@ -217,7 +289,17 @@ def main(argv: list[str] | None = None) -> int:
         "simulated substrate.",
     )
     parser.add_argument(
-        "command", choices=sorted(_COMMANDS) + sorted(_CTX_COMMANDS)
+        "command",
+        choices=sorted(_COMMANDS)
+        + sorted(_CTX_COMMANDS)
+        + sorted(_TELEMETRY_COMMANDS),
+    )
+    parser.add_argument(
+        "bench",
+        nargs="?",
+        default="gemm",
+        help="benchmark for trace/metrics "
+        f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm)",
     )
     parser.add_argument(
         "--inject",
@@ -232,10 +314,40 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         help="seed for the fault schedule (default: 0)",
     )
+    parser.add_argument(
+        "--system",
+        default="aurora",
+        help="system for trace/metrics runs (default: aurora)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="write the Perfetto trace JSON here instead of stdout",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        default=None,
+        help="also write a run manifest (config + metrics + provenance)",
+    )
     args = parser.parse_args(argv)
+    needs_telemetry = (
+        args.command in _TELEMETRY_COMMANDS
+        or args.command == "health"
+        or args.manifest is not None
+    )
+    if needs_telemetry:
+        from .telemetry import Telemetry
+
+        telemetry = Telemetry()
+    else:
+        telemetry = None
     try:
-        ctx = ExecutionContext(args.inject, args.seed)
-        if args.command in _CTX_COMMANDS:
+        ctx = ExecutionContext(args.inject, args.seed, telemetry=telemetry)
+        if args.command in _TELEMETRY_COMMANDS:
+            _TELEMETRY_COMMANDS[args.command](ctx, args)
+        elif args.command in _CTX_COMMANDS:
             _CTX_COMMANDS[args.command](ctx)
         else:
             if ctx.active:
@@ -244,6 +356,11 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
             _COMMANDS[args.command]()
+        if args.manifest is not None:
+            from .telemetry.manifest import write_manifest
+
+            write_manifest(args.manifest, ctx.manifest(args.command))
+            print(f"manifest written to {args.manifest}", file=sys.stderr)
     except ReproError as exc:
         print(f"pvc-bench: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2

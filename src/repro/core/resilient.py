@@ -46,6 +46,7 @@ from .runner import RunPlan, Runner
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injectors import FaultInjector
+    from ..telemetry.session import Telemetry
 
 __all__ = ["ResiliencePolicy", "ResilientRunner"]
 
@@ -91,8 +92,9 @@ class ResilientRunner(Runner):
         plan: RunPlan | None = None,
         policy: ResiliencePolicy | None = None,
         injector: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
-        super().__init__(plan)
+        super().__init__(plan, telemetry)
         self.policy = policy or ResiliencePolicy()
         self.injector = injector
 
@@ -119,54 +121,74 @@ class ResilientRunner(Runner):
                 for msg in self.injector.drain():
                     incidents.setdefault(msg, None)
 
+        tel = self.telemetry
         total = self.plan.warmup + self.plan.repetitions
         last_error: ReproError | None = None
-        for rep in range(total):
-            if self.injector is not None:
-                self.injector.tick()
-            if (
-                policy.deadline_s is not None
-                and elapsed_total >= policy.deadline_s
-            ):
-                detail_parts.append(
-                    f"deadline of {policy.deadline_s:g}s reached after "
-                    f"rep {rep - 1}; remaining repetitions skipped"
-                )
-                break
-            sample: Measurement | None = None
-            for attempt in range(policy.max_retries + 1):
-                try:
-                    sample = measure(rep)
+        with self._run_span(benchmark, system, scope):
+            for rep in range(total):
+                if self.injector is not None:
+                    self.injector.tick()
+                if (
+                    policy.deadline_s is not None
+                    and elapsed_total >= policy.deadline_s
+                ):
+                    detail_parts.append(
+                        f"deadline of {policy.deadline_s:g}s reached after "
+                        f"rep {rep - 1}; remaining repetitions skipped"
+                    )
                     break
-                except _RETRYABLE as exc:
-                    last_error = exc
-                    record_incidents()
-                    if attempt >= policy.max_retries:
-                        incidents.setdefault(
-                            f"rep {rep} gave up after "
-                            f"{policy.max_retries} retries: {exc}",
-                            None,
-                        )
+                sample: Measurement | None = None
+                for attempt in range(policy.max_retries + 1):
+                    try:
+                        sample = measure(rep)
                         break
-                    retries += 1
-                    elapsed_total += policy.backoff_for(attempt + 1)
-            record_incidents()
-            if sample is None:
-                continue
-            elapsed_total += sample.elapsed_s
-            if (
-                policy.rep_timeout_s is not None
-                and sample.elapsed_s > policy.rep_timeout_s
-            ):
-                timeouts += 1
-                incidents.setdefault(
-                    f"rep {rep} exceeded the {policy.rep_timeout_s:g}s "
-                    f"repetition timeout ({sample.elapsed_s:.3g}s)",
-                    None,
+                    except _RETRYABLE as exc:
+                        last_error = exc
+                        record_incidents()
+                        if attempt >= policy.max_retries:
+                            incidents.setdefault(
+                                f"rep {rep} gave up after "
+                                f"{policy.max_retries} retries: {exc}",
+                                None,
+                            )
+                            break
+                        retries += 1
+                        backoff = policy.backoff_for(attempt + 1)
+                        elapsed_total += backoff
+                        if tel is not None:
+                            tel.metrics.inc(
+                                "retry.count", benchmark=benchmark
+                            )
+                            tel.tracer.complete(
+                                f"retry backoff (rep {rep})",
+                                tel.run_lane(),
+                                duration_us=backoff * 1e6,
+                                category="retry",
+                                attempt=attempt + 1,
+                                error=type(exc).__name__,
+                            )
+                record_incidents()
+                if sample is None:
+                    continue
+                elapsed_total += sample.elapsed_s
+                self._record_rep(
+                    benchmark, rep, sample, rep < self.plan.warmup
                 )
-                continue
-            if rep >= self.plan.warmup:
-                kept.append((rep, sample))
+                if (
+                    policy.rep_timeout_s is not None
+                    and sample.elapsed_s > policy.rep_timeout_s
+                ):
+                    timeouts += 1
+                    if tel is not None:
+                        tel.metrics.inc("timeout.count", benchmark=benchmark)
+                    incidents.setdefault(
+                        f"rep {rep} exceeded the {policy.rep_timeout_s:g}s "
+                        f"repetition timeout ({sample.elapsed_s:.3g}s)",
+                        None,
+                    )
+                    continue
+                if rep >= self.plan.warmup:
+                    kept.append((rep, sample))
 
         quarantined = 0
         if kept and policy.quarantine_ratio:
@@ -175,6 +197,10 @@ class ResilientRunner(Runner):
             survivors = [(rep, m) for rep, m in kept if m.elapsed_s <= threshold]
             quarantined = len(kept) - len(survivors)
             if quarantined:
+                if tel is not None:
+                    tel.metrics.inc(
+                        "quarantine.count", quarantined, benchmark=benchmark
+                    )
                 incidents.setdefault(
                     f"{quarantined} outlier repetition(s) quarantined "
                     f"(> {policy.quarantine_ratio:g}x the fastest)",

@@ -11,11 +11,15 @@ performance engine's noise model) and collecting a :class:`SampleSet`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from ..errors import BuildError, MeasurementError, NotMeasuredError, ReproError
 from .result import BenchmarkResult, DeviceScope, Measurement, SampleSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry.session import Telemetry
 
 __all__ = ["Runner", "RunPlan"]
 
@@ -42,8 +46,39 @@ class RunPlan:
 class Runner:
     """Executes a measurement callable according to a :class:`RunPlan`."""
 
-    def __init__(self, plan: RunPlan | None = None) -> None:
+    def __init__(
+        self,
+        plan: RunPlan | None = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self.plan = plan or RunPlan()
+        self.telemetry = telemetry
+
+    def _run_span(self, benchmark: str, system: str, scope: DeviceScope):
+        """A ``<benchmark>.run`` span on the run lane (no-op untelemetered)."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.span(
+            f"{benchmark}.run", system=system, scope=str(scope)
+        )
+
+    def _record_rep(
+        self, benchmark: str, rep: int, sample: Measurement, warmup: bool
+    ) -> None:
+        """One complete event per repetition on the run lane."""
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.tracer.complete(
+            f"{benchmark} rep {rep}",
+            tel.run_lane(),
+            duration_us=sample.elapsed_s * 1e6,
+            category="rep",
+            warmup=warmup,
+        )
+        tel.metrics.observe(
+            "rep.time_us", sample.elapsed_s * 1e6, benchmark=benchmark
+        )
 
     def run(
         self,
@@ -61,24 +96,28 @@ class Runner:
         """
         samples = SampleSet()
         total = self.plan.warmup + self.plan.repetitions
-        for rep in range(total):
-            try:
-                sample = measure(rep)
-            except (NotMeasuredError, BuildError, MeasurementError):
-                # Already carries context (or is the '-' sentinel): pass
-                # through so table code can keep its existing handling.
-                raise
-            except ReproError as exc:
-                raise MeasurementError(
-                    f"repetition {rep} of {benchmark} on {system} failed: "
-                    f"{exc}",
-                    benchmark=benchmark,
-                    system=system,
-                    repetition=rep,
-                    partial=samples,
-                ) from exc
-            if rep >= self.plan.warmup:
-                samples.add(sample)
+        with self._run_span(benchmark, system, scope):
+            for rep in range(total):
+                try:
+                    sample = measure(rep)
+                except (NotMeasuredError, BuildError, MeasurementError):
+                    # Already carries context (or is the '-' sentinel): pass
+                    # through so table code can keep its existing handling.
+                    raise
+                except ReproError as exc:
+                    raise MeasurementError(
+                        f"repetition {rep} of {benchmark} on {system} "
+                        f"failed: {exc}",
+                        benchmark=benchmark,
+                        system=system,
+                        repetition=rep,
+                        partial=samples,
+                    ) from exc
+                self._record_rep(
+                    benchmark, rep, sample, rep < self.plan.warmup
+                )
+                if rep >= self.plan.warmup:
+                    samples.add(sample)
         return BenchmarkResult(
             benchmark=benchmark,
             system=system,

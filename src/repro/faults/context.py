@@ -8,12 +8,17 @@ code contract: 0 clean, 1 degraded, 2 failed.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.result import CellStatus
 from ..hw.systems import System, get_system
 from ..sim.engine import PerfEngine
 from ..errors import ScenarioError
 from .injectors import FaultInjector
 from .scenarios import SCENARIO_NAMES, build_plan
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry.session import Telemetry
 
 __all__ = ["ExecutionContext"]
 
@@ -23,9 +28,20 @@ class ExecutionContext:
 
     ``scenario=None`` is the clean mode: engines carry no injector and
     the exit code stays 0 unless something fails outright.
+
+    Pass a :class:`~repro.telemetry.Telemetry` session to thread span
+    tracing and metrics through every engine, queue, runner and injector
+    this context builds (the ``trace``/``metrics``/``--manifest`` CLI
+    paths do).  Without one, runs behave exactly as before — the
+    telemetry hooks are all no-ops.
     """
 
-    def __init__(self, scenario: str | None = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        scenario: str | None = None,
+        seed: int = 0,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         if scenario is not None and scenario not in SCENARIO_NAMES:
             raise ScenarioError(
                 f"unknown fault scenario {scenario!r}; choose from: "
@@ -33,6 +49,8 @@ class ExecutionContext:
             )
         self.scenario = scenario
         self.seed = seed
+        self.telemetry = telemetry
+        self.trace_files: list[str] = []
         self._engines: dict[str, PerfEngine] = {}
         self._injectors: dict[str, FaultInjector] = {}
         self._worst = CellStatus.OK
@@ -56,14 +74,25 @@ class ExecutionContext:
             injector = None
             if self.active:
                 plan = build_plan(self.scenario, self.seed, system.node)
-                injector = FaultInjector(plan, system.node)
+                injector = FaultInjector(
+                    plan, system.node, telemetry=self.telemetry
+                )
                 self._injectors[sys_name] = injector
-            self._engines[sys_name] = PerfEngine(system, faults=injector)
+            self._engines[sys_name] = PerfEngine(
+                system, faults=injector, telemetry=self.telemetry
+            )
         return self._engines[sys_name]
 
     def injector(self, sys_name: str) -> FaultInjector | None:
         self.engine(sys_name)
         return self._injectors.get(sys_name)
+
+    def engines_built(self) -> list[str]:
+        """Names of the systems this run touched (for the manifest)."""
+        return sorted(self._engines)
+
+    def injectors_built(self) -> list[tuple[str, FaultInjector]]:
+        return sorted(self._injectors.items())
 
     # ------------------------------------------------------------------
     # status accounting
@@ -101,3 +130,15 @@ class ExecutionContext:
         for sys_name, injector in sorted(self._injectors.items()):
             out.extend(f"{sys_name}: {msg}" for msg in injector.history)
         return out
+
+    def telemetry_summary(self) -> str:
+        """One-line span/fault evidence (the exit-code contract's rider)."""
+        if self.telemetry is None:
+            return "telemetry: off (use trace/metrics or --manifest)"
+        return self.telemetry.summary()
+
+    def manifest(self, command: str) -> dict:
+        """The run manifest document binding config, metrics and traces."""
+        from ..telemetry.manifest import build_manifest
+
+        return build_manifest(command, self, trace_files=self.trace_files)

@@ -18,7 +18,7 @@ The injector also keeps two logs:
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -27,17 +27,26 @@ from ..hw.ids import StackRef
 from ..hw.node import Node
 from .plan import FaultClock, FaultEvent, FaultKind, FaultPlan
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..telemetry.session import Telemetry
+
 __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
     """Applies one system's fault plan as its clocks advance."""
 
-    def __init__(self, plan: FaultPlan, node: Node) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        node: Node,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self.plan = plan
         self.node = node
         self.fabric = node.fabric
         self.clock = FaultClock()
+        self.telemetry = telemetry
         self.history: list[str] = []
         self._incidents: dict[str, None] = {}  # ordered de-duplicated set
         self._pending_ticks = plan.tick_events()
@@ -45,6 +54,11 @@ class FaultInjector:
         self._dead: set[StackRef] = set()
         self._clock_ratio = 1.0
         self._throttle_noted = False
+
+    def _mark(self, name: str, lane: str | None = None, **args) -> None:
+        """Drop an instant marker on the trace timeline (if telemetry on)."""
+        if self.telemetry is not None:
+            self.telemetry.instant_fault(name, lane=lane, **args)
 
     # ------------------------------------------------------------------
     # logs
@@ -90,20 +104,45 @@ class FaultInjector:
                 self._dead.add(ref)
                 self.fabric.set_stack_down(ref)
                 self.note(f"device {ref} lost (tick {event.at})")
+                lane = (
+                    self.telemetry.gpu_lane(ref)
+                    if self.telemetry is not None
+                    else None
+                )
+                self._mark(
+                    f"device {ref} lost", lane=lane,
+                    kind="device-loss", tick=event.at,
+                )
         elif kind is FaultKind.PLANE_OUTAGE:
             self.fabric.set_plane_health(int(event.target), 0.0)
             self.note(f"Xe-Link plane {event.target} outage")
+            self._mark(
+                f"plane {event.target} outage",
+                kind="plane-outage", plane=int(event.target),
+            )
         elif kind is FaultKind.LINK_DEGRADE:
             factor = event.magnitude if event.magnitude is not None else 0.5
             self.fabric.set_plane_health(int(event.target), factor)
             self.note(f"Xe-Link plane {event.target} degraded to {factor:g}x")
+            self._mark(
+                f"plane {event.target} degraded",
+                kind="link-degrade", plane=int(event.target), factor=factor,
+            )
         elif kind is FaultKind.LINK_CUT:
             a, b = event.target  # type: ignore[misc]
             self.fabric.set_link_health(a, b, 0.0)
             self.note(f"link {a} -- {b} cut")
+            self._mark(
+                f"link {a} -- {b} cut", kind="link-cut",
+                a=str(a), b=str(b),
+            )
         elif kind is FaultKind.DVFS_THROTTLE:
             self._clock_ratio = (
                 event.magnitude if event.magnitude is not None else 0.5
+            )
+            self._mark(
+                "DVFS throttle excursion", kind="dvfs-throttle",
+                ratio=self._clock_ratio,
             )
         # Stream-driven kinds never reach _apply.
 
@@ -151,6 +190,10 @@ class FaultInjector:
         event = self._fire("kernel")
         if event is not None:
             self.note(f"transient kernel failure injected in {key}")
+            self._mark(
+                f"transient kernel failure: {key}",
+                kind="kernel-transient", kernel=key,
+            )
             raise TransientKernelError(
                 f"injected transient failure in kernel {key!r}"
             )
@@ -160,6 +203,10 @@ class FaultInjector:
         event = self._fire("alloc")
         if event is not None:
             self.note(f"USM {kind} allocation of {nbytes} B failed (injected)")
+            self._mark(
+                f"USM {kind} allocation failed",
+                kind="alloc-fail", usm=kind, nbytes=nbytes,
+            )
             raise AllocationError(
                 f"injected USM {kind} allocation failure ({nbytes} B)"
             )
@@ -171,6 +218,12 @@ class FaultInjector:
             return None
         rank = int(event.target or 0) % size
         self.note(f"MPI rank {rank} hang injected")
+        lane = (
+            self.telemetry.rank_lane(rank)
+            if self.telemetry is not None
+            else None
+        )
+        self._mark(f"rank {rank} hang", lane=lane, kind="mpi-hang", rank=rank)
         return rank
 
     def corrupt_payload(self, payload: np.ndarray, src: int, dst: int) -> bool:
@@ -182,6 +235,15 @@ class FaultInjector:
         if flat.size:
             flat[flat.size // 2] ^= 0xFF
         self.note(f"MPI message {src}->{dst} corrupted in flight")
+        lane = (
+            self.telemetry.rank_lane(src)
+            if self.telemetry is not None
+            else None
+        )
+        self._mark(
+            f"message {src}->{dst} corrupted", lane=lane,
+            kind="mpi-corruption", src=src, dst=dst,
+        )
         return True
 
     # ------------------------------------------------------------------

@@ -115,6 +115,13 @@ class Fabric:
         # filtered out (or scaled) by the routing/bandwidth queries.
         self._down_stacks: set[StackRef] = set()
         self._link_health: dict[frozenset, float] = {}
+        # Optional telemetry hook: called as fn(src, dst, route) on every
+        # routing decision.  Must not call route() back (re-entrancy).
+        self._observer = None
+
+    def set_observer(self, fn) -> None:
+        """Install (or clear, with None) the routing-decision observer."""
+        self._observer = fn
 
     # -- construction -------------------------------------------------
 
@@ -271,7 +278,10 @@ class Fabric:
 
     def route(self, src, dst) -> Route:
         """A deterministic best (minimum-hop, lexicographically first) route."""
-        return self.routes(src, dst)[0]
+        route = self.routes(src, dst)[0]
+        if self._observer is not None:
+            self._observer(src, dst, route)
+        return route
 
     def healthy_hops(self, src, dst) -> int:
         """Minimum hop count ignoring the health overlay.

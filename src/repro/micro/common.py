@@ -13,7 +13,9 @@ import abc
 from ..core.resilient import ResilientRunner
 from ..core.result import BenchmarkResult, DeviceScope, Measurement
 from ..core.runner import RunPlan, Runner
+from ..errors import DeviceLostError
 from ..sim.engine import PerfEngine
+from ..sim.kernel import KernelSpec
 
 __all__ = ["MicroBenchmark", "scope_for", "runner_for"]
 
@@ -25,13 +27,16 @@ def runner_for(
 
     An explicit *runner* wins; otherwise an engine with a fault injector
     attached gets the resilient protocol (retry/timeout/quarantine) and a
-    clean engine keeps the plain repeat-and-take-best runner.
+    clean engine keeps the plain repeat-and-take-best runner.  Either way
+    the engine's telemetry session (if any) rides along.
     """
     if runner is not None:
         return runner
     if engine.faults is not None:
-        return ResilientRunner(plan, injector=engine.faults)
-    return Runner(plan)
+        return ResilientRunner(
+            plan, injector=engine.faults, telemetry=engine.telemetry
+        )
+    return Runner(plan, telemetry=engine.telemetry)
 
 
 def scope_for(engine: PerfEngine, n_stacks: int) -> DeviceScope:
@@ -81,3 +86,44 @@ class MicroBenchmark(abc.ABC):
     def params(self) -> dict:
         """Benchmark-specific configuration recorded with results."""
         return {}
+
+    # ------------------------------------------------------------------
+    # traced kernel execution
+    # ------------------------------------------------------------------
+
+    def _traced_kernel_elapsed(
+        self, engine: PerfEngine, spec: KernelSpec, n_stacks: int, rep: int
+    ) -> float:
+        """Kernel time for one repetition, through traced queues when a
+        telemetry session is attached.
+
+        Untelemetered runs call :meth:`PerfEngine.kernel_time_s` directly
+        (byte-identical to the pre-telemetry behaviour).  With telemetry,
+        the kernel is submitted on one SYCL queue per selected stack so
+        each ``gpu C.S`` lane shows its timeline; the queues are acquired
+        once and kept across repetitions — like real benchmark setup code
+        — so a device lost mid-run surfaces as a retryable
+        :class:`~repro.errors.DeviceLostError` on the next submit, and
+        the retry re-acquires queues on the survivors.
+        """
+        tel = engine.telemetry
+        if tel is None:
+            return engine.kernel_time_s(spec, n_stacks, rep=rep)
+        cache = self.__dict__.setdefault("_queue_cache", {})
+        key = (engine.system.name, n_stacks)
+        queues = cache.get(key)
+        if queues is None:
+            queues = [
+                tel.sycl_queue(engine, ref)
+                for ref in engine.select_stacks(n_stacks)
+            ]
+            cache[key] = queues
+        try:
+            events = []
+            for queue in queues:
+                queue.set_repetition(rep)
+                events.append(queue.submit(spec, n_stacks=n_stacks))
+        except DeviceLostError:
+            cache.pop(key, None)
+            raise
+        return max(event.duration_s for event in events)

@@ -160,6 +160,6 @@ class Gemm(MicroBenchmark):
     ) -> Measurement:
         self._functional_check()
         spec = gemm_kernel(self.precision, self.n)
-        elapsed = engine.kernel_time_s(spec, n_stacks, rep=rep)
+        elapsed = self._traced_kernel_elapsed(engine, spec, n_stacks, rep)
         unit = "Iop/s" if self.precision.is_integer else "Flop/s"
         return Measurement(elapsed_s=elapsed, work=spec.flops, unit=unit)

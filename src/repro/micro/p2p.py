@@ -226,6 +226,23 @@ class P2PBandwidth(MicroBenchmark):
                 f"{self.bidirectional}",
                 rep,
             )
+            tel = engine.telemetry
+            if tel is not None:
+                # One concurrent transfer bar per source stack: the lanes
+                # show the all-pairs contention window side by side.
+                for a, b in live:
+                    tel.tracer.complete(
+                        f"p2p {a}->{b}",
+                        tel.gpu_lane(a),
+                        duration_us=elapsed * 1e6,
+                        category="transfer",
+                        nbytes=per_pair,
+                        peer=str(b),
+                    )
+                tel.metrics.inc(
+                    "transfer.bytes", total,
+                    path=self.pair_class, concurrent=len(live),
+                )
             return Measurement(elapsed_s=elapsed, work=total, unit="B/s")
 
         runner = runner_for(engine, plan, runner)

@@ -124,5 +124,5 @@ class Triad(MicroBenchmark):
 
         # Timed leg at paper scale.
         spec = triad_kernel(triad_array_bytes(engine))
-        elapsed = engine.kernel_time_s(spec, n_stacks, rep=rep)
+        elapsed = self._traced_kernel_elapsed(engine, spec, n_stacks, rep)
         return Measurement(elapsed_s=elapsed, work=spec.total_bytes, unit="B/s")

@@ -53,6 +53,9 @@ class _Message:
     #: CRC32 of the payload *as sent* — verified at receive so in-flight
     #: corruption (injected or otherwise) is detected, not consumed.
     checksum: int | None = None
+    #: Link time computed once at send; the receiver reuses it (same route,
+    #: same cost) instead of re-querying the engine.
+    transfer_s: float = 0.0
 
 
 class _Context:
@@ -139,6 +142,23 @@ class Communicator:
         self.binding = binding
         self._bindings = list(bindings)
         self._vtime = 0.0
+        tel = engine.telemetry
+        self._tel = tel
+        self._lane = tel.rank_lane(binding.rank) if tel is not None else None
+
+    def _trace(
+        self, name: str, start_s: float, duration_s: float, **args
+    ) -> None:
+        """One complete event on this rank's lane (virtual-clock times)."""
+        if self._tel is not None and self._lane is not None:
+            self._tel.tracer.complete(
+                name,
+                self._lane,
+                duration_us=max(0.0, duration_s) * 1e6,
+                start_us=start_s * 1e6,
+                category="transfer",
+                **args,
+            )
 
     # -- identity ---------------------------------------------------------
 
@@ -207,18 +227,30 @@ class Communicator:
             # can detect (rather than silently consume) a damaged message.
             checksum = faults.checksum(payload)
             faults.corrupt_payload(payload, self.rank, dest)
+        transfer_s = self._transfer_seconds(self.rank, dest, size)
         msg = _Message(
             payload=payload,
             nbytes=size,
             send_vtime=self._vtime,
             src=self.rank,
             checksum=checksum,
+            transfer_s=transfer_s,
         )
         key = (self.rank, dest, tag)
         with self._ctx.cond:
             self._ctx.mailboxes.setdefault(key, deque()).append(msg)
             self._ctx.cond.notify_all()
-        done = self._vtime + self._transfer_seconds(self.rank, dest, size)
+        done = self._vtime + transfer_s
+        self._trace(
+            f"send -> rank {dest}",
+            self._vtime,
+            transfer_s,
+            nbytes=size,
+            tag=tag,
+        )
+        if self._tel is not None:
+            self._tel.metrics.inc("mpi.messages", rank=self.rank)
+            self._tel.metrics.inc("mpi.bytes", float(size), rank=self.rank)
         return Request(self, "send", vtime_done=done)
 
     def Irecv(self, source: int, tag: int = 0) -> Request:
@@ -283,10 +315,15 @@ class Communicator:
                 f"rank {self.rank}: message corruption detected "
                 f"(from {source}, tag {tag}): checksum mismatch"
             )
-        arrive = msg.send_vtime + self._transfer_seconds(
-            source, self.rank, msg.nbytes
-        )
+        arrive = msg.send_vtime + msg.transfer_s
         self._vtime = max(self._vtime, post_vtime, arrive)
+        self._trace(
+            f"recv <- rank {source}",
+            post_vtime,
+            self._vtime - post_vtime,
+            nbytes=msg.nbytes,
+            tag=tag,
+        )
         return msg.payload
 
     def _check_rank(self, rank: int) -> None:
@@ -295,10 +332,13 @@ class Communicator:
 
     # -- collectives ---------------------------------------------------------
 
-    def _collective(self, value: object, finish: Callable) -> object:
+    def _collective(
+        self, value: object, finish: Callable, label: str = "collective"
+    ) -> object:
         """Generic rendezvous: all ranks deposit (vtime, value); the last
         arrival computes the result and the completion time."""
         ctx = self._ctx
+        entered = self._vtime
         with ctx.cond:
             gen = ctx.coll_gen
             entries = ctx.coll_entries.setdefault(gen, {})
@@ -326,6 +366,9 @@ class Communicator:
                     )
         done_vtime, result = ctx.coll_result[gen]
         self._vtime = max(self._vtime, done_vtime)
+        self._trace(label, entered, self._vtime - entered)
+        if self._tel is not None:
+            self._tel.metrics.inc("mpi.collectives", op=label, rank=self.rank)
         return result
 
     def _tree_cost(self, nbytes: int) -> float:
@@ -337,7 +380,9 @@ class Communicator:
         return stages * per_stage
 
     def Barrier(self) -> None:
-        self._collective(None, lambda values: (None, self._tree_cost(8)))
+        self._collective(
+            None, lambda values: (None, self._tree_cost(8)), label="barrier"
+        )
 
     def Allreduce(self, array: np.ndarray, op: str = SUM) -> np.ndarray:
         array = np.asarray(array)
@@ -350,7 +395,7 @@ class Communicator:
             stacked = np.stack([values[r] for r in sorted(values)])
             return reducer(stacked, axis=0), 2 * self._tree_cost(array.nbytes)
 
-        return self._collective(array.copy(), finish)  # type: ignore[return-value]
+        return self._collective(array.copy(), finish, label="allreduce")  # type: ignore[return-value]
 
     def Bcast(self, array: np.ndarray | None, root: int = 0) -> np.ndarray:
         self._check_rank(root)
@@ -362,7 +407,7 @@ class Communicator:
             return payload, self._tree_cost(np.asarray(payload).nbytes)
 
         value = array.copy() if (self.rank == root and array is not None) else None
-        out = self._collective(value, finish)
+        out = self._collective(value, finish, label="bcast")
         return np.asarray(out)
 
     def Gather(self, array: np.ndarray, root: int = 0) -> list[np.ndarray] | None:
@@ -372,7 +417,7 @@ class Communicator:
             ordered = [values[r] for r in sorted(values)]
             return ordered, self._tree_cost(array.nbytes)
 
-        out = self._collective(np.asarray(array).copy(), finish)
+        out = self._collective(np.asarray(array).copy(), finish, label="gather")
         return out if self.rank == root else None  # type: ignore[return-value]
 
     def Allgather(self, array: np.ndarray) -> list[np.ndarray]:
@@ -380,7 +425,7 @@ class Communicator:
             ordered = [values[r] for r in sorted(values)]
             return ordered, 2 * self._tree_cost(array.nbytes)
 
-        return self._collective(np.asarray(array).copy(), finish)  # type: ignore
+        return self._collective(np.asarray(array).copy(), finish, label="allgather")  # type: ignore
 
 
 class SimMPI:
@@ -436,6 +481,17 @@ class SimMPI:
             except BaseException as exc:  # noqa: BLE001 - reraised below
                 errors[rank] = exc
                 ctx.set_poison(rank, exc)
+                tel = self.engine.telemetry
+                if tel is not None:
+                    poisoned = getattr(exc, "poisoned", False)
+                    tel.instant_fault(
+                        f"rank {rank} "
+                        + ("abandoned (peer failed)" if poisoned else "failed"),
+                        lane=tel.rank_lane(rank),
+                        ts_us=comm.now * 1e6,
+                        kind="mpi-poisoned" if poisoned else "mpi-abort",
+                        error=type(exc).__name__,
+                    )
 
         def _hang(ctx: _Context, rank: int) -> None:
             # An injected hang: the rank goes silent, then reports itself

@@ -121,7 +121,14 @@ class SyclEvent:
 
 
 class SyclQueue:
-    """An in-order queue on one device with a simulated clock."""
+    """An in-order queue on one device with a simulated clock.
+
+    When the owning engine carries a telemetry session, every timed
+    operation is also recorded on the queue's ``gpu C.S`` trace lane
+    (superseding the old standalone ``TracedQueue`` wrapper), and
+    submitting to a device lost to fault injection raises a retryable
+    :class:`~repro.errors.DeviceLostError`.
+    """
 
     def __init__(
         self,
@@ -136,6 +143,9 @@ class SyclQueue:
         self._now_ns: int = 0
         self._rep: int = 0
         self._events: list[SyclEvent] = []
+        self.lane: str | None = None
+        if engine.telemetry is not None:
+            self.lane = engine.telemetry.gpu_lane(device.ref)
 
     # -- clock ------------------------------------------------------------
 
@@ -147,13 +157,34 @@ class SyclQueue:
         """Select the noise-model repetition index for subsequent work."""
         self._rep = rep
 
-    def _advance(self, seconds: float) -> SyclEvent:
+    def _check_device(self) -> None:
+        """Queues on a stack lost mid-run must fail retryably."""
+        if self.engine.faults is not None:
+            self.engine.faults.check_stack(self.device.ref)
+
+    def _advance(
+        self,
+        seconds: float,
+        name: str | None = None,
+        category: str = "kernel",
+        **args,
+    ) -> SyclEvent:
         submit = self._now_ns
         start = submit  # in-order queue, idle device: starts immediately
         end = start + max(1, round(seconds * 1e9))
         self._now_ns = end
         ev = SyclEvent(submit, start, end)
         self._events.append(ev)
+        tel = self.engine.telemetry
+        if tel is not None and self.lane is not None and name is not None:
+            tel.tracer.complete(
+                name,
+                self.lane,
+                duration_us=ev.duration_ns / 1e3,
+                start_us=start / 1e3,
+                category=category,
+                **args,
+            )
         return ev
 
     # -- USM -------------------------------------------------------------
@@ -214,9 +245,15 @@ class SyclQueue:
             raise AllocationError("memcpy overruns an allocation")
         if timed_nbytes is not None and timed_nbytes < nbytes:
             raise AllocationError("timed_nbytes smaller than the payload")
+        self._check_device()
         seconds = self._memcpy_seconds(dst, src, timed_nbytes or nbytes)
         dst.buffer[:nbytes] = src.buffer[:nbytes]
-        return self._advance(seconds)
+        return self._advance(
+            seconds,
+            f"memcpy[{src.kind.value}->{dst.kind.value}]",
+            category="transfer",
+            nbytes=timed_nbytes or nbytes,
+        )
 
     def _memcpy_seconds(
         self, dst: UsmAllocation, src: UsmAllocation, nbytes: int
@@ -255,6 +292,7 @@ class SyclQueue:
             a._check_live()
         ref = h2d_dst.device
         assert ref is not None
+        self._check_device()
         bw = self.engine.transfers.host_device_bw(ref, "bidir")
         seconds = self.engine.noise.apply(
             2 * (timed_nbytes or nbytes) / bw,
@@ -263,7 +301,12 @@ class SyclQueue:
         )
         d2h_dst.buffer[:nbytes] = d2h_src.buffer[:nbytes]
         h2d_dst.buffer[:nbytes] = h2d_src.buffer[:nbytes]
-        return self._advance(seconds)
+        return self._advance(
+            seconds,
+            "memcpy[bidir]",
+            category="transfer",
+            nbytes=2 * (timed_nbytes or nbytes),
+        )
 
     def submit(
         self,
@@ -274,10 +317,13 @@ class SyclQueue:
     ) -> SyclEvent:
         """Run a kernel: *func(args)* executes functionally (if given);
         the event duration comes from the engine's roofline for *spec*."""
+        self._check_device()
         seconds = self.engine.kernel_time_s(spec, n_stacks, rep=self._rep)
         if func is not None:
             func(*args)
-        return self._advance(seconds)
+        return self._advance(
+            seconds, spec.name, category="kernel", flops=spec.flops
+        )
 
     def wait(self) -> None:
         """In-order queue: everything submitted is already retired."""

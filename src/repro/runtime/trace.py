@@ -1,149 +1,21 @@
-"""Execution tracing: a Chrome-trace-format timeline of simulated work.
+"""Deprecated location: tracing moved to :mod:`repro.telemetry`.
 
-Profiling on the real systems (unitrace / rocprof / nsys) produces
-per-queue timelines; this module gives the simulated runs the same
-observability.  A :class:`Tracer` collects :class:`TraceEvent` records
-from SYCL queues and MPI ranks and exports the standard
-``chrome://tracing`` JSON (``trace_event`` format, "X" complete events),
-loadable in Perfetto.
+The original standalone ``Tracer``/``TracedQueue`` pair has been
+absorbed by the telemetry subsystem: :class:`repro.telemetry.Tracer`
+fixes the non-deterministic lane ordering of the old exporter (lanes now
+sort by registered key — rank, then queue index — instead of
+first-event order, and ``thread_name`` metadata labels each lane), and
+:class:`repro.runtime.sycl.SyclQueue` records its own events whenever
+the engine carries a :class:`repro.telemetry.Telemetry` session, so the
+wrapper queue is gone.
 
-Usage::
+This module re-exports the new types so existing imports keep working::
 
-    tracer = Tracer()
-    queue = TracedQueue(runtime.queue(), tracer, lane="gpu 0.0")
-    queue.memcpy(dst, src)
-    tracer.export_json()
+    from repro.runtime.trace import Tracer, TraceEvent   # still fine
+
+New code should import from :mod:`repro.telemetry` directly.
 """
 
-from __future__ import annotations
+from ..telemetry.trace import COMPLETE, INSTANT, Lane, TraceEvent, Tracer
 
-import json
-from dataclasses import dataclass, field
-
-from .sycl import SyclEvent, SyclQueue, UsmAllocation
-
-__all__ = ["TraceEvent", "Tracer", "TracedQueue"]
-
-
-@dataclass(frozen=True, slots=True)
-class TraceEvent:
-    """One complete ("X") event on the simulated timeline."""
-
-    name: str
-    lane: str
-    start_us: float
-    duration_us: float
-    category: str = "kernel"
-    args: dict = field(default_factory=dict)
-
-    def to_chrome(self, lane_ids: dict[str, int]) -> dict:
-        return {
-            "name": self.name,
-            "cat": self.category,
-            "ph": "X",
-            "ts": self.start_us,
-            "dur": self.duration_us,
-            "pid": 0,
-            "tid": lane_ids[self.lane],
-            "args": dict(self.args),
-        }
-
-
-class Tracer:
-    """Collects trace events and exports chrome://tracing JSON."""
-
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
-
-    def record(self, event: TraceEvent) -> None:
-        if event.duration_us < 0:
-            raise ValueError("negative event duration")
-        self._events.append(event)
-
-    def record_sycl(
-        self,
-        name: str,
-        lane: str,
-        event: SyclEvent,
-        category: str = "kernel",
-        **args,
-    ) -> None:
-        """Record a SYCL profiling event (timestamps are simulated ns)."""
-        self.record(
-            TraceEvent(
-                name=name,
-                lane=lane,
-                start_us=event.start_ns / 1e3,
-                duration_us=event.duration_ns / 1e3,
-                category=category,
-                args=args,
-            )
-        )
-
-    @property
-    def events(self) -> list[TraceEvent]:
-        return list(self._events)
-
-    def lanes(self) -> list[str]:
-        seen: list[str] = []
-        for e in self._events:
-            if e.lane not in seen:
-                seen.append(e.lane)
-        return seen
-
-    def total_busy_us(self, lane: str) -> float:
-        return sum(e.duration_us for e in self._events if e.lane == lane)
-
-    def span_us(self) -> float:
-        """End-to-end simulated span across all lanes."""
-        if not self._events:
-            return 0.0
-        start = min(e.start_us for e in self._events)
-        end = max(e.start_us + e.duration_us for e in self._events)
-        return end - start
-
-    def export_json(self) -> str:
-        """The chrome://tracing `traceEvents` document."""
-        lane_ids = {lane: i for i, lane in enumerate(self.lanes())}
-        doc = {
-            "traceEvents": [e.to_chrome(lane_ids) for e in self._events],
-            "displayTimeUnit": "ms",
-        }
-        return json.dumps(doc, indent=2)
-
-
-class TracedQueue:
-    """A SYCL queue wrapper that records every operation.
-
-    Wraps (not subclasses) so the queue's own API stays authoritative;
-    only the operations the benchmarks use are instrumented.
-    """
-
-    def __init__(self, queue: SyclQueue, tracer: Tracer, lane: str) -> None:
-        self.queue = queue
-        self.tracer = tracer
-        self.lane = lane
-
-    def memcpy(
-        self, dst: UsmAllocation, src: UsmAllocation, nbytes: int | None = None, **kw
-    ) -> SyclEvent:
-        event = self.queue.memcpy(dst, src, nbytes, **kw)
-        moved = nbytes if nbytes is not None else min(dst.nbytes, src.nbytes)
-        self.tracer.record_sycl(
-            f"memcpy[{src.kind.value}->{dst.kind.value}]",
-            self.lane,
-            event,
-            category="transfer",
-            nbytes=moved,
-        )
-        return event
-
-    def submit(self, spec, func=None, *args, **kw) -> SyclEvent:
-        event = self.queue.submit(spec, func, *args, **kw)
-        self.tracer.record_sycl(
-            spec.name, self.lane, event, category="kernel", flops=spec.flops
-        )
-        return event
-
-    def __getattr__(self, name: str):
-        return getattr(self.queue, name)
+__all__ = ["COMPLETE", "INSTANT", "Lane", "TraceEvent", "Tracer"]

@@ -33,8 +33,12 @@ from .transfer import TransferModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..faults.injectors import FaultInjector
+    from ..telemetry.session import Telemetry
 
 __all__ = ["PerfEngine"]
+
+#: Numeric encoding of the roofline regime for the gauge exporter.
+_REGIME_CODE = {"latency": 0.0, "memory": 1.0, "compute": 2.0}
 
 
 class PerfEngine:
@@ -49,6 +53,7 @@ class PerfEngine:
         enable_contention: bool = True,
         enable_planes: bool = True,
         faults: "FaultInjector | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.system = system
         self.node = system.node
@@ -59,11 +64,28 @@ class PerfEngine:
         )
         self.enable_tdp = enable_tdp
         self.faults = faults
+        self.telemetry = telemetry
         self.transfers = TransferModel(
             self.node,
             self.cal,
             enable_planes=enable_planes,
             enable_contention=enable_contention,
+        )
+        if telemetry is not None:
+            self.node.fabric.set_observer(self._on_route)
+
+    def _on_route(self, src: object, dst: object, route) -> None:
+        """Fabric routing observer: one counter sample per decision."""
+        if self.telemetry is None:  # pragma: no cover - observer cleared
+            return
+        degraded = any(
+            self.node.fabric.link_health(u, v) < 1.0
+            for u, v, _ in route.hops
+        )
+        self.telemetry.metrics.inc(
+            "route.count",
+            hops=route.n_hops,
+            degraded=str(degraded).lower(),
         )
 
     # ------------------------------------------------------------------
@@ -213,9 +235,28 @@ class PerfEngine:
         """Simulated execution time; pass *rep* to include run-to-run noise."""
         if self.faults is not None:
             self.faults.on_kernel(spec.name)
-        t = self.roofline(spec, n_stacks).total_s
+        point = self.roofline(spec, n_stacks)
+        t = point.total_s
         if rep is not None:
             t = self.noise.apply(t, f"{self.system.name}:{spec.name}", rep)
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            m.inc("kernel.count", bound=point.bound, kernel=spec.name)
+            if spec.flops:
+                m.inc("kernel.flops", spec.flops)
+            if spec.total_bytes:
+                m.inc("kernel.bytes", spec.total_bytes)
+            m.observe("kernel.time_us", t * 1e6, kernel=spec.name)
+            m.set_gauge(
+                "roofline.regime", _REGIME_CODE[point.bound], kernel=spec.name
+            )
+            # Fraction of the roofline window the compute pipes are busy;
+            # 1.0 means fully compute-bound, ~0 means stalled on memory.
+            m.set_gauge(
+                "kernel.occupancy",
+                point.compute_s / point.total_s if point.total_s else 0.0,
+                kernel=spec.name,
+            )
         return t
 
     # ------------------------------------------------------------------
@@ -237,6 +278,13 @@ class PerfEngine:
             t = self.noise.apply(
                 t, f"{self.system.name}:pcie:{direction}:{ref}", rep
             )
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            m.inc(
+                "transfer.bytes", float(nbytes),
+                path="pcie", direction=direction,
+            )
+            m.observe("transfer.time_us", t * 1e6, path="pcie")
         return t
 
     def p2p_transfer_time(
@@ -261,6 +309,21 @@ class PerfEngine:
             t = self.noise.apply(
                 t, f"{self.system.name}:p2p:{src}:{dst}", rep
             )
+        if self.telemetry is not None:
+            route = self.node.fabric.route(src, dst)
+            # Label by the bottleneck link (the one the bandwidth model
+            # charges): mdfi for on-card pairs, xelink across planes, ...
+            slowest = min(
+                route.hops, key=lambda hop: hop[2].peak_bw_per_dir
+            )[2].kind
+            m = self.telemetry.metrics
+            m.inc(
+                "transfer.bytes", float(nbytes),
+                path=slowest.name.lower(), hops=route.n_hops,
+            )
+            m.observe(
+                "transfer.time_us", t * 1e6, path=slowest.name.lower()
+            )
         return t
 
     # ------------------------------------------------------------------
@@ -276,6 +339,7 @@ class PerfEngine:
             enable_contention=self.transfers.enable_contention,
             enable_planes=self.transfers.enable_planes,
             faults=self.faults,
+            telemetry=self.telemetry,
         )
 
     def all_stacks(self) -> Sequence[StackRef]:

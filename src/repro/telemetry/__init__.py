@@ -1,0 +1,40 @@
+"""End-to-end telemetry for the simulated stack.
+
+Three pieces, all deterministic under a fixed seed + scenario:
+
+* :mod:`repro.telemetry.trace` — span tracing on the simulated clock,
+  exported as Perfetto-loadable chrome://tracing JSON;
+* :mod:`repro.telemetry.metrics` — counters/gauges/histograms with
+  Prometheus-text and JSON exporters;
+* :mod:`repro.telemetry.manifest` — per-run manifests binding config,
+  metrics and trace files into one auditable document.
+
+:class:`Telemetry` (in :mod:`repro.telemetry.session`) bundles a tracer
+and a metrics registry into the per-run handle every layer carries.
+"""
+
+from .manifest import SCHEMA, build_manifest, render_manifest, write_manifest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .session import FAULT_LANE, RUN_LANE, Telemetry, gpu_lane, rank_lane
+from .trace import COMPLETE, INSTANT, Lane, TraceEvent, Tracer
+
+__all__ = [
+    "COMPLETE",
+    "Counter",
+    "FAULT_LANE",
+    "Gauge",
+    "Histogram",
+    "INSTANT",
+    "Lane",
+    "MetricsRegistry",
+    "RUN_LANE",
+    "SCHEMA",
+    "Telemetry",
+    "TraceEvent",
+    "Tracer",
+    "build_manifest",
+    "gpu_lane",
+    "rank_lane",
+    "render_manifest",
+    "write_manifest",
+]

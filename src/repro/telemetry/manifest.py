@@ -1,0 +1,100 @@
+"""Run manifests: one JSON document binding config to evidence.
+
+The paper's methodology is auditable because every table cell traces
+back to a profiler timeline and a run script; the simulated runs get
+the same property here.  A manifest binds:
+
+* **config** — command, systems, fault scenario + seed, calibration
+  provenance (calibration key and noise amplitude per system);
+* **status** — the exit-code contract (0 clean / 1 degraded / 2 failed)
+  and the worst cell status observed;
+* **telemetry** — span/instant/lane counts and the full metrics
+  snapshot;
+* **provenance** — the ordered incident log (every fault applied);
+* **trace_files** — paths of exported Perfetto timelines.
+
+Manifests are deterministic: no wall-clock timestamps or hostnames, and
+the serialisation sorts keys, so the same seed + scenario yields a
+byte-identical document.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Sequence
+
+SCHEMA = "repro.telemetry.manifest/v1"
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.context import ExecutionContext
+
+__all__ = ["SCHEMA", "build_manifest", "render_manifest", "write_manifest"]
+
+
+def build_manifest(
+    command: str,
+    ctx: "ExecutionContext",
+    trace_files: Sequence[str] = (),
+) -> dict:
+    """Assemble the manifest document for one CLI invocation."""
+    from ..sim.calibration import get_calibration
+    from ..hw.systems import get_system
+
+    systems = sorted(ctx.engines_built())
+    calibration = {}
+    for sys_name in systems:
+        system = get_system(sys_name)
+        cal = get_calibration(system.calibration_key)
+        calibration[sys_name] = {
+            "key": system.calibration_key,
+            "noise_amplitude": cal.noise_amplitude,
+            "citation": (
+                "achieved-fraction constants in repro/sim/calibration.py, "
+                "each cited to the paper's Section IV"
+            ),
+        }
+    telemetry = ctx.telemetry
+    doc = {
+        "schema": SCHEMA,
+        "command": command,
+        "config": {
+            "systems": systems,
+            "scenario": ctx.scenario,
+            "seed": ctx.seed,
+            "calibration": calibration,
+        },
+        "status": {
+            "exit_code": ctx.exit_code(),
+            "worst_cell": ctx.worst_status.name,
+        },
+        "telemetry": {
+            "enabled": telemetry is not None,
+            "spans": telemetry.tracer.n_spans() if telemetry else 0,
+            "instants": telemetry.tracer.n_instants() if telemetry else 0,
+            "faults_observed": (
+                telemetry.faults_observed() if telemetry else 0
+            ),
+            "lanes": telemetry.tracer.lanes() if telemetry else [],
+        },
+        "metrics": telemetry.metrics.snapshot() if telemetry else {},
+        "provenance": {
+            "incidents": list(ctx.incident_log()),
+            "fault_plans": {
+                sys_name: injector.plan.describe()
+                for sys_name, injector in sorted(ctx.injectors_built())
+            },
+        },
+        "trace_files": list(trace_files),
+    }
+    return doc
+
+
+def render_manifest(doc: dict) -> str:
+    """Byte-stable JSON serialisation of a manifest document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(path: str, doc: dict) -> None:
+    """Serialise a manifest document to *path* (trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_manifest(doc))

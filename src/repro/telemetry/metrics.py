@@ -1,0 +1,331 @@
+"""Metrics registry: counters, gauges, histograms, two exporters.
+
+The training/inference stacks the ROADMAP points at live on a metrics
+plane (Prometheus scrape endpoints); the simulated substrate gets the
+same shape here.  Names use dotted form internally (``transfer.bytes``)
+and are normalised to the Prometheus grammar (``transfer_bytes``) at
+export time.  Labels are plain keyword arguments::
+
+    registry.inc("transfer.bytes", 5e8, path="xelink")
+    registry.set_gauge("roofline.regime", 1.0, kernel="dgemm")
+    registry.observe("kernel.time_us", 130.0)
+
+Everything is deterministic: values derive from the simulated clock and
+seeded fault plans, never the wall clock, and both exporters emit in
+sorted order.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Histogram bucket upper bounds (simulated microseconds / ratios both
+#: fit; the +Inf bucket is implicit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, object]) -> LabelSet:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"bad label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _prom_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing value (per label set)."""
+
+    name: str
+    help: str = ""
+    _values: dict[LabelSet, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        return self._values.get(_labelset(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def samples(self) -> list[tuple[LabelSet, float]]:
+        return sorted(self._values.items())
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (per label set)."""
+
+    name: str
+    help: str = ""
+    _values: dict[LabelSet, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_labelset(labels)] = float(value)
+
+    def add(self, value: float, **labels) -> None:
+        key = _labelset(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        return self._values.get(_labelset(labels), 0.0)
+
+    def samples(self) -> list[tuple[LabelSet, float]]:
+        return sorted(self._values.items())
+
+
+@dataclass
+class _HistogramState:
+    counts: list[int]
+    total: int = 0
+    sum: float = 0.0
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    name: str
+    help: str = ""
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    _states: dict[LabelSet, _HistogramState] = field(default_factory=dict)
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.buckets)) != tuple(self.buckets):
+            raise ValueError(f"{self.name}: buckets must be sorted")
+        if not self.buckets:
+            raise ValueError(f"{self.name}: need at least one bucket")
+
+    def observe(self, value: float, **labels) -> None:
+        key = _labelset(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(
+                counts=[0] * len(self.buckets)
+            )
+        idx = bisect.bisect_left(self.buckets, value)
+        if idx < len(self.buckets):
+            state.counts[idx] += 1
+        state.total += 1
+        state.sum += value
+
+    def count(self, **labels) -> int:
+        state = self._states.get(_labelset(labels))
+        return 0 if state is None else state.total
+
+    def sum_observed(self, **labels) -> float:
+        state = self._states.get(_labelset(labels))
+        return 0.0 if state is None else state.sum
+
+    def cumulative_counts(self, **labels) -> list[int]:
+        """Per-bucket cumulative counts (Prometheus ``le`` semantics)."""
+        state = self._states.get(_labelset(labels))
+        if state is None:
+            return [0] * len(self.buckets)
+        out, running = [], 0
+        for c in state.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def samples(self) -> list[tuple[LabelSet, _HistogramState]]:
+        return sorted(self._states.items(), key=lambda kv: kv[0])
+
+
+class MetricsRegistry:
+    """A named collection of metrics with exporters.
+
+    The convenience methods (:meth:`inc`, :meth:`set_gauge`,
+    :meth:`observe`) create metrics on first use, so instrumented layers
+    never have to pre-declare anything.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration ------------------------------------------------------
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, help), "counter"
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, buckets), "histogram"
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        counter = self.counter(name)
+        with self._lock:  # MPI rank threads increment concurrently
+            counter.inc(value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        gauge = self.gauge(name)
+        with self._lock:
+            gauge.set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        histogram = self.histogram(name)
+        with self._lock:
+            histogram.observe(value, **labels)
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter/gauge (0.0 when never touched)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ValueError(f"{name} is a histogram; use .histogram()")
+        return metric.value(**labels)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (sorted, deterministic)."""
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            prom = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            lines.append(f"# TYPE {prom} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for labels, state in metric.samples():
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, state.counts):
+                        cumulative += count
+                        le = dict(labels)
+                        le["le"] = _prom_number(bound)
+                        lines.append(
+                            f"{prom}_bucket{_prom_labels(_labelset(le))} "
+                            f"{cumulative}"
+                        )
+                    le = dict(labels)
+                    le["le"] = "+Inf"
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(_labelset(le))} "
+                        f"{state.total}"
+                    )
+                    lines.append(
+                        f"{prom}_sum{_prom_labels(labels)} "
+                        f"{_prom_number(state.sum)}"
+                    )
+                    lines.append(
+                        f"{prom}_count{_prom_labels(labels)} {state.total}"
+                    )
+            else:
+                samples = metric.samples()
+                if not samples:
+                    lines.append(f"{prom} 0")
+                for labels, value in samples:
+                    lines.append(
+                        f"{prom}{_prom_labels(labels)} {_prom_number(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot (used by run manifests)."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry: dict[str, object] = {"kind": metric.kind}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(labels),
+                        "counts": list(state.counts),
+                        "count": state.total,
+                        "sum": state.sum,
+                    }
+                    for labels, state in metric.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(labels), "value": value}
+                    for labels, value in metric.samples()
+                ]
+            out[name] = entry
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)

@@ -1,0 +1,148 @@
+"""Per-run telemetry context: one tracer + one metrics registry.
+
+A :class:`Telemetry` instance is the handle every layer carries: the
+performance engine, SYCL queues, the MPI layer, the fault injector and
+the runners all record into the same session, so a single run produces
+one coherent timeline, one metrics scrape and one manifest.
+
+Lane naming conventions (see ``docs/telemetry.md``):
+
+* ``run``            — the benchmark driver timeline (repetitions,
+  retries, backoff gaps, run-level spans);
+* ``rank N``         — one per MPI rank;
+* ``gpu C.S``        — one per SYCL queue / device stack;
+* ``faults``         — injector events that have no device target.
+
+Sort keys keep that order stable in Perfetto regardless of which lane
+recorded first: run < ranks (by rank) < queues (by card, stack) < the
+rest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..hw.ids import StackRef
+    from ..sim.engine import PerfEngine
+    from ..runtime.sycl import SyclQueue
+
+__all__ = ["Telemetry", "RUN_LANE", "FAULT_LANE", "gpu_lane", "rank_lane"]
+
+RUN_LANE = "run"
+FAULT_LANE = "faults"
+
+
+def gpu_lane(ref: "StackRef") -> str:
+    """Lane name for a device stack's queue timeline."""
+    return f"gpu {ref}"
+
+
+def rank_lane(rank: int) -> str:
+    """Lane name for one MPI rank's timeline."""
+    return f"rank {rank}"
+
+
+class Telemetry:
+    """One run's telemetry session (tracer + metrics + queue cache)."""
+
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.tracer.lane(RUN_LANE, sort_key=(0, 0, 0))
+        self._queues: dict[tuple[str, object], "SyclQueue"] = {}
+        # Pre-declare the resilience counters so a clean scrape still
+        # exposes them (at 0) and attaches HELP text.
+        self.metrics.counter(
+            "retry.count", help="repetitions retried after a recoverable fault"
+        )
+        self.metrics.counter(
+            "quarantine.count", help="benchmarks quarantined after retry budget"
+        )
+        self.metrics.counter(
+            "fault.count", help="injected faults observed on the timeline"
+        )
+
+    # ------------------------------------------------------------------
+    # lane registration helpers (sort keys give deterministic ordering)
+    # ------------------------------------------------------------------
+
+    def run_lane(self) -> str:
+        return self.tracer.lane(RUN_LANE, sort_key=(0, 0, 0))
+
+    def rank_lane(self, rank: int) -> str:
+        return self.tracer.lane(rank_lane(rank), sort_key=(1, rank, 0))
+
+    def gpu_lane(self, ref: "StackRef") -> str:
+        return self.tracer.lane(
+            gpu_lane(ref), sort_key=(2, ref.card, ref.stack)
+        )
+
+    def fault_lane(self) -> str:
+        return self.tracer.lane(FAULT_LANE, sort_key=(8, 0, 0))
+
+    # ------------------------------------------------------------------
+    # recording shortcuts
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, lane: str = RUN_LANE, **attrs):
+        """``with telemetry.span("gemm.run", attrs=...):`` — see Tracer."""
+        return self.tracer.span(name, lane, **attrs)
+
+    def instant_fault(self, name: str, lane: str | None = None, **args):
+        """Mark an injected/observed fault on the timeline + metrics."""
+        kind = str(args.get("kind", "fault"))
+        self.metrics.inc("fault.count", kind=kind)
+        return self.tracer.instant(
+            name, lane if lane is not None else self.fault_lane(), **args
+        )
+
+    # ------------------------------------------------------------------
+    # SYCL queue cache (per-device timelines that persist across reps)
+    # ------------------------------------------------------------------
+
+    def sycl_queue(self, engine: "PerfEngine", ref: "StackRef") -> "SyclQueue":
+        """A cached telemetry-wired queue on *ref*.
+
+        Caching keeps each device lane's simulated clock advancing across
+        repetitions, so the exported timeline is one continuous run.
+        """
+        key = (engine.system.name, ref)
+        queue = self._queues.get(key)
+        if queue is None:
+            from ..errors import DeviceLostError
+            from ..runtime.sycl import SyclRuntime
+
+            runtime = SyclRuntime(engine)
+            device = next(
+                (d for d in runtime.devices() if d.ref == ref), None
+            )
+            if device is None:
+                # The stack vanished between selection and queue creation
+                # (injected loss): surface a retryable error.
+                raise DeviceLostError(f"device {ref} is lost", stack=ref)
+            queue = runtime.queue(device)
+            self._queues[key] = queue
+        return queue
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+
+    def faults_observed(self) -> int:
+        if "fault.count" not in self.metrics:
+            return 0
+        return int(round(self.metrics.counter("fault.count").total()))
+
+    def summary(self) -> str:
+        """One line of machine-grepable evidence for health/exit reports."""
+        return (
+            f"telemetry: {self.tracer.n_spans()} span(s) on "
+            f"{len(self.tracer.lanes())} lane(s), "
+            f"{self.tracer.n_instants()} instant event(s), "
+            f"{self.faults_observed()} fault(s) observed, "
+            f"{len(self.metrics.names())} metric(s)"
+        )

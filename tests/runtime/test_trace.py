@@ -1,22 +1,28 @@
-"""Execution tracing."""
+"""Execution tracing through the telemetry-wired SYCL queues."""
 
 import json
 
-import numpy as np
 import pytest
 
-from repro.runtime.sycl import SyclRuntime
-from repro.runtime.trace import TracedQueue, TraceEvent, Tracer
+from repro.hw.systems import get_system
+from repro.runtime.trace import TraceEvent, Tracer  # compat re-exports
+from repro.sim.engine import PerfEngine
 from repro.sim.kernel import triad_kernel
+from repro.sim.noise import QUIET
+from repro.telemetry import Telemetry
+
+
+def _engine(telemetry: Telemetry) -> PerfEngine:
+    return PerfEngine(get_system("aurora"), noise=QUIET, telemetry=telemetry)
 
 
 @pytest.fixture()
-def traced(aurora):
-    tracer = Tracer()
-    rt = SyclRuntime(aurora)
-    q = rt.queue()
-    q.set_repetition(2)
-    return tracer, TracedQueue(q, tracer, lane="gpu 0.0")
+def traced():
+    telemetry = Telemetry()
+    engine = _engine(telemetry)
+    queue = telemetry.sycl_queue(engine, engine.node.stacks()[0])
+    queue.set_repetition(2)
+    return telemetry.tracer, queue
 
 
 class TestTracer:
@@ -61,21 +67,64 @@ class TestTracer:
         queue.memcpy(dev, host)
         doc = json.loads(tracer.export_json())
         assert doc["traceEvents"]
-        event = doc["traceEvents"][0]
-        assert event["ph"] == "X"
-        assert event["args"]["nbytes"] == 1 << 16
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in meta)
+        assert any(
+            e["name"] == "thread_name" and e["args"]["name"] == "gpu 0.0"
+            for e in meta
+        )
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["args"]["nbytes"] == 1 << 16
 
-    def test_multiple_lanes(self, aurora):
-        tracer = Tracer()
-        rt = SyclRuntime(aurora)
-        q0 = TracedQueue(rt.queue(rt.devices()[0]), tracer, "gpu 0.0")
-        q1 = TracedQueue(rt.queue(rt.devices()[1]), tracer, "gpu 0.1")
+    def test_multiple_lanes_sorted_by_key(self):
+        telemetry = Telemetry()
+        engine = _engine(telemetry)
+        stacks = engine.node.stacks()
+        # Acquire out of order: the export must still sort by sort key.
+        q1 = telemetry.sycl_queue(engine, stacks[1])
+        q0 = telemetry.sycl_queue(engine, stacks[0])
         q0.submit(triad_kernel(1 << 16))
         q1.submit(triad_kernel(1 << 16))
-        assert tracer.lanes() == ["gpu 0.0", "gpu 0.1"]
+        tracer = telemetry.tracer
+        assert tracer.lanes() == ["run", "gpu 0.0", "gpu 0.1"]
         doc = json.loads(tracer.export_json())
-        tids = {e["tid"] for e in doc["traceEvents"]}
-        assert tids == {0, 1}
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {1, 2}
+
+    def test_span_nests_and_covers_children(self):
+        tracer = Tracer()
+        with tracer.span("outer", lane="run"):
+            tracer.complete("child a", "run", duration_us=5.0)
+            with tracer.span("inner", lane="run"):
+                tracer.complete("child b", "run", duration_us=7.0)
+        spans = {e.name: e for e in tracer.events}
+        assert spans["inner"].duration_us == pytest.approx(7.0)
+        assert spans["outer"].duration_us == pytest.approx(12.0)
+        assert spans["outer"].start_us == 0.0
+
+    def test_instant_markers_counted(self):
+        tracer = Tracer()
+        tracer.instant("device 0.0 lost", "faults", kind="device-loss")
+        assert tracer.n_instants() == 1
+        assert tracer.n_instants("fault") == 1
+        assert tracer.n_instants("other") == 0
+        doc = json.loads(tracer.export_json())
+        inst = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst and inst[0]["s"] == "t"
+
+    def test_export_is_deterministic(self):
+        def build() -> str:
+            telemetry = Telemetry()
+            engine = _engine(telemetry)
+            queue = telemetry.sycl_queue(engine, engine.node.stacks()[0])
+            queue.set_repetition(1)
+            host = queue.malloc_host(1 << 16)
+            dev = queue.malloc_device(1 << 16)
+            queue.memcpy(dev, host)
+            queue.submit(triad_kernel(1 << 16))
+            return telemetry.tracer.export_json()
+
+        assert build() == build()
 
     def test_negative_duration_rejected(self):
         with pytest.raises(ValueError):
@@ -83,9 +132,9 @@ class TestTracer:
                 TraceEvent(name="x", lane="l", start_us=0.0, duration_us=-1.0)
             )
 
-    def test_wrapper_delegates_unknown_attrs(self, traced):
+    def test_queue_exposes_usm_and_clock(self, traced):
         _, queue = traced
-        alloc = queue.malloc_shared(64)  # passes through to the real queue
+        alloc = queue.malloc_shared(64)
         assert alloc.nbytes == 64
         assert queue.now_ns >= 0
 

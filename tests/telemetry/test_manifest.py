@@ -1,0 +1,65 @@
+"""Run manifests: schema, provenance binding, determinism."""
+
+import json
+
+from repro.faults import ExecutionContext
+from repro.telemetry import Telemetry
+from repro.telemetry.manifest import (
+    SCHEMA,
+    build_manifest,
+    render_manifest,
+    write_manifest,
+)
+
+
+def _fault_ctx() -> ExecutionContext:
+    ctx = ExecutionContext("device-loss", seed=3, telemetry=Telemetry())
+    engine = ctx.engine("aurora")
+    engine.faults.fast_forward()
+    return ctx
+
+
+class TestManifest:
+    def test_schema_and_config(self):
+        ctx = _fault_ctx()
+        doc = build_manifest("health", ctx)
+        assert doc["schema"] == SCHEMA
+        assert doc["command"] == "health"
+        assert doc["config"]["systems"] == ["aurora"]
+        assert doc["config"]["scenario"] == "device-loss"
+        assert doc["config"]["seed"] == 3
+        cal = doc["config"]["calibration"]["aurora"]
+        assert cal["key"] == "aurora"
+        assert cal["noise_amplitude"] > 0
+        assert "citation" in cal
+
+    def test_binds_telemetry_and_provenance(self):
+        ctx = _fault_ctx()
+        doc = build_manifest("health", ctx, trace_files=["t.json"])
+        assert doc["telemetry"]["enabled"] is True
+        assert doc["telemetry"]["faults_observed"] >= 1
+        assert "run" in doc["telemetry"]["lanes"]
+        assert doc["metrics"]["fault.count"]["samples"]
+        assert doc["provenance"]["incidents"]
+        assert "aurora" in doc["provenance"]["fault_plans"]
+        assert doc["trace_files"] == ["t.json"]
+
+    def test_without_telemetry(self):
+        ctx = ExecutionContext()
+        doc = build_manifest("table2", ctx)
+        assert doc["telemetry"]["enabled"] is False
+        assert doc["telemetry"]["spans"] == 0
+        assert doc["metrics"] == {}
+        assert doc["status"] == {"exit_code": 0, "worst_cell": "OK"}
+
+    def test_deterministic_under_fixed_seed(self):
+        one = render_manifest(build_manifest("health", _fault_ctx()))
+        two = render_manifest(build_manifest("health", _fault_ctx()))
+        assert one == two
+        assert one.endswith("\n")
+
+    def test_write_manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(str(path), build_manifest("table2", ExecutionContext()))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA

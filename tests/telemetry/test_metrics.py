@@ -1,0 +1,122 @@
+"""Metrics registry: counters, gauges, histograms, exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_labelled_increments(self):
+        reg = MetricsRegistry()
+        reg.inc("transfer.bytes", 100.0, path="xelink")
+        reg.inc("transfer.bytes", 50.0, path="xelink")
+        reg.inc("transfer.bytes", 7.0, path="pcie")
+        counter = reg.counter("transfer.bytes")
+        assert counter.value(path="xelink") == 150.0
+        assert counter.value(path="pcie") == 7.0
+        assert counter.total() == 157.0
+
+    def test_counters_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1.0)
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_bad_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.inc("kernel flops")
+        with pytest.raises(ValueError):
+            reg.inc("ok.name", 1.0, **{"le!": "x"})
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("kernel.occupancy", 0.5, kernel="dgemm")
+        reg.set_gauge("kernel.occupancy", 0.9, kernel="dgemm")
+        assert reg.value("kernel.occupancy", kernel="dgemm") == 0.9
+        gauge = reg.gauge("kernel.occupancy")
+        gauge.add(-0.4, kernel="dgemm")
+        assert gauge.value(kernel="dgemm") == pytest.approx(0.5)
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = Histogram("t", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(v)
+        assert hist.cumulative_counts() == [1, 2, 3]
+        assert hist.count() == 4
+        assert hist.sum_observed() == pytest.approx(555.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=(10.0, 1.0))
+
+    def test_default_buckets_cover_microseconds(self):
+        assert DEFAULT_BUCKETS == tuple(sorted(DEFAULT_BUCKETS))
+        reg = MetricsRegistry()
+        reg.observe("kernel.time_us", 130.0, kernel="dgemm")
+        assert reg.histogram("kernel.time_us").count(kernel="dgemm") == 1
+
+
+class TestPrometheusExport:
+    def test_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("retry.count", help="retried repetitions")
+        reg.inc("retry.count", 2.0, benchmark="gemm")
+        reg.set_gauge("roofline.regime", 2.0, kernel="dgemm")
+        reg.observe("kernel.time_us", 42.0)
+        text = reg.to_prometheus()
+        assert "# HELP retry_count retried repetitions" in text
+        assert "# TYPE retry_count counter" in text
+        assert 'retry_count{benchmark="gemm"} 2' in text
+        assert "# TYPE roofline_regime gauge" in text
+        assert 'roofline_regime{kernel="dgemm"} 2' in text
+        assert "# TYPE kernel_time_us histogram" in text
+        assert 'kernel_time_us_bucket{le="100"} 1' in text
+        assert 'kernel_time_us_bucket{le="+Inf"} 1' in text
+        assert "kernel_time_us_sum 42" in text
+        assert "kernel_time_us_count 1" in text
+
+    def test_untouched_counter_prints_zero(self):
+        reg = MetricsRegistry()
+        reg.counter("retry.count")
+        assert "retry_count 0" in reg.to_prometheus()
+
+    def test_export_sorted_and_deterministic(self):
+        def build() -> MetricsRegistry:
+            reg = MetricsRegistry()
+            reg.inc("b.count", 1.0, z="1", a="2")
+            reg.inc("a.count", 2.0)
+            reg.set_gauge("c.gauge", 3.0)
+            return reg
+
+        assert build().to_prometheus() == build().to_prometheus()
+        text = build().to_prometheus()
+        assert text.index("a_count") < text.index("b_count") < text.index(
+            "c_gauge"
+        )
+        assert 'b_count{a="2",z="1"} 1' in text  # labels sorted too
+
+    def test_json_snapshot_round_trips(self):
+        reg = MetricsRegistry()
+        reg.inc("kernel.flops", 1e12, kernel="dgemm")
+        reg.observe("kernel.time_us", 5.0)
+        doc = json.loads(reg.to_json())
+        assert doc["kernel.flops"]["kind"] == "counter"
+        assert doc["kernel.flops"]["samples"][0]["value"] == 1e12
+        assert doc["kernel.time_us"]["kind"] == "histogram"
+        assert doc["kernel.time_us"]["samples"][0]["count"] == 1
