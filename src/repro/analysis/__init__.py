@@ -3,6 +3,7 @@
 from .compare import Claim, all_claims
 from .expected import ExpectedBar, fig2_expected, fig3_expected, fig4_expected
 from .figures import (
+    FIGURE_TITLES,
     MINIAPP_ORDER,
     LatencySeries,
     RatioPoint,
@@ -10,6 +11,8 @@ from .figures import (
     figure2,
     figure3,
     figure4,
+    render_figure,
+    render_ratio_points,
 )
 from .report import claims_markdown, full_report, table2_markdown, table6_markdown
 from .roofline_data import KernelPoint, RooflineSeries, paper_kernels, roofline_series
@@ -40,6 +43,9 @@ __all__ = [
     "figure2",
     "figure3",
     "figure4",
+    "render_figure",
+    "render_ratio_points",
+    "FIGURE_TITLES",
     "claims_markdown",
     "full_report",
     "table2_markdown",

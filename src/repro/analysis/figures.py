@@ -32,6 +32,9 @@ __all__ = [
     "figure2",
     "figure3",
     "figure4",
+    "render_figure",
+    "render_ratio_points",
+    "FIGURE_TITLES",
     "MINIAPP_ORDER",
 ]
 
@@ -171,3 +174,51 @@ def figure3() -> list[RatioPoint]:
 def figure4() -> list[RatioPoint]:
     """FOMs on Aurora and Dawn relative to JLSE-MI250 (per stack vs GCD)."""
     return _vs_reference("jlse-mi250", fig4_expected, gpu_stacks=1)
+
+
+# ----------------------------------------------------------------------
+# text renderers (shared by the CLI and the campaign result store)
+# ----------------------------------------------------------------------
+
+FIGURE_TITLES = {
+    "fig2": "Figure 2: FOMs on Aurora relative to Dawn",
+    "fig3": "Figure 3: FOMs relative to JLSE-H100",
+    "fig4": "Figure 4: FOMs relative to JLSE-MI250",
+}
+
+
+def render_ratio_points(points: list[RatioPoint], title: str) -> str:
+    """The Figures 2-4 bar listing as plain text."""
+    lines = [title, "-" * 72]
+    for p in points:
+        measured = "-" if p.ratio is None else f"{p.ratio:5.2f}x"
+        expected = (
+            "(no bar)"
+            if p.expected.ratio is None
+            else f"expected {p.expected.ratio:5.2f}x"
+        )
+        flag = ""
+        if p.within_expectation is True:
+            flag = "  [as expected]"
+        elif p.within_expectation is False:
+            flag = "  [deviates]"
+        lines.append(f"{p.app:22s} {p.scope:10s} {measured}  {expected}{flag}")
+    return "\n".join(lines)
+
+
+def _render_figure1() -> str:
+    lines: list[str] = []
+    for series in figure1():
+        lines.append(f"# {series.system}")
+        for size, cycles in zip(series.sizes_bytes, series.latency_cycles):
+            lines.append(f"{int(size):>12d} B  {cycles:8.1f} cycles")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_figure(name: str) -> str:
+    """Render one figure (``fig1``..``fig4``) exactly as the CLI prints it."""
+    if name == "fig1":
+        return _render_figure1()
+    points = {"fig2": figure2, "fig3": figure3, "fig4": figure4}[name]()
+    return render_ratio_points(points, FIGURE_TITLES[name])

@@ -1,0 +1,39 @@
+"""Crash-safe campaign orchestration.
+
+A *campaign* is the paper's full result set — Tables II/III/VI, the
+static tables, Figures 1-4 — decomposed into a deterministic DAG of
+benchmark units.  The subsystem has four layers:
+
+* :mod:`repro.campaign.spec` — named campaign specs: units, their
+  dependencies, and a content digest that pins what "the same campaign"
+  means across processes;
+* :mod:`repro.campaign.journal` — the write-ahead journal: checksummed
+  JSONL records, written atomically, that survive crashes and detect
+  torn tails;
+* :mod:`repro.campaign.store` — the integrity-verified result store:
+  one JSON payload per completed unit, digest-bound to the journal;
+* :mod:`repro.campaign.orchestrator` — executes units in topological
+  order under a supervisor (per-unit simulated-time watchdog, campaign
+  deadline, SIGINT/SIGTERM flush), journals every transition, and on
+  ``resume`` re-executes only incomplete or corrupted units.
+
+Determinism contract: a campaign interrupted after any unit and then
+resumed produces byte-identical final tables and manifest to an
+uninterrupted run with the same seed and scenario.
+"""
+
+from .journal import Journal, JournalRecord
+from .orchestrator import Orchestrator
+from .spec import SPEC_NAMES, CampaignSpec, CampaignUnit, get_spec
+from .store import ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "CampaignUnit",
+    "Journal",
+    "JournalRecord",
+    "Orchestrator",
+    "ResultStore",
+    "SPEC_NAMES",
+    "get_spec",
+]

@@ -1,0 +1,170 @@
+"""The campaign write-ahead journal.
+
+One JSONL file (``journal.jsonl``) records every campaign transition:
+
+* ``campaign-start`` — spec name + digest, fault scenario, seed, and the
+  full unit schedule;
+* ``unit-start`` / ``unit-done`` / ``unit-failed`` — per-unit lifecycle;
+  ``unit-done`` binds the unit's result-store payload by SHA-256 digest;
+* ``resume`` — which units a resumed run skipped, re-ran, or recovered
+  from a corrupt tail;
+* ``interrupted`` / ``deadline`` — early exits that remain resumable;
+* ``campaign-done`` — the final exit code.
+
+Every record carries a ``sha256`` field: the digest of the record's
+canonical JSON with that field removed.  The journal is rewritten
+atomically (temp file + ``os.replace``) on every append, so a crash at
+any instant leaves either the previous or the new journal on disk —
+and a *torn* record (simulated by the ``journal-truncate`` scenario, or
+produced by genuinely broken storage) is detected by the checksum and
+confined to the tail: :meth:`Journal.load` returns the valid prefix and
+reports how many trailing records were dropped.
+
+No record contains wall-clock timestamps or hostnames; replaying the
+journal is deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import CampaignCorruptError
+from ..ioutils import atomic_write_text, canonical_json, sha256_text
+
+__all__ = ["JournalRecord", "Journal"]
+
+#: Record types the orchestrator writes (documented in docs/campaigns.md).
+RECORD_TYPES = (
+    "campaign-start",
+    "unit-start",
+    "unit-done",
+    "unit-failed",
+    "resume",
+    "interrupted",
+    "deadline",
+    "campaign-done",
+)
+
+
+class JournalRecord(dict):
+    """One journal record (a dict with checksum helpers)."""
+
+    @staticmethod
+    def seal(payload: dict) -> "JournalRecord":
+        """Attach the integrity checksum to *payload*."""
+        body = {k: v for k, v in payload.items() if k != "sha256"}
+        rec = JournalRecord(body)
+        rec["sha256"] = sha256_text(canonical_json(body))
+        return rec
+
+    def intact(self) -> bool:
+        body = {k: v for k, v in self.items() if k != "sha256"}
+        return self.get("sha256") == sha256_text(canonical_json(body))
+
+
+class Journal:
+    """Append-only, checksummed, atomically-written JSONL journal."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        self._records: list[JournalRecord] = []
+        self.dropped_tail = 0
+
+    # ------------------------------------------------------------------
+    # loading / verification
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, strict: bool = False) -> "Journal":
+        """Read a journal, keeping the longest intact prefix.
+
+        Any record that fails to parse or fails its checksum ends the
+        trusted prefix: it and everything after it are dropped (counted
+        in :attr:`dropped_tail`).  With ``strict=True`` a bad record
+        raises :class:`CampaignCorruptError` instead — the ``campaign
+        verify`` behaviour.
+        """
+        journal = cls(path)
+        if not os.path.exists(journal.path):
+            return journal
+        with open(journal.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            bad: str | None = None
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                bad = "is not valid JSON (torn write?)"
+            else:
+                rec = JournalRecord(doc)
+                if not rec.intact():
+                    bad = "fails its sha256 checksum"
+                elif rec.get("type") not in RECORD_TYPES:
+                    bad = f"has unknown type {rec.get('type')!r}"
+            if bad is not None:
+                if strict:
+                    raise CampaignCorruptError(
+                        f"{journal.path}:{lineno}: record {bad}"
+                    )
+                journal.dropped_tail = sum(
+                    1 for l in lines[lineno - 1 :] if l.strip()
+                )
+                break
+            journal._records.append(rec)
+        return journal
+
+    @property
+    def records(self) -> list[JournalRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def of_type(self, record_type: str) -> list[JournalRecord]:
+        return [r for r in self._records if r["type"] == record_type]
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record_type: str, **fields) -> JournalRecord:
+        """Seal a record and persist the whole journal atomically.
+
+        Rewriting the file on each append keeps the on-disk journal a
+        pure function of the trusted record list — after recovering from
+        a corrupt tail, the first append also heals the file.
+        """
+        if record_type not in RECORD_TYPES:
+            raise ValueError(f"unknown journal record type {record_type!r}")
+        rec = JournalRecord.seal({"v": 1, "type": record_type, **fields})
+        self._records.append(rec)
+        self._flush()
+        return rec
+
+    def _flush(self) -> None:
+        text = "".join(
+            json.dumps(rec, sort_keys=True) + "\n" for rec in self._records
+        )
+        atomic_write_text(self.path, text)
+
+    # ------------------------------------------------------------------
+    # fault injection support
+    # ------------------------------------------------------------------
+
+    def truncate_tail(self, keep_bytes_of_last: int = 20) -> None:
+        """Tear the last record in half (the ``journal-truncate`` fault).
+
+        Leaves the file ending mid-record, exactly what a power cut
+        during a non-atomic append would produce on real storage.
+        """
+        with open(self.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        lines = text.splitlines(keepends=True)
+        if not lines:
+            return
+        torn = lines[-1][:keep_bytes_of_last]
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write("".join(lines[:-1]) + torn)

@@ -1,0 +1,529 @@
+"""The campaign orchestrator: run, resume, status, verify.
+
+Execution protocol (``campaign run``):
+
+1. journal ``campaign-start`` (spec digest, scenario, seed, schedule);
+2. for each unit in topological order: journal ``unit-start``, execute,
+   persist the payload to the result store, journal ``unit-done`` with
+   the payload's SHA-256 digest (or ``unit-failed``);
+3. supervisor checks between units: a SIGINT/SIGTERM flag or an
+   exhausted campaign deadline journals an ``interrupted``/``deadline``
+   record and exits with the resumable code 3; a per-unit watchdog on
+   the *simulated* clock demotes over-budget units to FAILED;
+4. when every unit is journalled, render the final artifacts and the
+   campaign manifest from the store and journal ``campaign-done``.
+
+``campaign resume`` replays the journal (tolerating a corrupt tail),
+re-verifies every completed unit's store payload against its journalled
+digest, skips verified units, and re-executes only the incomplete or
+corrupted ones — then finalises identically, so the artifacts are
+byte-identical to an uninterrupted run.
+
+The ``crash-midrun`` / ``journal-truncate`` fault scenarios exercise
+exactly this machinery by killing the run after a seeded unit (and
+optionally tearing the journal's last record).  They apply to
+``campaign run`` only; a resumed campaign does not re-crash.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import sys
+import threading
+
+from ..core.result import CellStatus
+from ..errors import CampaignCorruptError, CampaignError, ReproError
+from ..exitcodes import ExitCode, status_exit_code
+from ..faults.scenarios import (
+    CAMPAIGN_SCENARIO_NAMES,
+    CampaignFaultPlan,
+    SCENARIO_NAMES,
+    build_campaign_plan,
+)
+from ..ioutils import atomic_write_text
+from ..telemetry.metrics import MetricsRegistry
+from .journal import Journal
+from .spec import CampaignSpec, get_spec
+from .store import ResultStore
+from .units import execute_unit, failure_payload
+
+__all__ = ["Orchestrator", "campaign_main"]
+
+
+def _log(message: str) -> None:
+    print(f"campaign: {message}", file=sys.stderr)
+
+
+def aggregate_metrics(payloads: list[dict]) -> MetricsRegistry:
+    """Merge per-unit counter contributions into one registry.
+
+    Every merged sample is attributed to its unit id (a ``unit`` label is
+    stamped on if the runner did not already add one) and a unit's prior
+    samples are dropped before its payload is merged.  Attribution is
+    therefore idempotent: a unit that was executed, crashed, and
+    re-executed after resume counts exactly once, no matter how many
+    journal generations mention it (the retry/quarantine double-counting
+    bugfix).
+    """
+    registry = MetricsRegistry()
+    for payload in payloads:
+        registry.drop_label("unit", payload["unit"])
+        for name, entry in sorted(payload.get("metrics", {}).items()):
+            if entry.get("kind") != "counter":
+                continue
+            for sample in entry["samples"]:
+                labels = {"unit": payload["unit"], **sample["labels"]}
+                registry.inc(name, sample["value"], **labels)
+    return registry
+
+
+class Orchestrator:
+    """Drives one campaign directory through run/resume/status/verify."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        spec: CampaignSpec | None = None,
+        scenario: str | None = None,
+        seed: int = 0,
+        unit_timeout_s: float | None = None,
+        deadline_s: float | None = None,
+        campaign_plan: CampaignFaultPlan | None = None,
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.spec = spec
+        self.scenario = scenario
+        self.seed = seed
+        self.unit_timeout_s = unit_timeout_s
+        self.deadline_s = deadline_s
+        self.campaign_plan = campaign_plan
+        self.store = ResultStore(os.path.join(self.directory, "store"))
+        self._interrupted = False
+        self._payloads: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.directory, "journal.jsonl")
+
+    @property
+    def tables_dir(self) -> str:
+        return os.path.join(self.directory, "tables")
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.directory, "manifest.json")
+
+    # ------------------------------------------------------------------
+    # signal supervision
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _supervised(self):
+        """Install SIGINT/SIGTERM handlers that make the run resumable."""
+        if threading.current_thread() is not threading.main_thread():
+            yield
+            return
+
+        def handler(signum, frame):  # pragma: no cover - signal timing
+            self._interrupted = True
+            raise KeyboardInterrupt
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+    # ------------------------------------------------------------------
+    # run / resume
+    # ------------------------------------------------------------------
+
+    def run(self) -> ExitCode:
+        """Start a fresh campaign in an empty directory."""
+        if self.spec is None:
+            raise CampaignError("campaign run needs a spec")
+        if os.path.exists(self.journal_path) and len(Journal.load(self.journal_path)):
+            raise CampaignError(
+                f"{self.directory} already holds a campaign journal; "
+                "use 'campaign resume' to continue it or pick a fresh --dir"
+            )
+        os.makedirs(self.directory, exist_ok=True)
+        journal = Journal(self.journal_path)
+        journal.append(
+            "campaign-start",
+            spec=self.spec.name,
+            spec_digest=self.spec.digest(),
+            scenario=self.scenario,
+            campaign_scenario=(
+                self.campaign_plan.scenario if self.campaign_plan else None
+            ),
+            seed=self.seed,
+            units=[u.id for u in self.spec.execution_order()],
+        )
+        if self.campaign_plan is not None:
+            _log(self.campaign_plan.describe())
+        return self._execute(journal, completed={})
+
+    def resume(self) -> ExitCode:
+        """Continue an interrupted campaign from its journal."""
+        journal = Journal.load(self.journal_path)
+        start = journal.of_type("campaign-start")
+        if not start:
+            raise CampaignError(
+                f"{self.directory} holds no campaign to resume "
+                "(missing or fully corrupt journal)"
+            )
+        config = start[0]
+        spec = get_spec(config["spec"])
+        if spec.digest() != config["spec_digest"]:
+            raise CampaignError(
+                f"spec {config['spec']!r} changed since the campaign "
+                "started (digest mismatch); cannot resume safely"
+            )
+        self.spec = spec
+        self.scenario = config["scenario"]
+        self.seed = config["seed"]
+        # The campaign fault scenario applies to the original run only;
+        # resuming must converge, not crash again.
+        self.campaign_plan = None
+
+        completed: dict[str, str] = {}
+        failed: dict[str, str] = {}
+        for rec in journal.records:
+            if rec["type"] == "unit-done":
+                completed[rec["unit"]] = rec["digest"]
+            elif rec["type"] == "unit-failed":
+                completed[rec["unit"]] = rec["digest"]
+                failed[rec["unit"]] = rec.get("error", "")
+        corrupt = [
+            uid
+            for uid, digest in sorted(completed.items())
+            if not self.store.verify(uid, digest)
+        ]
+        for uid in corrupt:
+            del completed[uid]
+        order = self.spec.execution_order()
+        rerun = [u.id for u in order if u.id not in completed]
+        if not rerun and journal.of_type("campaign-done") and not journal.dropped_tail:
+            _log("campaign already complete; nothing to resume")
+            return ExitCode(journal.of_type("campaign-done")[-1]["exit"])
+        journal.append(
+            "resume",
+            skipped=sorted(completed),
+            rerun=rerun,
+            dropped_records=journal.dropped_tail,
+            corrupt_store=corrupt,
+        )
+        if journal.dropped_tail:
+            _log(
+                f"recovered from a corrupt journal tail "
+                f"({journal.dropped_tail} record(s) dropped)"
+            )
+        if corrupt:
+            _log(
+                "store payloads failed their digest check and will be "
+                "re-executed: " + ", ".join(corrupt)
+            )
+        _log(
+            f"resuming: {len(completed)} unit(s) verified and skipped, "
+            f"{len(rerun)} to run"
+        )
+        return self._execute(journal, completed=completed)
+
+    # ------------------------------------------------------------------
+
+    def _payload(self, unit_id: str, digest: str | None = None) -> dict:
+        if unit_id not in self._payloads:
+            self._payloads[unit_id] = self.store.get(unit_id, digest)
+        return self._payloads[unit_id]
+
+    def _execute(self, journal: Journal, completed: dict[str, str]) -> ExitCode:
+        order = self.spec.execution_order()
+        simulated_total = sum(
+            self._payload(uid, digest).get("simulated_s", 0.0)
+            for uid, digest in completed.items()
+        )
+        with self._supervised():
+            for idx, unit in enumerate(order):
+                if unit.id in completed:
+                    continue
+                if self._interrupted:
+                    journal.append("interrupted", before=unit.id)
+                    _log("interrupted; journal is resumable")
+                    return ExitCode.INTERRUPTED
+                if (
+                    self.deadline_s is not None
+                    and simulated_total >= self.deadline_s
+                ):
+                    journal.append(
+                        "deadline",
+                        before=unit.id,
+                        simulated_s=simulated_total,
+                        deadline_s=self.deadline_s,
+                    )
+                    _log(
+                        f"campaign deadline of {self.deadline_s:g}s "
+                        f"(simulated) reached; resumable"
+                    )
+                    return ExitCode.INTERRUPTED
+                journal.append("unit-start", unit=unit.id)
+                try:
+                    deps = {d: self._payload(d) for d in unit.deps}
+                    payload = execute_unit(unit, self.scenario, self.seed, deps)
+                except KeyboardInterrupt:
+                    journal.append("interrupted", during=unit.id)
+                    _log(f"interrupted during {unit.id}; journal is resumable")
+                    return ExitCode.INTERRUPTED
+                except ReproError as exc:
+                    payload = failure_payload(unit, exc)
+                    digest = self.store.put(unit.id, payload)
+                    journal.append(
+                        "unit-failed",
+                        unit=unit.id,
+                        digest=digest,
+                        status=payload["status"],
+                        error=payload["error"],
+                    )
+                    completed[unit.id] = digest
+                    self._payloads[unit.id] = payload
+                    _log(f"{unit.id}: FAILED ({payload['error']})")
+                    continue
+                watchdog = None
+                if (
+                    self.unit_timeout_s is not None
+                    and payload["simulated_s"] > self.unit_timeout_s
+                ):
+                    watchdog = (
+                        f"unit exceeded the {self.unit_timeout_s:g}s simulated "
+                        f"watchdog ({payload['simulated_s']:.3g}s)"
+                    )
+                    payload["status"] = CellStatus.FAILED.name
+                    payload["watchdog"] = watchdog
+                digest = self.store.put(unit.id, payload)
+                extra = {"watchdog": watchdog} if watchdog else {}
+                journal.append(
+                    "unit-done",
+                    unit=unit.id,
+                    status=payload["status"],
+                    digest=digest,
+                    simulated_s=payload["simulated_s"],
+                    **extra,
+                )
+                completed[unit.id] = digest
+                self._payloads[unit.id] = payload
+                simulated_total += payload["simulated_s"]
+                _log(f"{unit.id}: {payload['status']}")
+                if (
+                    self.campaign_plan is not None
+                    and self.campaign_plan.crash_after_unit == idx
+                ):
+                    # Simulated hard crash: no clean shutdown record.
+                    if self.campaign_plan.truncate_journal:
+                        journal.truncate_tail()
+                    _log(
+                        f"injected crash after unit {unit.id} "
+                        f"({self.campaign_plan.scenario}); resumable"
+                    )
+                    return ExitCode.INTERRUPTED
+        return self._finalize(journal, completed)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+
+    def _finalize(self, journal: Journal, completed: dict[str, str]) -> ExitCode:
+        order = self.spec.execution_order()
+        payloads = [self._payload(u.id, completed[u.id]) for u in order]
+        os.makedirs(self.tables_dir, exist_ok=True)
+        for unit, payload in zip(order, payloads):
+            if unit.artifact is None:
+                continue
+            text = payload.get(
+                "text", f"FAILED: {payload.get('error', 'no result')}\n"
+            )
+            atomic_write_text(os.path.join(self.tables_dir, unit.artifact), text)
+        worst = max(
+            (CellStatus[p["status"]] for p in payloads), default=CellStatus.OK
+        )
+        self._write_manifest(order, payloads, completed, worst)
+        code = status_exit_code(worst)
+        journal.append("campaign-done", exit=int(code))
+        _log(
+            f"complete: {len(order)} unit(s), worst status {worst.name}, "
+            f"artifacts in {self.tables_dir}"
+        )
+        return code
+
+    def _write_manifest(self, order, payloads, completed, worst) -> None:
+        from ..faults.context import ExecutionContext
+        from ..telemetry.manifest import build_manifest, render_manifest
+
+        ctx = ExecutionContext(self.scenario, self.seed)
+        ctx.record(worst)
+        campaign = {
+            "spec": self.spec.name,
+            "spec_digest": self.spec.digest(),
+            "units": [
+                {
+                    "id": unit.id,
+                    "status": payload["status"],
+                    "digest": completed[unit.id],
+                    "simulated_s": payload.get("simulated_s", 0.0),
+                    "incidents": payload.get("incidents", []),
+                }
+                for unit, payload in zip(order, payloads)
+            ],
+            "worst_unit_status": worst.name,
+            "simulated_total_s": sum(
+                p.get("simulated_s", 0.0) for p in payloads
+            ),
+            "metrics": aggregate_metrics(payloads).snapshot(),
+        }
+        doc = build_manifest(
+            "campaign", ctx, campaign=campaign, systems=self.spec.systems()
+        )
+        atomic_write_text(self.manifest_path, render_manifest(doc))
+
+    # ------------------------------------------------------------------
+    # status / verify
+    # ------------------------------------------------------------------
+
+    def _load_config(self, journal: Journal) -> dict:
+        start = journal.of_type("campaign-start")
+        if not start:
+            raise CampaignError(
+                f"{self.directory} holds no campaign journal"
+            )
+        return start[0]
+
+    def status(self) -> ExitCode:
+        journal = Journal.load(self.journal_path)
+        config = self._load_config(journal)
+        spec = get_spec(config["spec"])
+        state: dict[str, str] = {u.id: "pending" for u in spec.execution_order()}
+        for rec in journal.records:
+            if rec["type"] in ("unit-done", "unit-failed"):
+                state[rec["unit"]] = rec["status"]
+            elif rec["type"] == "unit-start" and state.get(rec["unit"]) == "pending":
+                state[rec["unit"]] = "started"
+        done = sum(1 for s in state.values() if s not in ("pending", "started"))
+        print(f"campaign {config['spec']!r} in {self.directory}")
+        print(
+            f"  scenario {config['scenario']!r} seed {config['seed']}"
+            + (
+                f", campaign scenario {config['campaign_scenario']!r}"
+                if config.get("campaign_scenario")
+                else ""
+            )
+        )
+        for uid, unit_state in state.items():
+            print(f"  {uid:24s} {unit_state}")
+        print(
+            f"  {done}/{len(state)} unit(s) complete, "
+            f"{len(journal)} journal record(s)"
+            + (
+                f", {journal.dropped_tail} corrupt record(s) in the tail"
+                if journal.dropped_tail
+                else ""
+            )
+        )
+        if journal.of_type("campaign-done"):
+            print("  campaign complete")
+        else:
+            print("  campaign incomplete: finish with 'campaign resume'")
+        return ExitCode.OK
+
+    def verify(self) -> ExitCode:
+        """Prove journal + store integrity; 0 complete, 3 partial, 4 corrupt."""
+        try:
+            journal = Journal.load(self.journal_path, strict=True)
+        except CampaignCorruptError as exc:
+            print(f"corrupt journal: {exc}")
+            return ExitCode.CORRUPT
+        config = self._load_config(journal)
+        spec = get_spec(config["spec"])
+        if spec.digest() != config["spec_digest"]:
+            print(f"spec {config['spec']!r} digest mismatch")
+            return ExitCode.CORRUPT
+        bad: list[str] = []
+        completed: dict[str, str] = {}
+        for rec in journal.records:
+            if rec["type"] in ("unit-done", "unit-failed"):
+                completed[rec["unit"]] = rec["digest"]
+        for uid, digest in sorted(completed.items()):
+            if not self.store.verify(uid, digest):
+                bad.append(uid)
+        if bad:
+            print(
+                "corrupt store payload(s): " + ", ".join(bad)
+            )
+            return ExitCode.CORRUPT
+        print(
+            f"journal intact ({len(journal)} record(s)); "
+            f"{len(completed)}/{len(spec)} unit payload(s) verified"
+        )
+        if not journal.of_type("campaign-done"):
+            print("campaign incomplete (resumable)")
+            return ExitCode.INTERRUPTED
+        print("campaign complete and verified")
+        return ExitCode.OK
+
+
+# ----------------------------------------------------------------------
+# CLI entry
+# ----------------------------------------------------------------------
+
+def campaign_main(args) -> int:
+    """Dispatch ``pvc-bench campaign <run|resume|status|verify>``."""
+    action = args.bench
+    if action not in ("run", "resume", "status", "verify"):
+        raise CampaignError(
+            f"unknown campaign action {action!r}; "
+            "choose from: run, resume, status, verify"
+        )
+    if not args.dir:
+        raise CampaignError("campaign commands need --dir <directory>")
+    if action == "run":
+        spec = get_spec(args.spec)
+        scenario, plan = args.inject, None
+        if scenario is not None and scenario in CAMPAIGN_SCENARIO_NAMES:
+            plan = build_campaign_plan(scenario, args.seed, len(spec))
+            scenario = None
+        elif scenario is not None and scenario not in SCENARIO_NAMES:
+            raise CampaignError(
+                f"unknown fault scenario {scenario!r}; choose an engine "
+                f"scenario ({', '.join(SCENARIO_NAMES)}) or a campaign "
+                f"scenario ({', '.join(CAMPAIGN_SCENARIO_NAMES)})"
+            )
+        orch = Orchestrator(
+            args.dir,
+            spec=spec,
+            scenario=scenario,
+            seed=args.seed,
+            unit_timeout_s=args.unit_timeout,
+            deadline_s=args.deadline,
+            campaign_plan=plan,
+        )
+        return int(orch.run())
+    orch = Orchestrator(
+        args.dir,
+        unit_timeout_s=args.unit_timeout,
+        deadline_s=args.deadline,
+    )
+    if action == "resume":
+        return int(orch.resume())
+    if action == "status":
+        return int(orch.status())
+    return int(orch.verify())

@@ -1,0 +1,80 @@
+"""The integrity-verified result store.
+
+Each completed unit's payload (serialised table cells, rendered text,
+metric contributions, provenance) lives in one JSON file under the
+campaign directory's ``store/``.  Files are written atomically and the
+journal's ``unit-done`` record binds each payload by SHA-256 digest, so
+``campaign resume``/``verify`` can prove a stored result is exactly the
+one the journal committed — a digest mismatch marks the unit corrupt
+and schedules it for re-execution.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+
+from ..errors import CampaignCorruptError
+from ..ioutils import atomic_write_json, sha256_file
+
+__all__ = ["ResultStore"]
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _filename(unit_id: str) -> str:
+    return _SAFE.sub("_", unit_id) + ".json"
+
+
+class ResultStore:
+    """One campaign's on-disk unit payloads."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+
+    def path(self, unit_id: str) -> str:
+        return os.path.join(self.directory, _filename(unit_id))
+
+    def put(self, unit_id: str, payload: dict) -> str:
+        """Persist *payload* atomically; returns its file digest."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = self.path(unit_id)
+        atomic_write_json(path, payload)
+        return sha256_file(path)
+
+    def exists(self, unit_id: str) -> bool:
+        return os.path.exists(self.path(unit_id))
+
+    def digest(self, unit_id: str) -> str | None:
+        path = self.path(unit_id)
+        if not os.path.exists(path):
+            return None
+        return sha256_file(path)
+
+    def get(self, unit_id: str, expect_digest: str | None = None) -> dict:
+        """Load a payload, optionally proving it against a digest."""
+        path = self.path(unit_id)
+        if not os.path.exists(path):
+            raise CampaignCorruptError(
+                f"result store has no payload for unit {unit_id!r} ({path})"
+            )
+        if expect_digest is not None:
+            actual = sha256_file(path)
+            if actual != expect_digest:
+                raise CampaignCorruptError(
+                    f"store payload for unit {unit_id!r} fails its digest "
+                    f"check (journal committed {expect_digest[:12]}…, file "
+                    f"is {actual[:12]}…)"
+                )
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise CampaignCorruptError(
+                f"store payload for unit {unit_id!r} is not valid JSON: {exc}"
+            ) from exc
+
+    def verify(self, unit_id: str, expect_digest: str) -> bool:
+        """True when the stored payload matches the journalled digest."""
+        return self.digest(unit_id) == expect_digest

@@ -23,10 +23,20 @@ Telemetry (span traces, metrics, run manifests)::
     pvc-bench metrics triad                        # Prometheus text
     pvc-bench table2 --manifest run.json           # run manifest rider
 
-Exit codes under injection: 0 = clean, 1 = degraded cells (faults were
-absorbed), 2 = failed cells or a fatal error.  With ``--manifest`` the
-exit code is always accompanied by a machine-readable manifest binding
-config, metrics and incident provenance.
+Crash-safe campaigns (write-ahead journal + checkpoint/resume)::
+
+    pvc-bench campaign run    --dir out --spec paper
+    pvc-bench campaign run    --dir out --spec smoke --inject crash-midrun
+    pvc-bench campaign resume --dir out
+    pvc-bench campaign status --dir out
+    pvc-bench campaign verify --dir out
+
+Exit codes (see ``repro.exitcodes``): 0 = clean, 1 = degraded cells or a
+measurement failure, 2 = failed cells or a fatal error, 3 = interrupted
+but resumable (``campaign resume`` finishes it), 4 = corrupt journal or
+result store.  With ``--manifest`` the exit code is always accompanied
+by a machine-readable manifest binding config, metrics and incident
+provenance.
 """
 
 from __future__ import annotations
@@ -37,10 +47,7 @@ import sys
 from .analysis import (
     all_claims,
     full_report,
-    figure1,
-    figure2,
-    figure3,
-    figure4,
+    render_figure,
     table_i,
     table_ii,
     table_iii,
@@ -48,8 +55,10 @@ from .analysis import (
     table_v,
     table_vi,
 )
+from .campaign.spec import SPEC_NAMES
 from .errors import ReproError, UnknownBenchmarkError
-from .faults import SCENARIO_NAMES, ExecutionContext
+from .exitcodes import ExitCode, classify_error
+from .faults import CAMPAIGN_SCENARIO_NAMES, SCENARIO_NAMES, ExecutionContext
 from .hw.systems import all_systems
 
 __all__ = ["main"]
@@ -96,9 +105,9 @@ def _cmd_trace(ctx: ExecutionContext, args) -> None:
     _run_instrumented(ctx, args)
     doc = ctx.telemetry.tracer.export_json()
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(doc)
-            fh.write("\n")
+        from .ioutils import atomic_write_text
+
+        atomic_write_text(args.out, doc + "\n")
         ctx.trace_files.append(args.out)
         print(f"trace written to {args.out}", file=sys.stderr)
     else:
@@ -109,30 +118,6 @@ def _cmd_trace(ctx: ExecutionContext, args) -> None:
 def _cmd_metrics(ctx: ExecutionContext, args) -> None:
     _run_instrumented(ctx, args)
     print(ctx.telemetry.metrics.to_prometheus(), end="")
-
-
-def _print_ratio_points(points, title: str) -> None:
-    print(title)
-    print("-" * 72)
-    for p in points:
-        measured = "-" if p.ratio is None else f"{p.ratio:5.2f}x"
-        expected = (
-            "(no bar)" if p.expected.ratio is None else f"expected {p.expected.ratio:5.2f}x"
-        )
-        flag = ""
-        if p.within_expectation is True:
-            flag = "  [as expected]"
-        elif p.within_expectation is False:
-            flag = "  [deviates]"
-        print(f"{p.app:22s} {p.scope:10s} {measured}  {expected}{flag}")
-
-
-def _cmd_fig1() -> None:
-    for series in figure1():
-        print(f"# {series.system}")
-        for size, cycles in zip(series.sizes_bytes, series.latency_cycles):
-            print(f"{int(size):>12d} B  {cycles:8.1f} cycles")
-        print()
 
 
 def _cmd_claims() -> None:
@@ -263,16 +248,12 @@ _COMMANDS = {
     "table1": lambda: print(table_i()),
     "table4": lambda: print(table_iv().render()),
     "table5": lambda: print(table_v()),
-    "fig1": _cmd_fig1,
-    "fig2": lambda: _print_ratio_points(
-        figure2(), "Figure 2: FOMs on Aurora relative to Dawn"
-    ),
-    "fig3": lambda: _print_ratio_points(
-        figure3(), "Figure 3: FOMs relative to JLSE-H100"
-    ),
-    "fig4": lambda: _print_ratio_points(
-        figure4(), "Figure 4: FOMs relative to JLSE-MI250"
-    ),
+    # Figures render through the same text path the campaign result
+    # store uses, so campaign artifacts are byte-identical to stdout.
+    "fig1": lambda: print(render_figure("fig1")),
+    "fig2": lambda: print(render_figure("fig2")),
+    "fig3": lambda: print(render_figure("fig3")),
+    "fig4": lambda: print(render_figure("fig4")),
     "claims": _cmd_claims,
     "systems": _cmd_systems,
     "roofline": _cmd_roofline,
@@ -292,21 +273,24 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=sorted(_COMMANDS)
         + sorted(_CTX_COMMANDS)
-        + sorted(_TELEMETRY_COMMANDS),
+        + sorted(_TELEMETRY_COMMANDS)
+        + ["campaign"],
     )
     parser.add_argument(
         "bench",
         nargs="?",
         default="gemm",
         help="benchmark for trace/metrics "
-        f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm)",
+        f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm) or the "
+        "campaign action (run, resume, status, verify)",
     )
     parser.add_argument(
         "--inject",
         metavar="SCENARIO",
         default=None,
         help="inject a deterministic fault scenario "
-        f"({', '.join(SCENARIO_NAMES)})",
+        f"({', '.join(SCENARIO_NAMES)}; campaign run also accepts "
+        f"{', '.join(CAMPAIGN_SCENARIO_NAMES)})",
     )
     parser.add_argument(
         "--seed",
@@ -331,6 +315,34 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write a run manifest (config + metrics + provenance)",
     )
+    parser.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="campaign directory (journal, result store, artifacts)",
+    )
+    parser.add_argument(
+        "--spec",
+        default="paper",
+        choices=sorted(SPEC_NAMES),
+        help="campaign spec for 'campaign run' (default: paper)",
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-unit simulated-clock watchdog: units that consume more "
+        "simulated seconds are demoted to FAILED",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="campaign deadline on the simulated clock: scheduling stops "
+        "once exceeded and the run exits resumable (code 3)",
+    )
     args = parser.parse_args(argv)
     needs_telemetry = (
         args.command in _TELEMETRY_COMMANDS
@@ -344,6 +356,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         telemetry = None
     try:
+        if args.command == "campaign":
+            from .campaign.orchestrator import campaign_main
+
+            return campaign_main(args)
         ctx = ExecutionContext(args.inject, args.seed, telemetry=telemetry)
         if args.command in _TELEMETRY_COMMANDS:
             _TELEMETRY_COMMANDS[args.command](ctx, args)
@@ -361,9 +377,12 @@ def main(argv: list[str] | None = None) -> int:
 
             write_manifest(args.manifest, ctx.manifest(args.command))
             print(f"manifest written to {args.manifest}", file=sys.stderr)
+    except KeyboardInterrupt:
+        print("pvc-bench: interrupted (resumable state flushed)", file=sys.stderr)
+        return int(ExitCode.INTERRUPTED)
     except ReproError as exc:
         print(f"pvc-bench: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 2
+        return int(classify_error(exc))
     return ctx.exit_code()
 
 

@@ -157,7 +157,9 @@ class ResilientRunner(Runner):
                         elapsed_total += backoff
                         if tel is not None:
                             tel.metrics.inc(
-                                "retry.count", benchmark=benchmark
+                                "retry.count",
+                                benchmark=benchmark,
+                                **tel.unit_labels(),
                             )
                             tel.tracer.complete(
                                 f"retry backoff (rep {rep})",
@@ -180,7 +182,11 @@ class ResilientRunner(Runner):
                 ):
                     timeouts += 1
                     if tel is not None:
-                        tel.metrics.inc("timeout.count", benchmark=benchmark)
+                        tel.metrics.inc(
+                            "timeout.count",
+                            benchmark=benchmark,
+                            **tel.unit_labels(),
+                        )
                     incidents.setdefault(
                         f"rep {rep} exceeded the {policy.rep_timeout_s:g}s "
                         f"repetition timeout ({sample.elapsed_s:.3g}s)",
@@ -199,7 +205,10 @@ class ResilientRunner(Runner):
             if quarantined:
                 if tel is not None:
                     tel.metrics.inc(
-                        "quarantine.count", quarantined, benchmark=benchmark
+                        "quarantine.count",
+                        quarantined,
+                        benchmark=benchmark,
+                        **tel.unit_labels(),
                     )
                 incidents.setdefault(
                     f"{quarantined} outlier repetition(s) quarantined "

@@ -77,7 +77,10 @@ class Runner:
             warmup=warmup,
         )
         tel.metrics.observe(
-            "rep.time_us", sample.elapsed_s * 1e6, benchmark=benchmark
+            "rep.time_us",
+            sample.elapsed_s * 1e6,
+            benchmark=benchmark,
+            **tel.unit_labels(),
         )
 
     def run(

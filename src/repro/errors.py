@@ -88,6 +88,20 @@ class BenchmarkTimeoutError(ReproError):
     """A repetition or benchmark exceeded its (simulated) time budget."""
 
 
+class CampaignError(ReproError):
+    """A campaign cannot be orchestrated as requested (bad spec, bad
+    directory, resume of a campaign that was never started, ...)."""
+
+
+class CampaignCorruptError(CampaignError):
+    """A journal record or result-store entry failed its integrity check.
+
+    Raised (or reported as exit code 4) when a checksum or digest does
+    not match — the signature of a torn write, manual tampering, or disk
+    corruption rather than an ordinary interrupted run.
+    """
+
+
 class MeasurementError(ReproError):
     """A measurement failed mid-plan.
 

@@ -17,7 +17,13 @@ the CLI's exit-code contract (0 clean / 1 degraded / 2 failed).
 from .context import ExecutionContext
 from .injectors import FaultInjector
 from .plan import FaultClock, FaultEvent, FaultKind, FaultPlan, SeededDraw
-from .scenarios import SCENARIO_NAMES, build_plan
+from .scenarios import (
+    CAMPAIGN_SCENARIO_NAMES,
+    CampaignFaultPlan,
+    SCENARIO_NAMES,
+    build_campaign_plan,
+    build_plan,
+)
 
 __all__ = [
     "ExecutionContext",
@@ -28,5 +34,8 @@ __all__ = [
     "FaultPlan",
     "SeededDraw",
     "SCENARIO_NAMES",
+    "CAMPAIGN_SCENARIO_NAMES",
+    "CampaignFaultPlan",
+    "build_campaign_plan",
     "build_plan",
 ]

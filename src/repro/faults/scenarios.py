@@ -8,6 +8,7 @@ documented in ``docs/fault_injection.md``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ScenarioError
@@ -15,7 +16,13 @@ from ..hw.ids import StackRef
 from ..hw.node import Node
 from .plan import FaultEvent, FaultKind, FaultPlan, SeededDraw
 
-__all__ = ["SCENARIO_NAMES", "build_plan"]
+__all__ = [
+    "SCENARIO_NAMES",
+    "CAMPAIGN_SCENARIO_NAMES",
+    "CampaignFaultPlan",
+    "build_plan",
+    "build_campaign_plan",
+]
 
 #: Ticks into the suite at which one-shot topology faults land.  Kept low
 #: enough that every table command crosses them well before its last
@@ -114,6 +121,62 @@ _BUILDERS: dict[str, Callable[[SeededDraw, Node], list[FaultEvent]]] = {
 _ALL = tuple(name for name in _BUILDERS if name != "partition")
 
 SCENARIO_NAMES: tuple[str, ...] = tuple(sorted(_BUILDERS)) + ("all",)
+
+#: Orchestrator-level scenarios: instead of perturbing the simulated
+#: hardware they kill the campaign driver itself, to prove the journal
+#: and resume path recover.  ``crash-midrun`` stops the orchestrator
+#: abruptly after a seeded unit; ``journal-truncate`` additionally tears
+#: the last journal record, simulating a power cut mid-append.
+CAMPAIGN_SCENARIO_NAMES: tuple[str, ...] = ("crash-midrun", "journal-truncate")
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignFaultPlan:
+    """A deterministic plan for killing the campaign orchestrator.
+
+    ``crash_after_unit`` is a topological index: the orchestrator exits
+    (as if SIGKILLed) right after journalling that unit's completion.
+    ``truncate_journal`` then chops the tail of the journal so the last
+    record fails its checksum — the torn-write case resume must detect.
+    """
+
+    scenario: str
+    seed: int
+    crash_after_unit: int | None = None
+    truncate_journal: bool = False
+
+    def describe(self) -> str:
+        if self.crash_after_unit is None:
+            return f"campaign scenario {self.scenario!r}: no crash"
+        tail = ", then truncate journal tail" if self.truncate_journal else ""
+        return (
+            f"campaign scenario {self.scenario!r} seed {self.seed}: "
+            f"crash after unit index {self.crash_after_unit}{tail}"
+        )
+
+
+def build_campaign_plan(
+    scenario: str, seed: int, n_units: int
+) -> CampaignFaultPlan:
+    """Build the orchestrator-kill schedule for one campaign.
+
+    The crash lands after some unit in ``[0, n_units - 1)`` so at least
+    one unit always remains for ``campaign resume`` to execute.
+    """
+    key = scenario.strip().lower()
+    if key not in CAMPAIGN_SCENARIO_NAMES:
+        raise ScenarioError(
+            f"unknown campaign fault scenario {scenario!r}; "
+            f"known: {', '.join(CAMPAIGN_SCENARIO_NAMES)}"
+        )
+    draw = SeededDraw(seed, f"campaign:{key}")
+    crash_after = draw.randint(0, max(1, n_units - 1), "unit")
+    return CampaignFaultPlan(
+        scenario=key,
+        seed=seed,
+        crash_after_unit=crash_after,
+        truncate_journal=(key == "journal-truncate"),
+    )
 
 
 def build_plan(scenario: str, seed: int, node: Node) -> FaultPlan:

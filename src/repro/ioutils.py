@@ -1,0 +1,68 @@
+"""Crash-safe file output helpers.
+
+Every on-disk artifact this package produces (trace exports, run
+manifests, metrics dumps, campaign journals and result stores) goes
+through :func:`atomic_write_text` / :func:`atomic_write_json`: the
+content is written to a temporary sibling file, flushed and fsynced,
+then moved into place with :func:`os.replace`.  A reader therefore
+never observes a torn write — after a crash or SIGKILL the path either
+holds the previous complete content or the new complete content,
+never a prefix of the new one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "canonical_json",
+    "sha256_text",
+    "sha256_file",
+]
+
+
+def atomic_write_text(path: str | os.PathLike, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + flush + replace)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def canonical_json(doc: object) -> str:
+    """The canonical (sorted, compact) JSON form used for checksumming."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def atomic_write_json(path: str | os.PathLike, doc: object) -> None:
+    """Serialise *doc* as stable, human-readable JSON and write atomically."""
+    atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 digest of *text* (UTF-8)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def sha256_file(path: str | os.PathLike) -> str:
+    """Hex SHA-256 digest of the file at *path*."""
+    with open(path, "rb") as fh:
+        return hashlib.sha256(fh.read()).hexdigest()

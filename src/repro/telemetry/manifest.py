@@ -35,12 +35,20 @@ def build_manifest(
     command: str,
     ctx: "ExecutionContext",
     trace_files: Sequence[str] = (),
+    campaign: dict | None = None,
+    systems: Sequence[str] | None = None,
 ) -> dict:
-    """Assemble the manifest document for one CLI invocation."""
+    """Assemble the manifest document for one CLI invocation.
+
+    *campaign* attaches the campaign section (unit digests, aggregated
+    metrics) a finished ``campaign run``/``resume`` produces; *systems*
+    overrides the system list when the caller measured through its own
+    per-unit contexts rather than *ctx* (the orchestrator does both).
+    """
     from ..sim.calibration import get_calibration
     from ..hw.systems import get_system
 
-    systems = sorted(ctx.engines_built())
+    systems = sorted(systems) if systems is not None else sorted(ctx.engines_built())
     calibration = {}
     for sys_name in systems:
         system = get_system(sys_name)
@@ -86,6 +94,8 @@ def build_manifest(
         },
         "trace_files": list(trace_files),
     }
+    if campaign is not None:
+        doc["campaign"] = campaign
     return doc
 
 
@@ -95,6 +105,7 @@ def render_manifest(doc: dict) -> str:
 
 
 def write_manifest(path: str, doc: dict) -> None:
-    """Serialise a manifest document to *path* (trailing newline)."""
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(render_manifest(doc))
+    """Serialise a manifest document to *path* atomically."""
+    from ..ioutils import atomic_write_text
+
+    atomic_write_text(path, render_manifest(doc))

@@ -251,6 +251,29 @@ class MetricsRegistry:
             raise ValueError(f"{name} is a histogram; use .histogram()")
         return metric.value(**labels)
 
+    def drop_label(self, key: str, value: str) -> int:
+        """Remove every sample whose label set contains ``key=value``.
+
+        This is the idempotent-attribution primitive behind campaign
+        resume: before a unit is re-executed, its previous contributions
+        (labelled ``unit=<id>``) are dropped so retry/quarantine counters
+        are never double-counted.  Returns the number of samples removed.
+        """
+        pair = (key, str(value))
+        removed = 0
+        with self._lock:
+            for metric in self._metrics.values():
+                store = (
+                    metric._states
+                    if isinstance(metric, Histogram)
+                    else metric._values
+                )
+                doomed = [ls for ls in store if pair in ls]
+                for ls in doomed:
+                    del store[ls]
+                removed += len(doomed)
+        return removed
+
     def names(self) -> list[str]:
         return sorted(self._metrics)
 

@@ -47,9 +47,16 @@ def rank_lane(rank: int) -> str:
 
 
 class Telemetry:
-    """One run's telemetry session (tracer + metrics + queue cache)."""
+    """One run's telemetry session (tracer + metrics + queue cache).
 
-    def __init__(self) -> None:
+    ``unit`` names the campaign unit this session is attributed to (if
+    any): runners add a ``unit=<id>`` label to their resilience counters,
+    which is what lets campaign resume drop and re-record one unit's
+    metrics idempotently (see :meth:`MetricsRegistry.drop_label`).
+    """
+
+    def __init__(self, unit: str | None = None) -> None:
+        self.unit = unit
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
         self.tracer.lane(RUN_LANE, sort_key=(0, 0, 0))
@@ -83,6 +90,10 @@ class Telemetry:
 
     def fault_lane(self) -> str:
         return self.tracer.lane(FAULT_LANE, sort_key=(8, 0, 0))
+
+    def unit_labels(self) -> dict[str, str]:
+        """Extra metric labels attributing samples to a campaign unit."""
+        return {"unit": self.unit} if self.unit is not None else {}
 
     # ------------------------------------------------------------------
     # recording shortcuts

@@ -1,0 +1,109 @@
+"""Write-ahead journal: checksums, tail recovery, atomic healing."""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import Journal, JournalRecord
+from repro.errors import CampaignCorruptError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "journal.jsonl"
+
+
+class TestRecordIntegrity:
+    def test_sealed_record_is_intact(self):
+        rec = JournalRecord.seal({"v": 1, "type": "unit-start", "unit": "x"})
+        assert rec.intact()
+        assert len(rec["sha256"]) == 64
+
+    def test_tampered_record_detected(self):
+        rec = JournalRecord.seal({"v": 1, "type": "unit-start", "unit": "x"})
+        rec["unit"] = "y"
+        assert not rec.intact()
+
+    def test_checksum_excludes_itself(self):
+        rec = JournalRecord.seal({"v": 1, "type": "resume"})
+        resealed = JournalRecord.seal(dict(rec))
+        assert resealed["sha256"] == rec["sha256"]
+
+
+class TestAppendAndLoad:
+    def test_roundtrip(self, path):
+        j = Journal(path)
+        j.append("campaign-start", spec="smoke", seed=0)
+        j.append("unit-start", unit="a")
+        j.append("unit-done", unit="a", digest="d" * 64, status="OK")
+        loaded = Journal.load(path)
+        assert len(loaded) == 3
+        assert loaded.dropped_tail == 0
+        assert [r["type"] for r in loaded.records] == [
+            "campaign-start",
+            "unit-start",
+            "unit-done",
+        ]
+
+    def test_unknown_record_type_rejected_at_append(self, path):
+        with pytest.raises(ValueError):
+            Journal(path).append("nonsense")
+
+    def test_missing_file_loads_empty(self, path):
+        j = Journal.load(path)
+        assert len(j) == 0 and j.dropped_tail == 0
+
+    def test_of_type_filters(self, path):
+        j = Journal(path)
+        j.append("unit-start", unit="a")
+        j.append("unit-done", unit="a", digest="d", status="OK")
+        j.append("unit-start", unit="b")
+        assert [r["unit"] for r in j.of_type("unit-start")] == ["a", "b"]
+
+
+class TestCorruptTail:
+    def _journal_with_three(self, path):
+        j = Journal(path)
+        j.append("campaign-start", spec="smoke", seed=0)
+        j.append("unit-done", unit="a", digest="d" * 64, status="OK")
+        j.append("unit-done", unit="b", digest="e" * 64, status="OK")
+        return j
+
+    def test_truncated_last_record_is_detected_and_dropped(self, path):
+        j = self._journal_with_three(path)
+        j.truncate_tail()
+        loaded = Journal.load(path)
+        assert len(loaded) == 2
+        assert loaded.dropped_tail == 1
+        # Only the torn record is lost; the prefix survives verbatim.
+        assert [r["unit"] for r in loaded.of_type("unit-done")] == ["a"]
+
+    def test_strict_load_raises_on_torn_record(self, path):
+        j = self._journal_with_three(path)
+        j.truncate_tail()
+        with pytest.raises(CampaignCorruptError):
+            Journal.load(path, strict=True)
+
+    def test_flipped_byte_mid_journal_drops_suffix(self, path):
+        self._journal_with_three(path)
+        lines = path.read_text().splitlines()
+        doc = json.loads(lines[1])
+        doc["digest"] = "f" * 64  # checksum now wrong
+        lines[1] = json.dumps(doc, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        loaded = Journal.load(path)
+        assert len(loaded) == 1
+        assert loaded.dropped_tail == 2
+
+    def test_append_after_recovery_heals_the_file(self, path):
+        j = self._journal_with_three(path)
+        j.truncate_tail()
+        recovered = Journal.load(path)
+        recovered.append("resume", skipped=["a"], rerun=["b"])
+        # The rewritten journal is fully intact again.
+        healed = Journal.load(path, strict=True)
+        assert [r["type"] for r in healed.records] == [
+            "campaign-start",
+            "unit-done",
+            "resume",
+        ]

@@ -1,0 +1,56 @@
+"""Integrity-verified result store."""
+
+import pytest
+
+from repro.campaign.store import ResultStore
+from repro.errors import CampaignCorruptError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestRoundtrip:
+    def test_put_get(self, store):
+        digest = store.put("table3:aurora", {"unit": "table3:aurora", "x": 1})
+        assert store.exists("table3:aurora")
+        assert store.get("table3:aurora", digest) == {
+            "unit": "table3:aurora",
+            "x": 1,
+        }
+
+    def test_digest_matches_put(self, store):
+        digest = store.put("u", {"a": 1})
+        assert store.digest("u") == digest
+        assert store.verify("u", digest)
+
+    def test_put_is_deterministic(self, store):
+        d1 = store.put("u", {"a": 1, "b": [1, 2]})
+        d2 = store.put("u", {"b": [1, 2], "a": 1})
+        assert d1 == d2
+
+    def test_unit_ids_are_sanitised_to_filenames(self, store):
+        store.put("table3:aurora", {"x": 1})
+        assert ":" not in store.path("table3:aurora").rsplit("/", 1)[-1]
+
+
+class TestCorruption:
+    def test_missing_payload_raises(self, store):
+        with pytest.raises(CampaignCorruptError):
+            store.get("ghost")
+        assert store.digest("ghost") is None
+        assert not store.verify("ghost", "d" * 64)
+
+    def test_tampered_payload_fails_digest(self, store, tmp_path):
+        digest = store.put("u", {"a": 1})
+        path = store.path("u")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(" ")
+        assert not store.verify("u", digest)
+        with pytest.raises(CampaignCorruptError):
+            store.get("u", digest)
+
+    def test_get_without_expected_digest_skips_check(self, store):
+        store.put("u", {"a": 1})
+        assert store.get("u") == {"a": 1}

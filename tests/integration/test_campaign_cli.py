@@ -1,0 +1,157 @@
+"""``pvc-bench campaign`` end-to-end: exit-code taxonomy and artifacts."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(*argv):
+    return main(list(argv))
+
+
+class TestCampaignRun:
+    def test_clean_smoke_campaign(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        assert _run("campaign", "run", "--dir", d, "--spec", "smoke") == 0
+        assert (tmp_path / "c" / "tables" / "table3.txt").exists()
+        assert (tmp_path / "c" / "tables" / "summary.txt").exists()
+        assert (tmp_path / "c" / "journal.jsonl").exists()
+
+    def test_campaign_table_matches_cli_table(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        _run("campaign", "run", "--dir", d, "--spec", "smoke")
+        capsys.readouterr()
+        assert _run("table3") == 0
+        stdout = capsys.readouterr().out
+        artifact = (tmp_path / "c" / "tables" / "table3.txt").read_text()
+        assert artifact == stdout
+
+    def test_manifest_has_campaign_section(self, tmp_path):
+        d = str(tmp_path / "c")
+        _run("campaign", "run", "--dir", d, "--spec", "smoke")
+        doc = json.loads((tmp_path / "c" / "manifest.json").read_text())
+        campaign = doc["campaign"]
+        assert campaign["spec"] == "smoke"
+        assert [u["id"] for u in campaign["units"]] == [
+            "table3:aurora",
+            "table3:dawn",
+            "table3:render",
+            "campaign:summary",
+        ]
+        assert all(len(u["digest"]) == 64 for u in campaign["units"])
+        assert doc["config"]["systems"] == ["aurora", "dawn"]
+
+    def test_run_without_dir_fails_unhealthy(self, capsys):
+        assert _run("campaign", "run") == 2
+        assert "--dir" in capsys.readouterr().err
+
+    def test_unknown_action_fails_unhealthy(self, tmp_path, capsys):
+        assert _run("campaign", "dance", "--dir", str(tmp_path)) == 2
+
+    def test_unknown_scenario_fails_unhealthy(self, tmp_path, capsys):
+        rc = _run(
+            "campaign", "run", "--dir", str(tmp_path / "c"),
+            "--spec", "smoke", "--inject", "nope",
+        )
+        assert rc == 2
+        assert "nope" in capsys.readouterr().err
+
+    def test_rerun_in_same_dir_suggests_resume(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        _run("campaign", "run", "--dir", d, "--spec", "smoke")
+        assert _run("campaign", "run", "--dir", d, "--spec", "smoke") == 2
+        assert "resume" in capsys.readouterr().err
+
+
+class TestCrashResume:
+    def test_crash_midrun_exits_3_then_resume_completes(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        rc = _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--inject", "crash-midrun",
+        )
+        assert rc == 3
+        assert not (tmp_path / "c" / "manifest.json").exists()
+        assert _run("campaign", "resume", "--dir", d) == 0
+        assert (tmp_path / "c" / "manifest.json").exists()
+
+    def test_resumed_artifacts_match_uninterrupted_run(self, tmp_path):
+        clean, crash = str(tmp_path / "clean"), str(tmp_path / "crash")
+        assert _run("campaign", "run", "--dir", clean, "--spec", "smoke") == 0
+        _run(
+            "campaign", "run", "--dir", crash, "--spec", "smoke",
+            "--inject", "crash-midrun",
+        )
+        assert _run("campaign", "resume", "--dir", crash) == 0
+        for name in ("tables/table3.txt", "tables/summary.txt", "manifest.json"):
+            assert (tmp_path / "clean" / name).read_bytes() == (
+                tmp_path / "crash" / name
+            ).read_bytes(), name
+
+    def test_journal_truncate_verify_exits_4_then_resume_heals(
+        self, tmp_path, capsys
+    ):
+        d = str(tmp_path / "c")
+        rc = _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--inject", "journal-truncate",
+        )
+        assert rc == 3
+        assert _run("campaign", "verify", "--dir", d) == 4
+        assert "corrupt" in capsys.readouterr().out
+        assert _run("campaign", "resume", "--dir", d) == 0
+        assert _run("campaign", "verify", "--dir", d) == 0
+
+    def test_resume_without_campaign_fails_unhealthy(self, tmp_path, capsys):
+        assert _run("campaign", "resume", "--dir", str(tmp_path / "x")) == 2
+
+
+class TestStatusAndVerify:
+    def test_status_reports_pending_units(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--inject", "crash-midrun",
+        )
+        capsys.readouterr()
+        assert _run("campaign", "status", "--dir", d) == 0
+        out = capsys.readouterr().out
+        assert "pending" in out
+        assert "campaign incomplete" in out
+
+    def test_verify_incomplete_exits_3(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--inject", "crash-midrun",
+        )
+        assert _run("campaign", "verify", "--dir", d) == 3
+
+    def test_verify_complete_exits_0(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        _run("campaign", "run", "--dir", d, "--spec", "smoke")
+        assert _run("campaign", "verify", "--dir", d) == 0
+        assert "complete and verified" in capsys.readouterr().out
+
+
+class TestSupervisionFlags:
+    def test_deadline_exits_resumable(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        rc = _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--deadline", "1e-9",
+        )
+        assert rc == 3
+        assert _run("campaign", "resume", "--dir", d) == 0
+
+    def test_unit_timeout_demotes_units(self, tmp_path, capsys):
+        d = str(tmp_path / "c")
+        rc = _run(
+            "campaign", "run", "--dir", d, "--spec", "smoke",
+            "--unit-timeout", "1e-12",
+        )
+        assert rc == 2
+        summary = (tmp_path / "c" / "tables" / "summary.txt").read_text()
+        assert "FAILED" in summary
