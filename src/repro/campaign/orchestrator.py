@@ -91,6 +91,7 @@ class Orchestrator:
         unit_timeout_s: float | None = None,
         deadline_s: float | None = None,
         campaign_plan: CampaignFaultPlan | None = None,
+        profile: bool = False,
     ) -> None:
         self.directory = os.fspath(directory)
         self.spec = spec
@@ -99,6 +100,7 @@ class Orchestrator:
         self.unit_timeout_s = unit_timeout_s
         self.deadline_s = deadline_s
         self.campaign_plan = campaign_plan
+        self.profile = profile
         self.store = ResultStore(os.path.join(self.directory, "store"))
         self._interrupted = False
         self._payloads: dict[str, dict] = {}
@@ -170,6 +172,7 @@ class Orchestrator:
                 self.campaign_plan.scenario if self.campaign_plan else None
             ),
             seed=self.seed,
+            profile=self.profile,
             units=[u.id for u in self.spec.execution_order()],
         )
         if self.campaign_plan is not None:
@@ -195,6 +198,10 @@ class Orchestrator:
         self.spec = spec
         self.scenario = config["scenario"]
         self.seed = config["seed"]
+        # Profiling is part of the campaign's identity: a resumed unit
+        # must re-profile (or not) exactly as the original run would
+        # have, or its payload digest cannot match.
+        self.profile = bool(config.get("profile", False))
         # The campaign fault scenario applies to the original run only;
         # resuming must converge, not crash again.
         self.campaign_plan = None
@@ -281,7 +288,9 @@ class Orchestrator:
                 journal.append("unit-start", unit=unit.id)
                 try:
                     deps = {d: self._payload(d) for d in unit.deps}
-                    payload = execute_unit(unit, self.scenario, self.seed, deps)
+                    payload = execute_unit(
+                        unit, self.scenario, self.seed, deps, self.profile
+                    )
                 except KeyboardInterrupt:
                     journal.append("interrupted", during=unit.id)
                     _log(f"interrupted during {unit.id}; journal is resumable")
@@ -375,6 +384,7 @@ class Orchestrator:
         campaign = {
             "spec": self.spec.name,
             "spec_digest": self.spec.digest(),
+            "profile": self.profile,
             "units": [
                 {
                     "id": unit.id,
@@ -382,6 +392,11 @@ class Orchestrator:
                     "digest": completed[unit.id],
                     "simulated_s": payload.get("simulated_s", 0.0),
                     "incidents": payload.get("incidents", []),
+                    **(
+                        {"profile_digest": payload["profile"]["digest"]}
+                        if "profile" in payload
+                        else {}
+                    ),
                 }
                 for unit, payload in zip(order, payloads)
             ],
@@ -515,6 +530,7 @@ def campaign_main(args) -> int:
             unit_timeout_s=args.unit_timeout,
             deadline_s=args.deadline,
             campaign_plan=plan,
+            profile=getattr(args, "profile", False),
         )
         return int(orch.run())
     orch = Orchestrator(

@@ -119,8 +119,10 @@ def failure_payload(unit, error: BaseException) -> dict:
     )
 
 
-def _execute_table(unit, scenario: str | None, seed: int) -> dict:
-    telemetry = Telemetry(unit=unit.id)
+def _execute_table(
+    unit, scenario: str | None, seed: int, profile: bool = False
+) -> dict:
+    telemetry = Telemetry(unit=unit.id, profile=profile)
     ctx = ExecutionContext(scenario, seed, telemetry=telemetry)
     from ..analysis import tables as table_drivers
 
@@ -128,6 +130,12 @@ def _execute_table(unit, scenario: str | None, seed: int) -> dict:
     driver = getattr(table_drivers, driver_name)
     table = driver(systems=(unit.system,), ctx=ctx)
     status = max(ctx.worst_status, table.worst_status())
+    extra: dict = {}
+    if telemetry.profiler is not None:
+        # Profiled units embed the aggregate digest, not the raw calls:
+        # the payload stays small and the digest is what resume must
+        # reproduce byte-identically.
+        extra["profile"] = telemetry.profiler.summary()
     return _payload(
         unit,
         status,
@@ -135,6 +143,7 @@ def _execute_table(unit, scenario: str | None, seed: int) -> dict:
         incidents=ctx.incident_log(),
         metrics=telemetry.metrics.snapshot(),
         simulated_s=_simulated_seconds(telemetry),
+        **extra,
     )
 
 
@@ -216,11 +225,12 @@ def execute_unit(
     scenario: str | None,
     seed: int,
     dep_payloads: Mapping[str, dict],
+    profile: bool = False,
 ) -> dict:
     """Run one unit; *dep_payloads* maps dep unit ids to stored payloads."""
     deps = [dep_payloads[d] for d in unit.deps]
     if unit.kind == "table":
-        return _execute_table(unit, scenario, seed)
+        return _execute_table(unit, scenario, seed, profile)
     if unit.kind == "render":
         return _execute_render(unit, deps)
     if unit.kind == "static":

@@ -23,6 +23,14 @@ Telemetry (span traces, metrics, run manifests)::
     pvc-bench metrics triad                        # Prometheus text
     pvc-bench table2 --manifest run.json           # run manifest rider
 
+Profiling (iprof-style API summaries, roofline attribution, baselines)::
+
+    pvc-bench profile gemm --system aurora         # iprof-style tables
+    pvc-bench profile smoke --write-baseline BENCH_0.json
+    pvc-bench profile smoke --baseline BENCH_0.json   # regression gate
+    pvc-bench profile triad --flamegraph out.collapsed
+    pvc-bench table2 --profile --manifest run.json # profile digest rider
+
 Crash-safe campaigns (write-ahead journal + checkpoint/resume)::
 
     pvc-bench campaign run    --dir out --spec paper
@@ -71,27 +79,9 @@ _TELEMETRY_BENCHES = ("gemm", "triad", "p2p")
 
 def _run_instrumented(ctx: ExecutionContext, args) -> None:
     """Run one benchmark with the full telemetry session attached."""
-    from .core.runner import RunPlan
-    from .micro.gemm import Gemm
-    from .micro.p2p import P2PBandwidth
-    from .micro.triad import Triad
+    from .profiler.driver import run_bench
 
-    if args.bench not in _TELEMETRY_BENCHES:
-        raise UnknownBenchmarkError(
-            f"unknown benchmark {args.bench!r} for {args.command}; "
-            f"choose from: {', '.join(_TELEMETRY_BENCHES)}"
-        )
-    engine = ctx.engine(args.system)
-    if args.bench == "gemm":
-        bench, n_stacks = Gemm(), engine.node.n_stacks
-    elif args.bench == "triad":
-        bench, n_stacks = Triad(), engine.node.n_stacks
-    else:  # p2p: single pair, exercised through the simulated MPI layer
-        bench, n_stacks = P2PBandwidth("remote"), 1
-    plan = RunPlan(repetitions=30, warmup=2)
-    result = bench.measure(engine, n_stacks=n_stacks, plan=plan)
-    if result.provenance is not None:
-        ctx.record(result.provenance.status)
+    result = run_bench(ctx, args.bench, args.system)
     best = result.best
     print(
         f"# {args.bench} on {args.system} [{result.scope.name}]: "
@@ -99,6 +89,84 @@ def _run_instrumented(ctx: ExecutionContext, args) -> None:
         f"over {len(result.samples)} samples",
         file=sys.stderr,
     )
+
+
+def _cmd_profile(args) -> int:
+    """``pvc-bench profile <bench>|smoke`` — iprof-style summaries.
+
+    Prints one iprof-style report per profiled run; optional riders
+    export a collapsed-stack flamegraph, the raw profile documents, and
+    write/compare perf-regression baselines (a regression raises the
+    exit code to the MEASUREMENT tier).
+    """
+    from .ioutils import atomic_write_text
+    from .profiler.baseline import (
+        build_snapshot,
+        compare_snapshots,
+        load_baseline,
+        write_baseline,
+    )
+    from .profiler.driver import profile_bench, profile_smoke_set
+    from .profiler.flamegraph import collapsed_stacks
+
+    if args.bench == "smoke":
+        runs = profile_smoke_set(scenario=args.inject, seed=args.seed)
+    else:
+        runs = [
+            profile_bench(
+                args.bench, args.system, scenario=args.inject, seed=args.seed
+            )
+        ]
+    for run in runs:
+        print(run.report())
+    code = max(int(run.ctx.exit_code()) for run in runs)
+    if args.flamegraph:
+        # Per-run collapsed stacks, each frame path prefixed with the
+        # run's identity so the smoke set folds into one flamegraph.
+        lines: list[str] = []
+        for run in runs:
+            lines.extend(
+                f"{run.bench}@{run.system};{line}"
+                for line in collapsed_stacks(run.telemetry.tracer)
+            )
+        atomic_write_text(args.flamegraph, "\n".join(sorted(lines)) + "\n")
+        print(f"flamegraph written to {args.flamegraph}", file=sys.stderr)
+    if args.out:
+        import json
+
+        doc = {
+            "schema": "repro.profiler.profileset/v1",
+            "profiles": {
+                f"{run.bench}@{run.system}": run.profiler.to_doc()
+                for run in runs
+            },
+        }
+        atomic_write_text(
+            args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"profile written to {args.out}", file=sys.stderr)
+    snapshot = build_snapshot([run.entry() for run in runs])
+    if args.write_baseline:
+        write_baseline(args.write_baseline, snapshot)
+        print(f"baseline written to {args.write_baseline}", file=sys.stderr)
+    if args.baseline:
+        comparison = compare_snapshots(load_baseline(args.baseline), snapshot)
+        print(comparison.render(), end="")
+        if comparison.regressed:
+            code = max(code, int(ExitCode.MEASUREMENT))
+    if args.manifest is not None:
+        if len(runs) == 1:
+            from .telemetry.manifest import write_manifest
+
+            write_manifest(args.manifest, runs[0].ctx.manifest("profile"))
+            print(f"manifest written to {args.manifest}", file=sys.stderr)
+        else:
+            print(
+                "pvc-bench: note: --manifest applies to single-bench "
+                "profiles only",
+                file=sys.stderr,
+            )
+    return code
 
 
 def _cmd_trace(ctx: ExecutionContext, args) -> None:
@@ -153,6 +221,16 @@ def _cmd_health(ctx: ExecutionContext) -> None:
             report = node_health(get_system(name))
         print(report.render())
         print()
+    from .profiler.selfcheck import profiler_selfcheck
+
+    checks = profiler_selfcheck()
+    for check in checks:
+        mark = "ok " if check.passed else "FAIL"
+        print(f"[{mark}] profiler     {check.name}"
+              + (f"  ({check.detail})" if check.detail else ""))
+    if not all(check.passed for check in checks):
+        ctx.record(CellStatus.DEGRADED)
+    print()
     print(ctx.telemetry_summary())
 
 
@@ -274,15 +352,16 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(_COMMANDS)
         + sorted(_CTX_COMMANDS)
         + sorted(_TELEMETRY_COMMANDS)
-        + ["campaign"],
+        + ["campaign", "profile"],
     )
     parser.add_argument(
         "bench",
         nargs="?",
         default="gemm",
-        help="benchmark for trace/metrics "
-        f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm) or the "
-        "campaign action (run, resume, status, verify)",
+        help="benchmark for trace/metrics/profile "
+        f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm; profile also "
+        "accepts 'smoke') or the campaign action (run, resume, status, "
+        "verify)",
     )
     parser.add_argument(
         "--inject",
@@ -343,19 +422,48 @@ def main(argv: list[str] | None = None) -> int:
         help="campaign deadline on the simulated clock: scheduling stops "
         "once exceeded and the run exits resumable (code 3)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the API profiler to this run; manifests and campaign "
+        "results gain a profile digest",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="profile: compare against this baseline snapshot; a "
+        "regression beyond tolerance exits non-zero",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="profile: write the run's snapshot as a new baseline",
+    )
+    parser.add_argument(
+        "--flamegraph",
+        metavar="PATH",
+        default=None,
+        help="profile: export a deterministic collapsed-stack file "
+        "(flamegraph.pl / speedscope input)",
+    )
     args = parser.parse_args(argv)
     needs_telemetry = (
         args.command in _TELEMETRY_COMMANDS
         or args.command == "health"
         or args.manifest is not None
+        or args.profile
     )
     if needs_telemetry:
         from .telemetry import Telemetry
 
-        telemetry = Telemetry()
+        telemetry = Telemetry(profile=args.profile)
     else:
         telemetry = None
     try:
+        if args.command == "profile":
+            return _cmd_profile(args)
         if args.command == "campaign":
             from .campaign.orchestrator import campaign_main
 

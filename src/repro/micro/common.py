@@ -126,4 +126,15 @@ class MicroBenchmark(abc.ABC):
         except DeviceLostError:
             cache.pop(key, None)
             raise
+        if getattr(tel, "profiler", None) is not None:
+            # Profiled runs read the timestamps the way the paper's SYCL
+            # ports do — through the event's profiling info (each query
+            # is itself an intercepted API call).
+            durations = []
+            for event in events:
+                info = event.profiling_info()
+                durations.append(
+                    (info["command_end"] - info["command_start"]) * 1e-9
+                )
+            return max(durations)
         return max(event.duration_s for event in events)

@@ -1,0 +1,189 @@
+"""Perf-regression baselines: ``BENCH_<n>.json`` snapshots.
+
+A baseline snapshot pins, per ``bench@system``, the simulated figure of
+merit and the profile aggregates of a profiled run.  The comparator
+re-runs the same set, joins by key, and issues a tolerance-based verdict
+for the fields that gate regressions:
+
+* ``fom`` — higher is better (GFLOP/s, GB/s);
+* ``device_us`` — lower is better (aggregate device time).
+
+A relative drift beyond the tolerance in the *bad* direction is a
+regression (exit code 1, ``ExitCode.MEASUREMENT``); drift in the good
+direction, new entries, and entries missing from the current run are
+reported but do not fail the comparison — the baseline is refreshed
+with ``--write-baseline`` when an improvement should be locked in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..ioutils import atomic_write_text, canonical_json, sha256_text
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_TOLERANCE",
+    "BaselineComparison",
+    "Delta",
+    "build_snapshot",
+    "compare_snapshots",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA = "repro.profiler.baseline/v1"
+
+#: Relative drift allowed before a gated field regresses.
+DEFAULT_TOLERANCE = 0.05
+
+#: field name -> direction ("higher" / "lower" is better).
+_GATED_FIELDS = {
+    "fom": "higher",
+    "device_us": "lower",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Delta:
+    """One compared field of one ``bench@system`` entry."""
+
+    key: str
+    metric: str
+    base: float
+    current: float
+    verdict: str  # "ok" | "improved" | "regressed" | "new" | "missing"
+
+    @property
+    def ratio(self) -> float:
+        if self.base == 0:
+            return 1.0 if self.current == 0 else float("inf")
+        return self.current / self.base
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineComparison:
+    """The outcome of comparing a current snapshot to a baseline."""
+
+    tolerance: float
+    deltas: tuple[Delta, ...] = field(default_factory=tuple)
+
+    @property
+    def regressed(self) -> bool:
+        return any(d.verdict == "regressed" for d in self.deltas)
+
+    @property
+    def regressions(self) -> tuple[Delta, ...]:
+        return tuple(d for d in self.deltas if d.verdict == "regressed")
+
+    def render(self) -> str:
+        lines = [
+            f"baseline comparison (tolerance {self.tolerance:.1%}):"
+        ]
+        for d in self.deltas:
+            if d.verdict in ("new", "missing"):
+                lines.append(f"  {d.verdict:>9}  {d.key}")
+                continue
+            lines.append(
+                f"  {d.verdict:>9}  {d.key} {d.metric}: "
+                f"{d.base:.6g} -> {d.current:.6g} (x{d.ratio:.4f})"
+            )
+        verdict = "REGRESSED" if self.regressed else "OK"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines) + "\n"
+
+
+def build_snapshot(entries: list[dict]) -> dict:
+    """A baseline document from per-bench entry dicts.
+
+    Each entry must carry ``bench`` and ``system``; the pair keys the
+    snapshot.  Entries are stored under sorted keys so the serialized
+    document is byte-stable.
+    """
+    keyed: dict[str, dict] = {}
+    for entry in entries:
+        try:
+            key = f"{entry['bench']}@{entry['system']}"
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"baseline entry missing {exc.args[0]!r}"
+            ) from exc
+        if key in keyed:
+            raise ConfigurationError(f"duplicate baseline entry {key!r}")
+        keyed[key] = dict(entry)
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "tolerance": DEFAULT_TOLERANCE,
+        "entries": {k: keyed[k] for k in sorted(keyed)},
+    }
+    doc["digest"] = sha256_text(canonical_json(doc))
+    return doc
+
+
+def write_baseline(path: str | Path, doc: dict) -> Path:
+    """Atomically write a snapshot as pretty, sorted, newline-terminated
+    JSON (stable for committing to git)."""
+    path = Path(path)
+    body = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, body)
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read and schema-validate a snapshot written by :func:`write_baseline`."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported schema "
+            f"{doc.get('schema') if isinstance(doc, dict) else None!r} "
+            f"(expected {BASELINE_SCHEMA!r})"
+        )
+    return doc
+
+
+def compare_snapshots(
+    base: dict, current: dict, tolerance: float | None = None
+) -> BaselineComparison:
+    """Compare two snapshot documents (baseline first)."""
+    if tolerance is None:
+        tolerance = float(base.get("tolerance", DEFAULT_TOLERANCE))
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    base_entries = base.get("entries", {})
+    cur_entries = current.get("entries", {})
+    deltas: list[Delta] = []
+    for key in sorted(set(base_entries) | set(cur_entries)):
+        if key not in cur_entries:
+            deltas.append(Delta(key, "-", 0.0, 0.0, "missing"))
+            continue
+        if key not in base_entries:
+            deltas.append(Delta(key, "-", 0.0, 0.0, "new"))
+            continue
+        for metric, direction in _GATED_FIELDS.items():
+            if metric not in base_entries[key]:
+                continue
+            b = float(base_entries[key][metric])
+            c = float(cur_entries[key].get(metric, 0.0))
+            drift = (c - b) / b if b else (0.0 if c == 0 else float("inf"))
+            if direction == "lower":
+                drift = -drift
+            # drift > 0 now means "got better" for either direction.
+            if drift < -tolerance:
+                verdict = "regressed"
+            elif drift > tolerance:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            deltas.append(Delta(key, metric, b, c, verdict))
+    return BaselineComparison(tolerance=tolerance, deltas=tuple(deltas))

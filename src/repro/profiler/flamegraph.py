@@ -1,0 +1,88 @@
+"""Deterministic collapsed-stack (flamegraph) export from the tracer.
+
+``iprof -f`` can emit flamegraph-compatible output for a traced run;
+this module does the same for the simulated telemetry: every COMPLETE
+trace event becomes a frame, nested by smallest-enclosing-interval on
+its lane, and each line is the classic collapsed format
+
+    lane;outer;inner <value>
+
+with the value in integer nanoseconds of *self* time (duration minus
+direct children).  Lines are merged by frame path and emitted in lexical
+order so the export is byte-stable for a given trace.
+"""
+
+from __future__ import annotations
+
+from ..telemetry.trace import COMPLETE, TraceEvent, Tracer
+
+__all__ = ["collapsed_stacks", "export_collapsed"]
+
+_EPS_US = 1e-9
+
+
+def _frame(name: str) -> str:
+    # ";" separates frames in the collapsed format; scrub it from names.
+    return name.replace(";", ",")
+
+
+def _lane_events(tracer: Tracer, lane_name: str) -> list[TraceEvent]:
+    events = [
+        ev
+        for ev in tracer.events
+        if ev.lane == lane_name and ev.phase == COMPLETE
+    ]
+    # Parents before children: earlier start first, then longer first so
+    # an enclosing span precedes the spans it contains; spans outrank
+    # same-shape kernel events at identical extents.
+    events.sort(
+        key=lambda ev: (
+            ev.start_us,
+            -ev.end_us,
+            0 if ev.category == "span" else 1,
+            ev.name,
+        )
+    )
+    return events
+
+
+def collapsed_stacks(tracer: Tracer) -> list[str]:
+    """Collapsed-stack lines (``path value``), merged and sorted."""
+    weights: dict[str, int] = {}
+    for lane_name in tracer.lanes():
+        stack: list[TraceEvent] = []
+        child_us: dict[int, float] = {}
+        events = _lane_events(tracer, lane_name)
+
+        def emit(ev: TraceEvent, path: tuple[str, ...]) -> None:
+            self_us = ev.duration_us - child_us.pop(id(ev), 0.0)
+            value = int(round(self_us * 1000.0))
+            if value <= 0:
+                return
+            key = ";".join(path)
+            weights[key] = weights.get(key, 0) + value
+
+        paths: dict[int, tuple[str, ...]] = {}
+        for ev in events:
+            while stack and ev.start_us >= stack[-1].end_us - _EPS_US:
+                done = stack.pop()
+                emit(done, paths.pop(id(done)))
+            if stack:
+                parent = stack[-1]
+                child_us[id(parent)] = (
+                    child_us.get(id(parent), 0.0) + ev.duration_us
+                )
+                paths[id(ev)] = paths[id(parent)] + (_frame(ev.name),)
+            else:
+                paths[id(ev)] = (_frame(lane_name), _frame(ev.name))
+            stack.append(ev)
+        while stack:
+            done = stack.pop()
+            emit(done, paths.pop(id(done)))
+    return [f"{path} {value}" for path, value in sorted(weights.items())]
+
+
+def export_collapsed(tracer: Tracer) -> str:
+    """The collapsed-stack file body (one line per unique frame path)."""
+    lines = collapsed_stacks(tracer)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,170 @@
+"""iprof-style rendering of an aggregated profile.
+
+The output mirrors the sections an ``iprof`` summary prints for a real
+run on Aurora: one host-side API table per backend, a device profiling
+table, an explicit memory-traffic table — each with
+``Name | Time | Time(%) | Calls | Average | Min | Max`` columns sorted
+by exclusive time descending — plus the roofline-attribution table this
+reproduction adds (achieved vs model, fraction of the roofline ceiling,
+bound classification).
+
+Everything renders from the profiler's content-sorted aggregates, so
+the text is byte-identical across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from .core import ApiProfiler
+
+__all__ = ["render_profile", "format_time_us", "format_bytes"]
+
+#: Section headers per layer, iprof's backend naming.
+_LAYER_TITLES = {
+    "ze": "BACKEND_ZE",
+    "sycl": "BACKEND_SYCL",
+    "mpi": "BACKEND_MPI",
+}
+
+
+def format_time_us(us: float) -> str:
+    """Human units like iprof: 1.50s / 230.12ms / 12.34us / 980ns."""
+    if us >= 1e6:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f}ms"
+    if us >= 1.0:
+        return f"{us:.2f}us"
+    return f"{us * 1e3:.0f}ns"
+
+
+def format_bytes(b: float) -> str:
+    """Human byte units (1024-based): 6.25GB / 2.00MB / 1.50kB / 17B."""
+    if b >= 1024**3:
+        return f"{b / 1024**3:.2f}GB"
+    if b >= 1024**2:
+        return f"{b / 1024**2:.2f}MB"
+    if b >= 1024:
+        return f"{b / 1024:.2f}kB"
+    return f"{b:.0f}B"
+
+
+def _table(
+    title: str,
+    rows: dict[str, dict],
+    fmt,
+    unit_header: str,
+) -> list[str]:
+    """One iprof section: sorted by total descending, with a Total row."""
+    lines = [title]
+    if not rows:
+        lines.append("  (no calls recorded)")
+        return lines
+    ordered = sorted(rows.items(), key=lambda kv: (-kv[1]["total"], kv[0]))
+    grand = sum(stat["total"] for _, stat in ordered)
+    name_w = max(
+        len("Total"), len("Name"), *(len(name) for name, _ in ordered)
+    )
+    header = (
+        f"{'Name':>{name_w}} | {unit_header:>10} | {unit_header + '(%)':>8} | "
+        f"{'Calls':>6} | {'Average':>10} | {'Min':>10} | {'Max':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, stat in ordered:
+        pct = 100.0 * stat["total"] / grand if grand else 0.0
+        lines.append(
+            f"{name:>{name_w}} | {fmt(stat['total']):>10} | {pct:>7.2f}% | "
+            f"{stat['calls']:>6d} | {fmt(stat['total'] / stat['calls']):>10} | "
+            f"{fmt(stat['min']):>10} | {fmt(stat['max']):>10}"
+        )
+    total_calls = sum(stat["calls"] for _, stat in ordered)
+    lines.append(
+        f"{'Total':>{name_w}} | {fmt(grand):>10} | {100.0:>7.2f}% | "
+        f"{total_calls:>6d} |"
+    )
+    return lines
+
+
+def _host_stats(table: dict[str, dict]) -> dict[str, dict]:
+    return {
+        name: {
+            "total": stat["total"],
+            "calls": stat["calls"],
+            "min": stat["min"],
+            "max": stat["max"],
+        }
+        for name, stat in table.items()
+    }
+
+
+def _attribution_table(rows: list[dict]) -> list[str]:
+    lines = ["Kernel roofline attribution"]
+    if not rows:
+        lines.append("  (no kernels profiled)")
+        return lines
+    name_w = max(len("Kernel"), *(len(r["kernel"]) for r in rows))
+    header = (
+        f"{'Kernel':>{name_w}} | {'Calls':>6} | {'Device':>10} | "
+        f"{'Model(%)':>8} | {'Peak(%)':>8} | {'AI(flop/B)':>10} | Bound"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        ai = "-" if r["intensity"] is None else f"{r['intensity']:.2f}"
+        lines.append(
+            f"{r['kernel']:>{name_w}} | {r['calls']:>6d} | "
+            f"{format_time_us(r['achieved_us']):>10} | "
+            f"{r['model_pct']:>7.2f}% | {r['peak_pct']:>7.2f}% | "
+            f"{ai:>10} | {r['bound']}"
+        )
+    return lines
+
+
+def render_profile(profiler: ApiProfiler, title: str = "") -> str:
+    """The full iprof-style text report for one profiled run."""
+    doc = profiler.to_doc()
+    out: list[str] = []
+    if title:
+        rule = "=" * max(0, 68 - len(title) - 4)
+        out.append(f"== {title} {rule}")
+        out.append("")
+    for layer in ("ze", "sycl", "mpi"):
+        host = doc["host"].get(layer)
+        if host is None:
+            continue
+        out.extend(
+            _table(
+                f"{_LAYER_TITLES[layer]} | Host profiling",
+                _host_stats(host),
+                format_time_us,
+                "Time",
+            )
+        )
+        out.append("")
+    out.extend(
+        _table(
+            "Device profiling",
+            _host_stats(doc["device"]),
+            format_time_us,
+            "Time",
+        )
+    )
+    out.append("")
+    out.extend(
+        _table(
+            "Explicit memory traffic",
+            _host_stats(doc["traffic"]),
+            format_bytes,
+            "Byte",
+        )
+    )
+    out.append("")
+    out.extend(_attribution_table(doc["kernels"]))
+    out.append("")
+    out.append(
+        f"{doc['api_calls']} API call(s): host {format_time_us(doc['host_us'])}"
+        f", device {format_time_us(doc['device_us'])}, traffic "
+        f"{format_bytes(doc['traffic_bytes'])}  [digest "
+        f"{profiler.digest()[:12]}]"
+    )
+    return "\n".join(out) + "\n"

@@ -43,6 +43,21 @@ MIN = "min"
 
 _OPS = {SUM: np.add.reduce, MAX: np.maximum.reduce, MIN: np.minimum.reduce}
 
+#: Collective trace labels -> the MPI API name the profiler records.
+_COLLECTIVE_API = {
+    "barrier": "MPI_Barrier",
+    "allreduce": "MPI_Allreduce",
+    "bcast": "MPI_Bcast",
+    "gather": "MPI_Gather",
+    "allgather": "MPI_Allgather",
+}
+
+
+def _host_us(api: str) -> float:
+    from ..profiler.core import host_overhead_us
+
+    return host_overhead_us(api)
+
 
 @dataclass
 class _Message:
@@ -113,6 +128,7 @@ class Request:
         """Complete the operation, advancing the rank's virtual clock."""
         if self._done:
             return self._payload
+        before = self._comm._vtime
         if self._kind == "send":
             self._comm._complete_send(self._kw["vtime_done"])
         else:
@@ -120,6 +136,12 @@ class Request:
                 self._kw["source"], self._kw["tag"], self._kw["post_vtime"]
             )
         self._done = True
+        # Host time charged to MPI_Wait is the virtual time this rank
+        # spent blocked, plus the fixed call overhead.
+        self._comm._profile(
+            "MPI_Wait",
+            host_us=2.0 + (self._comm._vtime - before) * 1e6,
+        )
         return self._payload
 
     @property
@@ -145,6 +167,18 @@ class Communicator:
         tel = engine.telemetry
         self._tel = tel
         self._lane = tel.rank_lane(binding.rank) if tel is not None else None
+        self._profiler = getattr(tel, "profiler", None) if tel else None
+        if self._profiler is not None:
+            from ..profiler.core import MPI_POINTS
+
+            self._profiler.register("mpi", *MPI_POINTS)
+
+    def _profile(self, name: str, **kw) -> None:
+        """One intercepted MPI call.  Rank virtual clocks restart at zero
+        for every :meth:`SimMPI.run`, so MPI records stay out of the
+        per-stream clock-monotonicity check (no ``clock_us``)."""
+        if self._profiler is not None:
+            self._profiler.record(name, "mpi", **kw)
 
     def _trace(
         self, name: str, start_s: float, duration_s: float, **args
@@ -251,11 +285,13 @@ class Communicator:
         if self._tel is not None:
             self._tel.metrics.inc("mpi.messages", rank=self.rank)
             self._tel.metrics.inc("mpi.bytes", float(size), rank=self.rank)
+        self._profile("MPI_Isend", bytes_moved=float(size))
         return Request(self, "send", vtime_done=done)
 
     def Irecv(self, source: int, tag: int = 0) -> Request:
         """Non-blocking receive; ``wait()`` returns the array."""
         self._check_rank(source)
+        self._profile("MPI_Irecv")
         return Request(
             self, "recv", source=source, tag=tag, post_vtime=self._vtime
         )
@@ -369,6 +405,11 @@ class Communicator:
         self._trace(label, entered, self._vtime - entered)
         if self._tel is not None:
             self._tel.metrics.inc("mpi.collectives", op=label, rank=self.rank)
+        api = _COLLECTIVE_API.get(label)
+        if api is not None:
+            self._profile(
+                api, host_us=(self._vtime - entered) * 1e6 + _host_us(api)
+            )
         return result
 
     def _tree_cost(self, nbytes: int) -> float:

@@ -97,12 +97,15 @@ class SyclDevice:
 class SyclEvent:
     """A profiling event: submit/start/end timestamps in simulated ns."""
 
-    def __init__(self, submit_ns: int, start_ns: int, end_ns: int) -> None:
+    def __init__(
+        self, submit_ns: int, start_ns: int, end_ns: int, *, profiler=None
+    ) -> None:
         if not (submit_ns <= start_ns <= end_ns):
             raise ConfigurationError("event timestamps must be ordered")
         self.submit_ns = submit_ns
         self.start_ns = start_ns
         self.end_ns = end_ns
+        self._profiler = profiler
 
     @property
     def duration_ns(self) -> int:
@@ -113,6 +116,8 @@ class SyclEvent:
         return self.duration_ns * 1e-9
 
     def profiling_info(self) -> dict[str, int]:
+        if self._profiler is not None:
+            self._profiler.record("sycl::event::get_profiling_info", "sycl")
         return {
             "command_submit": self.submit_ns,
             "command_start": self.start_ns,
@@ -144,8 +149,25 @@ class SyclQueue:
         self._rep: int = 0
         self._events: list[SyclEvent] = []
         self.lane: str | None = None
+        self._profiler = None
+        self._stream = ""
         if engine.telemetry is not None:
             self.lane = engine.telemetry.gpu_lane(device.ref)
+            self._profiler = getattr(engine.telemetry, "profiler", None)
+        if self._profiler is not None:
+            from ..profiler.core import SYCL_POINTS, ZE_QUEUE_POINTS
+
+            self._profiler.register("ze", *ZE_QUEUE_POINTS)
+            self._profiler.register("sycl", *SYCL_POINTS)
+            self._stream = self._profiler.stream(
+                f"{engine.system.name}:{device.ref}"
+            )
+            self._profiler.record(
+                "zeCommandQueueCreate",
+                "ze",
+                stream=self._stream,
+                clock_us=self._now_ns / 1e3,
+            )
 
     # -- clock ------------------------------------------------------------
 
@@ -173,7 +195,7 @@ class SyclQueue:
         start = submit  # in-order queue, idle device: starts immediately
         end = start + max(1, round(seconds * 1e9))
         self._now_ns = end
-        ev = SyclEvent(submit, start, end)
+        ev = SyclEvent(submit, start, end, profiler=self._profiler)
         self._events.append(ev)
         tel = self.engine.telemetry
         if tel is not None and self.lane is not None and name is not None:
@@ -200,6 +222,8 @@ class SyclQueue:
                     f"{nbytes} B exceeds device HBM "
                     f"({self.engine.device.hbm_capacity_bytes} B)"
                 )
+        if self._profiler is not None:
+            self._profiler.record(f"sycl::malloc_{kind.value}", "sycl")
         return UsmAllocation(
             kind=kind,
             nbytes=nbytes,
@@ -220,6 +244,8 @@ class SyclQueue:
     def free(self, alloc: UsmAllocation) -> None:
         alloc._check_live()
         alloc.freed = True
+        if self._profiler is not None:
+            self._profiler.record("sycl::free", "sycl")
 
     # -- operations -------------------------------------------------------
 
@@ -248,12 +274,21 @@ class SyclQueue:
         self._check_device()
         seconds = self._memcpy_seconds(dst, src, timed_nbytes or nbytes)
         dst.buffer[:nbytes] = src.buffer[:nbytes]
-        return self._advance(
-            seconds,
-            f"memcpy[{src.kind.value}->{dst.kind.value}]",
-            category="transfer",
-            nbytes=timed_nbytes or nbytes,
+        op = f"memcpy[{src.kind.value}->{dst.kind.value}]"
+        ev = self._advance(
+            seconds, op, category="transfer", nbytes=timed_nbytes or nbytes
         )
+        if self._profiler is not None:
+            self._profiler.record(
+                "zeCommandListAppendMemoryCopy",
+                "ze",
+                device_us=ev.duration_ns / 1e3,
+                bytes_moved=float(timed_nbytes or nbytes),
+                op=op,
+                stream=self._stream,
+                clock_us=self._now_ns / 1e3,
+            )
+        return ev
 
     def _memcpy_seconds(
         self, dst: UsmAllocation, src: UsmAllocation, nbytes: int
@@ -301,12 +336,23 @@ class SyclQueue:
         )
         d2h_dst.buffer[:nbytes] = d2h_src.buffer[:nbytes]
         h2d_dst.buffer[:nbytes] = h2d_src.buffer[:nbytes]
-        return self._advance(
+        ev = self._advance(
             seconds,
             "memcpy[bidir]",
             category="transfer",
             nbytes=2 * (timed_nbytes or nbytes),
         )
+        if self._profiler is not None:
+            self._profiler.record(
+                "zeCommandListAppendMemoryCopy",
+                "ze",
+                device_us=ev.duration_ns / 1e3,
+                bytes_moved=2.0 * (timed_nbytes or nbytes),
+                op="memcpy[bidir]",
+                stream=self._stream,
+                clock_us=self._now_ns / 1e3,
+            )
+        return ev
 
     def submit(
         self,
@@ -321,12 +367,32 @@ class SyclQueue:
         seconds = self.engine.kernel_time_s(spec, n_stacks, rep=self._rep)
         if func is not None:
             func(*args)
-        return self._advance(
+        ev = self._advance(
             seconds, spec.name, category="kernel", flops=spec.flops
         )
+        if self._profiler is not None:
+            self._profiler.record(
+                "zeCommandListAppendLaunchKernel", "ze", op=spec.name
+            )
+            self._profiler.record(
+                "zeCommandQueueExecuteCommandLists",
+                "ze",
+                device_us=ev.duration_ns / 1e3,
+                op=spec.name,
+                stream=self._stream,
+                clock_us=self._now_ns / 1e3,
+            )
+        return ev
 
     def wait(self) -> None:
         """In-order queue: everything submitted is already retired."""
+        if self._profiler is not None:
+            self._profiler.record(
+                "zeCommandQueueSynchronize",
+                "ze",
+                stream=self._stream,
+                clock_us=self._now_ns / 1e3,
+            )
 
     @property
     def events(self) -> list[SyclEvent]:
@@ -343,7 +409,14 @@ class SyclRuntime:
         hierarchy: str = FLAT,
     ) -> None:
         self.engine = engine
-        self.driver = ZeDriver(engine.node, affinity_mask, hierarchy)
+        profiler = (
+            getattr(engine.telemetry, "profiler", None)
+            if engine.telemetry is not None
+            else None
+        )
+        self.driver = ZeDriver(
+            engine.node, affinity_mask, hierarchy, profiler=profiler
+        )
         if self.driver.excluded and engine.faults is not None:
             engine.faults.note(
                 "SYCL runtime skipped lost device(s): "

@@ -102,11 +102,20 @@ class ZeDriver:
         node: Node,
         affinity_mask: str | None = None,
         hierarchy: str = FLAT,
+        *,
+        profiler=None,
     ) -> None:
         if hierarchy not in (FLAT, COMPOSITE):
             raise AffinityError(f"bad hierarchy {hierarchy!r}")
         self.node = node
         self.hierarchy = hierarchy
+        self._profiler = profiler
+        if profiler is not None:
+            from ..profiler.core import ZE_DRIVER_POINTS
+
+            profiler.register("ze", *ZE_DRIVER_POINTS)
+            profiler.record("zeInit", "ze")
+            profiler.record("zeDeviceGet", "ze")
         if affinity_mask is None:
             selected = node.stacks()
         else:
@@ -129,6 +138,8 @@ class ZeDriver:
 
     def devices(self) -> list[ZeDevice]:
         """Root devices in mask order, renumbered densely."""
+        if self._profiler is not None:
+            self._profiler.record("zeDeviceGetSubDevices", "ze")
         if self.hierarchy == FLAT:
             return [
                 ZeDevice(index=i, stacks=(ref,))

@@ -257,6 +257,25 @@ class PerfEngine:
                 point.compute_s / point.total_s if point.total_s else 0.0,
                 kernel=spec.name,
             )
+            profiler = getattr(self.telemetry, "profiler", None)
+            if profiler is not None:
+                from ..profiler.core import KernelSample
+
+                profiler.kernel(
+                    KernelSample(
+                        name=spec.name,
+                        system=self.system.name,
+                        n_stacks=n_stacks,
+                        achieved_s=t,
+                        compute_s=point.compute_s,
+                        memory_s=point.memory_s,
+                        latency_s=point.latency_s,
+                        flops=float(spec.flops),
+                        nbytes=float(spec.total_bytes),
+                        compute_rate=point.compute_rate,
+                        mem_bw=point.mem_bw,
+                    )
+                )
         return t
 
     # ------------------------------------------------------------------

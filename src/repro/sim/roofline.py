@@ -19,11 +19,19 @@ __all__ = ["RooflinePoint", "kernel_time", "classify"]
 
 @dataclass(frozen=True, slots=True)
 class RooflinePoint:
-    """Diagnostic decomposition of a kernel's roofline time."""
+    """Diagnostic decomposition of a kernel's roofline time.
+
+    ``compute_rate``/``mem_bw`` stash the achieved-rate ceilings the
+    model was evaluated with, so the profiler can attribute a kernel
+    without re-querying the engine (which would re-trigger
+    fault-injection notes).
+    """
 
     compute_s: float
     memory_s: float
     latency_s: float
+    compute_rate: float = 0.0
+    mem_bw: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -58,7 +66,10 @@ def kernel_time(
     compute_s = spec.flops / compute_rate if spec.flops else 0.0
     memory_s = spec.total_bytes / mem_bw if spec.total_bytes else 0.0
     latency_s = spec.serial_chases * chase_latency_s
-    return RooflinePoint(compute_s, memory_s, latency_s)
+    return RooflinePoint(
+        compute_s, memory_s, latency_s,
+        compute_rate=compute_rate, mem_bw=mem_bw,
+    )
 
 
 def classify(

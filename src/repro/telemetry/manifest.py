@@ -94,6 +94,9 @@ def build_manifest(
         },
         "trace_files": list(trace_files),
     }
+    profiler = getattr(telemetry, "profiler", None) if telemetry else None
+    if profiler is not None:
+        doc["profile"] = profiler.summary()
     if campaign is not None:
         doc["campaign"] = campaign
     return doc

@@ -65,7 +65,9 @@ def _prom_number(value: float) -> str:
 def _prom_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    # Sort here, not just at construction: exported bytes must not
+    # depend on how a label set was assembled (or on PYTHONHASHSEED).
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels))
     return "{" + inner + "}"
 
 
@@ -335,7 +337,7 @@ class MetricsRegistry:
                 entry["buckets"] = list(metric.buckets)
                 entry["samples"] = [
                     {
-                        "labels": dict(labels),
+                        "labels": dict(sorted(labels)),
                         "counts": list(state.counts),
                         "count": state.total,
                         "sum": state.sum,
@@ -344,7 +346,7 @@ class MetricsRegistry:
                 ]
             else:
                 entry["samples"] = [
-                    {"labels": dict(labels), "value": value}
+                    {"labels": dict(sorted(labels)), "value": value}
                     for labels, value in metric.samples()
                 ]
             out[name] = entry

@@ -55,10 +55,19 @@ class Telemetry:
     metrics idempotently (see :meth:`MetricsRegistry.drop_label`).
     """
 
-    def __init__(self, unit: str | None = None) -> None:
+    def __init__(
+        self, unit: str | None = None, *, profile: bool = False
+    ) -> None:
         self.unit = unit
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.profiler = None
+        if profile:
+            # Lazy import: repro.profiler renders reports over telemetry
+            # aggregates, so the package root must not import it eagerly.
+            from ..profiler.core import ApiProfiler
+
+            self.profiler = ApiProfiler()
         self.tracer.lane(RUN_LANE, sort_key=(0, 0, 0))
         self._queues: dict[tuple[str, object], "SyclQueue"] = {}
         # Pre-declare the resilience counters so a clean scrape still

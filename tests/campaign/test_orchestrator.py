@@ -108,11 +108,11 @@ class TestCrashResumeByteIdentity:
         real = mod.execute_unit
         calls = []
 
-        def interrupting(unit, scn, sd, deps):
+        def interrupting(unit, scn, sd, deps, profile=False):
             calls.append(unit.id)
             if unit.id == "table3:dawn":
                 raise KeyboardInterrupt
-            return real(unit, scn, sd, deps)
+            return real(unit, scn, sd, deps, profile)
 
         monkeypatch.setattr(mod, "execute_unit", interrupting)
         orch = Orchestrator(
@@ -307,4 +307,23 @@ class TestIdempotentMetricAttribution:
         for name in merged.names():
             assert (
                 again.counter(name).total() == merged.counter(name).total()
+            ), name
+
+    def test_drop_label_after_resumed_unit_reprofiles(self):
+        """Re-executing a profiled unit (the resume path) must neither
+        double-count its metrics nor change its profile digest."""
+        from repro.campaign.spec import get_spec
+        from repro.campaign.units import execute_unit
+
+        unit = get_spec("smoke").unit("table3:aurora")
+        first = execute_unit(unit, "device-loss", 0, {}, profile=True)
+        second = execute_unit(unit, "device-loss", 0, {}, profile=True)
+        assert first["profile"]["digest"] == second["profile"]["digest"]
+        assert first == second
+        merged = aggregate_metrics([first])
+        remerged = aggregate_metrics([first, second])
+        for name in merged.names():
+            assert (
+                remerged.counter(name).total()
+                == merged.counter(name).total()
             ), name

@@ -1,0 +1,127 @@
+"""Baseline snapshots and the tolerance-based regression comparator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.profiler.baseline import (
+    BASELINE_SCHEMA,
+    DEFAULT_TOLERANCE,
+    build_snapshot,
+    compare_snapshots,
+    load_baseline,
+    write_baseline,
+)
+
+
+def _entry(bench="gemm", system="aurora", fom=100.0, device_us=50.0):
+    return {
+        "bench": bench,
+        "system": system,
+        "fom": fom,
+        "fom_unit": "Flop/s",
+        "device_us": device_us,
+    }
+
+
+def test_build_snapshot_keys_and_digest():
+    doc = build_snapshot([_entry(), _entry(bench="triad")])
+    assert doc["schema"] == BASELINE_SCHEMA
+    assert doc["tolerance"] == DEFAULT_TOLERANCE
+    assert sorted(doc["entries"]) == ["gemm@aurora", "triad@aurora"]
+    assert len(doc["digest"]) == 64
+    # Entry order does not change the document.
+    again = build_snapshot([_entry(bench="triad"), _entry()])
+    assert again == doc
+
+
+def test_build_snapshot_rejects_bad_entries():
+    with pytest.raises(ConfigurationError, match="missing 'system'"):
+        build_snapshot([{"bench": "gemm"}])
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        build_snapshot([_entry(), _entry()])
+
+
+def test_write_load_roundtrip(tmp_path):
+    doc = build_snapshot([_entry()])
+    path = tmp_path / "BENCH_0.json"
+    write_baseline(path, doc)
+    body = path.read_text()
+    assert body.endswith("\n")
+    assert load_baseline(path) == doc
+    # Writing is deterministic byte-for-byte.
+    write_baseline(tmp_path / "again.json", doc)
+    assert (tmp_path / "again.json").read_text() == body
+
+
+def test_load_baseline_errors(tmp_path):
+    with pytest.raises(ConfigurationError, match="not found"):
+        load_baseline(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="not valid JSON"):
+        load_baseline(bad)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"schema": "other/v9"}')
+    with pytest.raises(ConfigurationError, match="unsupported schema"):
+        load_baseline(wrong)
+
+
+def test_compare_within_tolerance_is_ok():
+    base = build_snapshot([_entry(fom=100.0, device_us=50.0)])
+    cur = build_snapshot([_entry(fom=98.0, device_us=51.0)])
+    cmp = compare_snapshots(base, cur)
+    assert not cmp.regressed
+    assert {d.verdict for d in cmp.deltas} == {"ok"}
+    assert "verdict: OK" in cmp.render()
+
+
+def test_fom_drop_regresses():
+    base = build_snapshot([_entry(fom=100.0)])
+    cur = build_snapshot([_entry(fom=90.0)])  # -10% < -5% tolerance
+    cmp = compare_snapshots(base, cur)
+    assert cmp.regressed
+    (bad,) = cmp.regressions
+    assert (bad.key, bad.metric) == ("gemm@aurora", "fom")
+    assert bad.ratio == pytest.approx(0.9)
+    assert "verdict: REGRESSED" in cmp.render()
+
+
+def test_device_time_growth_regresses_and_drop_improves():
+    base = build_snapshot([_entry(device_us=50.0)])
+    slower = build_snapshot([_entry(device_us=60.0)])
+    assert compare_snapshots(base, slower).regressed
+    faster = build_snapshot([_entry(device_us=40.0)])
+    cmp = compare_snapshots(base, faster)
+    assert not cmp.regressed
+    assert any(d.verdict == "improved" for d in cmp.deltas)
+
+
+def test_fom_gain_is_improvement_not_regression():
+    base = build_snapshot([_entry(fom=100.0)])
+    cur = build_snapshot([_entry(fom=120.0)])
+    cmp = compare_snapshots(base, cur)
+    assert not cmp.regressed
+    assert any(
+        d.verdict == "improved" and d.metric == "fom" for d in cmp.deltas
+    )
+
+
+def test_missing_and_new_entries_do_not_fail():
+    base = build_snapshot([_entry(), _entry(bench="triad")])
+    cur = build_snapshot([_entry(), _entry(bench="p2p")])
+    cmp = compare_snapshots(base, cur)
+    assert not cmp.regressed
+    verdicts = {(d.key, d.verdict) for d in cmp.deltas if d.metric == "-"}
+    assert ("triad@aurora", "missing") in verdicts
+    assert ("p2p@aurora", "new") in verdicts
+    text = cmp.render()
+    assert "missing" in text and "new" in text
+
+
+def test_tolerance_override():
+    base = build_snapshot([_entry(fom=100.0)])
+    cur = build_snapshot([_entry(fom=90.0)])
+    assert not compare_snapshots(base, cur, tolerance=0.15).regressed
+    assert compare_snapshots(base, cur, tolerance=0.01).regressed
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        compare_snapshots(base, cur, tolerance=-0.1)

@@ -1,0 +1,214 @@
+"""ApiProfiler: recording, aggregation, determinism, clock checks."""
+
+import threading
+
+import pytest
+
+from repro.profiler.core import (
+    LAYERS,
+    ApiCall,
+    ApiProfiler,
+    KernelSample,
+    host_overhead_us,
+)
+
+
+def _sample(name="axpy", achieved=2.0e-3, compute=1.9e-3, memory=0.5e-3):
+    return KernelSample(
+        name=name,
+        system="aurora",
+        n_stacks=12,
+        achieved_s=achieved,
+        compute_s=compute,
+        memory_s=memory,
+        latency_s=1e-5,
+        flops=1e9,
+        nbytes=1e6,
+        compute_rate=5e14,
+        mem_bw=1e12,
+    )
+
+
+def test_host_overhead_table_and_default():
+    assert host_overhead_us("zeInit") == 120.0
+    assert host_overhead_us("sycl::malloc_host") == 55.0
+    assert host_overhead_us("MPI_Isend") == 5.0
+    assert host_overhead_us("no-such-api") == 2.0
+
+
+def test_record_defaults_host_time_from_table():
+    p = ApiProfiler()
+    call = p.record("zeInit", "ze")
+    assert call.host_us == 120.0
+    blocked = p.record("MPI_Wait", "mpi", host_us=321.5)
+    assert blocked.host_us == 321.5
+
+
+def test_record_rejects_unknown_layer():
+    p = ApiProfiler()
+    with pytest.raises(ValueError, match="unknown profiler layer"):
+        p.record("zeInit", "cuda")
+    with pytest.raises(ValueError):
+        p.register("opencl", "clEnqueueNDRangeKernel")
+
+
+def test_registration_is_idempotent_and_auto_on_record():
+    p = ApiProfiler()
+    p.register("ze", "zeInit", "zeDeviceGet")
+    p.register("ze", "zeInit")
+    p.record("sycl::free", "sycl")
+    assert p.points("ze") == ("zeDeviceGet", "zeInit")
+    assert p.points("sycl") == ("sycl::free",)
+    assert p.layers() == ("sycl", "ze")
+    assert set(LAYERS) == {"ze", "sycl", "mpi"}
+
+
+def test_aggregation_is_insertion_order_independent():
+    records = [
+        ("zeCommandListAppendLaunchKernel", "ze", {"op": "k1"}),
+        ("sycl::malloc_device", "sycl", {}),
+        ("MPI_Isend", "mpi", {"bytes_moved": 4096.0}),
+        ("zeCommandQueueSynchronize", "ze", {}),
+    ]
+    forward, backward = ApiProfiler(), ApiProfiler()
+    for name, layer, kw in records:
+        forward.record(name, layer, **kw)
+    for name, layer, kw in reversed(records):
+        backward.record(name, layer, **kw)
+    assert forward.calls() == backward.calls()
+    assert forward.to_doc() == backward.to_doc()
+    assert forward.digest() == backward.digest()
+
+
+def test_threaded_recording_matches_serial_digest():
+    def fill(p: ApiProfiler, threads: int):
+        def work(rank: int):
+            for i in range(50):
+                p.record(
+                    "MPI_Isend",
+                    "mpi",
+                    bytes_moved=float(1024 * (i % 7)),
+                    op=f"rank {rank}",
+                )
+
+        if threads == 1:
+            for rank in range(4):
+                work(rank)
+        else:
+            ts = [
+                threading.Thread(target=work, args=(r,)) for r in range(4)
+            ]
+            for t in ts:
+                t.start()
+            for t in ts:
+                t.join()
+
+    serial, threaded = ApiProfiler(), ApiProfiler()
+    fill(serial, threads=1)
+    fill(threaded, threads=4)
+    assert serial.digest() == threaded.digest()
+
+
+def test_host_device_traffic_tables():
+    p = ApiProfiler()
+    p.record("zeCommandListAppendMemoryCopy", "ze",
+             device_us=10.0, bytes_moved=100.0, op="memcpy[h->d]")
+    p.record("zeCommandListAppendMemoryCopy", "ze",
+             device_us=30.0, bytes_moved=300.0, op="memcpy[h->d]")
+    p.record("zeCommandQueueSynchronize", "ze")
+    host = p.host_table()["ze"]
+    assert host["zeCommandListAppendMemoryCopy"]["calls"] == 2
+    assert host["zeCommandQueueSynchronize"]["total"] == host_overhead_us(
+        "zeCommandQueueSynchronize"
+    )
+    device = p.device_table()
+    # Host-only calls never show in the device/traffic sections.
+    assert set(device) == {"memcpy[h->d]"}
+    assert device["memcpy[h->d]"] == {
+        "calls": 2, "total": 40.0, "min": 10.0, "max": 30.0,
+    }
+    assert p.traffic_table()["memcpy[h->d]"]["total"] == 400.0
+    assert p.traffic_total_bytes() == 400.0
+    assert p.device_total_us() == 40.0
+
+
+def test_stream_clock_monotonicity_check():
+    p = ApiProfiler()
+    s = "aurora:0.0"
+    p.record("zeCommandQueueSynchronize", "ze", stream=s, clock_us=10.0)
+    p.record("zeCommandQueueSynchronize", "ze", stream=s, clock_us=10.0)
+    p.record("zeCommandQueueSynchronize", "ze", stream=s, clock_us=25.0)
+    assert p.clock_violations == []
+    p.record("zeCommandQueueSynchronize", "ze", stream=s, clock_us=5.0)
+    assert len(p.clock_violations) == 1
+    assert "clock went backwards" in p.clock_violations[0]
+    # Calls with no stream/clock never participate in the check.
+    p.record("zeInit", "ze")
+    assert len(p.clock_violations) == 1
+
+
+def test_stream_serial_suffix_for_additional_queues():
+    p = ApiProfiler()
+    assert p.stream("aurora:0.0") == "aurora:0.0"
+    assert p.stream("aurora:0.0") == "aurora:0.0/q1"
+    assert p.stream("aurora:0.0") == "aurora:0.0/q2"
+    assert p.stream("dawn:1.1") == "dawn:1.1"
+
+
+def test_kernel_attribution_compute_bound():
+    p = ApiProfiler()
+    p.kernel(_sample())
+    p.kernel(_sample())
+    rows = p.kernel_attribution()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["kernel"] == "axpy"
+    assert row["calls"] == 2
+    assert row["bound"] == "compute"
+    # model = max(compute, memory) + latency, summed over both calls.
+    assert row["model_us"] == pytest.approx(2 * (1.9e-3 + 1e-5) * 1e6)
+    assert row["model_pct"] == pytest.approx(
+        100.0 * (1.9e-3 + 1e-5) / 2.0e-3
+    )
+    assert row["peak_pct"] == pytest.approx(100.0 * 1.9e-3 / 2.0e-3)
+    assert row["intensity"] == pytest.approx(1e9 / 1e6)
+    assert row["achieved_rate"] == pytest.approx(2e9 / 4.0e-3)
+
+
+def test_kernel_attribution_sorts_by_device_time_desc():
+    p = ApiProfiler()
+    p.kernel(_sample(name="small", achieved=1e-4))
+    p.kernel(_sample(name="big", achieved=5e-3))
+    assert [r["kernel"] for r in p.kernel_attribution()] == ["big", "small"]
+
+
+def test_memory_bound_classification():
+    p = ApiProfiler()
+    p.kernel(_sample(name="triad", compute=1e-4, memory=1.8e-3))
+    assert p.kernel_attribution()[0]["bound"] == "memory"
+
+
+def test_digest_tracks_content():
+    a, b = ApiProfiler(), ApiProfiler()
+    a.record("zeInit", "ze")
+    b.record("zeInit", "ze")
+    assert a.digest() == b.digest()
+    b.record("zeDeviceGet", "ze")
+    assert a.digest() != b.digest()
+
+
+def test_summary_shape():
+    p = ApiProfiler()
+    p.record("zeInit", "ze")
+    p.kernel(_sample())
+    s = p.summary()
+    assert s["api_calls"] == 1
+    assert s["kernels"] == 1
+    assert s["digest"] == p.digest()
+    assert s["host_us"] == 120.0
+
+
+def test_order_key_is_total():
+    a = ApiCall(layer="ze", name="zeInit", host_us=1.0)
+    b = ApiCall(layer="ze", name="zeInit", host_us=2.0)
+    assert a.order_key() != b.order_key()

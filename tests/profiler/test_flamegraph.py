@@ -1,0 +1,80 @@
+"""Collapsed-stack export: nesting, self time, determinism."""
+
+from repro.profiler.flamegraph import collapsed_stacks, export_collapsed
+from repro.telemetry.trace import TraceEvent, Tracer
+
+
+def _tracer(events) -> Tracer:
+    tracer = Tracer()
+    for ev in events:
+        tracer.lane(ev.lane)
+        tracer.record(ev)
+    return tracer
+
+
+def test_nesting_and_self_time():
+    events = [
+        TraceEvent("outer", "run", 0.0, 10.0, category="span"),
+        TraceEvent("inner", "run", 2.0, 4.0),
+        TraceEvent("leaf", "run", 3.0, 1.0),
+    ]
+    lines = collapsed_stacks(_tracer(events))
+    assert lines == [
+        "run;outer 6000",           # 10 - 4 (inner) in ns
+        "run;outer;inner 3000",     # 4 - 1 (leaf)
+        "run;outer;inner;leaf 1000",
+    ]
+
+
+def test_siblings_merge_by_path():
+    events = [
+        TraceEvent("rep", "run", 0.0, 3.0),
+        TraceEvent("rep", "run", 5.0, 4.0),
+    ]
+    assert collapsed_stacks(_tracer(events)) == ["run;rep 7000"]
+
+
+def test_insertion_order_independent():
+    events = [
+        TraceEvent("outer", "run", 0.0, 10.0, category="span"),
+        TraceEvent("inner", "run", 2.0, 4.0),
+        TraceEvent("k", "gpu 0.0", 1.0, 2.0),
+    ]
+    forward = collapsed_stacks(_tracer(events))
+    backward = collapsed_stacks(_tracer(list(reversed(events))))
+    assert forward == backward
+
+
+def test_instants_and_zero_self_time_skipped():
+    events = [
+        TraceEvent("wrap", "run", 0.0, 5.0, category="span"),
+        TraceEvent("all", "run", 0.0, 5.0),  # consumes the whole parent
+        TraceEvent("fault", "run", 1.0, phase="i"),
+    ]
+    lines = collapsed_stacks(_tracer(events))
+    # wrap has zero self time and the instant is not a frame.
+    assert lines == ["run;wrap;all 5000"]
+
+
+def test_semicolons_scrubbed_from_frames():
+    events = [TraceEvent("a;b", "lane;1", 0.0, 1.0)]
+    assert collapsed_stacks(_tracer(events)) == ["lane,1;a,b 1000"]
+
+
+def test_export_body_newline_terminated():
+    assert export_collapsed(Tracer()) == ""
+    body = export_collapsed(
+        _tracer([TraceEvent("rep", "run", 0.0, 1.0)])
+    )
+    assert body == "run;rep 1000\n"
+
+
+def test_multiple_lanes_sort_lexically():
+    events = [
+        TraceEvent("k", "gpu 0.0", 0.0, 1.0),
+        TraceEvent("rep", "run", 0.0, 1.0),
+        TraceEvent("send", "rank 0", 0.0, 1.0),
+    ]
+    lines = collapsed_stacks(_tracer(events))
+    assert lines == sorted(lines)
+    assert len(lines) == 3

@@ -1,0 +1,100 @@
+"""iprof-style rendering of profile aggregates."""
+
+from repro.profiler.core import ApiProfiler, KernelSample
+from repro.profiler.report import format_bytes, format_time_us, render_profile
+
+
+def test_format_time_units():
+    assert format_time_us(2.5e6) == "2.50s"
+    assert format_time_us(1500.0) == "1.50ms"
+    assert format_time_us(12.34) == "12.34us"
+    assert format_time_us(0.98) == "980ns"
+
+
+def test_format_byte_units():
+    assert format_bytes(3 * 1024**3) == "3.00GB"
+    assert format_bytes(2 * 1024**2) == "2.00MB"
+    assert format_bytes(1536) == "1.50kB"
+    assert format_bytes(17) == "17B"
+
+
+def _profiler() -> ApiProfiler:
+    p = ApiProfiler()
+    p.record("zeInit", "ze")
+    p.record("zeCommandListAppendLaunchKernel", "ze", op="axpy")
+    p.record(
+        "zeCommandQueueExecuteCommandLists",
+        "ze",
+        device_us=2000.0,
+        op="axpy",
+    )
+    p.record(
+        "zeCommandListAppendMemoryCopy",
+        "ze",
+        device_us=100.0,
+        bytes_moved=4096.0,
+        op="memcpy[host->device]",
+    )
+    p.record("sycl::malloc_device", "sycl")
+    p.record("MPI_Barrier", "mpi")
+    p.kernel(
+        KernelSample(
+            name="axpy",
+            system="aurora",
+            n_stacks=1,
+            achieved_s=2.1e-3,
+            compute_s=2.0e-3,
+            memory_s=1.0e-3,
+            latency_s=0.0,
+            flops=1e9,
+            nbytes=1e6,
+            compute_rate=5e14,
+            mem_bw=1e12,
+        )
+    )
+    return p
+
+
+def test_render_sections_and_summary_line():
+    text = render_profile(_profiler(), title="axpy on aurora")
+    assert text.startswith("== axpy on aurora ")
+    for section in (
+        "BACKEND_ZE | Host profiling",
+        "BACKEND_SYCL | Host profiling",
+        "BACKEND_MPI | Host profiling",
+        "Device profiling",
+        "Explicit memory traffic",
+        "Kernel roofline attribution",
+    ):
+        assert section in text
+    # Every table carries the iprof column header and a Total row.
+    assert text.count("Time(%)") >= 4
+    assert text.count("Total") >= 5
+    assert "memcpy[host->device]" in text
+    assert "4.00kB" in text
+    assert "compute" in text
+    assert text.rstrip().endswith("]")  # ... [digest abcdef123456]
+    assert f"[digest {_profiler().digest()[:12]}]" in text
+    assert text.endswith("\n")
+
+
+def test_render_sorts_host_rows_by_total_descending():
+    text = render_profile(_profiler())
+    ze = text.split("BACKEND_ZE")[1].split("BACKEND_SYCL")[0]
+    rows = [name for name in
+            (line.split("|")[0].strip() for line in ze.splitlines()
+             if "|" in line and "Name" not in line and "Total" not in line)
+            if name]
+    # zeInit (120us) outranks execute (13us), append (9+7), sync.
+    assert rows[0] == "zeInit"
+
+
+def test_render_empty_profile():
+    text = render_profile(ApiProfiler())
+    assert "(no calls recorded)" in text
+    assert "(no kernels profiled)" in text
+    assert "0 API call(s)" in text
+
+
+def test_render_is_deterministic():
+    assert render_profile(_profiler()) == render_profile(_profiler())

@@ -1,0 +1,30 @@
+"""The profiler self-check wired into ``pvc-bench health``."""
+
+from repro.profiler.selfcheck import profiler_selfcheck
+
+
+def test_selfcheck_passes_end_to_end():
+    checks = profiler_selfcheck()
+    assert checks, "self-check produced no results"
+    failed = [c for c in checks if not c.passed]
+    assert not failed, [f"{c.name}: {c.detail}" for c in failed]
+
+
+def test_selfcheck_covers_the_contract():
+    names = {c.name for c in profiler_selfcheck()}
+    for expected in (
+        "profiler layers registered",
+        "ze interception points registered",
+        "sycl interception points registered",
+        "mpi interception points registered",
+        "stream clocks monotonic",
+        "kernel attribution joins the roofline",
+        "profile digest stable",
+    ):
+        assert expected in names, f"missing check {expected!r}"
+
+
+def test_selfcheck_is_deterministic():
+    first = [(c.name, c.passed, c.detail) for c in profiler_selfcheck()]
+    second = [(c.name, c.passed, c.detail) for c in profiler_selfcheck()]
+    assert first == second

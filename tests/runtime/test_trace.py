@@ -5,11 +5,10 @@ import json
 import pytest
 
 from repro.hw.systems import get_system
-from repro.runtime.trace import TraceEvent, Tracer  # compat re-exports
 from repro.sim.engine import PerfEngine
 from repro.sim.kernel import triad_kernel
 from repro.sim.noise import QUIET
-from repro.telemetry import Telemetry
+from repro.telemetry import Telemetry, TraceEvent, Tracer
 
 
 def _engine(telemetry: Telemetry) -> PerfEngine:
@@ -90,6 +89,23 @@ class TestTracer:
         doc = json.loads(tracer.export_json())
         tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
         assert tids == {1, 2}
+
+    def test_rank_and_queue_lanes_interleaved_sort_canonically(self):
+        # Ranks and queues registered in scrambled order must export in
+        # the canonical order: run, ranks numerically (rank 2 before
+        # rank 10, despite "rank 10" < "rank 2" lexically), queues by
+        # (card, stack), then the default group (faults).
+        from repro.hw.ids import StackRef
+
+        telemetry = Telemetry()
+        telemetry.gpu_lane(StackRef(1, 1))
+        telemetry.rank_lane(10)
+        telemetry.fault_lane()
+        telemetry.rank_lane(2)
+        telemetry.gpu_lane(StackRef(0, 0))
+        assert telemetry.tracer.lanes() == [
+            "run", "rank 2", "rank 10", "gpu 0.0", "gpu 1.1", "faults",
+        ]
 
     def test_span_nests_and_covers_children(self):
         tracer = Tracer()

@@ -111,6 +111,33 @@ class TestPrometheusExport:
         )
         assert 'b_count{a="2",z="1"} 1' in text  # labels sorted too
 
+    def test_export_sorts_labels_defensively(self):
+        # Byte-stability must hold even if a label set reaches the store
+        # unsorted (hand-built tuples, future refactors, PYTHONHASHSEED
+        # differences in whatever produced them): both exporters sort at
+        # export time, not just at construction.
+        sorted_reg, unsorted_reg = MetricsRegistry(), MetricsRegistry()
+        sorted_reg.counter("transfer.bytes")._values[
+            (("path", "xelink"), ("plane", "0"))
+        ] = 5.0
+        unsorted_reg.counter("transfer.bytes")._values[
+            (("plane", "0"), ("path", "xelink"))
+        ] = 5.0
+        assert 'transfer_bytes{path="xelink",plane="0"} 5' in (
+            unsorted_reg.to_prometheus()
+        )
+        assert sorted_reg.to_json() == unsorted_reg.to_json()
+
+    def test_snapshot_label_dicts_are_sorted(self):
+        reg = MetricsRegistry()
+        reg.inc("route.count", 1.0, hops="2", degraded="no")
+        reg.observe("rep.time_us", 9.0, benchmark="gemm", system="aurora")
+        doc = reg.snapshot()
+        counter_labels = doc["route.count"]["samples"][0]["labels"]
+        assert list(counter_labels) == sorted(counter_labels)
+        hist_labels = doc["rep.time_us"]["samples"][0]["labels"]
+        assert list(hist_labels) == sorted(hist_labels)
+
     def test_json_snapshot_round_trips(self):
         reg = MetricsRegistry()
         reg.inc("kernel.flops", 1e12, kernel="dgemm")
