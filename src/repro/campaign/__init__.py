@@ -8,32 +8,39 @@ benchmark units.  The subsystem has four layers:
   dependencies, and a content digest that pins what "the same campaign"
   means across processes;
 * :mod:`repro.campaign.journal` — the write-ahead journal: checksummed
-  JSONL records, written atomically, that survive crashes and detect
-  torn tails;
+  JSONL records with O(1) fsync'd appends, torn-tail detection, and
+  heal-on-append recovery;
 * :mod:`repro.campaign.store` — the integrity-verified result store:
   one JSON payload per completed unit, digest-bound to the journal;
-* :mod:`repro.campaign.orchestrator` — executes units in topological
+* :mod:`repro.campaign.scheduler` — the ``--jobs N`` multi-process DAG
+  scheduler: opportunistic execution across a worker pool, commits
+  strictly in topological order;
+* :mod:`repro.campaign.orchestrator` — commits units in topological
   order under a supervisor (per-unit simulated-time watchdog, campaign
   deadline, SIGINT/SIGTERM flush), journals every transition, and on
   ``resume`` re-executes only incomplete or corrupted units.
 
 Determinism contract: a campaign interrupted after any unit and then
-resumed produces byte-identical final tables and manifest to an
-uninterrupted run with the same seed and scenario.
+resumed — serially or with any ``--jobs N`` — produces byte-identical
+journal, store, final tables and manifest to an uninterrupted serial
+run with the same seed and scenario.
 """
 
 from .journal import Journal, JournalRecord
 from .orchestrator import Orchestrator
+from .scheduler import DagScheduler, resolve_jobs
 from .spec import SPEC_NAMES, CampaignSpec, CampaignUnit, get_spec
 from .store import ResultStore
 
 __all__ = [
     "CampaignSpec",
     "CampaignUnit",
+    "DagScheduler",
     "Journal",
     "JournalRecord",
     "Orchestrator",
     "ResultStore",
     "SPEC_NAMES",
     "get_spec",
+    "resolve_jobs",
 ]

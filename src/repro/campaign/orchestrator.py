@@ -45,9 +45,10 @@ from ..faults.scenarios import (
 from ..ioutils import atomic_write_text
 from ..telemetry.metrics import MetricsRegistry
 from .journal import Journal
+from .scheduler import DagScheduler, resolve_jobs
 from .spec import CampaignSpec, get_spec
 from .store import ResultStore
-from .units import execute_unit, failure_payload
+from .units import apply_watchdog, execute_unit, failure_payload
 
 __all__ = ["Orchestrator", "campaign_main"]
 
@@ -92,6 +93,7 @@ class Orchestrator:
         deadline_s: float | None = None,
         campaign_plan: CampaignFaultPlan | None = None,
         profile: bool = False,
+        jobs: int | None = None,
     ) -> None:
         self.directory = os.fspath(directory)
         self.spec = spec
@@ -101,6 +103,7 @@ class Orchestrator:
         self.deadline_s = deadline_s
         self.campaign_plan = campaign_plan
         self.profile = profile
+        self.jobs = resolve_jobs(jobs)
         self.store = ResultStore(os.path.join(self.directory, "store"))
         self._interrupted = False
         self._payloads: dict[str, dict] = {}
@@ -256,7 +259,47 @@ class Orchestrator:
             self._payloads[unit_id] = self.store.get(unit_id, digest)
         return self._payloads[unit_id]
 
+    def _pre_unit_exit(
+        self, journal: Journal, unit, simulated_total: float
+    ) -> ExitCode | None:
+        """The between-unit supervisor checks (shared serial/parallel)."""
+        if self._interrupted:
+            journal.append("interrupted", before=unit.id)
+            _log("interrupted; journal is resumable")
+            return ExitCode.INTERRUPTED
+        if self.deadline_s is not None and simulated_total >= self.deadline_s:
+            journal.append(
+                "deadline",
+                before=unit.id,
+                simulated_s=simulated_total,
+                deadline_s=self.deadline_s,
+            )
+            _log(
+                f"campaign deadline of {self.deadline_s:g}s "
+                f"(simulated) reached; resumable"
+            )
+            return ExitCode.INTERRUPTED
+        return None
+
+    def _injected_crash(self, journal: Journal, unit, idx: int) -> bool:
+        """Apply the campaign fault plan's crash point, if this is it."""
+        if (
+            self.campaign_plan is None
+            or self.campaign_plan.crash_after_unit != idx
+        ):
+            return False
+        # Simulated hard crash: no clean shutdown record.
+        if self.campaign_plan.truncate_journal:
+            journal.truncate_tail()
+        _log(
+            f"injected crash after unit {unit.id} "
+            f"({self.campaign_plan.scenario}); resumable"
+        )
+        return True
+
     def _execute(self, journal: Journal, completed: dict[str, str]) -> ExitCode:
+        if self.jobs > 1:
+            return self._execute_parallel(journal, completed)
         order = self.spec.execution_order()
         simulated_total = sum(
             self._payload(uid, digest).get("simulated_s", 0.0)
@@ -266,25 +309,9 @@ class Orchestrator:
             for idx, unit in enumerate(order):
                 if unit.id in completed:
                     continue
-                if self._interrupted:
-                    journal.append("interrupted", before=unit.id)
-                    _log("interrupted; journal is resumable")
-                    return ExitCode.INTERRUPTED
-                if (
-                    self.deadline_s is not None
-                    and simulated_total >= self.deadline_s
-                ):
-                    journal.append(
-                        "deadline",
-                        before=unit.id,
-                        simulated_s=simulated_total,
-                        deadline_s=self.deadline_s,
-                    )
-                    _log(
-                        f"campaign deadline of {self.deadline_s:g}s "
-                        f"(simulated) reached; resumable"
-                    )
-                    return ExitCode.INTERRUPTED
+                early = self._pre_unit_exit(journal, unit, simulated_total)
+                if early is not None:
+                    return early
                 journal.append("unit-start", unit=unit.id)
                 try:
                     deps = {d: self._payload(d) for d in unit.deps}
@@ -309,17 +336,7 @@ class Orchestrator:
                     self._payloads[unit.id] = payload
                     _log(f"{unit.id}: FAILED ({payload['error']})")
                     continue
-                watchdog = None
-                if (
-                    self.unit_timeout_s is not None
-                    and payload["simulated_s"] > self.unit_timeout_s
-                ):
-                    watchdog = (
-                        f"unit exceeded the {self.unit_timeout_s:g}s simulated "
-                        f"watchdog ({payload['simulated_s']:.3g}s)"
-                    )
-                    payload["status"] = CellStatus.FAILED.name
-                    payload["watchdog"] = watchdog
+                watchdog = apply_watchdog(payload, self.unit_timeout_s)
                 digest = self.store.put(unit.id, payload)
                 extra = {"watchdog": watchdog} if watchdog else {}
                 journal.append(
@@ -334,18 +351,93 @@ class Orchestrator:
                 self._payloads[unit.id] = payload
                 simulated_total += payload["simulated_s"]
                 _log(f"{unit.id}: {payload['status']}")
-                if (
-                    self.campaign_plan is not None
-                    and self.campaign_plan.crash_after_unit == idx
-                ):
-                    # Simulated hard crash: no clean shutdown record.
-                    if self.campaign_plan.truncate_journal:
-                        journal.truncate_tail()
-                    _log(
-                        f"injected crash after unit {unit.id} "
-                        f"({self.campaign_plan.scenario}); resumable"
-                    )
+                if self._injected_crash(journal, unit, idx):
                     return ExitCode.INTERRUPTED
+        return self._finalize(journal, completed)
+
+    def _execute_parallel(
+        self, journal: Journal, completed: dict[str, str]
+    ) -> ExitCode:
+        """Commit loop for ``--jobs N``: same journal bytes, N workers.
+
+        The scheduler executes units opportunistically but yields their
+        outcomes in topological order, so this loop journals and stores
+        the exact record sequence the serial loop would.  The only
+        divergence is the moment of execution: ``unit-start`` is
+        journalled at *commit* time (the work may already have
+        happened), so an interrupt always lands *between* committed
+        units (``before=``) rather than inside one (``during=``) —
+        either way the journal is a serial-run prefix and resume
+        behaves identically.
+        """
+        order = self.spec.execution_order()
+        simulated_total = sum(
+            self._payload(uid, digest).get("simulated_s", 0.0)
+            for uid, digest in completed.items()
+        )
+        scheduler = DagScheduler(
+            self.spec,
+            scenario=self.scenario,
+            seed=self.seed,
+            profile=self.profile,
+            jobs=self.jobs,
+            unit_timeout_s=self.unit_timeout_s,
+            preloaded={uid: self._payload(uid) for uid in completed},
+        )
+        _log(
+            f"parallel execution: {len(scheduler.pending)} unit(s) across "
+            f"{min(self.jobs, len(scheduler.pending))} worker(s), "
+            f"{len(self.spec.waves())} wave(s)"
+        )
+        stream = scheduler.outcomes()
+        try:
+            with self._supervised():
+                for idx, unit in enumerate(order):
+                    if unit.id in completed:
+                        continue
+                    early = self._pre_unit_exit(journal, unit, simulated_total)
+                    if early is not None:
+                        return early
+                    try:
+                        outcome = next(stream)
+                    except KeyboardInterrupt:
+                        journal.append("interrupted", before=unit.id)
+                        _log("interrupted; journal is resumable")
+                        return ExitCode.INTERRUPTED
+                    payload = outcome.payload
+                    journal.append("unit-start", unit=unit.id)
+                    digest = self.store.put(unit.id, payload)
+                    if outcome.error is not None:
+                        journal.append(
+                            "unit-failed",
+                            unit=unit.id,
+                            digest=digest,
+                            status=payload["status"],
+                            error=payload["error"],
+                        )
+                        _log(f"{unit.id}: FAILED ({payload['error']})")
+                    else:
+                        extra = (
+                            {"watchdog": outcome.watchdog}
+                            if outcome.watchdog
+                            else {}
+                        )
+                        journal.append(
+                            "unit-done",
+                            unit=unit.id,
+                            status=payload["status"],
+                            digest=digest,
+                            simulated_s=payload["simulated_s"],
+                            **extra,
+                        )
+                        simulated_total += payload["simulated_s"]
+                        _log(f"{unit.id}: {payload['status']}")
+                    completed[unit.id] = digest
+                    self._payloads[unit.id] = payload
+                    if self._injected_crash(journal, unit, idx):
+                        return ExitCode.INTERRUPTED
+        finally:
+            stream.close()
         return self._finalize(journal, completed)
 
     # ------------------------------------------------------------------
@@ -531,12 +623,14 @@ def campaign_main(args) -> int:
             deadline_s=args.deadline,
             campaign_plan=plan,
             profile=getattr(args, "profile", False),
+            jobs=getattr(args, "jobs", None),
         )
         return int(orch.run())
     orch = Orchestrator(
         args.dir,
         unit_timeout_s=args.unit_timeout,
         deadline_s=args.deadline,
+        jobs=getattr(args, "jobs", None),
     )
     if action == "resume":
         return int(orch.resume())

@@ -1,0 +1,225 @@
+"""Multi-process DAG scheduler for campaign units.
+
+The campaign spec is a DAG whose measuring units are mutually
+independent (a table cell on ``aurora`` never reads a cell from
+``dawn``), so the orchestrator can fan them out to a pool of worker
+processes.  Determinism — the whole point of the campaign subsystem —
+is preserved by splitting *execution order* from *commit order*:
+
+* **Execution order** is opportunistic: a unit is submitted to the pool
+  the moment every dependency payload is available, and workers finish
+  in whatever order the host schedules them.
+* **Commit order** is the spec's topological order: the scheduler
+  buffers out-of-order completions and yields
+  :class:`UnitOutcome`\\ s strictly in ``spec.execution_order()``
+  sequence, so the orchestrator journals, stores, and logs exactly the
+  byte sequence a serial run would produce.  A crash at any commit
+  point therefore leaves the journal a *prefix* of the serial journal,
+  which is what makes ``campaign resume`` indifferent to how the
+  interrupted run was parallelised.
+
+Units execute in the worker exactly as they do in-process: a fresh
+:class:`~repro.faults.ExecutionContext` and telemetry session per unit,
+fault plans and noise that are pure functions of ``(scenario, seed,
+system)``.  Per-unit payloads are merged by the orchestrator with the
+same content-sorted rules the profiler uses, so N workers produce the
+same aggregate metrics as one.
+
+Workers are forked before any queue traffic starts (so the parent is
+still effectively single-threaded) and communicate over two
+``multiprocessing`` queues; results cross the pipe as plain dicts and
+pre-formatted error strings — exceptions never need to pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+from dataclasses import dataclass
+
+from ..errors import CampaignError, ReproError
+from .spec import CampaignSpec
+from .units import apply_watchdog, execute_unit, failure_payload, format_error
+
+__all__ = ["JOBS_ENV", "DagScheduler", "UnitOutcome", "resolve_jobs"]
+
+#: Environment fallback for ``--jobs`` (CLI flag wins when given).
+JOBS_ENV = "CAMPAIGN_JOBS"
+
+#: How often the result wait loop checks worker liveness (seconds).
+_POLL_S = 1.0
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """The worker count from ``--jobs``, ``$CAMPAIGN_JOBS``, or 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise CampaignError(
+                f"${JOBS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise CampaignError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True, slots=True)
+class UnitOutcome:
+    """One unit's result, ready to commit in topological order."""
+
+    unit: object  # CampaignUnit
+    payload: dict
+    error: str | None = None  # set -> journal as unit-failed
+    watchdog: str | None = None  # set -> demoted by the simulated watchdog
+
+
+def _worker_loop(task_q, result_q, scenario, seed, profile) -> None:
+    """Worker process body: execute units until the ``None`` sentinel.
+
+    Results are ``(unit_id, status, data)`` tuples where *status* is
+    ``"ok"`` (data = payload dict), ``"failed"`` (data = formatted
+    :class:`ReproError`, journalled as unit-failed) or ``"crashed"``
+    (data = formatted unexpected exception, fatal to the campaign —
+    exactly as it would be in-process).
+    """
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        unit, deps = task
+        try:
+            payload = execute_unit(unit, scenario, seed, deps, profile)
+        except KeyboardInterrupt:  # pragma: no cover - signal timing
+            return
+        except ReproError as exc:
+            result_q.put((unit.id, "failed", format_error(exc)))
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            result_q.put((unit.id, "crashed", format_error(exc)))
+        else:
+            result_q.put((unit.id, "ok", payload))
+
+
+class DagScheduler:
+    """Fans ready units to a worker pool; yields outcomes in topo order."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        scenario: str | None,
+        seed: int,
+        profile: bool,
+        jobs: int,
+        unit_timeout_s: float | None = None,
+        preloaded: dict[str, dict] | None = None,
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario
+        self.seed = seed
+        self.profile = profile
+        self.jobs = jobs
+        self.unit_timeout_s = unit_timeout_s
+        self.preloaded = dict(preloaded or {})
+        self.pending = tuple(
+            u for u in spec.execution_order() if u.id not in self.preloaded
+        )
+
+    # ------------------------------------------------------------------
+
+    def outcomes(self):
+        """Generator of :class:`UnitOutcome` in topological order.
+
+        Closing the generator (or letting an exception escape) tears
+        the pool down; workers are daemonic, so even an unclean parent
+        exit cannot leak them.
+        """
+        if not self.pending:
+            return
+        payloads = dict(self.preloaded)
+        ctx = multiprocessing.get_context("fork")
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(task_q, result_q, self.scenario, self.seed, self.profile),
+                daemon=True,
+                name=f"campaign-worker-{i}",
+            )
+            for i in range(min(self.jobs, len(self.pending)))
+        ]
+        for proc in procs:
+            proc.start()
+        submitted: set[str] = set()
+        ready: dict[str, UnitOutcome] = {}
+
+        def submit_ready() -> None:
+            for unit in self.pending:
+                if unit.id in submitted:
+                    continue
+                if all(d in payloads for d in unit.deps):
+                    task_q.put((unit, {d: payloads[d] for d in unit.deps}))
+                    submitted.add(unit.id)
+
+        try:
+            submit_ready()
+            for unit in self.pending:
+                while unit.id not in ready:
+                    uid, status, data = self._next_result(result_q, procs)
+                    done = self.spec.unit(uid)
+                    if status == "ok":
+                        note = apply_watchdog(data, self.unit_timeout_s)
+                        outcome = UnitOutcome(done, data, watchdog=note)
+                    elif status == "failed":
+                        outcome = UnitOutcome(
+                            done, failure_payload(done, data), error=data
+                        )
+                    else:
+                        raise CampaignError(
+                            f"unit {uid!r} crashed in a worker: {data}"
+                        )
+                    ready[uid] = outcome
+                    payloads[uid] = outcome.payload
+                    submit_ready()
+                yield ready.pop(unit.id)
+        finally:
+            self._shutdown(task_q, result_q, procs)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _next_result(result_q, procs):
+        """Block for the next worker result, detecting dead workers."""
+        while True:
+            try:
+                return result_q.get(timeout=_POLL_S)
+            except queue.Empty:
+                dead = [p for p in procs if not p.is_alive()]
+                if dead and result_q.empty():
+                    raise CampaignError(
+                        f"campaign worker {dead[0].name} died "
+                        f"(exit code {dead[0].exitcode}); "
+                        "resume the campaign to re-run its units"
+                    ) from None
+
+    @staticmethod
+    def _shutdown(task_q, result_q, procs) -> None:
+        for _ in procs:
+            try:
+                task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                break
+        for proc in procs:
+            proc.join(timeout=2.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for q in (task_q, result_q):
+            q.close()
+            q.cancel_join_thread()

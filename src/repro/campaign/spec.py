@@ -104,6 +104,25 @@ class CampaignSpec:
         """Topological execution order (the declaration order)."""
         return self.units
 
+    def waves(self) -> tuple[tuple[CampaignUnit, ...], ...]:
+        """Topological partition into waves of independent units.
+
+        Wave *k* holds every unit whose longest dependency chain has
+        length *k*; all units within a wave may execute concurrently.
+        The partition bounds the campaign's critical path (number of
+        waves) and its maximum useful parallelism (widest wave).
+        """
+        depth: dict[str, int] = {}
+        for unit in self.units:
+            depth[unit.id] = 1 + max(
+                (depth[d] for d in unit.deps), default=-1
+            )
+        n_waves = 1 + max(depth.values(), default=-1)
+        waves: list[list[CampaignUnit]] = [[] for _ in range(n_waves)]
+        for unit in self.units:
+            waves[depth[unit.id]].append(unit)
+        return tuple(tuple(w) for w in waves)
+
     def systems(self) -> list[str]:
         """Every system any measuring unit touches, sorted."""
         return sorted({u.system for u in self.units if u.system is not None})

@@ -25,7 +25,9 @@ from ..telemetry import Telemetry
 
 __all__ = [
     "UNIT_SCHEMA",
+    "apply_watchdog",
     "execute_unit",
+    "format_error",
     "serialize_table",
     "merge_tables",
     "failure_payload",
@@ -107,16 +109,47 @@ def _payload(unit, status: CellStatus, **fields) -> dict:
     }
 
 
-def failure_payload(unit, error: BaseException) -> dict:
+def format_error(error: BaseException | str) -> str:
+    """The canonical one-line form an execution error takes in payloads.
+
+    Accepting a pre-formatted string lets worker processes ship the
+    error across a pipe (exceptions don't pickle reliably) while the
+    stored payload stays byte-identical to the in-process path.
+    """
+    if isinstance(error, BaseException):
+        return f"{type(error).__name__}: {error}"
+    return str(error)
+
+
+def failure_payload(unit, error: BaseException | str) -> dict:
     """The stored record of a unit that could not produce a result."""
     return _payload(
         unit,
         CellStatus.FAILED,
-        error=f"{type(error).__name__}: {error}",
+        error=format_error(error),
         simulated_s=0.0,
         metrics={},
         incidents=[],
     )
+
+
+def apply_watchdog(payload: dict, unit_timeout_s: float | None) -> str | None:
+    """Demote an over-budget payload to FAILED; returns the note, if any.
+
+    Shared by the serial loop and the parallel scheduler so the
+    demotion happens exactly once and — crucially — *before* the
+    payload propagates to dependent units, keeping serial and parallel
+    runs byte-identical.
+    """
+    if unit_timeout_s is None or payload["simulated_s"] <= unit_timeout_s:
+        return None
+    note = (
+        f"unit exceeded the {unit_timeout_s:g}s simulated "
+        f"watchdog ({payload['simulated_s']:.3g}s)"
+    )
+    payload["status"] = CellStatus.FAILED.name
+    payload["watchdog"] = note
+    return note
 
 
 def _execute_table(

@@ -28,6 +28,7 @@ Profiling (iprof-style API summaries, roofline attribution, baselines)::
     pvc-bench profile gemm --system aurora         # iprof-style tables
     pvc-bench profile smoke --write-baseline BENCH_0.json
     pvc-bench profile smoke --baseline BENCH_0.json   # regression gate
+    pvc-bench profile full --baseline BENCH_1.json    # + campaign/sim-cache
     pvc-bench profile triad --flamegraph out.collapsed
     pvc-bench table2 --profile --manifest run.json # profile digest rider
 
@@ -106,11 +107,20 @@ def _cmd_profile(args) -> int:
         load_baseline,
         write_baseline,
     )
-    from .profiler.driver import profile_bench, profile_smoke_set
+    from .profiler.driver import (
+        profile_bench,
+        profile_campaign_set,
+        profile_smoke_set,
+    )
     from .profiler.flamegraph import collapsed_stacks
 
-    if args.bench == "smoke":
+    campaign_entries: list[dict] = []
+    if args.bench in ("smoke", "full"):
         runs = profile_smoke_set(scenario=args.inject, seed=args.seed)
+        if args.bench == "full":
+            # The campaign benchmark matrix: wall-clock at jobs 1 and 4
+            # plus the sim memo cache's hit rate (a gated field).
+            campaign_entries = profile_campaign_set()
     else:
         runs = [
             profile_bench(
@@ -145,7 +155,16 @@ def _cmd_profile(args) -> int:
             args.out, json.dumps(doc, indent=2, sort_keys=True) + "\n"
         )
         print(f"profile written to {args.out}", file=sys.stderr)
-    snapshot = build_snapshot([run.entry() for run in runs])
+    for entry in campaign_entries:
+        rate = entry["sim_cache_hit_rate"]
+        print(
+            f"{entry['bench']}@{entry['system']}: {entry['units']} unit(s) "
+            f"in {entry['wall_s']:.2f}s wall, sim-cache hit rate "
+            f"{rate:.1%}"
+        )
+    snapshot = build_snapshot(
+        [run.entry() for run in runs] + campaign_entries
+    )
     if args.write_baseline:
         write_baseline(args.write_baseline, snapshot)
         print(f"baseline written to {args.write_baseline}", file=sys.stderr)
@@ -360,8 +379,9 @@ def main(argv: list[str] | None = None) -> int:
         default="gemm",
         help="benchmark for trace/metrics/profile "
         f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm; profile also "
-        "accepts 'smoke') or the campaign action (run, resume, status, "
-        "verify)",
+        "accepts 'smoke' and 'full', where 'full' adds the campaign "
+        "wall-clock/sim-cache benchmark matrix) or the campaign action "
+        "(run, resume, status, verify)",
     )
     parser.add_argument(
         "--inject",
@@ -421,6 +441,15 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="campaign deadline on the simulated clock: scheduling stops "
         "once exceeded and the run exits resumable (code 3)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="campaign run/resume: execute independent units on N worker "
+        "processes (artifacts stay byte-identical to a serial run); "
+        "defaults to $CAMPAIGN_JOBS, else 1 (serial)",
     )
     parser.add_argument(
         "--profile",

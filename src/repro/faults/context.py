@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 from ..core.result import CellStatus
 from ..hw.systems import System, get_system
 from ..sim.engine import PerfEngine
+from ..sim.memo import MemoCache
 from ..errors import ScenarioError
 from .injectors import FaultInjector
 from .scenarios import SCENARIO_NAMES, build_plan
@@ -54,6 +55,12 @@ class ExecutionContext:
         self._engines: dict[str, PerfEngine] = {}
         self._injectors: dict[str, FaultInjector] = {}
         self._worst = CellStatus.OK
+        # One model-evaluation memo cache per context, shared by every
+        # engine the context builds.  Context scope (not process scope)
+        # keeps a campaign unit's simcache.hit/miss counters a pure
+        # function of the unit, so serial and parallel campaign runs
+        # stay byte-identical.
+        self.memo = MemoCache()
 
     @property
     def active(self) -> bool:
@@ -79,7 +86,10 @@ class ExecutionContext:
                 )
                 self._injectors[sys_name] = injector
             self._engines[sys_name] = PerfEngine(
-                system, faults=injector, telemetry=self.telemetry
+                system,
+                faults=injector,
+                telemetry=self.telemetry,
+                memo=self.memo,
             )
         return self._engines[sys_name]
 

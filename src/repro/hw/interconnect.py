@@ -115,9 +115,22 @@ class Fabric:
         # filtered out (or scaled) by the routing/bandwidth queries.
         self._down_stacks: set[StackRef] = set()
         self._link_health: dict[frozenset, float] = {}
+        # Route memoization.  Enumerating minimum-hop routes walks the
+        # networkx graph (shortest_path_length + all_simple_paths) — the
+        # dominant cost of P2P sweeps — yet the answer only changes when
+        # the topology or the health overlay does, so every mutator
+        # bumps ``_route_generation`` and drops the caches.
+        self._route_generation = 0
+        self._route_cache: dict[tuple, list[Route]] = {}
+        self._hops_cache: dict[tuple, int] = {}
         # Optional telemetry hook: called as fn(src, dst, route) on every
         # routing decision.  Must not call route() back (re-entrancy).
         self._observer = None
+
+    def _invalidate_routes(self) -> None:
+        self._route_generation += 1
+        self._route_cache.clear()
+        self._hops_cache.clear()
 
     def set_observer(self, fn) -> None:
         """Install (or clear, with None) the routing-decision observer."""
@@ -135,6 +148,7 @@ class Fabric:
         if a not in self._g or b not in self._g:
             raise TopologyError(f"unknown endpoint in {a} -- {b}")
         self._g.add_edge(a, b, link=link)
+        self._invalidate_routes()
 
     def set_planes(self, planes: Sequence[Iterable[StackRef]]) -> None:
         self._planes = tuple(frozenset(p) for p in planes)
@@ -146,9 +160,11 @@ class Fabric:
         if ref not in self._g:
             raise TopologyError(f"unknown stack {ref}")
         self._down_stacks.add(ref)
+        self._invalidate_routes()
 
     def revive_stack(self, ref: StackRef) -> None:
         self._down_stacks.discard(ref)
+        self._invalidate_routes()
 
     def is_down(self, ref) -> bool:
         return ref in self._down_stacks
@@ -160,6 +176,7 @@ class Fabric:
         if not (0.0 <= factor <= 1.0):
             raise TopologyError(f"bad link health {factor}")
         self._link_health[frozenset((a, b))] = factor
+        self._invalidate_routes()
 
     def set_plane_health(self, plane_index: int, factor: float) -> None:
         """Degrade (or kill, factor=0) every Xe-Link edge inside a plane."""
@@ -178,6 +195,7 @@ class Fabric:
     def reset_health(self) -> None:
         self._down_stacks.clear()
         self._link_health.clear()
+        self._invalidate_routes()
 
     @property
     def has_degradation(self) -> bool:
@@ -258,6 +276,9 @@ class Fabric:
         """
         if src == dst:
             raise TopologyError("src == dst")
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return list(cached)
         nodes = self._g.nodes
         if isinstance(src, StackRef) and isinstance(dst, StackRef):
             nodes = [n for n in self._g.nodes if isinstance(n, StackRef)]
@@ -274,7 +295,8 @@ class Fabric:
         routes.sort(key=lambda r: (r.n_hops, r.describe()))
         if not routes:  # pragma: no cover
             raise TopologyError(f"no route {src} -> {dst}")
-        return routes
+        self._route_cache[(src, dst)] = routes
+        return list(routes)
 
     def route(self, src, dst) -> Route:
         """A deterministic best (minimum-hop, lexicographically first) route."""
@@ -289,13 +311,18 @@ class Fabric:
         The degraded-routing model compares the current route against this
         baseline: extra hops forced by dead links cost relay efficiency.
         """
+        cached = self._hops_cache.get((src, dst))
+        if cached is not None:
+            return cached
         nodes = self._g.nodes
         if isinstance(src, StackRef) and isinstance(dst, StackRef):
             nodes = [n for n in self._g.nodes if isinstance(n, StackRef)]
         try:
-            return nx.shortest_path_length(self._g.subgraph(nodes), src, dst)
+            hops = nx.shortest_path_length(self._g.subgraph(nodes), src, dst)
         except (nx.NetworkXNoPath, nx.NodeNotFound):
             raise TopologyError(f"no route {src} -> {dst}") from None
+        self._hops_cache[(src, dst)] = hops
+        return hops
 
     def is_route_degraded(self, src, dst) -> bool:
         """True when the best live route is longer than the healthy route

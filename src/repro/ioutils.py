@@ -21,6 +21,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "canonical_json",
+    "fsync_append_text",
     "sha256_text",
     "sha256_file",
 ]
@@ -45,6 +46,29 @@ def atomic_write_text(path: str | os.PathLike, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def fsync_append_text(path: str | os.PathLike, text: str) -> int:
+    """Append *text* to *path* with an fsync; returns the bytes written.
+
+    Unlike :func:`atomic_write_text` this is O(len(text)), not O(file):
+    the write lands at the end of the existing content and only the new
+    bytes hit the disk.  A crash mid-append can leave a *torn tail* — a
+    partial last line — which is why every appended record must carry
+    its own checksum and readers must tolerate (and quarantine) a
+    trailing record that fails it.  The containing directory is not
+    fsynced: the file itself already exists, so no directory entry
+    changes.
+    """
+    path = os.fspath(path)
+    data = text.encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return len(data)
 
 
 def canonical_json(doc: object) -> str:

@@ -6,7 +6,15 @@ re-runs the same set, joins by key, and issues a tolerance-based verdict
 for the fields that gate regressions:
 
 * ``fom`` — higher is better (GFLOP/s, GB/s);
-* ``device_us`` — lower is better (aggregate device time).
+* ``device_us`` — lower is better (aggregate device time);
+* ``sim_cache_hit_rate`` — higher is better (campaign entries only: the
+  model-evaluation memo cache going cold is a perf bug even when every
+  test still passes).
+
+Ungated fields (``wall_s``, call counts, ...) ride along for the
+record; wall-clock in particular is machine-dependent and must never
+gate.  Entries lacking a gated field simply skip it, which is what
+keeps older baselines (BENCH_0) comparable after new fields appear.
 
 A relative drift beyond the tolerance in the *bad* direction is a
 regression (exit code 1, ``ExitCode.MEASUREMENT``); drift in the good
@@ -44,6 +52,7 @@ DEFAULT_TOLERANCE = 0.05
 _GATED_FIELDS = {
     "fom": "higher",
     "device_us": "lower",
+    "sim_cache_hit_rate": "higher",
 }
 
 

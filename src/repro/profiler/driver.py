@@ -20,10 +20,13 @@ from ..telemetry import Telemetry
 from .core import ApiProfiler
 
 __all__ = [
+    "CAMPAIGN_BENCH_MATRIX",
     "PROFILE_BENCHES",
     "SMOKE_SYSTEMS",
     "ProfiledRun",
+    "bench_campaign",
     "profile_bench",
+    "profile_campaign_set",
     "profile_smoke_set",
     "run_bench",
 ]
@@ -195,3 +198,73 @@ def profile_smoke_set(
         for system in SMOKE_SYSTEMS
         for bench in PROFILE_BENCHES
     ]
+
+
+#: The (spec, jobs) grid ``pvc-bench profile full`` benchmarks.  The
+#: smoke spec exercises the scheduler cheaply at both ends; the paper
+#: spec is the run whose roofline evaluations give the sim memo cache a
+#: meaningful hit rate.
+CAMPAIGN_BENCH_MATRIX = (
+    ("smoke", 1),
+    ("smoke", 4),
+    ("paper", 1),
+    ("paper", 4),
+)
+
+
+def bench_campaign(spec: str = "smoke", jobs: int = 1) -> dict:
+    """One campaign benchmark entry: wall-clock + sim-cache counters.
+
+    Runs the named spec in a throwaway directory and distils the
+    baseline entry from its manifest.  ``wall_s`` is informational —
+    wall-clock depends on the machine, so it is *not* a gated baseline
+    field — while ``sim_cache_hit_rate`` is a pure function of the spec
+    and the model code, and gates regressions (a cache that stops
+    hitting is a perf bug even when tests still pass).
+    """
+    import contextlib
+    import io
+    import json
+    import shutil
+    import tempfile
+    import time
+
+    from ..campaign.orchestrator import Orchestrator
+    from ..campaign.spec import get_spec
+
+    workdir = tempfile.mkdtemp(prefix="pvc-bench-campaign-")
+    try:
+        orch = Orchestrator(workdir, spec=get_spec(spec), jobs=jobs)
+        quiet = io.StringIO()
+        start = time.perf_counter()
+        with contextlib.redirect_stderr(quiet):
+            code = orch.run()
+        wall_s = time.perf_counter() - start
+        with open(orch.manifest_path, encoding="utf-8") as fh:
+            manifest = json.load(fh)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    metrics = manifest["campaign"]["metrics"]
+
+    def total(name: str) -> float:
+        return sum(
+            s["value"] for s in metrics.get(name, {}).get("samples", [])
+        )
+
+    hits, misses = total("simcache.hit"), total("simcache.miss")
+    evals = hits + misses
+    return {
+        "bench": f"campaign-{spec}",
+        "system": f"jobs{jobs}",
+        "exit": int(code),
+        "units": len(manifest["campaign"]["units"]),
+        "wall_s": wall_s,
+        "sim_cache_hits": hits,
+        "sim_cache_misses": misses,
+        "sim_cache_hit_rate": hits / evals if evals else 0.0,
+    }
+
+
+def profile_campaign_set() -> list[dict]:
+    """Baseline entries for the campaign benchmark matrix."""
+    return [bench_campaign(spec, jobs) for spec, jobs in CAMPAIGN_BENCH_MATRIX]

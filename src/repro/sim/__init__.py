@@ -10,6 +10,7 @@ from .calibration import (
 )
 from .contention import aggregate_rate, proportional_share, shared_throughput
 from .engine import PerfEngine
+from .memo import MemoCache, content_digest, kernel_signature
 from .kernel import (
     GEMM_N,
     TRIAD_ARRAY_BYTES,
@@ -36,6 +37,9 @@ __all__ = [
     "proportional_share",
     "shared_throughput",
     "PerfEngine",
+    "MemoCache",
+    "content_digest",
+    "kernel_signature",
     "GEMM_N",
     "TRIAD_ARRAY_BYTES",
     "KernelSpec",

@@ -138,6 +138,17 @@ class SystemCalibration:
             return self.scaling[family]
         return self.scaling.get("default", PERFECT)
 
+    def digest(self) -> str:
+        """Content digest of the full calibration table.
+
+        Part of the memoization key for model evaluations
+        (:mod:`repro.sim.memo`): editing any calibration constant
+        changes the digest and invalidates every cached point.
+        """
+        from .memo import content_digest
+
+        return content_digest(self)
+
     def require_gemm(self, precision: Precision) -> float:
         try:
             return self.gemm_efficiency[precision]

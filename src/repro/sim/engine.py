@@ -27,6 +27,7 @@ from ..hw.ids import StackRef
 from ..hw.systems import System
 from .calibration import SystemCalibration, get_calibration
 from .kernel import KernelSpec
+from .memo import MemoCache, content_digest
 from .noise import NoiseModel, QUIET
 from .roofline import RooflinePoint, kernel_time
 from .transfer import TransferModel
@@ -54,11 +55,14 @@ class PerfEngine:
         enable_planes: bool = True,
         faults: "FaultInjector | None" = None,
         telemetry: "Telemetry | None" = None,
+        memo: MemoCache | None = None,
     ) -> None:
         self.system = system
         self.node = system.node
         self.device = system.device
         self.cal: SystemCalibration = get_calibration(system.calibration_key)
+        self.memo = memo if memo is not None else MemoCache()
+        self._identity: str | None = None
         self.noise = noise if noise is not None else NoiseModel(
             amplitude=self.cal.noise_amplitude
         )
@@ -214,8 +218,22 @@ class PerfEngine:
             return self.gemm_rate(precision, n_stacks)
         return self.fma_rate(precision, n_stacks)
 
-    def roofline(self, spec: KernelSpec, n_stacks: int = 1) -> RooflinePoint:
-        """Roofline decomposition of *spec* on *n_stacks* stacks."""
+    def identity_digest(self) -> str:
+        """Content digest of everything the roofline depends on: the
+        system, the calibration table, and the ablation switches.
+        Computed once per engine; the memoization key component that
+        lets equal-content engines share cache entries safely."""
+        if self._identity is None:
+            self._identity = content_digest(
+                {
+                    "system": self.system.name,
+                    "calibration": self.cal.digest(),
+                    "enable_tdp": self.enable_tdp,
+                }
+            )
+        return self._identity
+
+    def _roofline_eval(self, spec: KernelSpec, n_stacks: int) -> RooflinePoint:
         rate = self._compute_rate_for(spec, n_stacks)
         bw = self.stream_bw(n_stacks)
         chase = (
@@ -224,6 +242,32 @@ class PerfEngine:
             else 0.0
         )
         return kernel_time(spec, rate, bw, chase)
+
+    def roofline(self, spec: KernelSpec, n_stacks: int = 1) -> RooflinePoint:
+        """Roofline decomposition of *spec* on *n_stacks* stacks.
+
+        Clean (fault-free) evaluations are memoized by content —
+        ``(engine identity, kernel signature, n_stacks)`` — because the
+        decomposition is a pure function of those three.  A
+        fault-injected engine bypasses the cache: injector state (clock
+        excursions, lost stacks, notes emitted while clipping scope)
+        legitimately changes the answer between calls.
+        """
+        if self.faults is not None:
+            if self.telemetry is not None:
+                self.telemetry.metrics.inc("simcache.bypass")
+            return self._roofline_eval(spec, n_stacks)
+        key = (self.identity_digest(), spec.signature(), n_stacks)
+        point = self.memo.get(key)
+        hit = point is not None
+        if not hit:
+            point = self._roofline_eval(spec, n_stacks)
+            self.memo.put(key, point)
+        if self.telemetry is not None:
+            self.telemetry.metrics.inc(
+                "simcache.hit" if hit else "simcache.miss"
+            )
+        return point
 
     def kernel_time_s(
         self,
@@ -350,7 +394,11 @@ class PerfEngine:
     # ------------------------------------------------------------------
 
     def quiet(self) -> "PerfEngine":
-        """A copy of this engine with the noise model disabled."""
+        """A copy of this engine with the noise model disabled.
+
+        Shares the memo cache: noise applies after the roofline, so the
+        quiet copy's evaluations are content-identical.
+        """
         return PerfEngine(
             self.system,
             noise=QUIET,
@@ -359,6 +407,7 @@ class PerfEngine:
             enable_planes=self.transfers.enable_planes,
             faults=self.faults,
             telemetry=self.telemetry,
+            memo=self.memo,
         )
 
     def all_stacks(self) -> Sequence[StackRef]:

@@ -86,6 +86,12 @@ class KernelSpec:
     def total_bytes(self) -> float:
         return self.bytes_read + self.bytes_written
 
+    def signature(self) -> str:
+        """Content digest of the workload (memoization key component)."""
+        from .memo import kernel_signature
+
+        return kernel_signature(self)
+
     @property
     def arithmetic_intensity(self) -> float:
         """Flops per DRAM byte (infinity for pure-compute kernels)."""

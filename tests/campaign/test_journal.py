@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.campaign.journal import Journal, JournalRecord
+import repro.campaign.journal as journal_mod
+from repro.campaign.journal import WRITE_VERSION, Journal, JournalRecord
 from repro.errors import CampaignCorruptError
 
 
@@ -107,3 +108,137 @@ class TestCorruptTail:
             "unit-done",
             "resume",
         ]
+
+    def test_record_missing_trailing_newline_is_torn(self, path):
+        """A record that parses and checksums but lost its newline is a
+        torn append: trusting it would corrupt the next write."""
+        self._journal_with_three(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        path.write_text(text[:-1])
+        loaded = Journal.load(path)
+        assert len(loaded) == 2
+        assert loaded.dropped_tail == 1
+        with pytest.raises(CampaignCorruptError, match="newline"):
+            Journal.load(path, strict=True)
+
+
+class TestFormatV2:
+    """The O(1)-append format: fsync'd lines, versioned records."""
+
+    def _counting(self, monkeypatch):
+        calls = {"rewrites": 0, "appends": 0}
+        real_write = journal_mod.atomic_write_text
+        real_append = journal_mod.fsync_append_text
+
+        def counting_write(*args, **kwargs):
+            calls["rewrites"] += 1
+            return real_write(*args, **kwargs)
+
+        def counting_append(*args, **kwargs):
+            calls["appends"] += 1
+            return real_append(*args, **kwargs)
+
+        monkeypatch.setattr(journal_mod, "atomic_write_text", counting_write)
+        monkeypatch.setattr(journal_mod, "fsync_append_text", counting_append)
+        return calls
+
+    def test_appends_are_o1_after_the_first(self, path, monkeypatch):
+        calls = self._counting(monkeypatch)
+        j = Journal(path)
+        for i in range(20):
+            j.append("unit-start", unit=f"u{i}")
+        # A fresh Journal doesn't know the disk state, so the first
+        # append pays one atomic rewrite; every later record is one
+        # fsync'd append — the whole file is never rewritten again.
+        assert calls["rewrites"] == 1
+        assert calls["appends"] == 19
+
+    def test_loaded_clean_journal_never_rewrites(self, path, monkeypatch):
+        j = Journal(path)
+        for i in range(3):
+            j.append("unit-start", unit=f"u{i}")
+        calls = self._counting(monkeypatch)
+        loaded = Journal.load(path)
+        loaded.append("resume", skipped=[], rerun=[])
+        assert calls == {"rewrites": 0, "appends": 1}
+
+    def test_heal_after_torn_tail_then_back_to_o1(self, path, monkeypatch):
+        j = Journal(path)
+        for i in range(3):
+            j.append("unit-done", unit=f"u{i}", digest="d" * 64, status="OK")
+        j.truncate_tail()
+        calls = self._counting(monkeypatch)
+        recovered = Journal.load(path)
+        recovered.append("resume", skipped=[], rerun=["u2"])
+        recovered.append("unit-start", unit="u2")
+        # One healing rewrite for the torn tail, then O(1) appends again.
+        assert calls == {"rewrites": 1, "appends": 1}
+        Journal.load(path, strict=True)
+
+    def test_foreign_bytes_on_disk_trigger_a_heal(self, path):
+        j = Journal(path)
+        j.append("unit-start", unit="a")
+        with open(path, "a") as fh:
+            fh.write("junk that is not a record")
+        j.append("unit-start", unit="b")
+        healed = Journal.load(path, strict=True)
+        assert [r["unit"] for r in healed.records] == ["a", "b"]
+
+    def test_new_records_carry_the_write_version(self, path):
+        j = Journal(path)
+        rec = j.append("unit-start", unit="a")
+        assert rec["v"] == WRITE_VERSION == 2
+
+    def _write_raw(self, path, docs):
+        with open(path, "w", encoding="utf-8") as fh:
+            for doc in docs:
+                fh.write(JournalRecord.seal(doc).line())
+
+    def test_v1_journals_still_load(self, path):
+        self._write_raw(
+            path,
+            [
+                {"v": 1, "type": "campaign-start", "spec": "smoke"},
+                {"v": 1, "type": "unit-start", "unit": "a"},
+            ],
+        )
+        loaded = Journal.load(path, strict=True)
+        assert [r["v"] for r in loaded.records] == [1, 1]
+
+    def test_mixed_version_journal_is_legal(self, path):
+        """An old campaign resumed by a new binary appends v2 after v1."""
+        self._write_raw(path, [{"v": 1, "type": "campaign-start", "spec": "smoke"}])
+        loaded = Journal.load(path)
+        loaded.append("resume", skipped=[], rerun=[])
+        reloaded = Journal.load(path, strict=True)
+        assert [r["v"] for r in reloaded.records] == [1, 2]
+
+    def test_unsupported_version_ends_the_trusted_prefix(self, path):
+        self._write_raw(
+            path,
+            [
+                {"v": 2, "type": "unit-start", "unit": "a"},
+                {"v": 99, "type": "unit-start", "unit": "b"},
+            ],
+        )
+        loaded = Journal.load(path)
+        assert len(loaded) == 1
+        assert loaded.dropped_tail == 1
+
+    def test_bytes_are_a_pure_function_of_the_records(self, path, tmp_path):
+        """Same record sequence -> same file bytes, whatever mix of
+        fresh appends, reloads, and heals produced it.  This is the
+        property that lets serial and parallel runs be cmp-compared."""
+        other = tmp_path / "other.jsonl"
+        j = Journal(path)
+        j.append("campaign-start", spec="smoke", seed=0)
+        j.append("unit-start", unit="a")
+        j.append("unit-done", unit="a", digest="d" * 64, status="OK")
+        k = Journal(other)
+        k.append("campaign-start", spec="smoke", seed=0)
+        k = Journal.load(other)
+        k.append("unit-start", unit="a")
+        k = Journal.load(other)
+        k.append("unit-done", unit="a", digest="d" * 64, status="OK")
+        assert path.read_bytes() == other.read_bytes()

@@ -1,0 +1,145 @@
+"""Content-addressed memoization of model evaluations."""
+
+import pytest
+
+from repro.dtypes import Precision
+from repro.faults.context import ExecutionContext
+from repro.hw.systems import get_system
+from repro.sim.engine import PerfEngine
+from repro.sim.kernel import gemm_kernel, triad_kernel
+from repro.sim.memo import MemoCache, content_digest, kernel_signature
+
+
+class TestMemoCache:
+    def test_miss_then_hit(self):
+        cache = MemoCache()
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_none_values_rejected(self):
+        with pytest.raises(ValueError, match="None"):
+            MemoCache().put("k", None)
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts the oldest insertion, "a"
+        assert len(cache) == 2
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_overwrite_does_not_evict(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert cache.get("b") == 2 and cache.get("a") == 10
+
+    def test_clear_resets_counters(self):
+        cache = MemoCache()
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        cache.clear()
+        assert cache.stats() == {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+        }
+
+
+class TestContentDigest:
+    def test_equal_content_equal_digest(self):
+        a = gemm_kernel(Precision.FP64)
+        b = gemm_kernel(Precision.FP64)
+        assert a is not b
+        assert content_digest(a) == content_digest(b)
+
+    def test_different_content_different_digest(self):
+        assert content_digest(gemm_kernel(Precision.FP64)) != content_digest(
+            gemm_kernel(Precision.FP32)
+        )
+        assert content_digest(gemm_kernel(Precision.FP64, n=512)) != (
+            content_digest(gemm_kernel(Precision.FP64))
+        )
+
+    def test_enum_keys_canonicalised(self):
+        by_enum = {Precision.FP64: 1.0}
+        by_name = {str(Precision.FP64): 1.0}
+        assert content_digest(by_enum) == content_digest(by_name)
+
+    def test_kernel_signature_matches_content_digest(self):
+        spec = triad_kernel()
+        assert spec.signature() == kernel_signature(spec) == content_digest(spec)
+
+
+class TestEngineMemoization:
+    def test_repeated_roofline_hits_the_cache(self):
+        engine = PerfEngine(get_system("aurora"))
+        spec = gemm_kernel(Precision.FP64)
+        first = engine.roofline(spec, 1)
+        second = engine.roofline(spec, 1)
+        assert second is first  # the cached object, not a re-evaluation
+        assert engine.memo.hits == 1 and engine.memo.misses == 1
+
+    def test_scope_and_kernel_key_the_cache(self):
+        engine = PerfEngine(get_system("aurora"))
+        engine.roofline(gemm_kernel(Precision.FP64), 1)
+        engine.roofline(gemm_kernel(Precision.FP64), 2)
+        engine.roofline(triad_kernel(), 1)
+        assert engine.memo.misses == 3 and engine.memo.hits == 0
+
+    def test_quiet_copy_shares_the_memo(self):
+        engine = PerfEngine(get_system("aurora"))
+        quiet = engine.quiet()
+        assert quiet.memo is engine.memo
+        point = engine.roofline(triad_kernel(), 1)
+        assert quiet.roofline(triad_kernel(), 1) is point
+
+    def test_equal_content_engines_share_entries(self):
+        shared = MemoCache()
+        a = PerfEngine(get_system("aurora"), memo=shared)
+        b = PerfEngine(get_system("aurora"), memo=shared)
+        assert a.identity_digest() == b.identity_digest()
+        point = a.roofline(triad_kernel(), 1)
+        assert b.roofline(triad_kernel(), 1) is point
+
+    def test_identity_digest_separates_systems(self):
+        shared = MemoCache()
+        aurora = PerfEngine(get_system("aurora"), memo=shared)
+        dawn = PerfEngine(get_system("dawn"), memo=shared)
+        assert aurora.identity_digest() != dawn.identity_digest()
+        a = aurora.roofline(triad_kernel(), 1)
+        d = dawn.roofline(triad_kernel(), 1)
+        assert a is not d
+        assert shared.misses == 2 and shared.hits == 0
+
+    def test_fault_injected_engine_bypasses_the_cache(self):
+        ctx = ExecutionContext("plane-outage", seed=0)
+        engine = ctx.engine("aurora")
+        assert engine.faults is not None
+        engine.roofline(triad_kernel(), 1)
+        engine.roofline(triad_kernel(), 1)
+        assert ctx.memo.hits == 0 and ctx.memo.misses == 0
+
+    def test_each_context_owns_a_private_cache(self):
+        """Context scope keeps a campaign unit's hit/miss counters a
+        pure function of the unit (the serial/parallel byte-identity
+        requirement)."""
+        a, b = ExecutionContext(), ExecutionContext()
+        assert a.memo is not b.memo
+        assert a.engine("aurora").memo is a.memo
