@@ -15,6 +15,10 @@ benchmark units.  The subsystem has four layers:
 * :mod:`repro.campaign.scheduler` — the ``--jobs N`` multi-process DAG
   scheduler: opportunistic execution across a worker pool, commits
   strictly in topological order;
+* :mod:`repro.campaign.supervisor` — the self-healing layer under the
+  scheduler: dead-worker detection and respawn (with a budget),
+  poison-unit quarantine, heartbeat-based hang kills, and graceful
+  degradation to an in-process serial drain;
 * :mod:`repro.campaign.orchestrator` — commits units in topological
   order under a supervisor (per-unit simulated-time watchdog, campaign
   deadline, SIGINT/SIGTERM flush), journals every transition, and on
@@ -23,24 +27,32 @@ benchmark units.  The subsystem has four layers:
 Determinism contract: a campaign interrupted after any unit and then
 resumed — serially or with any ``--jobs N`` — produces byte-identical
 journal, store, final tables and manifest to an uninterrupted serial
-run with the same seed and scenario.
+run with the same seed and scenario.  Supervised healing (worker
+respawns, hang kills, transient-ENOSPC retries) preserves that
+contract; only poison-unit quarantine and degraded mode leave a
+(deterministic) trace.
 """
 
 from .journal import Journal, JournalRecord
 from .orchestrator import Orchestrator
-from .scheduler import DagScheduler, resolve_jobs
+from .scheduler import DagScheduler, resolve_jobs, scheduler_selfcheck
 from .spec import SPEC_NAMES, CampaignSpec, CampaignUnit, get_spec
 from .store import ResultStore
+from .supervisor import DEFAULT_MAX_RESPAWNS, SupervisionStats, WorkerSupervisor
 
 __all__ = [
     "CampaignSpec",
     "CampaignUnit",
+    "DEFAULT_MAX_RESPAWNS",
     "DagScheduler",
     "Journal",
     "JournalRecord",
     "Orchestrator",
     "ResultStore",
     "SPEC_NAMES",
+    "SupervisionStats",
+    "WorkerSupervisor",
     "get_spec",
     "resolve_jobs",
+    "scheduler_selfcheck",
 ]

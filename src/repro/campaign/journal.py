@@ -6,6 +6,9 @@ One JSONL file (``journal.jsonl``) records every campaign transition:
   full unit schedule;
 * ``unit-start`` / ``unit-done`` / ``unit-failed`` — per-unit lifecycle;
   ``unit-done`` binds the unit's result-store payload by SHA-256 digest;
+* ``unit-quarantined`` — a poison unit pulled from the worker pool after
+  crashing K consecutive workers, with their exit codes as provenance
+  (resume treats it like ``unit-failed``: sticky, never re-run);
 * ``resume`` — which units a resumed run skipped, re-ran, or recovered
   from a corrupt tail;
 * ``interrupted`` / ``deadline`` — early exits that remain resumable;
@@ -54,6 +57,7 @@ RECORD_TYPES = (
     "unit-start",
     "unit-done",
     "unit-failed",
+    "unit-quarantined",
     "resume",
     "interrupted",
     "deadline",

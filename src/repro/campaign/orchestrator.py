@@ -23,6 +23,16 @@ The ``crash-midrun`` / ``journal-truncate`` fault scenarios exercise
 exactly this machinery by killing the run after a seeded unit (and
 optionally tearing the journal's last record).  They apply to
 ``campaign run`` only; a resumed campaign does not re-crash.
+
+With ``--jobs N`` the units run under a supervised worker pool
+(:mod:`.supervisor`): dead workers respawn up to ``--max-respawns``, a
+unit that kills K consecutive workers is journalled as
+``unit-quarantined`` (with the worker exit codes as provenance) while
+the rest of the DAG continues, and an exhausted respawn budget degrades
+to an in-process serial drain instead of failing the run.  The
+``worker-kill`` / ``worker-hang`` / ``worker-poison`` / ``io-enospc``
+scenarios inject exactly those faults; like the crash scenarios they
+apply to the original ``campaign run`` only.
 """
 
 from __future__ import annotations
@@ -36,13 +46,18 @@ import threading
 from ..core.result import CellStatus
 from ..errors import CampaignCorruptError, CampaignError, ReproError
 from ..exitcodes import ExitCode, status_exit_code
+from ..faults.process import (
+    WORKER_SCENARIO_NAMES,
+    WorkerFaultPlan,
+    build_worker_plan,
+)
 from ..faults.scenarios import (
     CAMPAIGN_SCENARIO_NAMES,
     CampaignFaultPlan,
     SCENARIO_NAMES,
     build_campaign_plan,
 )
-from ..ioutils import atomic_write_text
+from ..ioutils import atomic_write_text, set_io_fault_gate
 from ..telemetry.metrics import MetricsRegistry
 from .journal import Journal
 from .scheduler import DagScheduler, resolve_jobs
@@ -94,6 +109,9 @@ class Orchestrator:
         campaign_plan: CampaignFaultPlan | None = None,
         profile: bool = False,
         jobs: int | None = None,
+        worker_plan: WorkerFaultPlan | None = None,
+        max_respawns: int | None = None,
+        hang_timeout_s: float | None = None,
     ) -> None:
         self.directory = os.fspath(directory)
         self.spec = spec
@@ -104,9 +122,13 @@ class Orchestrator:
         self.campaign_plan = campaign_plan
         self.profile = profile
         self.jobs = resolve_jobs(jobs)
+        self.worker_plan = worker_plan
+        self.max_respawns = max_respawns
+        self.hang_timeout_s = hang_timeout_s
         self.store = ResultStore(os.path.join(self.directory, "store"))
         self._interrupted = False
         self._payloads: dict[str, dict] = {}
+        self._supervision = None
 
     # ------------------------------------------------------------------
     # paths
@@ -151,6 +173,24 @@ class Orchestrator:
             for sig, old in previous.items():
                 signal.signal(sig, old)
 
+    @contextlib.contextmanager
+    def _io_faults(self):
+        """Install the worker plan's transient-ENOSPC gate, if any.
+
+        The gate lives in :mod:`repro.ioutils` process state; it fires
+        on the orchestrator's own journal/store/table writes (workers
+        never write to disk) and the bounded retry there absorbs it, so
+        on-disk bytes stay identical to a fault-free run.
+        """
+        if self.worker_plan is None or not self.worker_plan.enospc:
+            yield
+            return
+        previous = set_io_fault_gate(self.worker_plan.io_gate())
+        try:
+            yield
+        finally:
+            set_io_fault_gate(previous)
+
     # ------------------------------------------------------------------
     # run / resume
     # ------------------------------------------------------------------
@@ -165,22 +205,33 @@ class Orchestrator:
                 "use 'campaign resume' to continue it or pick a fresh --dir"
             )
         os.makedirs(self.directory, exist_ok=True)
-        journal = Journal(self.journal_path)
-        journal.append(
-            "campaign-start",
-            spec=self.spec.name,
-            spec_digest=self.spec.digest(),
-            scenario=self.scenario,
-            campaign_scenario=(
-                self.campaign_plan.scenario if self.campaign_plan else None
-            ),
-            seed=self.seed,
-            profile=self.profile,
-            units=[u.id for u in self.spec.execution_order()],
-        )
-        if self.campaign_plan is not None:
-            _log(self.campaign_plan.describe())
-        return self._execute(journal, completed={})
+        with self._io_faults():
+            journal = Journal(self.journal_path)
+            # Worker fault scenarios are deliberately absent from this
+            # record: supervision heals them without a trace, so the
+            # journal must stay byte-identical to a fault-free run.
+            journal.append(
+                "campaign-start",
+                spec=self.spec.name,
+                spec_digest=self.spec.digest(),
+                scenario=self.scenario,
+                campaign_scenario=(
+                    self.campaign_plan.scenario if self.campaign_plan else None
+                ),
+                seed=self.seed,
+                profile=self.profile,
+                units=[u.id for u in self.spec.execution_order()],
+            )
+            if self.campaign_plan is not None:
+                _log(self.campaign_plan.describe())
+            if self.worker_plan is not None:
+                _log(self.worker_plan.describe())
+                if self.jobs == 1 and self.worker_plan.wants_workers:
+                    _log(
+                        "note: worker fault scenarios need --jobs > 1; "
+                        "serial runs execute in-process and cannot be killed"
+                    )
+            return self._execute(journal, completed={})
 
     def resume(self) -> ExitCode:
         """Continue an interrupted campaign from its journal."""
@@ -205,16 +256,20 @@ class Orchestrator:
         # must re-profile (or not) exactly as the original run would
         # have, or its payload digest cannot match.
         self.profile = bool(config.get("profile", False))
-        # The campaign fault scenario applies to the original run only;
+        # The campaign fault scenarios apply to the original run only;
         # resuming must converge, not crash again.
         self.campaign_plan = None
+        self.worker_plan = None
 
         completed: dict[str, str] = {}
         failed: dict[str, str] = {}
         for rec in journal.records:
             if rec["type"] == "unit-done":
                 completed[rec["unit"]] = rec["digest"]
-            elif rec["type"] == "unit-failed":
+            elif rec["type"] in ("unit-failed", "unit-quarantined"):
+                # Quarantine is sticky: the unit killed K workers in the
+                # original run, so resume must not feed it to the pool
+                # again — its stored FAILED payload stands.
                 completed[rec["unit"]] = rec["digest"]
                 failed[rec["unit"]] = rec.get("error", "")
         corrupt = [
@@ -375,6 +430,15 @@ class Orchestrator:
             self._payload(uid, digest).get("simulated_s", 0.0)
             for uid, digest in completed.items()
         )
+        hang_timeout_s = self.hang_timeout_s
+        if (
+            hang_timeout_s is None
+            and self.worker_plan is not None
+            and self.worker_plan.hangs
+        ):
+            # An injected hang must be detected promptly or the chaos
+            # suite would wait out the production default.
+            hang_timeout_s = 2.0
         scheduler = DagScheduler(
             self.spec,
             scenario=self.scenario,
@@ -383,7 +447,12 @@ class Orchestrator:
             jobs=self.jobs,
             unit_timeout_s=self.unit_timeout_s,
             preloaded={uid: self._payload(uid) for uid in completed},
+            max_respawns=self.max_respawns,
+            hang_timeout_s=hang_timeout_s,
+            worker_faults=self.worker_plan,
+            log=_log,
         )
+        self._supervision = scheduler.stats
         _log(
             f"parallel execution: {len(scheduler.pending)} unit(s) across "
             f"{min(self.jobs, len(scheduler.pending))} worker(s), "
@@ -407,7 +476,17 @@ class Orchestrator:
                     payload = outcome.payload
                     journal.append("unit-start", unit=unit.id)
                     digest = self.store.put(unit.id, payload)
-                    if outcome.error is not None:
+                    if outcome.quarantined is not None:
+                        journal.append(
+                            "unit-quarantined",
+                            unit=unit.id,
+                            digest=digest,
+                            status=payload["status"],
+                            error=payload["error"],
+                            exit_codes=list(outcome.quarantined),
+                        )
+                        _log(f"{unit.id}: QUARANTINED ({payload['error']})")
+                    elif outcome.error is not None:
                         journal.append(
                             "unit-failed",
                             unit=unit.id,
@@ -496,12 +575,30 @@ class Orchestrator:
             "simulated_total_s": sum(
                 p.get("simulated_s", 0.0) for p in payloads
             ),
-            "metrics": aggregate_metrics(payloads).snapshot(),
+            "metrics": self._campaign_metrics(payloads).snapshot(),
         }
+        stats = self._supervision
+        if stats is not None and stats.eventful():
+            # Only quarantine/degradation may leave a manifest trace;
+            # transparently healed respawns keep the bytes identical to
+            # a fault-free serial run.
+            campaign["supervision"] = stats.to_doc()
         doc = build_manifest(
             "campaign", ctx, campaign=campaign, systems=self.spec.systems()
         )
         atomic_write_text(self.manifest_path, render_manifest(doc))
+
+    def _campaign_metrics(self, payloads) -> MetricsRegistry:
+        """Unit metrics plus the scheduler counters, when eventful."""
+        registry = aggregate_metrics(payloads)
+        stats = self._supervision
+        if stats is not None and stats.eventful():
+            registry.inc("worker.respawns", stats.respawns)
+            for unit_id in sorted(stats.quarantined):
+                registry.inc("unit.quarantined", 1, unit=unit_id)
+            if stats.degraded:
+                registry.inc("scheduler.degraded", 1)
+        return registry
 
     # ------------------------------------------------------------------
     # status / verify
@@ -520,8 +617,12 @@ class Orchestrator:
         config = self._load_config(journal)
         spec = get_spec(config["spec"])
         state: dict[str, str] = {u.id: "pending" for u in spec.execution_order()}
+        quarantined: dict[str, list] = {}
         for rec in journal.records:
-            if rec["type"] in ("unit-done", "unit-failed"):
+            if rec["type"] == "unit-quarantined":
+                state[rec["unit"]] = "QUARANTINED"
+                quarantined[rec["unit"]] = rec.get("exit_codes", [])
+            elif rec["type"] in ("unit-done", "unit-failed"):
                 state[rec["unit"]] = rec["status"]
             elif rec["type"] == "unit-start" and state.get(rec["unit"]) == "pending":
                 state[rec["unit"]] = "started"
@@ -536,7 +637,16 @@ class Orchestrator:
             )
         )
         for uid, unit_state in state.items():
-            print(f"  {uid:24s} {unit_state}")
+            provenance = ""
+            if uid in quarantined:
+                codes = ", ".join(str(c) for c in quarantined[uid])
+                provenance = f" (worker exit codes: {codes})"
+            print(f"  {uid:24s} {unit_state}{provenance}")
+        if quarantined:
+            print(
+                f"  {len(quarantined)} unit(s) quarantined after repeated "
+                "worker crashes; their dependents carry FAILED provenance"
+            )
         print(
             f"  {done}/{len(state)} unit(s) complete, "
             f"{len(journal)} journal record(s)"
@@ -567,7 +677,7 @@ class Orchestrator:
         bad: list[str] = []
         completed: dict[str, str] = {}
         for rec in journal.records:
-            if rec["type"] in ("unit-done", "unit-failed"):
+            if rec["type"] in ("unit-done", "unit-failed", "unit-quarantined"):
                 completed[rec["unit"]] = rec["digest"]
         for uid, digest in sorted(completed.items()):
             if not self.store.verify(uid, digest):
@@ -604,15 +714,21 @@ def campaign_main(args) -> int:
         raise CampaignError("campaign commands need --dir <directory>")
     if action == "run":
         spec = get_spec(args.spec)
-        scenario, plan = args.inject, None
+        scenario, plan, worker_plan = args.inject, None, None
         if scenario is not None and scenario in CAMPAIGN_SCENARIO_NAMES:
             plan = build_campaign_plan(scenario, args.seed, len(spec))
+            scenario = None
+        elif scenario is not None and scenario in WORKER_SCENARIO_NAMES:
+            worker_plan = build_worker_plan(
+                scenario, args.seed, [u.id for u in spec.execution_order()]
+            )
             scenario = None
         elif scenario is not None and scenario not in SCENARIO_NAMES:
             raise CampaignError(
                 f"unknown fault scenario {scenario!r}; choose an engine "
-                f"scenario ({', '.join(SCENARIO_NAMES)}) or a campaign "
-                f"scenario ({', '.join(CAMPAIGN_SCENARIO_NAMES)})"
+                f"scenario ({', '.join(SCENARIO_NAMES)}), a campaign "
+                f"scenario ({', '.join(CAMPAIGN_SCENARIO_NAMES)}), or a "
+                f"worker scenario ({', '.join(WORKER_SCENARIO_NAMES)})"
             )
         orch = Orchestrator(
             args.dir,
@@ -624,6 +740,9 @@ def campaign_main(args) -> int:
             campaign_plan=plan,
             profile=getattr(args, "profile", False),
             jobs=getattr(args, "jobs", None),
+            worker_plan=worker_plan,
+            max_respawns=getattr(args, "max_respawns", None),
+            hang_timeout_s=getattr(args, "hang_timeout", None),
         )
         return int(orch.run())
     orch = Orchestrator(
@@ -631,6 +750,8 @@ def campaign_main(args) -> int:
         unit_timeout_s=args.unit_timeout,
         deadline_s=args.deadline,
         jobs=getattr(args, "jobs", None),
+        max_respawns=getattr(args, "max_respawns", None),
+        hang_timeout_s=getattr(args, "hang_timeout", None),
     )
     if action == "resume":
         return int(orch.resume())

@@ -18,6 +18,20 @@ is preserved by splitting *execution order* from *commit order*:
   which is what makes ``campaign resume`` indifferent to how the
   interrupted run was parallelised.
 
+Since PR 6 the pool is *supervised*
+(:class:`~repro.campaign.supervisor.WorkerSupervisor`): dead workers
+are reaped and respawned up to ``--max-respawns``, their in-flight
+units re-enqueued (unit execution is a pure function of identity, so a
+re-run reproduces the same bytes); hung workers are SIGKILLed after a
+heartbeat deadline; a unit that kills ``poison_crashes`` consecutive
+workers is quarantined instead of aborting the DAG; and when the
+respawn budget is spent the scheduler degrades to an in-process serial
+drain rather than failing the run.  A worker that ships a ``crashed``
+status — its unit raised an unexpected non-:class:`ReproError`
+exception — still aborts the campaign with
+:class:`~repro.errors.WorkerCrashError`: the same bug would be fatal
+in-process, and respawning would only re-crash on the same code path.
+
 Units execute in the worker exactly as they do in-process: a fresh
 :class:`~repro.faults.ExecutionContext` and telemetry session per unit,
 fault plans and noise that are pure functions of ``(scenario, seed,
@@ -26,29 +40,57 @@ same content-sorted rules the profiler uses, so N workers produce the
 same aggregate metrics as one.
 
 Workers are forked before any queue traffic starts (so the parent is
-still effectively single-threaded) and communicate over two
+still effectively single-threaded) and communicate over
 ``multiprocessing`` queues; results cross the pipe as plain dicts and
 pre-formatted error strings — exceptions never need to pickle.
+Process-level fault plans (:class:`~repro.faults.WorkerFaultPlan`) are
+applied *inside* the worker loop only, so the degraded-mode in-process
+drain can never SIGKILL the orchestrator.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import queue
+import signal
+import time
 from dataclasses import dataclass
 
-from ..errors import CampaignError, ReproError
+from ..errors import CampaignError, ReproError, WorkerCrashError
 from .spec import CampaignSpec
-from .units import apply_watchdog, execute_unit, failure_payload, format_error
+from .supervisor import (
+    DEFAULT_MAX_RESPAWNS,
+    HEARTBEAT,
+    SupervisionStats,
+    WorkerSupervisor,
+)
+from .units import (
+    apply_watchdog,
+    execute_unit,
+    failure_payload,
+    format_error,
+    quarantine_payload,
+)
 
-__all__ = ["JOBS_ENV", "DagScheduler", "UnitOutcome", "resolve_jobs"]
+__all__ = [
+    "JOBS_ENV",
+    "DagScheduler",
+    "UnitOutcome",
+    "resolve_jobs",
+    "scheduler_selfcheck",
+]
 
 #: Environment fallback for ``--jobs`` (CLI flag wins when given).
 JOBS_ENV = "CAMPAIGN_JOBS"
 
-#: How often the result wait loop checks worker liveness (seconds).
-_POLL_S = 1.0
+#: Consecutive worker crashes on one unit before quarantine (mirrors
+#: :data:`repro.faults.DEFAULT_POISON_CRASHES`; duplicated here so the
+#: campaign package does not import the faults package at module scope).
+DEFAULT_POISON_CRASHES = 3
+
+#: Ceiling on an injected hang: a hung worker the supervisor somehow
+#: never kills (supervision disabled, parent died) exits on its own
+#: rather than lingering forever.
+_HANG_CAP_S = 120.0
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -76,22 +118,38 @@ class UnitOutcome:
     payload: dict
     error: str | None = None  # set -> journal as unit-failed
     watchdog: str | None = None  # set -> demoted by the simulated watchdog
+    quarantined: tuple[int, ...] | None = None  # worker exit codes
 
 
-def _worker_loop(task_q, result_q, scenario, seed, profile) -> None:
+def _worker_loop(index, task_q, result_q, scenario, seed, profile, faults) -> None:
     """Worker process body: execute units until the ``None`` sentinel.
 
-    Results are ``(unit_id, status, data)`` tuples where *status* is
-    ``"ok"`` (data = payload dict), ``"failed"`` (data = formatted
+    On pickup the worker heartbeats ``(HEARTBEAT, index, unit_id)`` so
+    the supervisor can tell "still computing" from "hung".  Results are
+    ``(unit_id, status, data)`` tuples where *status* is ``"ok"`` (data
+    = payload dict), ``"failed"`` (data = formatted
     :class:`ReproError`, journalled as unit-failed) or ``"crashed"``
     (data = formatted unexpected exception, fatal to the campaign —
     exactly as it would be in-process).
+
+    *faults* is an optional :class:`~repro.faults.WorkerFaultPlan`;
+    scheduled kills/hangs fire here, keyed on the supervisor-assigned
+    attempt number, so "crash twice then succeed" is expressible.
     """
     while True:
         task = task_q.get()
         if task is None:
             return
-        unit, deps = task
+        unit, deps, attempt = task
+        result_q.put((HEARTBEAT, index, unit.id))
+        if faults is not None:
+            if faults.should_hang(unit.id, attempt):
+                deadline = time.monotonic() + _HANG_CAP_S
+                while time.monotonic() < deadline:  # pragma: no branch
+                    time.sleep(0.1)
+                os._exit(1)  # pragma: no cover - supervisor kills us first
+            if faults.kill_point(unit.id, attempt) == "start":
+                os.kill(os.getpid(), signal.SIGKILL)
         try:
             payload = execute_unit(unit, scenario, seed, deps, profile)
         except KeyboardInterrupt:  # pragma: no cover - signal timing
@@ -102,10 +160,17 @@ def _worker_loop(task_q, result_q, scenario, seed, profile) -> None:
             result_q.put((unit.id, "crashed", format_error(exc)))
         else:
             result_q.put((unit.id, "ok", payload))
+            if faults is not None and faults.kill_point(unit.id, attempt) == "done":
+                # Flush the queue's feeder thread before dying, so the
+                # result is on the wire — this is the swallowed-result
+                # race the supervisor's grace drain must win.
+                result_q.close()
+                result_q.join_thread()
+                os.kill(os.getpid(), signal.SIGKILL)
 
 
 class DagScheduler:
-    """Fans ready units to a worker pool; yields outcomes in topo order."""
+    """Fans ready units to a supervised pool; yields outcomes in topo order."""
 
     def __init__(
         self,
@@ -117,6 +182,11 @@ class DagScheduler:
         jobs: int,
         unit_timeout_s: float | None = None,
         preloaded: dict[str, dict] | None = None,
+        max_respawns: int | None = None,
+        poison_crashes: int | None = None,
+        hang_timeout_s: float | None = None,
+        worker_faults=None,
+        log=None,
     ) -> None:
         self.spec = spec
         self.scenario = scenario
@@ -125,6 +195,16 @@ class DagScheduler:
         self.jobs = jobs
         self.unit_timeout_s = unit_timeout_s
         self.preloaded = dict(preloaded or {})
+        self.max_respawns = (
+            DEFAULT_MAX_RESPAWNS if max_respawns is None else max_respawns
+        )
+        self.poison_crashes = (
+            DEFAULT_POISON_CRASHES if poison_crashes is None else poison_crashes
+        )
+        self.hang_timeout_s = hang_timeout_s
+        self.worker_faults = worker_faults
+        self.log = log
+        self.stats = SupervisionStats()
         self.pending = tuple(
             u for u in spec.execution_order() if u.id not in self.preloaded
         )
@@ -141,85 +221,178 @@ class DagScheduler:
         if not self.pending:
             return
         payloads = dict(self.preloaded)
-        ctx = multiprocessing.get_context("fork")
-        task_q = ctx.Queue()
-        result_q = ctx.Queue()
-        procs = [
-            ctx.Process(
-                target=_worker_loop,
-                args=(task_q, result_q, self.scenario, self.seed, self.profile),
-                daemon=True,
-                name=f"campaign-worker-{i}",
-            )
-            for i in range(min(self.jobs, len(self.pending)))
-        ]
-        for proc in procs:
-            proc.start()
+        supervisor = WorkerSupervisor(
+            min(self.jobs, len(self.pending)),
+            worker_body=_worker_loop,
+            worker_args=(
+                self.scenario,
+                self.seed,
+                self.profile,
+                self.worker_faults,
+            ),
+            max_respawns=self.max_respawns,
+            poison_crashes=self.poison_crashes,
+            hang_timeout_s=self.hang_timeout_s,
+            stats=self.stats,
+            **({"log": self.log} if self.log is not None else {}),
+        )
+        supervisor.start()
         submitted: set[str] = set()
         ready: dict[str, UnitOutcome] = {}
+        degraded = False
+
+        def run_inline(unit, deps) -> UnitOutcome:
+            # Degraded-mode drain: same semantics as a worker, in-process.
+            # Fault plans do not fire here — a poison unit must not take
+            # the orchestrator down with it.
+            try:
+                payload = execute_unit(
+                    unit, self.scenario, self.seed, deps, self.profile
+                )
+            except ReproError as exc:
+                error = format_error(exc)
+                return UnitOutcome(unit, failure_payload(unit, error), error=error)
+            except BaseException as exc:  # noqa: BLE001
+                raise WorkerCrashError(
+                    f"unit {unit.id!r} crashed in a worker: {format_error(exc)}"
+                ) from exc
+            note = apply_watchdog(payload, self.unit_timeout_s)
+            return UnitOutcome(unit, payload, watchdog=note)
+
+        def settle(outcome: UnitOutcome) -> None:
+            ready[outcome.unit.id] = outcome
+            payloads[outcome.unit.id] = outcome.payload
 
         def submit_ready() -> None:
             for unit in self.pending:
                 if unit.id in submitted:
                     continue
                 if all(d in payloads for d in unit.deps):
-                    task_q.put((unit, {d: payloads[d] for d in unit.deps}))
                     submitted.add(unit.id)
+                    deps = {d: payloads[d] for d in unit.deps}
+                    if degraded:
+                        settle(run_inline(unit, deps))
+                    else:
+                        supervisor.submit(unit, deps)
 
         try:
             submit_ready()
             for unit in self.pending:
                 while unit.id not in ready:
-                    uid, status, data = self._next_result(result_q, procs)
+                    event = supervisor.next_event()
+                    if event[0] == "degraded":
+                        degraded = True
+                        for taken_unit, taken_deps in supervisor.take_pending():
+                            settle(run_inline(taken_unit, taken_deps))
+                        submit_ready()
+                        continue
+                    if event[0] == "quarantined":
+                        _, poisoned, codes = event
+                        payload = quarantine_payload(poisoned, codes)
+                        settle(
+                            UnitOutcome(
+                                poisoned,
+                                payload,
+                                error=payload["error"],
+                                quarantined=tuple(int(c) for c in codes),
+                            )
+                        )
+                        submit_ready()
+                        continue
+                    _, uid, status, data = event
                     done = self.spec.unit(uid)
                     if status == "ok":
                         note = apply_watchdog(data, self.unit_timeout_s)
-                        outcome = UnitOutcome(done, data, watchdog=note)
+                        settle(UnitOutcome(done, data, watchdog=note))
                     elif status == "failed":
-                        outcome = UnitOutcome(
-                            done, failure_payload(done, data), error=data
+                        settle(
+                            UnitOutcome(
+                                done, failure_payload(done, data), error=data
+                            )
                         )
                     else:
-                        raise CampaignError(
+                        raise WorkerCrashError(
                             f"unit {uid!r} crashed in a worker: {data}"
                         )
-                    ready[uid] = outcome
-                    payloads[uid] = outcome.payload
                     submit_ready()
                 yield ready.pop(unit.id)
         finally:
-            self._shutdown(task_q, result_q, procs)
+            supervisor.shutdown()
 
-    # ------------------------------------------------------------------
 
-    @staticmethod
-    def _next_result(result_q, procs):
-        """Block for the next worker result, detecting dead workers."""
-        while True:
-            try:
-                return result_q.get(timeout=_POLL_S)
-            except queue.Empty:
-                dead = [p for p in procs if not p.is_alive()]
-                if dead and result_q.empty():
-                    raise CampaignError(
-                        f"campaign worker {dead[0].name} died "
-                        f"(exit code {dead[0].exitcode}); "
-                        "resume the campaign to re-run its units"
-                    ) from None
+# ----------------------------------------------------------------------
+# health selfcheck
+# ----------------------------------------------------------------------
 
-    @staticmethod
-    def _shutdown(task_q, result_q, procs) -> None:
-        for _ in procs:
-            try:
-                task_q.put(None)
-            except (OSError, ValueError):  # pragma: no cover - teardown race
-                break
-        for proc in procs:
-            proc.join(timeout=2.0)
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
-        for q in (task_q, result_q):
-            q.close()
-            q.cancel_join_thread()
+def scheduler_selfcheck():
+    """Supervision invariants for ``pvc-bench health``.
+
+    Runs the smoke spec through a 2-worker pool with a scripted
+    SIGKILL, then asserts the run completed, the supervisor respawned
+    exactly once, nothing was quarantined, and no child process leaked.
+    Lives here (not in :mod:`.supervisor`) because it needs the worker
+    loop and a spec — the supervisor module stays import-light.
+    """
+    from ..faults.process import WorkerFaultPlan
+    from ..hw.selfcheck import CheckResult
+    from .spec import get_spec
+
+    spec = get_spec("smoke")
+    victim = spec.execution_order()[0].id
+    plan = WorkerFaultPlan("worker-kill", 0, kills={victim: (1, "start")})
+    scheduler = DagScheduler(
+        spec,
+        scenario=None,
+        seed=0,
+        profile=False,
+        jobs=2,
+        worker_faults=plan,
+        log=lambda _msg: None,
+    )
+    checks: list = []
+    try:
+        outcomes = list(scheduler.outcomes())
+    except ReproError as exc:  # pragma: no cover - only on regression
+        checks.append(
+            CheckResult("scheduler.survives-worker-death", False, str(exc))
+        )
+        return checks
+    checks.append(
+        CheckResult(
+            "scheduler.survives-worker-death",
+            len(outcomes) == len(spec.execution_order()),
+            f"{len(outcomes)}/{len(spec.execution_order())} units completed "
+            "after an injected worker SIGKILL",
+        )
+    )
+    checks.append(
+        CheckResult(
+            "scheduler.respawn",
+            scheduler.stats.respawns == 1,
+            f"supervisor respawned {scheduler.stats.respawns} worker(s) "
+            "(expected 1)",
+        )
+    )
+    checks.append(
+        CheckResult(
+            "scheduler.no-quarantine",
+            not scheduler.stats.quarantined and not scheduler.stats.degraded,
+            "single crash healed transparently "
+            "(no quarantine, no degradation)",
+        )
+    )
+    import multiprocessing
+
+    leaked = [
+        p
+        for p in multiprocessing.active_children()
+        if p.name.startswith("campaign-worker-")
+    ]
+    checks.append(
+        CheckResult(
+            "scheduler.no-leaked-children",
+            not leaked,
+            f"{len(leaked)} campaign worker(s) left alive after shutdown",
+        )
+    )
+    return checks

@@ -36,6 +36,8 @@ Crash-safe campaigns (write-ahead journal + checkpoint/resume)::
 
     pvc-bench campaign run    --dir out --spec paper
     pvc-bench campaign run    --dir out --spec smoke --inject crash-midrun
+    pvc-bench campaign run    --dir out --spec smoke --jobs 4 \\
+        --inject worker-kill --max-respawns 8      # self-healing pool
     pvc-bench campaign resume --dir out
     pvc-bench campaign status --dir out
     pvc-bench campaign verify --dir out
@@ -67,7 +69,12 @@ from .analysis import (
 from .campaign.spec import SPEC_NAMES
 from .errors import ReproError, UnknownBenchmarkError
 from .exitcodes import ExitCode, classify_error
-from .faults import CAMPAIGN_SCENARIO_NAMES, SCENARIO_NAMES, ExecutionContext
+from .faults import (
+    CAMPAIGN_SCENARIO_NAMES,
+    SCENARIO_NAMES,
+    WORKER_SCENARIO_NAMES,
+    ExecutionContext,
+)
 from .hw.systems import all_systems
 
 __all__ = ["main"]
@@ -202,8 +209,23 @@ def _cmd_trace(ctx: ExecutionContext, args) -> None:
     print(ctx.telemetry_summary(), file=sys.stderr)
 
 
+#: Counters always present in the ``metrics`` scrape, even at zero:
+#: dashboards alert on their absence, so a run that never touched the
+#: sim cache or never respawned a worker still exports the series.
+_DECLARED_COUNTERS = (
+    ("simcache.hit", "sim memo cache hits"),
+    ("simcache.miss", "sim memo cache misses"),
+    ("simcache.bypass", "sim memo cache bypasses (uncacheable plans)"),
+    ("worker.respawns", "campaign workers respawned by the supervisor"),
+    ("unit.quarantined", "campaign units quarantined as poison"),
+    ("scheduler.degraded", "campaigns degraded to in-process draining"),
+)
+
+
 def _cmd_metrics(ctx: ExecutionContext, args) -> None:
     _run_instrumented(ctx, args)
+    for name, help_text in _DECLARED_COUNTERS:
+        ctx.telemetry.metrics.counter(name, help_text)
     print(ctx.telemetry.metrics.to_prometheus(), end="")
 
 
@@ -248,6 +270,16 @@ def _cmd_health(ctx: ExecutionContext) -> None:
         print(f"[{mark}] profiler     {check.name}"
               + (f"  ({check.detail})" if check.detail else ""))
     if not all(check.passed for check in checks):
+        ctx.record(CellStatus.DEGRADED)
+    print()
+    from .campaign.scheduler import scheduler_selfcheck
+
+    sched_checks = scheduler_selfcheck()
+    for check in sched_checks:
+        mark = "ok " if check.passed else "FAIL"
+        print(f"[{mark}] scheduler    {check.name}"
+              + (f"  ({check.detail})" if check.detail else ""))
+    if not all(check.passed for check in sched_checks):
         ctx.record(CellStatus.DEGRADED)
     print()
     print(ctx.telemetry_summary())
@@ -389,7 +421,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="inject a deterministic fault scenario "
         f"({', '.join(SCENARIO_NAMES)}; campaign run also accepts "
-        f"{', '.join(CAMPAIGN_SCENARIO_NAMES)})",
+        f"{', '.join(CAMPAIGN_SCENARIO_NAMES)} and the process-level "
+        f"{', '.join(WORKER_SCENARIO_NAMES)})",
     )
     parser.add_argument(
         "--seed",
@@ -450,6 +483,24 @@ def main(argv: list[str] | None = None) -> int:
         help="campaign run/resume: execute independent units on N worker "
         "processes (artifacts stay byte-identical to a serial run); "
         "defaults to $CAMPAIGN_JOBS, else 1 (serial)",
+    )
+    parser.add_argument(
+        "--max-respawns",
+        type=int,
+        metavar="N",
+        default=None,
+        help="campaign run/resume with --jobs > 1: worker respawn budget "
+        "before the scheduler degrades to in-process draining "
+        "(default: 8)",
+    )
+    parser.add_argument(
+        "--hang-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="campaign run/resume with --jobs > 1: SIGKILL a worker whose "
+        "unit produces no heartbeat for this long and treat it as a "
+        "crash (default: disabled, except under --inject worker-hang)",
     )
     parser.add_argument(
         "--profile",

@@ -93,6 +93,19 @@ class CampaignError(ReproError):
     directory, resume of a campaign that was never started, ...)."""
 
 
+class WorkerCrashError(CampaignError):
+    """A campaign worker process failed in a way supervision cannot heal.
+
+    Raised when a unit's code raised an unexpected (non-:class:`ReproError`)
+    exception inside a worker — the same bug would be fatal in-process, so
+    respawning the worker would only crash it again — or when the
+    supervisor's own invariants are violated.  Dead or hung workers do
+    *not* raise this: the :class:`~repro.campaign.supervisor.WorkerSupervisor`
+    respawns them, re-enqueues their in-flight units, and quarantines
+    units that keep killing workers.
+    """
+
+
 class CampaignCorruptError(CampaignError):
     """A journal record or result-store entry failed its integrity check.
 

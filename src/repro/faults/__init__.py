@@ -8,7 +8,11 @@ The subsystem has three layers:
   (``pvc-bench --inject <name> --seed N``) built from those schedules;
 * :mod:`repro.faults.injectors` — the :class:`FaultInjector` that applies
   a plan to a node as the suite's clocks advance, consulted by the
-  performance engine, the SYCL/Level-Zero runtimes and the MPI layer.
+  performance engine, the SYCL/Level-Zero runtimes and the MPI layer;
+* :mod:`repro.faults.process` — process-level campaign chaos
+  (:class:`WorkerFaultPlan`): SIGKILLed workers, hung workers, and
+  transient ``ENOSPC`` on journal/store writes, consumed by the campaign
+  worker supervisor rather than the in-process engine.
 
 :class:`ExecutionContext` ties one injector-equipped engine per system to
 the CLI's exit-code contract (0 clean / 1 degraded / 2 failed).
@@ -17,6 +21,13 @@ the CLI's exit-code contract (0 clean / 1 degraded / 2 failed).
 from .context import ExecutionContext
 from .injectors import FaultInjector
 from .plan import FaultClock, FaultEvent, FaultKind, FaultPlan, SeededDraw
+from .process import (
+    DEFAULT_POISON_CRASHES,
+    KILL_POINTS,
+    WORKER_SCENARIO_NAMES,
+    WorkerFaultPlan,
+    build_worker_plan,
+)
 from .scenarios import (
     CAMPAIGN_SCENARIO_NAMES,
     CampaignFaultPlan,
@@ -38,4 +49,9 @@ __all__ = [
     "CampaignFaultPlan",
     "build_campaign_plan",
     "build_plan",
+    "DEFAULT_POISON_CRASHES",
+    "KILL_POINTS",
+    "WORKER_SCENARIO_NAMES",
+    "WorkerFaultPlan",
+    "build_worker_plan",
 ]

@@ -8,44 +8,140 @@ then moved into place with :func:`os.replace`.  A reader therefore
 never observes a torn write — after a crash or SIGKILL the path either
 holds the previous complete content or the new complete content,
 never a prefix of the new one.
+
+Transient disk faults (``ENOSPC``/``EDQUOT`` — a log rotation or a
+neighbouring tenant briefly filling the volume) are absorbed with a
+bounded retry + exponential backoff: :func:`_retry_io` re-attempts the
+whole write up to :data:`IO_RETRY_ATTEMPTS` times, truncating a torn
+partial append back to its pre-attempt length first so a retried append
+never duplicates bytes.  The fault-injection subsystem hooks the same
+path via :func:`set_io_fault_gate` (the ``io-enospc`` campaign
+scenario), which is how the chaos suite proves journal and store bytes
+survive disk-pressure blips unchanged.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
+import time
 
 __all__ = [
+    "IO_RETRY_ATTEMPTS",
     "atomic_write_text",
     "atomic_write_json",
     "canonical_json",
     "fsync_append_text",
+    "io_retry_count",
+    "reset_io_retry_count",
+    "set_io_fault_gate",
     "sha256_text",
     "sha256_file",
 ]
 
+#: Attempts per write before a retryable OSError is allowed to escape.
+IO_RETRY_ATTEMPTS = 5
+
+#: errnos treated as transient disk pressure rather than hard failures.
+_RETRYABLE_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", None),
+        errno.EAGAIN,
+    )
+    if code is not None
+)
+
+#: First backoff sleep; doubles per attempt (2 ms, 4 ms, 8 ms, ...).
+_BACKOFF_BASE_S = 0.002
+
+#: Injectable sleep so tests (and the simulated clock) can avoid real
+#: waits; the schedule itself is deterministic.
+_sleep = time.sleep
+
+#: Optional fault gate ``gate(op, path, attempt) -> None`` consulted
+#: before every write attempt; raising ``OSError`` simulates the write
+#: failing.  ``op`` is ``"append"`` or ``"write"``; ``attempt`` is
+#: 1-based so a gate can fail the first M attempts of an op and then
+#: let the retry through (a *transient* fault).
+_io_fault_gate = None
+
+#: Retries performed since the last reset (observability for tests and
+#: the campaign supervisor's degraded-mode reporting).
+_io_retries = 0
+
+
+def set_io_fault_gate(gate):
+    """Install (or with ``None`` clear) the write fault gate.
+
+    Returns the previously installed gate so callers can restore it.
+    """
+    global _io_fault_gate
+    previous = _io_fault_gate
+    _io_fault_gate = gate
+    return previous
+
+
+def io_retry_count() -> int:
+    """Writes retried (after a transient fault) since the last reset."""
+    return _io_retries
+
+
+def reset_io_retry_count() -> None:
+    """Zero the retry counter (start of a run or a test)."""
+    global _io_retries
+    _io_retries = 0
+
+
+def _retry_io(op: str, path: str, attempt_fn):
+    """Run one write attempt with bounded retry on transient errnos."""
+    global _io_retries
+    for attempt in range(1, IO_RETRY_ATTEMPTS + 1):
+        try:
+            if _io_fault_gate is not None:
+                _io_fault_gate(op, path, attempt)
+            return attempt_fn()
+        except OSError as exc:
+            if exc.errno not in _RETRYABLE_ERRNOS or attempt == IO_RETRY_ATTEMPTS:
+                raise
+            _io_retries += 1
+            _sleep(_BACKOFF_BASE_S * (2 ** (attempt - 1)))
+    raise AssertionError("unreachable")  # pragma: no cover
+
 
 def atomic_write_text(path: str | os.PathLike, text: str) -> None:
-    """Write *text* to *path* atomically (temp file + flush + replace)."""
+    """Write *text* to *path* atomically (temp file + flush + replace).
+
+    Transient ``ENOSPC``-class failures are retried with backoff; every
+    attempt is self-contained (its temp file is unlinked on failure), so
+    the destination only ever flips from old complete content to new
+    complete content.
+    """
     path = os.fspath(path)
     directory = os.path.dirname(path) or "."
-    fd, tmp = tempfile.mkstemp(
-        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except BaseException:
+
+    def _attempt() -> None:
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
         try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    _retry_io("write", path, _attempt)
 
 
 def fsync_append_text(path: str | os.PathLike, text: str) -> int:
@@ -59,16 +155,33 @@ def fsync_append_text(path: str | os.PathLike, text: str) -> int:
     trailing record that fails it.  The containing directory is not
     fsynced: the file itself already exists, so no directory entry
     changes.
+
+    Transient disk faults are retried; before each retry the file is
+    truncated back to its pre-append length, so a partially landed
+    attempt is never duplicated.
     """
     path = os.fspath(path)
     data = text.encode("utf-8")
-    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
     try:
-        os.write(fd, data)
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-    return len(data)
+        base = os.path.getsize(path)
+    except OSError:
+        base = 0
+
+    def _attempt() -> int:
+        try:
+            if os.path.getsize(path) > base:
+                os.truncate(path, base)
+        except OSError:
+            pass
+        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return len(data)
+
+    return _retry_io("append", path, _attempt)
 
 
 def canonical_json(doc: object) -> str:

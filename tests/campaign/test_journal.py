@@ -109,6 +109,41 @@ class TestCorruptTail:
             "resume",
         ]
 
+    def test_torn_first_record_after_campaign_start_heals(self, path):
+        """The boundary case: the torn record is the *first* record after
+        the header — the crash happened while journalling the very first
+        unit.  The campaign-start prefix must survive and the next append
+        must heal the file back to full integrity."""
+        j = Journal(path)
+        j.append("campaign-start", spec="smoke", seed=0)
+        j.append("unit-start", unit="a")
+        j.truncate_tail()
+        loaded = Journal.load(path)
+        assert len(loaded) == 1
+        assert loaded.dropped_tail == 1
+        assert loaded.records[0]["type"] == "campaign-start"
+        loaded.append("unit-start", unit="a")
+        healed = Journal.load(path, strict=True)
+        assert [r["type"] for r in healed.records] == [
+            "campaign-start",
+            "unit-start",
+        ]
+
+    def test_torn_very_first_record_loads_empty_and_heals(self, path):
+        """Even the campaign-start record itself can tear (crash during
+        the very first append).  The journal then loads empty — the
+        resume CLI reports 'no campaign to resume' — and a fresh run can
+        heal the file from scratch."""
+        j = Journal(path)
+        j.append("campaign-start", spec="smoke", seed=0)
+        j.truncate_tail()
+        loaded = Journal.load(path)
+        assert len(loaded) == 0
+        assert loaded.dropped_tail == 1
+        loaded.append("campaign-start", spec="smoke", seed=0)
+        healed = Journal.load(path, strict=True)
+        assert [r["type"] for r in healed.records] == ["campaign-start"]
+
     def test_record_missing_trailing_newline_is_torn(self, path):
         """A record that parses and checksums but lost its newline is a
         torn append: trusting it would corrupt the next write."""

@@ -1,0 +1,130 @@
+"""Bounded IO retry: transient disk faults absorbed byte-exactly."""
+
+import errno
+import os
+
+import pytest
+
+import repro.ioutils as ioutils
+from repro.ioutils import (
+    IO_RETRY_ATTEMPTS,
+    atomic_write_text,
+    fsync_append_text,
+    io_retry_count,
+    reset_io_retry_count,
+    set_io_fault_gate,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_gate():
+    reset_io_retry_count()
+    yield
+    set_io_fault_gate(None)
+    reset_io_retry_count()
+
+
+def _fail_first(n, err=errno.ENOSPC):
+    """A gate failing the first *n* attempts of every op."""
+
+    def gate(op, path, attempt):
+        if attempt <= n:
+            raise OSError(err, f"injected ({op} attempt {attempt})", path)
+
+    return gate
+
+
+class TestRetryOnTransientFaults:
+    def test_atomic_write_survives_transient_enospc(self, tmp_path):
+        path = tmp_path / "out.txt"
+        set_io_fault_gate(_fail_first(2))
+        atomic_write_text(path, "payload\n")
+        assert path.read_text() == "payload\n"
+        assert io_retry_count() == 2
+
+    def test_append_survives_transient_enospc(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        fsync_append_text(path, "one\n")
+        set_io_fault_gate(_fail_first(1))
+        fsync_append_text(path, "two\n")
+        assert path.read_text() == "one\ntwo\n"
+        assert io_retry_count() == 1
+
+    def test_edquot_is_retryable_too(self, tmp_path):
+        path = tmp_path / "out.txt"
+        set_io_fault_gate(_fail_first(1, errno.EDQUOT))
+        atomic_write_text(path, "x")
+        assert path.read_text() == "x"
+
+    def test_persistent_fault_escapes_after_budget(self, tmp_path):
+        path = tmp_path / "out.txt"
+        set_io_fault_gate(_fail_first(IO_RETRY_ATTEMPTS + 1))
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_text(path, "x")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert io_retry_count() == IO_RETRY_ATTEMPTS - 1
+
+    def test_non_retryable_errno_escapes_immediately(self, tmp_path):
+        path = tmp_path / "out.txt"
+        set_io_fault_gate(_fail_first(1, errno.EACCES))
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_text(path, "x")
+        assert excinfo.value.errno == errno.EACCES
+        assert io_retry_count() == 0
+
+
+class TestNoTornBytes:
+    def test_partial_append_is_truncated_before_retry(self, tmp_path):
+        # Simulate an append that landed partial bytes before failing:
+        # the retry must truncate back to the pre-append length, never
+        # duplicate or interleave.
+        path = tmp_path / "log.jsonl"
+        fsync_append_text(path, "intact\n")
+        fired = {"n": 0}
+
+        def torn_gate(op, p, attempt):
+            if attempt == 1:
+                fired["n"] += 1
+                with open(p, "a", encoding="utf-8") as fh:
+                    fh.write("TORN")
+                raise OSError(errno.ENOSPC, "injected mid-append", p)
+
+        set_io_fault_gate(torn_gate)
+        fsync_append_text(path, "next\n")
+        assert fired["n"] == 1
+        assert path.read_text() == "intact\nnext\n"
+
+    def test_failed_atomic_write_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        set_io_fault_gate(_fail_first(IO_RETRY_ATTEMPTS + 1))
+        with pytest.raises(OSError):
+            atomic_write_text(path, "x")
+        set_io_fault_gate(None)
+        assert os.listdir(tmp_path) == []
+
+
+class TestBackoffAndGateProtocol:
+    def test_backoff_doubles_per_retry(self, tmp_path, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(ioutils, "_sleep", sleeps.append)
+        set_io_fault_gate(_fail_first(3))
+        atomic_write_text(tmp_path / "out.txt", "x")
+        assert len(sleeps) == 3
+        assert sleeps[1] == pytest.approx(sleeps[0] * 2)
+        assert sleeps[2] == pytest.approx(sleeps[0] * 4)
+
+    def test_gate_sees_op_kind_and_one_based_attempts(self, tmp_path):
+        seen = []
+
+        def recording_gate(op, path, attempt):
+            seen.append((op, attempt))
+
+        set_io_fault_gate(recording_gate)
+        atomic_write_text(tmp_path / "a.txt", "x")
+        fsync_append_text(tmp_path / "b.txt", "y")
+        assert seen == [("write", 1), ("append", 1)]
+
+    def test_set_gate_returns_previous(self):
+        first = _fail_first(0)
+        assert set_io_fault_gate(first) is None
+        assert set_io_fault_gate(None) is first

@@ -122,6 +122,61 @@ class TestMetricsCommand:
         assert "kernel_occupancy" in out
         assert "roofline_regime" in out
 
+    def test_simcache_and_scheduler_counters_always_exported(self, capsys):
+        # Dashboards alert on missing series, so the sim-cache and
+        # scheduler supervision counters must always appear, even in a
+        # run that never exercised them.
+        rc = main(["metrics", "triad", "--seed", "0"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for family in (
+            "simcache_hit",
+            "simcache_miss",
+            "simcache_bypass",
+            "worker_respawns",
+            "unit_quarantined",
+            "scheduler_degraded",
+        ):
+            assert f"# TYPE {family} counter" in out, f"missing: {family}"
+        # A single-process bench run touches the sim cache but never the
+        # campaign supervisor: those counters surface at literal zero.
+        for series in (
+            "simcache_bypass 0",
+            "worker_respawns 0",
+            "unit_quarantined 0",
+            "scheduler_degraded 0",
+        ):
+            assert series in out, f"missing zero-valued series: {series}"
+        # The cache itself was genuinely exercised by the run.
+        hit_lines = [
+            line for line in out.splitlines()
+            if line.startswith("simcache_hit ")
+        ]
+        assert hit_lines and float(hit_lines[0].split()[-1]) > 0
+
+    def test_metric_names_and_labels_are_sorted(self, capsys):
+        # The scrape is byte-deterministic: metric families in sorted
+        # order, and every label set sorted by key.
+        rc = main(["metrics", "gemm", "--inject", "device-loss", "--seed", "7"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        families = [
+            line.split()[2]
+            for line in out.splitlines()
+            if line.startswith("# TYPE ")
+        ]
+        assert families == sorted(families)
+        for line in out.splitlines():
+            if line.startswith("#") or "{" not in line:
+                continue
+            labels = line[line.index("{") + 1 : line.rindex("}")]
+            keys = [
+                part.split("=", 1)[0]
+                for part in labels.split(",")
+                if part
+            ]
+            assert keys == sorted(keys), f"unsorted labels in: {line}"
+
 
 class TestManifestFlag:
     def test_trace_with_manifest(self, tmp_path):
@@ -161,3 +216,13 @@ class TestHealthSummary:
         assert rc == 1
         out = capsys.readouterr().out
         assert "telemetry:" in out
+
+    def test_health_includes_scheduler_selfcheck(self, capsys):
+        rc = main(["health"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[ok ] scheduler" in out
+        assert "[FAIL] scheduler" not in out
+        # The selfcheck provably kills a worker and proves clean reaping.
+        assert "scheduler.respawn" in out
+        assert "scheduler.no-leaked-children" in out

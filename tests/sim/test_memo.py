@@ -41,6 +41,42 @@ class TestMemoCache:
         assert cache.get("b") == 2
         assert cache.get("c") == 3
 
+    def test_no_eviction_at_exactly_max_entries(self):
+        # Filling to exactly the cap must not evict: the boundary is
+        # "would exceed", not "reached".
+        cache = MemoCache(max_entries=3)
+        for i, key in enumerate("abc"):
+            cache.put(key, i)
+        assert len(cache) == 3
+        assert [cache.get(k) for k in "abc"] == [0, 1, 2]
+
+    def test_single_eviction_one_past_the_boundary(self):
+        cache = MemoCache(max_entries=3)
+        for i, key in enumerate("abc"):
+            cache.put(key, i)
+        cache.put("d", 3)  # exactly one over: exactly one eviction
+        assert len(cache) == 3
+        assert cache.get("a") is None
+        assert [cache.get(k) for k in "bcd"] == [1, 2, 3]
+
+    def test_capacity_of_one_boundary(self):
+        cache = MemoCache(max_entries=1)
+        cache.put("a", 1)
+        assert len(cache) == 1 and cache.get("a") == 1
+        cache.put("b", 2)
+        assert len(cache) == 1
+        assert cache.get("a") is None and cache.get("b") == 2
+
+    def test_overwrite_at_full_capacity_keeps_all_keys(self):
+        # Overwriting an existing key while exactly full must not evict
+        # a bystander.
+        cache = MemoCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("b", 20)
+        assert len(cache) == 2
+        assert cache.get("a") == 1 and cache.get("b") == 20
+
     def test_overwrite_does_not_evict(self):
         cache = MemoCache(max_entries=2)
         cache.put("a", 1)
