@@ -58,6 +58,7 @@ from ..faults.scenarios import (
     build_campaign_plan,
 )
 from ..ioutils import atomic_write_text, set_io_fault_gate
+from ..obs.events import EventBus
 from ..telemetry.metrics import MetricsRegistry
 from .journal import Journal
 from .scheduler import DagScheduler, resolve_jobs
@@ -95,6 +96,16 @@ def aggregate_metrics(payloads: list[dict]) -> MetricsRegistry:
     return registry
 
 
+def _cache_counts(payload: dict) -> tuple[float, float, float]:
+    """The unit's sim memo-cache counters (hits, misses, bypasses)."""
+
+    def total(name: str) -> float:
+        entry = payload.get("metrics", {}).get(name, {})
+        return float(sum(s["value"] for s in entry.get("samples", [])))
+
+    return total("simcache.hit"), total("simcache.miss"), total("simcache.bypass")
+
+
 class Orchestrator:
     """Drives one campaign directory through run/resume/status/verify."""
 
@@ -126,6 +137,7 @@ class Orchestrator:
         self.max_respawns = max_respawns
         self.hang_timeout_s = hang_timeout_s
         self.store = ResultStore(os.path.join(self.directory, "store"))
+        self.events = EventBus(self.directory)
         self._interrupted = False
         self._payloads: dict[str, dict] = {}
         self._supervision = None
@@ -222,6 +234,15 @@ class Orchestrator:
                 profile=self.profile,
                 units=[u.id for u in self.spec.execution_order()],
             )
+            self.events.emit(
+                "campaign-start",
+                sim_us=0.0,
+                spec=self.spec.name,
+                spec_digest=self.spec.digest(),
+                scenario=self.scenario,
+                seed=self.seed,
+                units=len(self.spec),
+            )
             if self.campaign_plan is not None:
                 _log(self.campaign_plan.describe())
             if self.worker_plan is not None:
@@ -305,6 +326,16 @@ class Orchestrator:
             f"resuming: {len(completed)} unit(s) verified and skipped, "
             f"{len(rerun)} to run"
         )
+        self.events.emit(
+            "resume",
+            sim_us=1e6
+            * sum(
+                self._payload(uid, digest).get("simulated_s", 0.0)
+                for uid, digest in completed.items()
+            ),
+            skipped=len(completed),
+            rerun=len(rerun),
+        )
         return self._execute(journal, completed=completed)
 
     # ------------------------------------------------------------------
@@ -320,6 +351,9 @@ class Orchestrator:
         """The between-unit supervisor checks (shared serial/parallel)."""
         if self._interrupted:
             journal.append("interrupted", before=unit.id)
+            self.events.emit(
+                "interrupted", sim_us=simulated_total * 1e6, before=unit.id
+            )
             _log("interrupted; journal is resumable")
             return ExitCode.INTERRUPTED
         if self.deadline_s is not None and simulated_total >= self.deadline_s:
@@ -329,12 +363,73 @@ class Orchestrator:
                 simulated_s=simulated_total,
                 deadline_s=self.deadline_s,
             )
+            self.events.emit(
+                "deadline",
+                sim_us=simulated_total * 1e6,
+                before=unit.id,
+                simulated_s=simulated_total,
+            )
             _log(
                 f"campaign deadline of {self.deadline_s:g}s "
                 f"(simulated) reached; resumable"
             )
             return ExitCode.INTERRUPTED
         return None
+
+    def _emit_unit_events(
+        self,
+        unit,
+        payload: dict,
+        digest: str,
+        simulated_total: float,
+        quarantined: tuple[int, ...] | None = None,
+    ) -> None:
+        """Publish one committed unit's deterministic event records.
+
+        Everything here is distilled from the stored payload (itself a
+        pure function of the unit's identity) plus the cumulative
+        simulated clock, so the emitted bytes are identical however the
+        unit was executed — serial, worker pool, or degraded drain.
+        """
+        sim_us = simulated_total * 1e6
+        for incident in payload.get("incidents", []):
+            self.events.emit(
+                "fault-injected", sim_us=sim_us, unit=unit.id, incident=incident
+            )
+        hits, misses, bypasses = _cache_counts(payload)
+        if hits or misses or bypasses:
+            self.events.emit(
+                "cache-stats",
+                sim_us=sim_us,
+                unit=unit.id,
+                hits=hits,
+                misses=misses,
+                bypasses=bypasses,
+            )
+        if "profile" in payload:
+            profile = payload["profile"]
+            self.events.emit(
+                "profile-attributed",
+                sim_us=sim_us,
+                unit=unit.id,
+                digest=profile["digest"],
+                device_us=profile["device_us"],
+                kernels=profile["kernels"],
+            )
+        extra: dict = {}
+        if payload.get("error") is not None:
+            extra["error"] = payload["error"]
+        if quarantined is not None:
+            extra["exit_codes"] = list(quarantined)
+        self.events.emit(
+            "unit-committed",
+            sim_us=sim_us,
+            unit=unit.id,
+            status=payload["status"],
+            digest=digest,
+            simulated_s=payload.get("simulated_s", 0.0),
+            **extra,
+        )
 
     def _injected_crash(self, journal: Journal, unit, idx: int) -> bool:
         """Apply the campaign fault plan's crash point, if this is it."""
@@ -360,6 +455,12 @@ class Orchestrator:
             self._payload(uid, digest).get("simulated_s", 0.0)
             for uid, digest in completed.items()
         )
+        self.events.live(
+            "run-live",
+            jobs=1,
+            pid=os.getpid(),
+            units=sum(1 for u in order if u.id not in completed),
+        )
         with self._supervised():
             for idx, unit in enumerate(order):
                 if unit.id in completed:
@@ -368,6 +469,9 @@ class Orchestrator:
                 if early is not None:
                     return early
                 journal.append("unit-start", unit=unit.id)
+                self.events.live(
+                    "unit-dispatched", unit=unit.id, index=0, attempt=1
+                )
                 try:
                     deps = {d: self._payload(d) for d in unit.deps}
                     payload = execute_unit(
@@ -375,6 +479,11 @@ class Orchestrator:
                     )
                 except KeyboardInterrupt:
                     journal.append("interrupted", during=unit.id)
+                    self.events.emit(
+                        "interrupted",
+                        sim_us=simulated_total * 1e6,
+                        before=unit.id,
+                    )
                     _log(f"interrupted during {unit.id}; journal is resumable")
                     return ExitCode.INTERRUPTED
                 except ReproError as exc:
@@ -389,6 +498,10 @@ class Orchestrator:
                     )
                     completed[unit.id] = digest
                     self._payloads[unit.id] = payload
+                    self._emit_unit_events(unit, payload, digest, simulated_total)
+                    self.events.live(
+                        "unit-completed", unit=unit.id, status=payload["status"]
+                    )
                     _log(f"{unit.id}: FAILED ({payload['error']})")
                     continue
                 watchdog = apply_watchdog(payload, self.unit_timeout_s)
@@ -405,6 +518,10 @@ class Orchestrator:
                 completed[unit.id] = digest
                 self._payloads[unit.id] = payload
                 simulated_total += payload["simulated_s"]
+                self._emit_unit_events(unit, payload, digest, simulated_total)
+                self.events.live(
+                    "unit-completed", unit=unit.id, status=payload["status"]
+                )
                 _log(f"{unit.id}: {payload['status']}")
                 if self._injected_crash(journal, unit, idx):
                     return ExitCode.INTERRUPTED
@@ -451,12 +568,19 @@ class Orchestrator:
             hang_timeout_s=hang_timeout_s,
             worker_faults=self.worker_plan,
             log=_log,
+            events=self.events,
         )
         self._supervision = scheduler.stats
         _log(
             f"parallel execution: {len(scheduler.pending)} unit(s) across "
             f"{min(self.jobs, len(scheduler.pending))} worker(s), "
             f"{len(self.spec.waves())} wave(s)"
+        )
+        self.events.live(
+            "run-live",
+            jobs=self.jobs,
+            pid=os.getpid(),
+            units=len(scheduler.pending),
         )
         stream = scheduler.outcomes()
         try:
@@ -471,6 +595,11 @@ class Orchestrator:
                         outcome = next(stream)
                     except KeyboardInterrupt:
                         journal.append("interrupted", before=unit.id)
+                        self.events.emit(
+                            "interrupted",
+                            sim_us=simulated_total * 1e6,
+                            before=unit.id,
+                        )
                         _log("interrupted; journal is resumable")
                         return ExitCode.INTERRUPTED
                     payload = outcome.payload
@@ -485,6 +614,13 @@ class Orchestrator:
                             error=payload["error"],
                             exit_codes=list(outcome.quarantined),
                         )
+                        self._emit_unit_events(
+                            unit,
+                            payload,
+                            digest,
+                            simulated_total,
+                            quarantined=tuple(outcome.quarantined),
+                        )
                         _log(f"{unit.id}: QUARANTINED ({payload['error']})")
                     elif outcome.error is not None:
                         journal.append(
@@ -493,6 +629,9 @@ class Orchestrator:
                             digest=digest,
                             status=payload["status"],
                             error=payload["error"],
+                        )
+                        self._emit_unit_events(
+                            unit, payload, digest, simulated_total
                         )
                         _log(f"{unit.id}: FAILED ({payload['error']})")
                     else:
@@ -510,6 +649,9 @@ class Orchestrator:
                             **extra,
                         )
                         simulated_total += payload["simulated_s"]
+                        self._emit_unit_events(
+                            unit, payload, digest, simulated_total
+                        )
                         _log(f"{unit.id}: {payload['status']}")
                     completed[unit.id] = digest
                     self._payloads[unit.id] = payload
@@ -540,6 +682,11 @@ class Orchestrator:
         self._write_manifest(order, payloads, completed, worst)
         code = status_exit_code(worst)
         journal.append("campaign-done", exit=int(code))
+        self.events.emit(
+            "campaign-done",
+            sim_us=1e6 * sum(p.get("simulated_s", 0.0) for p in payloads),
+            exit=int(code),
+        )
         _log(
             f"complete: {len(order)} unit(s), worst status {worst.name}, "
             f"artifacts in {self.tables_dir}"
@@ -647,6 +794,7 @@ class Orchestrator:
                 f"  {len(quarantined)} unit(s) quarantined after repeated "
                 "worker crashes; their dependents carry FAILED provenance"
             )
+        self._status_workers()
         print(
             f"  {done}/{len(state)} unit(s) complete, "
             f"{len(journal)} journal record(s)"
@@ -661,6 +809,36 @@ class Orchestrator:
         else:
             print("  campaign incomplete: finish with 'campaign resume'")
         return ExitCode.OK
+
+    def _status_workers(self) -> None:
+        """Per-worker heartbeat ages and respawn counts (live stream)."""
+        import time
+
+        from ..obs.watch import worker_lanes
+
+        lanes = worker_lanes(self.events.live_records())
+        if not lanes:
+            return
+        now = time.time()
+        respawns = max((ln.respawns_used for ln in lanes), default=0)
+        print(
+            f"  workers: {len(lanes)} lane(s), "
+            f"{respawns} respawn(s) used"
+        )
+        for ln in lanes:
+            beat = (
+                f"last heartbeat {max(now - ln.last_beat, 0.0):.1f}s ago"
+                if ln.last_beat is not None
+                else "no heartbeat seen"
+            )
+            unit = f" on {ln.unit}" if ln.unit else ""
+            respawn = (
+                f", respawn {ln.respawns_used}" if ln.respawns_used else ""
+            )
+            print(
+                f"    [{ln.index}] {ln.worker:22s} "
+                f"{ln.state}{unit} ({beat}{respawn})"
+            )
 
     def verify(self) -> ExitCode:
         """Prove journal + store integrity; 0 complete, 3 partial, 4 corrupt."""
@@ -703,13 +881,17 @@ class Orchestrator:
 # ----------------------------------------------------------------------
 
 def campaign_main(args) -> int:
-    """Dispatch ``pvc-bench campaign <run|resume|status|verify>``."""
+    """Dispatch ``pvc-bench campaign <run|resume|status|verify|watch>``."""
     action = args.bench
-    if action not in ("run", "resume", "status", "verify"):
+    if action not in ("run", "resume", "status", "verify", "watch"):
         raise CampaignError(
             f"unknown campaign action {action!r}; "
-            "choose from: run, resume, status, verify"
+            "choose from: run, resume, status, verify, watch"
         )
+    if action == "watch":
+        from ..obs.watch import watch_main
+
+        return watch_main(args)
     if not args.dir:
         raise CampaignError("campaign commands need --dir <directory>")
     if action == "run":

@@ -187,6 +187,7 @@ class DagScheduler:
         hang_timeout_s: float | None = None,
         worker_faults=None,
         log=None,
+        events=None,
     ) -> None:
         self.spec = spec
         self.scenario = scenario
@@ -204,6 +205,7 @@ class DagScheduler:
         self.hang_timeout_s = hang_timeout_s
         self.worker_faults = worker_faults
         self.log = log
+        self.events = events  # optional EventBus for live worker telemetry
         self.stats = SupervisionStats()
         self.pending = tuple(
             u for u in spec.execution_order() if u.id not in self.preloaded
@@ -234,6 +236,7 @@ class DagScheduler:
             poison_crashes=self.poison_crashes,
             hang_timeout_s=self.hang_timeout_s,
             stats=self.stats,
+            events=self.events,
             **({"log": self.log} if self.log is not None else {}),
         )
         supervisor.start()

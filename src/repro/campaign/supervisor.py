@@ -171,6 +171,7 @@ class WorkerSupervisor:
         hang_timeout_s: float | None = None,
         stats: SupervisionStats | None = None,
         log=None,
+        events=None,
     ) -> None:
         if n_workers < 1:
             raise WorkerCrashError(f"worker pool needs >= 1 worker, got {n_workers}")
@@ -186,6 +187,12 @@ class WorkerSupervisor:
         self.hang_timeout_s = hang_timeout_s
         self.stats = stats if stats is not None else SupervisionStats()
         self.log = log if log is not None else _default_log
+        #: Optional :class:`repro.obs.events.EventBus`; everything the
+        #: supervisor publishes goes to the wall-clock *live* stream
+        #: (spawns, dispatches, heartbeats, deaths, respawns, hangs,
+        #: quarantines, degradation) so the deterministic stream stays
+        #: byte-identical to a fault-free serial run.
+        self.events = events
         self._ctx = multiprocessing.get_context("fork")
         self.result_q = self._ctx.Queue()
         self._workers: list[_Worker] = []
@@ -195,6 +202,10 @@ class WorkerSupervisor:
         self._crash_codes: dict[str, list[int]] = {}
         self._spawn_serial = 0
         self._degraded_announced = False
+
+    def _live(self, etype: str, **fields) -> None:
+        if self.events is not None:
+            self.events.live(etype, **fields)
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -213,6 +224,7 @@ class WorkerSupervisor:
             name=f"campaign-worker-{index}",
         )
         proc.start()
+        self._live("worker-spawn", worker=proc.name, index=index)
         return _Worker(index, proc, task_q)
 
     def shutdown(self) -> None:
@@ -299,6 +311,7 @@ class WorkerSupervisor:
                         f"(respawn budget {self.max_respawns} spent); "
                         "draining remaining units serially in-process"
                     )
+                    self._live("pool-degraded")
                 return ("degraded",)
             try:
                 item = self.result_q.get(timeout=_POLL_S)
@@ -317,13 +330,15 @@ class WorkerSupervisor:
 
     def _handle_item(self, item) -> None:
         if item[0] == HEARTBEAT:
-            _, index, _unit_id = item
+            _, index, unit_id = item
             for worker in self._workers:
                 if worker.index == index:
                     worker.last_beat = time.monotonic()
                     break
+            self._live("worker-heartbeat", index=index, unit=unit_id)
             return
         unit_id, status, data = item
+        self._live("unit-completed", unit=unit_id, status=status)
         for worker in self._workers:
             if worker.unit is not None and worker.unit.id == unit_id:
                 worker.unit = None
@@ -361,6 +376,11 @@ class WorkerSupervisor:
                     f"{worker.unit.id!r} (> {self.hang_timeout_s:g}s); killing it"
                 )
                 self.stats.hang_kills += 1
+                self._live(
+                    "worker-hang-kill",
+                    worker=worker.proc.name,
+                    unit=worker.unit.id,
+                )
                 worker.proc.kill()
                 worker.proc.join(timeout=_JOIN_S)
 
@@ -378,6 +398,12 @@ class WorkerSupervisor:
                 # Its result may already be on the wire (killed after
                 # flushing): grace-drain before treating it as a crash.
                 self._drain_results(_REAP_DRAIN_S)
+            self._live(
+                "worker-exit",
+                worker=worker.proc.name,
+                exitcode=exitcode,
+                unit=worker.unit.id if worker.unit is not None else None,
+            )
             if worker.unit is not None:
                 self._record_crash(worker)
             else:
@@ -391,6 +417,12 @@ class WorkerSupervisor:
                 self.log(
                     f"respawned {replacement.proc.name} "
                     f"({self.stats.respawns}/{self.max_respawns} respawns used)"
+                )
+                self._live(
+                    "worker-respawn",
+                    worker=replacement.proc.name,
+                    replaces=worker.proc.name,
+                    respawns_used=self.stats.respawns,
                 )
                 self._workers[slot] = replacement
 
@@ -417,6 +449,7 @@ class WorkerSupervisor:
                 f"quarantining unit {unit.id!r} after {count} consecutive "
                 f"worker crashes (exit codes: {', '.join(map(str, codes))})"
             )
+            self._live("quarantine", unit=unit.id, exit_codes=list(codes))
             self._events.append(("quarantined", unit, tuple(codes)))
         else:
             self._requeue(unit, deps)
@@ -433,4 +466,10 @@ class WorkerSupervisor:
             worker.unit = unit
             worker.deps = deps
             worker.last_beat = time.monotonic()
+            self._live(
+                "unit-dispatched",
+                unit=unit.id,
+                index=worker.index,
+                attempt=attempt,
+            )
             worker.task_q.put((unit, deps, attempt))

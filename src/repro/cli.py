@@ -42,6 +42,13 @@ Crash-safe campaigns (write-ahead journal + checkpoint/resume)::
     pvc-bench campaign status --dir out
     pvc-bench campaign verify --dir out
 
+Live observability (event streams, watch board, exporters, trend)::
+
+    pvc-bench campaign watch out                   # live status board
+    pvc-bench obs export out --out trace.json      # Perfetto timeline
+    pvc-bench obs serve out --port 9100            # OpenMetrics exporter
+    pvc-bench trend BENCH_0.json BENCH_1.json      # cross-run analytics
+
 Exit codes (see ``repro.exitcodes``): 0 = clean, 1 = degraded cells or a
 measurement failure, 2 = failed cells or a fatal error, 3 = interrupted
 but resumable (``campaign resume`` finishes it), 4 = corrupt journal or
@@ -227,6 +234,16 @@ def _cmd_metrics(ctx: ExecutionContext, args) -> None:
     for name, help_text in _DECLARED_COUNTERS:
         ctx.telemetry.metrics.counter(name, help_text)
     print(ctx.telemetry.metrics.to_prometheus(), end="")
+    # Percentile summary on stderr, so stdout stays a parseable scrape.
+    summary = ctx.telemetry.metrics.percentile_summary()
+    if summary:
+        print("latency percentiles (from histogram buckets):", file=sys.stderr)
+        for name, row in summary.items():
+            print(
+                f"  {name}: p50 {row['p50']:.4g}  p95 {row['p95']:.4g}  "
+                f"p99 {row['p99']:.4g}  (n={row['count']:.0f})",
+                file=sys.stderr,
+            )
 
 
 def _cmd_claims() -> None:
@@ -403,7 +420,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(_COMMANDS)
         + sorted(_CTX_COMMANDS)
         + sorted(_TELEMETRY_COMMANDS)
-        + ["campaign", "profile"],
+        + ["campaign", "obs", "profile", "trend"],
     )
     parser.add_argument(
         "bench",
@@ -412,8 +429,17 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark for trace/metrics/profile "
         f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm; profile also "
         "accepts 'smoke' and 'full', where 'full' adds the campaign "
-        "wall-clock/sim-cache benchmark matrix) or the campaign action "
-        "(run, resume, status, verify)",
+        "wall-clock/sim-cache benchmark matrix), the campaign action "
+        "(run, resume, status, verify, watch), the obs action "
+        "(export, serve), or the first baseline file for trend",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        default=[],
+        help="trailing positionals: the run directory for "
+        "'campaign watch' / 'obs export' / 'obs serve', or further "
+        "baseline files for 'trend'",
     )
     parser.add_argument(
         "--inject",
@@ -528,6 +554,27 @@ def main(argv: list[str] | None = None) -> int:
         help="profile: export a deterministic collapsed-stack file "
         "(flamegraph.pl / speedscope input)",
     )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="campaign watch: render one snapshot and exit instead of "
+        "following the run",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="campaign watch: poll interval (default: 0.5)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        metavar="N",
+        default=None,
+        help="obs serve: TCP port for the OpenMetrics exporter "
+        "(default: ephemeral)",
+    )
     args = parser.parse_args(argv)
     needs_telemetry = (
         args.command in _TELEMETRY_COMMANDS
@@ -548,6 +595,23 @@ def main(argv: list[str] | None = None) -> int:
             from .campaign.orchestrator import campaign_main
 
             return campaign_main(args)
+        if args.command == "obs":
+            from .errors import CampaignError
+            from .obs.export import export_main
+            from .obs.serve import serve_main
+
+            if args.bench == "export":
+                return export_main(args)
+            if args.bench == "serve":
+                return serve_main(args)
+            raise CampaignError(
+                f"unknown obs action {args.bench!r}; "
+                "choose from: export, serve"
+            )
+        if args.command == "trend":
+            from .obs.trend import trend_main
+
+            return trend_main(args)
         ctx = ExecutionContext(args.inject, args.seed, telemetry=telemetry)
         if args.command in _TELEMETRY_COMMANDS:
             _TELEMETRY_COMMANDS[args.command](ctx, args)

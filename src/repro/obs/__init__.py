@@ -1,0 +1,43 @@
+"""Live observability for campaigns and benchmarks.
+
+Four pieces layered over the telemetry/campaign/profiler stack:
+
+* :mod:`repro.obs.events` — the structured event bus: every layer
+  (orchestrator commits, supervisor respawns/heartbeats, memo-cache
+  accounting, fault injections, profiler attribution) publishes typed
+  NDJSON records into the run directory.  The deterministic stream
+  (``events.ndjson``) is stamped with the simulated clock and is
+  byte-identical across serial and parallel runs; the live stream
+  (``live.ndjson``) carries wall-clock worker telemetry for watching.
+* :mod:`repro.obs.watch` — ``pvc-bench campaign watch <rundir>``: a
+  status board tailing the journal + event streams from another
+  process, with per-worker lanes, cache hit rate, quarantines and ETA.
+* :mod:`repro.obs.export` — Chrome-trace-event/Perfetto export of a
+  run's unit spans with worker lanes, and the OpenMetrics snapshot the
+  ``obs serve`` stdlib HTTP exporter publishes.
+* :mod:`repro.obs.trend` — cross-run analytics over ``BENCH_*.json``
+  baselines: attributes FOM / wall-clock / sim-cache deltas to the
+  kernels and roofline bounds that moved.
+"""
+
+from .events import (
+    DETERMINISTIC_EVENTS,
+    EVENTS_FILE,
+    EVENT_SCHEMA_VERSION,
+    LIVE_EVENTS,
+    LIVE_FILE,
+    EventBus,
+    read_events,
+    validate_event,
+)
+
+__all__ = [
+    "DETERMINISTIC_EVENTS",
+    "EVENTS_FILE",
+    "EVENT_SCHEMA_VERSION",
+    "EventBus",
+    "LIVE_EVENTS",
+    "LIVE_FILE",
+    "read_events",
+    "validate_event",
+]

@@ -1,0 +1,208 @@
+"""Exporters over a run directory's event streams.
+
+Two consumers, one source of truth (:mod:`.events`):
+
+* :func:`export_chrome` turns a run directory into the standard
+  ``chrome://tracing`` / Perfetto trace-event JSON by replaying the
+  streams through :class:`repro.telemetry.trace.Tracer`.  A run with a
+  live stream gets one lane per worker with wall-clock dispatch →
+  completion spans plus instants for deaths, respawns, hang kills,
+  quarantines and degradation; a deterministic-only directory (old
+  runs, stripped archives) degrades to a single commit lane on the
+  simulated clock with fault-injection instants.
+* :func:`run_registry` folds the deterministic stream into a
+  :class:`~repro.telemetry.metrics.MetricsRegistry` — unit/status
+  counters, sim-cache counters, fault counts, a simulated-duration
+  histogram — which the ``obs serve`` HTTP exporter renders with
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.to_openmetrics`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from ..errors import CampaignError
+from ..ioutils import atomic_write_text
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import Tracer
+from .events import EVENTS_FILE, LIVE_FILE, read_events
+
+__all__ = ["export_chrome", "export_json", "export_main", "run_registry"]
+
+
+def _live_trace(tracer: Tracer, live: list[dict]) -> None:
+    """Worker lanes on the wall clock, relative to the run-live mark."""
+    t0 = live[0]["ts"]
+
+    def us(ts: float) -> float:
+        return (ts - t0) * 1e6
+
+    lane_of: dict[int, str] = {}
+    open_spans: dict[str, tuple[str, float, int]] = {}  # unit -> lane, ts, att
+
+    def lane(index: int) -> str:
+        if index not in lane_of:
+            name = f"worker-{index}"
+            lane_of[index] = tracer.lane(name, sort_key=(1, index, 0))
+        return lane_of[index]
+
+    for rec in live:
+        etype = rec["type"]
+        if etype == "worker-spawn":
+            name = tracer.lane(f"worker-{rec['index']}", (1, rec["index"], 0))
+            lane_of[rec["index"]] = name
+            tracer.instant(
+                "worker-spawn",
+                name,
+                ts_us=us(rec["ts"]),
+                category="supervision",
+                worker=rec["worker"],
+            )
+        elif etype == "unit-dispatched":
+            open_spans[rec["unit"]] = (
+                lane(rec["index"]),
+                rec["ts"],
+                rec["attempt"],
+            )
+        elif etype == "unit-completed" and rec["unit"] in open_spans:
+            span_lane, start_ts, attempt = open_spans.pop(rec["unit"])
+            tracer.complete(
+                rec["unit"],
+                span_lane,
+                us(rec["ts"]) - us(start_ts),
+                start_us=us(start_ts),
+                category="unit",
+                status=rec["status"],
+                attempt=attempt,
+            )
+        elif etype in (
+            "worker-exit",
+            "worker-respawn",
+            "worker-hang-kill",
+            "quarantine",
+            "pool-degraded",
+        ):
+            target = tracer.lane("supervisor", (0, 0, 0))
+            if etype in ("worker-exit", "worker-hang-kill"):
+                # Anchor the death marker on the lane that died; worker
+                # names end in the spawn index ("campaign-worker-3").
+                suffix = rec.get("worker", "").rsplit("-", 1)[-1]
+                if suffix.isdigit() and int(suffix) in lane_of:
+                    target = lane_of[int(suffix)]
+            args = {
+                k: v for k, v in rec.items() if k not in ("v", "type", "ts")
+            }
+            tracer.instant(
+                etype,
+                target,
+                ts_us=us(rec["ts"]),
+                category="supervision",
+                **args,
+            )
+
+
+def _deterministic_trace(tracer: Tracer, det: list[dict]) -> None:
+    """One commit lane on the simulated clock (no live stream)."""
+    lane = tracer.lane("commit", (0, 0, 0))
+    prev_us = 0.0
+    for rec in det:
+        if rec["type"] == "unit-committed":
+            start = rec["sim_us"] - rec["simulated_s"] * 1e6
+            tracer.complete(
+                rec["unit"],
+                lane,
+                rec["simulated_s"] * 1e6,
+                start_us=max(start, prev_us),
+                category="unit",
+                status=rec["status"],
+            )
+            prev_us = rec["sim_us"]
+        elif rec["type"] == "fault-injected":
+            tracer.instant(
+                rec["incident"],
+                lane,
+                ts_us=rec["sim_us"],
+                category="fault",
+                unit=rec["unit"],
+            )
+
+
+def export_chrome(rundir: str | os.PathLike) -> dict:
+    """The run directory's timeline as a trace-event document."""
+    rundir = os.fspath(rundir)
+    det = read_events(os.path.join(rundir, EVENTS_FILE))
+    live = read_events(os.path.join(rundir, LIVE_FILE))
+    if not det and not live:
+        raise CampaignError(f"{rundir} holds no event streams to export")
+    tracer = Tracer()
+    if live:
+        _live_trace(tracer, live)
+    else:
+        _deterministic_trace(tracer, det)
+    return tracer.to_chrome()
+
+
+def export_json(rundir: str | os.PathLike) -> str:
+    """The Chrome-trace document serialized deterministically (sorted
+    keys, stable indentation) so repeated exports compare with cmp."""
+    return json.dumps(export_chrome(rundir), indent=2, sort_keys=True)
+
+
+def run_registry(rundir: str | os.PathLike) -> MetricsRegistry:
+    """Fold the deterministic stream into an exportable registry."""
+    rundir = os.fspath(rundir)
+    registry = MetricsRegistry()
+    registry.counter("campaign.units", "campaign units committed, by status")
+    registry.counter("simcache.hit", "sim memo cache hits")
+    registry.counter("simcache.miss", "sim memo cache misses")
+    registry.counter("simcache.bypass", "sim memo cache bypasses")
+    registry.counter("fault.injected", "fault injections observed")
+    registry.histogram(
+        "unit.simulated_us", "per-unit simulated duration (microseconds)"
+    )
+    registry.gauge("campaign.simulated_seconds", "cumulative simulated clock")
+    registry.gauge("campaign.complete", "1 once campaign-done was published")
+    for rec in read_events(os.path.join(rundir, EVENTS_FILE)):
+        etype = rec["type"]
+        if etype == "unit-committed":
+            registry.inc("campaign.units", 1, status=rec["status"])
+            registry.observe(
+                "unit.simulated_us", rec["simulated_s"] * 1e6
+            )
+        elif etype == "cache-stats":
+            registry.inc("simcache.hit", rec["hits"])
+            registry.inc("simcache.miss", rec["misses"])
+            registry.inc("simcache.bypass", rec["bypasses"])
+        elif etype == "fault-injected":
+            registry.inc("fault.injected", 1, unit=rec["unit"])
+        elif etype == "campaign-done":
+            registry.set_gauge("campaign.complete", 1.0)
+        registry.set_gauge("campaign.simulated_seconds", rec["sim_us"] / 1e6)
+    for rec in read_events(os.path.join(rundir, LIVE_FILE)):
+        if rec["type"] == "worker-respawn":
+            registry.inc("worker.respawns")
+        elif rec["type"] == "worker-hang-kill":
+            registry.inc("worker.hang_kills")
+        elif rec["type"] == "quarantine":
+            registry.inc("unit.quarantined", 1, unit=rec["unit"])
+    return registry
+
+
+def export_main(args) -> int:
+    """Dispatch ``pvc-bench obs export <rundir> [--out trace.json]``."""
+    rundir = args.dir or (args.extra[0] if getattr(args, "extra", None) else None)
+    if not rundir:
+        raise CampaignError(
+            "obs export needs a run directory "
+            "(positional or --dir <directory>)"
+        )
+    text = export_json(rundir)
+    if args.out:
+        atomic_write_text(args.out, text + "\n")
+        n = len(export_chrome(rundir)["traceEvents"])
+        print(f"wrote {n} trace event(s) to {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0

@@ -1,0 +1,120 @@
+"""``pvc-bench obs serve``: a stdlib OpenMetrics exporter for run dirs.
+
+A :class:`~http.server.ThreadingHTTPServer` publishing three routes:
+
+* ``/metrics`` — the run directory folded into an OpenMetrics
+  exposition (:func:`repro.obs.export.run_registry` +
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.to_openmetrics`).
+  Rebuilt from disk on every scrape, so a Prometheus pointed at a
+  *running* campaign sees live progress without any coupling to the
+  orchestrator process.
+* ``/healthz`` — liveness (always 200 once the server is up).
+* ``/`` — a plain-text index.
+
+No third-party dependencies: the whole exporter is ``http.server``
+over the same event-stream readers the watch board uses.  Port 0 binds
+an ephemeral port (tests scrape ``server.server_address``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import CampaignError
+from .export import run_registry
+
+__all__ = ["ObsServer", "serve_main"]
+
+#: Content type the OpenMetrics spec registers for text expositions.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        rundir = self.server.rundir  # type: ignore[attr-defined]
+        if self.path == "/metrics":
+            try:
+                body = run_registry(rundir).to_openmetrics()
+            except Exception as exc:  # noqa: BLE001 - surfaced as 500
+                self._send(500, f"scrape failed: {exc}\n", "text/plain")
+                return
+            self._send(200, body, OPENMETRICS_CONTENT_TYPE)
+        elif self.path == "/healthz":
+            self._send(200, "ok\n", "text/plain")
+        elif self.path == "/":
+            self._send(
+                200,
+                f"repro obs exporter for {rundir}\n"
+                "routes: /metrics /healthz\n",
+                "text/plain",
+            )
+        else:
+            self._send(404, "not found\n", "text/plain")
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        # Scrape chatter stays off stderr; failures surface as statuses.
+        pass
+
+
+class ObsServer(ThreadingHTTPServer):
+    """The exporter bound to one run directory."""
+
+    daemon_threads = True
+
+    def __init__(self, rundir: str | os.PathLike, port: int = 0,
+                 host: str = "127.0.0.1") -> None:
+        self.rundir = os.fspath(rundir)
+        super().__init__((host, port), _Handler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_background(self) -> threading.Thread:
+        """Serve from a daemon thread (tests; embedding in a watch)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="obs-serve", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+def serve_main(args) -> int:
+    """Dispatch ``pvc-bench obs serve <rundir> [--port N]``."""
+    rundir = args.dir or (args.extra[0] if getattr(args, "extra", None) else None)
+    if not rundir:
+        raise CampaignError(
+            "obs serve needs a run directory "
+            "(positional or --dir <directory>)"
+        )
+    if not os.path.isdir(rundir):
+        raise CampaignError(f"{rundir} is not a directory")
+    server = ObsServer(rundir, port=getattr(args, "port", None) or 0)
+    print(
+        f"serving OpenMetrics for {rundir} at {server.url}/metrics "
+        "(Ctrl-C stops)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.server_close()
+    return 0

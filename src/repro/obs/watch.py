@@ -1,0 +1,382 @@
+"""``pvc-bench campaign watch``: a live status board for run dirs.
+
+The watcher is a pure *reader*: it tails the journal and both event
+streams (:mod:`.events`) from outside the orchestrator process, so it
+can attach to a running campaign, a crashed one, or a finished one and
+always render something truthful.  Everything is rebuilt from bytes on
+disk on every poll — there is no shared state with the run, and a torn
+last line in any stream is simply not yet visible.
+
+Three layers:
+
+* :func:`worker_lanes` folds the live stream into per-worker lanes
+  (RUNNING / IDLE / DEAD / RESPAWNED / HUNG, in-flight unit, last
+  heartbeat, respawn provenance).  ``campaign status`` reuses this for
+  its per-worker heartbeat-age lines.
+* :func:`load_snapshot` combines journal + deterministic events + lanes
+  into one :class:`RunSnapshot`.
+* :func:`render` draws the board.  It takes ``now`` explicitly so the
+  crashed/quarantined/degraded golden tests are reproducible without a
+  live process; :func:`follow` loops it until ``campaign-done``
+  appears (or immediately degrades to a final snapshot when the run is
+  already complete).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+
+from ..campaign.journal import Journal
+from ..errors import CampaignError
+from .events import EVENTS_FILE, LIVE_FILE, read_events
+
+__all__ = [
+    "RunSnapshot",
+    "WorkerLane",
+    "follow",
+    "load_snapshot",
+    "render",
+    "watch_main",
+    "worker_lanes",
+]
+
+
+@dataclass
+class WorkerLane:
+    """One worker's current story, folded from the live stream."""
+
+    index: int
+    worker: str
+    state: str = "IDLE"  # RUNNING | IDLE | DEAD | RESPAWNED | HUNG
+    unit: str | None = None
+    attempt: int = 1
+    last_beat: float | None = None
+    dispatched_ts: float | None = None
+    respawns_used: int = 0
+    exitcode: int | None = None
+
+
+def worker_lanes(live_records: list[dict]) -> list[WorkerLane]:
+    """Fold the live stream into per-worker lanes, oldest lane first.
+
+    A respawned worker gets its own lane (worker indices are never
+    reused); the lane it replaces is marked RESPAWNED so the board
+    shows the whole supervision history, not just the survivors.
+    Serial runs (``run-live`` with ``jobs=1``) get a single synthetic
+    ``serial`` lane fed by the orchestrator's own dispatch records.
+    """
+    lanes: dict[int, WorkerLane] = {}
+    by_name: dict[str, WorkerLane] = {}
+
+    def lane(index: int) -> WorkerLane:
+        if index not in lanes:
+            lanes[index] = WorkerLane(index=index, worker=f"worker-{index}")
+        return lanes[index]
+
+    for rec in live_records:
+        etype = rec["type"]
+        if etype == "worker-spawn":
+            ln = WorkerLane(index=rec["index"], worker=rec["worker"])
+            lanes[rec["index"]] = ln
+            by_name[rec["worker"]] = ln
+        elif etype == "run-live" and rec["jobs"] == 1:
+            ln = WorkerLane(index=0, worker="serial")
+            lanes[0] = ln
+            by_name["serial"] = ln
+        elif etype == "unit-dispatched":
+            ln = lane(rec["index"])
+            ln.unit = rec["unit"]
+            ln.state = "RUNNING"
+            ln.attempt = rec["attempt"]
+            ln.dispatched_ts = rec["ts"]
+            ln.last_beat = rec["ts"]
+        elif etype == "worker-heartbeat":
+            ln = lane(rec["index"])
+            ln.last_beat = rec["ts"]
+        elif etype == "unit-completed":
+            for ln in lanes.values():
+                if ln.unit == rec["unit"] and ln.state == "RUNNING":
+                    ln.unit = None
+                    ln.state = "IDLE"
+                    ln.last_beat = rec["ts"]
+                    break
+        elif etype == "worker-hang-kill":
+            ln = by_name.get(rec["worker"])
+            if ln is not None:
+                ln.state = "HUNG"
+        elif etype == "worker-exit":
+            ln = by_name.get(rec["worker"])
+            if ln is not None:
+                ln.state = "DEAD"
+                ln.exitcode = rec["exitcode"]
+                ln.unit = rec["unit"]
+        elif etype == "worker-respawn":
+            old = by_name.get(rec["replaces"])
+            if old is not None:
+                old.state = "RESPAWNED"
+            new = by_name.get(rec["worker"])
+            if new is not None:
+                new.respawns_used = rec["respawns_used"]
+    return [lanes[i] for i in sorted(lanes)]
+
+
+@dataclass
+class RunSnapshot:
+    """Everything the board knows about one run directory, one poll."""
+
+    directory: str
+    spec: str
+    scenario: str | None
+    seed: int
+    unit_states: dict[str, str]
+    quarantined: dict[str, list]
+    lanes: list[WorkerLane] = field(default_factory=list)
+    jobs: int | None = None
+    pid: int | None = None
+    cache_hits: float = 0.0
+    cache_misses: float = 0.0
+    cache_bypasses: float = 0.0
+    faults: list[str] = field(default_factory=list)
+    simulated_s: float = 0.0
+    degraded: bool = False
+    interrupted: bool = False
+    complete: bool = False
+    exit_code: int | None = None
+    started_ts: float | None = None
+    completed_ts: list[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.unit_states)
+
+    @property
+    def done(self) -> int:
+        return sum(
+            1
+            for s in self.unit_states.values()
+            if s not in ("pending", "started")
+        )
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        attempts = self.cache_hits + self.cache_misses
+        return self.cache_hits / attempts if attempts else None
+
+    def in_flight(self) -> list[WorkerLane]:
+        return [ln for ln in self.lanes if ln.state == "RUNNING"]
+
+    def eta_s(self, now: float) -> float | None:
+        """Wall-clock ETA from the live completion rate, if measurable."""
+        if self.complete or self.started_ts is None or not self.completed_ts:
+            return None
+        elapsed = max(now - self.started_ts, 1e-9)
+        rate = len(self.completed_ts) / elapsed
+        remaining = self.total - self.done
+        return remaining / rate if rate > 0 else None
+
+
+def load_snapshot(rundir: str | os.PathLike) -> RunSnapshot:
+    """Rebuild the board state from a run directory's bytes on disk."""
+    rundir = os.fspath(rundir)
+    journal = Journal.load(os.path.join(rundir, "journal.jsonl"))
+    start = journal.of_type("campaign-start")
+    if not start:
+        raise CampaignError(f"{rundir} holds no campaign journal")
+    config = start[0]
+    unit_states: dict[str, str] = {
+        uid: "pending" for uid in config.get("units", [])
+    }
+    quarantined: dict[str, list] = {}
+    for rec in journal.records:
+        if rec["type"] == "unit-quarantined":
+            unit_states[rec["unit"]] = "QUARANTINED"
+            quarantined[rec["unit"]] = rec.get("exit_codes", [])
+        elif rec["type"] in ("unit-done", "unit-failed"):
+            unit_states[rec["unit"]] = rec["status"]
+        elif (
+            rec["type"] == "unit-start"
+            and unit_states.get(rec["unit"]) == "pending"
+        ):
+            unit_states[rec["unit"]] = "started"
+    snap = RunSnapshot(
+        directory=rundir,
+        spec=config["spec"],
+        scenario=config["scenario"],
+        seed=config["seed"],
+        unit_states=unit_states,
+        quarantined=quarantined,
+    )
+    snap.interrupted = bool(
+        journal.of_type("interrupted") or journal.of_type("deadline")
+    )
+    for rec in read_events(os.path.join(rundir, EVENTS_FILE)):
+        if rec["type"] == "cache-stats":
+            snap.cache_hits += rec["hits"]
+            snap.cache_misses += rec["misses"]
+            snap.cache_bypasses += rec["bypasses"]
+        elif rec["type"] == "fault-injected":
+            snap.faults.append(f"{rec['unit']}: {rec['incident']}")
+        snap.simulated_s = rec["sim_us"] / 1e6
+    done = journal.of_type("campaign-done")
+    if done:
+        snap.complete = True
+        snap.exit_code = done[-1]["exit"]
+    live = read_events(os.path.join(rundir, LIVE_FILE))
+    snap.lanes = worker_lanes(live)
+    for rec in live:
+        if rec["type"] == "run-live":
+            snap.jobs = rec["jobs"]
+            snap.pid = rec["pid"]
+            if snap.started_ts is None:
+                snap.started_ts = rec["ts"]
+        elif rec["type"] == "unit-completed":
+            snap.completed_ts.append(rec["ts"])
+        elif rec["type"] == "pool-degraded":
+            snap.degraded = True
+    return snap
+
+
+def _age(ts: float | None, now: float) -> str:
+    return f"{max(now - ts, 0.0):.1f}s ago" if ts is not None else "never"
+
+
+def _lane_line(ln: WorkerLane, now: float) -> str:
+    parts = [f"[{ln.index}] {ln.worker:22s} {ln.state:9s}"]
+    if ln.state == "RUNNING" and ln.unit:
+        note = f" (attempt {ln.attempt})" if ln.attempt > 1 else ""
+        parts.append(f"{ln.unit}{note}")
+    elif ln.state in ("DEAD", "RESPAWNED", "HUNG"):
+        held = f" holding {ln.unit}" if ln.unit else ""
+        code = f" exit {ln.exitcode}" if ln.exitcode is not None else ""
+        parts.append(f"{code}{held}".strip())
+    if ln.respawns_used:
+        parts.append(f"[respawn {ln.respawns_used}]")
+    parts.append(f"hb {_age(ln.last_beat, now)}")
+    return "  ".join(p for p in parts if p)
+
+
+def render(snap: RunSnapshot, now: float | None = None) -> str:
+    """Draw the status board (``now`` injectable for golden tests)."""
+    if now is None:
+        now = time.time()
+    if snap.complete:
+        phase = f"COMPLETE (exit {snap.exit_code})"
+    elif snap.interrupted:
+        phase = "INTERRUPTED (resumable)"
+    else:
+        phase = "RUNNING"
+    lines = [
+        f"campaign {snap.spec!r} in {snap.directory} — {phase}",
+        f"  progress: {snap.done}/{snap.total} unit(s), "
+        f"simulated {snap.simulated_s:.2f}s"
+        + (f", scenario {snap.scenario!r}" if snap.scenario else "")
+        + f", seed {snap.seed}",
+    ]
+    if snap.jobs is not None:
+        run = f"  run: {snap.jobs} job(s)"
+        if snap.pid is not None:
+            run += f", pid {snap.pid}"
+        if snap.degraded:
+            run += " — POOL DEGRADED (serial in-process drain)"
+        lines.append(run)
+    if snap.lanes:
+        lines.append("  workers:")
+        lines.extend(f"    {_lane_line(ln, now)}" for ln in snap.lanes)
+    counts: dict[str, int] = {}
+    for state in snap.unit_states.values():
+        counts[state] = counts.get(state, 0) + 1
+    summary = ", ".join(f"{n} {s}" for s, n in sorted(counts.items()))
+    lines.append(f"  units: {summary}")
+    for uid, state in snap.unit_states.items():
+        if state in ("started", "QUARANTINED") or (
+            state not in ("pending", "OK") and not snap.complete
+        ):
+            provenance = ""
+            if uid in snap.quarantined:
+                codes = ", ".join(str(c) for c in snap.quarantined[uid])
+                provenance = f" (worker exit codes: {codes})"
+            lines.append(f"    {uid:24s} {state}{provenance}")
+    rate = snap.cache_hit_rate
+    if rate is not None:
+        lines.append(
+            f"  sim cache: {snap.cache_hits:.0f} hit(s) / "
+            f"{snap.cache_misses:.0f} miss(es) ({rate:.1%} hit rate)"
+        )
+    if snap.faults:
+        lines.append(f"  faults injected: {len(snap.faults)}")
+        lines.extend(f"    {note}" for note in snap.faults[-5:])
+    if snap.quarantined:
+        lines.append(
+            f"  {len(snap.quarantined)} unit(s) quarantined after "
+            "repeated worker crashes"
+        )
+    if not snap.complete:
+        eta = snap.eta_s(now)
+        lines.append(
+            f"  eta: ~{eta:.1f}s" if eta is not None else "  eta: --"
+        )
+        lines.append(
+            "  (incomplete: finish with 'campaign resume')"
+            if snap.interrupted
+            else "  (watching; Ctrl-C detaches without touching the run)"
+        )
+    return "\n".join(lines)
+
+
+def follow(
+    rundir: str | os.PathLike,
+    interval_s: float = 0.5,
+    once: bool = False,
+    stream=None,
+    max_polls: int | None = None,
+) -> int:
+    """Poll-and-redraw until the campaign completes (or ``once``).
+
+    Attaching to a finished run degrades to a single final snapshot;
+    attaching before the journal exists waits for it.  ``max_polls``
+    bounds the loop for tests.
+    """
+    stream = stream if stream is not None else sys.stdout
+    polls = 0
+    while True:
+        polls += 1
+        try:
+            snap = load_snapshot(rundir)
+        except CampaignError:
+            snap = None
+        if snap is not None:
+            board = render(snap, now=time.time())
+            if stream.isatty():  # pragma: no cover - interactive only
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(board + "\n")
+            stream.flush()
+            if snap.complete:
+                return snap.exit_code or 0
+        else:
+            stream.write(f"waiting for a campaign journal in {rundir}...\n")
+            stream.flush()
+        if once or (max_polls is not None and polls >= max_polls):
+            return 0
+        time.sleep(interval_s)
+
+
+def watch_main(args) -> int:
+    """Dispatch ``pvc-bench campaign watch <rundir>``."""
+    rundir = args.dir or (args.extra[0] if getattr(args, "extra", None) else None)
+    if not rundir:
+        raise CampaignError(
+            "campaign watch needs a run directory "
+            "(positional or --dir <directory>)"
+        )
+    try:
+        return follow(
+            rundir,
+            interval_s=getattr(args, "interval", None) or 0.5,
+            once=bool(getattr(args, "once", False)),
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive detach
+        print("detached; the campaign keeps running", file=sys.stderr)
+        return 0

@@ -154,6 +154,7 @@ class ProfiledRun:
     def entry(self) -> dict:
         """The baseline-snapshot entry for this run (see baseline.py)."""
         p = self.profiler
+        attribution = p.kernel_attribution()
         return {
             "bench": self.bench,
             "system": self.system,
@@ -163,7 +164,12 @@ class ProfiledRun:
             "host_us": p.host_total_us(),
             "device_us": p.device_total_us(),
             "traffic_bytes": p.traffic_total_bytes(),
-            "kernels": len(p.kernel_attribution()),
+            "kernels": len(attribution),
+            # Ungated per-kernel rows: ``bench trend`` uses these to
+            # attribute a device_us/FOM delta to the kernel (and the
+            # roofline bound) that moved.  Older baselines without them
+            # still compare — the gated fields above are unchanged.
+            "kernel_attribution": attribution,
             "profile_digest": p.digest(),
         }
 

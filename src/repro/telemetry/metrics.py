@@ -178,6 +178,38 @@ class Histogram:
             out.append(running)
         return out
 
+    def percentile(self, q: float, **labels) -> float:
+        """The *q*-quantile estimated from the cumulative buckets.
+
+        Same estimator as PromQL's ``histogram_quantile``: find the
+        bucket the rank falls in and interpolate linearly inside it.  A
+        rank landing in the +Inf bucket returns the largest finite
+        bound (the histogram cannot resolve beyond it); an empty
+        histogram returns 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"{self.name}: quantile must be in [0, 1], got {q}")
+        state = self._states.get(_labelset(labels))
+        if state is None or state.total == 0:
+            return 0.0
+        rank = q * state.total
+        cumulative = self.cumulative_counts(**labels)
+        for i, (bound, cum) in enumerate(zip(self.buckets, cumulative)):
+            if cum >= rank:
+                lower = self.buckets[i - 1] if i else 0.0
+                below = cumulative[i - 1] if i else 0
+                in_bucket = cum - below
+                if in_bucket == 0:  # pragma: no cover - cum >= rank guards
+                    return bound
+                return lower + (bound - lower) * (rank - below) / in_bucket
+        return self.buckets[-1]
+
+    def percentiles(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99), **labels
+    ) -> dict[str, float]:
+        """The standard latency summary (p50/p95/p99 by default)."""
+        return {f"p{q * 100:g}": self.percentile(q, **labels) for q in qs}
+
     def samples(self) -> list[tuple[LabelSet, _HistogramState]]:
         return sorted(self._states.items(), key=lambda kv: kv[0])
 
@@ -326,6 +358,96 @@ class MetricsRegistry:
                         f"{prom}{_prom_labels(labels)} {_prom_number(value)}"
                     )
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_openmetrics(self) -> str:
+        """The OpenMetrics text exposition format (sorted, deterministic).
+
+        Differs from :meth:`to_prometheus` where the OpenMetrics spec
+        demands it: counter sample names carry the ``_total`` suffix
+        (the ``# TYPE`` line names the bare metric family), every
+        histogram family gets explicit ``# TYPE``/``# HELP`` lines ahead
+        of its ``_bucket``/``_sum``/``_count`` samples, and the
+        exposition is terminated by ``# EOF``.  This is what the
+        ``obs serve`` scrape endpoint emits.
+        """
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            prom = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            lines.append(f"# TYPE {prom} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for labels, state in metric.samples():
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, state.counts):
+                        cumulative += count
+                        le = dict(labels)
+                        le["le"] = _prom_number(bound)
+                        lines.append(
+                            f"{prom}_bucket{_prom_labels(_labelset(le))} "
+                            f"{cumulative}"
+                        )
+                    le = dict(labels)
+                    le["le"] = "+Inf"
+                    lines.append(
+                        f"{prom}_bucket{_prom_labels(_labelset(le))} "
+                        f"{state.total}"
+                    )
+                    lines.append(
+                        f"{prom}_sum{_prom_labels(labels)} "
+                        f"{_prom_number(state.sum)}"
+                    )
+                    lines.append(
+                        f"{prom}_count{_prom_labels(labels)} {state.total}"
+                    )
+            elif isinstance(metric, Counter):
+                samples = metric.samples()
+                if not samples:
+                    lines.append(f"{prom}_total 0")
+                for labels, value in samples:
+                    lines.append(
+                        f"{prom}_total{_prom_labels(labels)} "
+                        f"{_prom_number(value)}"
+                    )
+            else:
+                samples = metric.samples()
+                if not samples:
+                    lines.append(f"{prom} 0")
+                for labels, value in samples:
+                    lines.append(
+                        f"{prom}{_prom_labels(labels)} {_prom_number(value)}"
+                    )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def percentile_summary(
+        self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)
+    ) -> dict[str, dict[str, float]]:
+        """Per-histogram percentiles, folded across every label set.
+
+        The ``metrics`` CLI summary renders this: one p50/p95/p99 row
+        per histogram, regardless of how its samples were labelled.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if not isinstance(metric, Histogram):
+                continue
+            folded = Histogram(name=metric.name, buckets=metric.buckets)
+            merged = _HistogramState(counts=[0] * len(metric.buckets))
+            for _, state in metric.samples():
+                for i, c in enumerate(state.counts):
+                    merged.counts[i] += c
+                merged.total += state.total
+                merged.sum += state.sum
+            folded._states[()] = merged
+            out[name] = {
+                "count": float(merged.total),
+                "sum": merged.sum,
+                **folded.percentiles(qs),
+            }
+        return out
 
     def snapshot(self) -> dict:
         """A JSON-able snapshot (used by run manifests)."""

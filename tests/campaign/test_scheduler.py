@@ -22,13 +22,18 @@ from repro.faults.scenarios import CampaignFaultPlan
 
 
 def _tree_bytes(directory, exclude=()):
-    """Every artifact byte under *directory*, keyed by relative path."""
+    """Every artifact byte under *directory*, keyed by relative path.
+
+    ``live.ndjson`` is always skipped: the live telemetry stream is
+    wall-clock by contract (docs/observability.md) and never part of
+    the byte-identity story.
+    """
     out = {}
     for root, _, files in os.walk(directory):
         for name in files:
             full = os.path.join(root, name)
             rel = os.path.relpath(full, directory)
-            if rel in exclude:
+            if rel in exclude or name == "live.ndjson":
                 continue
             with open(full, "rb") as fh:
                 out[rel] = fh.read()
@@ -164,9 +169,10 @@ class TestCrashResumeUnderParallel:
         assert parallel_journal == serial_journal
         resumed = Orchestrator(tmp_path / "c", jobs=resume_jobs)
         assert resumed.resume() == clean_code
-        # Everything except the journal (which adds a resume record)
-        # is byte-identical to the uninterrupted serial run.
-        exclude = ("journal.jsonl",)
+        # Everything except the journal and event stream (which record
+        # the interruption + resume as history) is byte-identical to
+        # the uninterrupted serial run.
+        exclude = ("journal.jsonl", "events.ndjson")
         assert _tree_bytes(tmp_path / "c", exclude) == _tree_bytes(
             tmp_path / "s", exclude
         )
@@ -186,7 +192,7 @@ class TestCrashResumeUnderParallel:
         resumed = Orchestrator(tmp_path / "c", jobs=2)
         assert resumed.resume() == clean_code
         Journal.load(resumed.journal_path, strict=True)
-        exclude = ("journal.jsonl",)
+        exclude = ("journal.jsonl", "events.ndjson")
         assert _tree_bytes(tmp_path / "c", exclude) == _tree_bytes(
             tmp_path / "s", exclude
         )

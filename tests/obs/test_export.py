@@ -1,0 +1,93 @@
+"""Chrome-trace export and the run-directory metrics registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.orchestrator import Orchestrator
+from repro.campaign.spec import get_spec
+from repro.errors import CampaignError
+from repro.obs.export import export_chrome, export_json, run_registry
+
+
+@pytest.fixture(scope="module")
+def rundir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("export") / "run"
+    Orchestrator(directory, spec=get_spec("smoke"), jobs=2).run()
+    return directory
+
+
+def _thread_names(doc):
+    return [
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["name"] == "thread_name"
+    ]
+
+
+class TestChromeExport:
+    def test_parallel_run_gets_worker_lanes(self, rundir):
+        doc = export_chrome(rundir)
+        assert _thread_names(doc) == ["worker-0", "worker-1"]
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {e["name"] for e in spans} == {
+            u.id for u in get_spec("smoke").execution_order()
+        }
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in spans)
+        assert all(e["args"]["status"] == "ok" for e in spans)
+
+    def test_export_json_is_loadable_and_deterministic(self, rundir):
+        text = export_json(rundir)
+        assert json.loads(text) == export_chrome(rundir)
+        assert text == export_json(rundir)
+
+    def test_deterministic_only_directory_degrades_to_commit_lane(
+        self, rundir, tmp_path
+    ):
+        clone = tmp_path / "det-only"
+        clone.mkdir()
+        for name in os.listdir(rundir):
+            if name == "events.ndjson":
+                (clone / name).write_bytes((rundir / name).read_bytes())
+        doc = export_chrome(clone)
+        assert _thread_names(doc) == ["commit"]
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert {e["name"] for e in spans} == {
+            u.id for u in get_spec("smoke").execution_order()
+        }
+        # Spans sit on the simulated clock, ending at the stream total.
+        ends = [e["ts"] + e["dur"] for e in spans]
+        assert max(ends) == pytest.approx(1121252.44, abs=1.0)
+
+    def test_empty_directory_is_an_error(self, tmp_path):
+        with pytest.raises(CampaignError):
+            export_chrome(tmp_path)
+
+
+class TestRunRegistry:
+    def test_counters_and_exposition(self, rundir):
+        registry = run_registry(rundir)
+        n_units = len(get_spec("smoke"))
+        assert registry.value("campaign.units", status="OK") == n_units
+        assert registry.value("campaign.complete") == 1.0
+        text = registry.to_openmetrics()
+        assert "# TYPE campaign_units counter" in text
+        assert f'campaign_units_total{{status="OK"}} {n_units}' in text
+        assert "# TYPE unit_simulated_us histogram" in text
+        assert f"unit_simulated_us_count {n_units}" in text
+        assert text.endswith("# EOF\n")
+
+    def test_registry_tracks_supervision_from_live_stream(self, tmp_path):
+        from repro.faults.process import build_worker_plan
+
+        spec = get_spec("smoke")
+        plan = build_worker_plan(
+            "worker-poison", 0, [u.id for u in spec.execution_order()]
+        )
+        directory = tmp_path / "run"
+        Orchestrator(directory, spec=spec, jobs=2, worker_plan=plan).run()
+        registry = run_registry(directory)
+        assert registry.value("worker.respawns") >= 2
+        victim = next(iter(plan.kills))
+        assert registry.value("unit.quarantined", unit=victim) == 1

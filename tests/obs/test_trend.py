@@ -1,0 +1,195 @@
+"""Cross-run trend analytics over committed baseline snapshots."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.trend import kernel_deltas, trend_main, trend_report
+from repro.obs.trend import _campaign_lines
+from repro.profiler.baseline import build_snapshot, write_baseline
+
+
+def _kernel_row(name, achieved_us, *, bound="compute", model_pct=95.0):
+    return {
+        "kernel": name,
+        "bound": bound,
+        "achieved_us": achieved_us,
+        "model_pct": model_pct,
+        "calls": 4,
+    }
+
+
+def _bench_entry(bench, system, device_us, *, kernels=()):
+    entry = {
+        "bench": bench,
+        "system": system,
+        "fom": 100.0,
+        "device_us": device_us,
+    }
+    if kernels:
+        entry["kernel_attribution"] = list(kernels)
+        entry["kernels"] = len(kernels)
+    return entry
+
+
+def _campaign_entry(wall_s, hits, misses):
+    evals = hits + misses
+    return {
+        "bench": "campaign-paper",
+        "system": "jobs4",
+        "wall_s": wall_s,
+        "sim_cache_hits": hits,
+        "sim_cache_misses": misses,
+        "sim_cache_hit_rate": hits / evals if evals else 0.0,
+    }
+
+
+class TestKernelDeltas:
+    def test_kernel_present_in_both_gets_a_ratio_line(self):
+        base = {"kernel_attribution": [_kernel_row("gemm", 100.0)]}
+        cur = {"kernel_attribution": [_kernel_row("gemm", 150.0)]}
+        (line,) = kernel_deltas(base, cur)
+        assert line == (
+            "gemm [compute-bound] device 100.0us -> 150.0us (x1.5000)"
+        )
+
+    def test_new_kernel_reports_model_efficiency(self):
+        cur = {
+            "kernel_attribution": [
+                _kernel_row("stream-triad", 42.0, bound="memory")
+            ]
+        }
+        (line,) = kernel_deltas({}, cur)
+        assert line == (
+            "stream-triad [memory-bound] 42.0us achieved (95.0% of model)"
+        )
+
+    def test_dropped_kernel_is_called_out(self):
+        base = {"kernel_attribution": [_kernel_row("gemm", 100.0)]}
+        (line,) = kernel_deltas(base, {})
+        assert "dropped" in line and line.startswith("gemm")
+
+    def test_no_attribution_anywhere_yields_nothing(self):
+        assert kernel_deltas({"device_us": 1.0}, {"device_us": 2.0}) == []
+
+
+class TestCampaignLines:
+    def test_both_snapshots_get_wall_and_cache_arrows(self):
+        base = {"campaign-paper@jobs4": _campaign_entry(2.0, 900, 100)}
+        cur = {"campaign-paper@jobs4": _campaign_entry(1.0, 950, 50)}
+        (line,) = _campaign_lines(base, cur)
+        assert "wall 2.00s -> 1.00s (x0.50, informational)" in line
+        assert "sim-cache 90.0% -> 95.0%" in line
+
+    def test_new_entry_is_flagged(self):
+        cur = {"campaign-paper@jobs4": _campaign_entry(1.0, 950, 50)}
+        (line,) = _campaign_lines({}, cur)
+        assert line.endswith("[new entry]")
+        assert "95.0% hit rate" in line
+
+    def test_plain_bench_entries_are_ignored(self):
+        entries = {"gemm@aurora": _bench_entry("gemm", "aurora", 5.0)}
+        assert _campaign_lines(entries, entries) == []
+
+
+class TestTrendReport:
+    def _write(self, path, entries):
+        write_baseline(path, build_snapshot(entries))
+        return str(path)
+
+    def test_needs_at_least_two_snapshots(self, tmp_path):
+        path = self._write(tmp_path / "b0.json", [])
+        with pytest.raises(ConfigurationError, match="at least two"):
+            trend_report([path])
+
+    def test_report_names_cache_and_kernel_movement(self, tmp_path):
+        base = self._write(
+            tmp_path / "b0.json",
+            [
+                _bench_entry(
+                    "gemm",
+                    "aurora",
+                    100.0,
+                    kernels=[_kernel_row("gemm-fp64", 100.0)],
+                ),
+                _campaign_entry(2.0, 900, 100),
+            ],
+        )
+        cur = self._write(
+            tmp_path / "b1.json",
+            [
+                _bench_entry(
+                    "gemm",
+                    "aurora",
+                    150.0,
+                    kernels=[_kernel_row("gemm-fp64", 150.0)],
+                ),
+                _campaign_entry(1.0, 950, 50),
+            ],
+        )
+        report = trend_report([base, cur])
+        assert "b0.json -> b1.json" in report
+        assert "sim-cache 90.0% -> 95.0%" in report
+        assert "kernel attribution:" in report
+        assert (
+            "gemm-fp64 [compute-bound] device 100.0us -> 150.0us (x1.5000)"
+            in report
+        )
+        # device_us grew 50% — far past tolerance, so the gated
+        # comparator must flag it in the same report.
+        assert "regressed" in report
+
+    def test_without_attribution_the_report_degrades_to_a_note(
+        self, tmp_path
+    ):
+        base = self._write(
+            tmp_path / "b0.json", [_bench_entry("gemm", "aurora", 100.0)]
+        )
+        cur = self._write(
+            tmp_path / "b1.json", [_bench_entry("gemm", "aurora", 101.0)]
+        )
+        report = trend_report([base, cur])
+        assert "not embedded in these snapshots" in report
+        assert "profile full --write-baseline" in report
+
+    def test_three_snapshots_yield_two_sections(self, tmp_path):
+        paths = [
+            self._write(
+                tmp_path / f"b{i}.json",
+                [_bench_entry("gemm", "aurora", 100.0 + i)],
+            )
+            for i in range(3)
+        ]
+        report = trend_report(paths)
+        assert "b0.json -> b1.json" in report
+        assert "b1.json -> b2.json" in report
+
+    def test_trend_main_joins_bench_and_extra_positionals(
+        self, tmp_path, capsys
+    ):
+        base = self._write(
+            tmp_path / "b0.json", [_bench_entry("gemm", "aurora", 100.0)]
+        )
+        cur = self._write(
+            tmp_path / "b1.json", [_bench_entry("gemm", "aurora", 100.0)]
+        )
+
+        class Args:
+            bench = base
+            extra = [cur]
+
+        assert trend_main(Args()) == 0
+        out = capsys.readouterr().out
+        assert "perf trend across 2 snapshot(s)" in out
+
+    def test_committed_baselines_are_trendable(self):
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        report = trend_report(
+            [
+                os.path.join(root, "BENCH_0.json"),
+                os.path.join(root, "BENCH_1.json"),
+            ]
+        )
+        assert "sim-cache" in report
+        assert "kernel attribution:" in report

@@ -1,0 +1,195 @@
+"""Watch board: golden snapshots over real (faulted) run directories.
+
+No live process anywhere: every scenario drives the orchestrator to a
+terminal (or interrupted) state first, then the renderer is pointed at
+the bytes on disk with a pinned ``now`` — the board must tell the
+truth about crashed, quarantined and degraded runs from the streams
+alone.
+"""
+
+import io
+
+import pytest
+
+from repro.campaign.orchestrator import Orchestrator
+from repro.campaign.spec import get_spec
+from repro.errors import CampaignError
+from repro.faults.process import build_worker_plan
+from repro.faults.scenarios import build_campaign_plan
+from repro.obs.watch import (
+    follow,
+    load_snapshot,
+    render,
+    watch_main,
+    worker_lanes,
+)
+
+
+def _run(directory, *, jobs=1, campaign_plan=None, worker_plan=None, **kw):
+    orch = Orchestrator(
+        directory,
+        spec=get_spec("smoke"),
+        jobs=jobs,
+        campaign_plan=campaign_plan,
+        worker_plan=worker_plan,
+        **kw,
+    )
+    orch.run()
+    return orch
+
+
+class TestCompletedRun:
+    def test_snapshot_and_board(self, tmp_path):
+        _run(tmp_path / "run", jobs=2)
+        snap = load_snapshot(tmp_path / "run")
+        assert snap.complete and snap.exit_code == 0
+        assert snap.done == snap.total == len(get_spec("smoke"))
+        assert snap.jobs == 2 and snap.pid is not None
+        assert len(snap.lanes) == 2
+        board = render(snap, now=2_000_000_000.0)
+        assert "COMPLETE (exit 0)" in board
+        assert "campaign-worker-0" in board and "campaign-worker-1" in board
+        assert f"{snap.total} OK" in board
+
+    def test_serial_run_gets_a_synthetic_lane(self, tmp_path):
+        _run(tmp_path / "run", jobs=1)
+        snap = load_snapshot(tmp_path / "run")
+        assert [ln.worker for ln in snap.lanes] == ["serial"]
+        assert snap.lanes[0].state == "IDLE"
+
+    def test_render_is_deterministic_for_fixed_now(self, tmp_path):
+        _run(tmp_path / "run", jobs=2)
+        snap = load_snapshot(tmp_path / "run")
+        assert render(snap, now=1.0e9) == render(snap, now=1.0e9)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(CampaignError):
+            load_snapshot(tmp_path)
+
+
+class TestCrashedRun:
+    def test_board_shows_resumable_partial_progress(self, tmp_path):
+        plan = build_campaign_plan("crash-midrun", 0, len(get_spec("smoke")))
+        _run(tmp_path / "run", campaign_plan=plan)
+        snap = load_snapshot(tmp_path / "run")
+        assert not snap.complete
+        assert 0 < snap.done < snap.total
+        board = render(snap, now=2_000_000_000.0)
+        assert "RUNNING" in board or "INTERRUPTED" in board
+        assert "campaign resume" in board or "watching" in board
+        assert f"{snap.done}/{snap.total} unit(s)" in board
+
+    def test_deadline_interrupt_reads_as_resumable(self, tmp_path):
+        _run(tmp_path / "run", deadline_s=0.5)
+        snap = load_snapshot(tmp_path / "run")
+        assert snap.interrupted and not snap.complete
+        board = render(snap, now=2_000_000_000.0)
+        assert "INTERRUPTED (resumable)" in board
+        assert "campaign resume" in board
+
+
+class TestQuarantinedRun:
+    def test_board_names_the_poison_unit(self, tmp_path):
+        spec = get_spec("smoke")
+        plan = build_worker_plan(
+            "worker-poison", 0, [u.id for u in spec.execution_order()]
+        )
+        victim = next(iter(plan.kills))
+        _run(tmp_path / "run", jobs=2, worker_plan=plan)
+        snap = load_snapshot(tmp_path / "run")
+        assert snap.quarantined, "worker-poison must quarantine a unit"
+        board = render(snap, now=2_000_000_000.0)
+        assert "QUARANTINED" in board
+        assert "worker exit codes" in board
+        assert "quarantined after repeated worker crashes" in board
+        assert victim in board
+
+
+class TestDegradedRun:
+    def test_board_flags_pool_degradation(self, tmp_path):
+        # Poison kills the victim's first 3 attempts; with a zero
+        # respawn budget both workers die on it and the pool degrades
+        # to the in-process drain (which poison deliberately spares).
+        spec = get_spec("smoke")
+        plan = build_worker_plan(
+            "worker-poison", 0, [u.id for u in spec.execution_order()]
+        )
+        _run(
+            tmp_path / "run", jobs=2, worker_plan=plan, max_respawns=0
+        )
+        snap = load_snapshot(tmp_path / "run")
+        assert snap.degraded
+        assert snap.complete  # degraded drain still finishes the DAG
+        board = render(snap, now=2_000_000_000.0)
+        assert "POOL DEGRADED" in board
+        dead = [ln for ln in snap.lanes if ln.state == "DEAD"]
+        assert dead and any("DEAD" in line for line in board.splitlines())
+
+
+class TestWorkerLanes:
+    def test_respawn_history_is_visible(self):
+        live = [
+            {"v": 1, "type": "run-live", "ts": 0.0, "jobs": 2, "pid": 1, "units": 4},
+            {"v": 1, "type": "worker-spawn", "ts": 0.1, "worker": "campaign-worker-0", "index": 0},
+            {"v": 1, "type": "worker-spawn", "ts": 0.1, "worker": "campaign-worker-1", "index": 1},
+            {"v": 1, "type": "unit-dispatched", "ts": 0.2, "unit": "a", "index": 0, "attempt": 1},
+            {"v": 1, "type": "worker-heartbeat", "ts": 0.3, "index": 0, "unit": "a"},
+            {"v": 1, "type": "worker-exit", "ts": 0.4, "worker": "campaign-worker-0", "exitcode": -9, "unit": "a"},
+            {"v": 1, "type": "worker-spawn", "ts": 0.5, "worker": "campaign-worker-2", "index": 2},
+            {"v": 1, "type": "worker-respawn", "ts": 0.5, "worker": "campaign-worker-2", "replaces": "campaign-worker-0", "respawns_used": 1},
+            {"v": 1, "type": "unit-dispatched", "ts": 0.6, "unit": "a", "index": 2, "attempt": 2},
+            {"v": 1, "type": "unit-completed", "ts": 0.9, "unit": "a", "status": "ok"},
+        ]
+        lanes = worker_lanes(live)
+        assert [ln.worker for ln in lanes] == [
+            "campaign-worker-0",
+            "campaign-worker-1",
+            "campaign-worker-2",
+        ]
+        assert lanes[0].state == "RESPAWNED"
+        assert lanes[0].exitcode == -9
+        assert lanes[2].respawns_used == 1
+        assert lanes[2].state == "IDLE"  # finished the retried unit
+        assert lanes[2].last_beat == 0.9
+
+    def test_hang_kill_marks_the_lane(self):
+        live = [
+            {"v": 1, "type": "worker-spawn", "ts": 0.0, "worker": "campaign-worker-0", "index": 0},
+            {"v": 1, "type": "unit-dispatched", "ts": 0.1, "unit": "a", "index": 0, "attempt": 1},
+            {"v": 1, "type": "worker-hang-kill", "ts": 5.0, "worker": "campaign-worker-0", "unit": "a"},
+        ]
+        assert worker_lanes(live)[0].state == "HUNG"
+
+
+class TestFollow:
+    def test_once_renders_final_snapshot(self, tmp_path):
+        _run(tmp_path / "run", jobs=2)
+        out = io.StringIO()
+        code = follow(tmp_path / "run", once=True, stream=out)
+        assert code == 0
+        assert "COMPLETE (exit 0)" in out.getvalue()
+
+    def test_waits_politely_for_a_missing_journal(self, tmp_path):
+        out = io.StringIO()
+        assert follow(tmp_path, once=True, stream=out) == 0
+        assert "waiting for a campaign journal" in out.getvalue()
+
+    def test_watch_main_positional_rundir(self, tmp_path, capsys):
+        _run(tmp_path / "run", jobs=1)
+
+        class Args:
+            dir = None
+            extra = [str(tmp_path / "run")]
+            once = True
+            interval = None
+
+        assert watch_main(Args()) == 0
+        assert "COMPLETE" in capsys.readouterr().out
+
+    def test_watch_main_requires_a_rundir(self):
+        class Args:
+            dir = None
+            extra = []
+
+        with pytest.raises(CampaignError):
+            watch_main(Args())

@@ -36,7 +36,9 @@ def _tree_bytes(directory, exclude=()):
         for name in files:
             full = os.path.join(root, name)
             rel = os.path.relpath(full, directory)
-            if rel in exclude:
+            # live.ndjson is wall-clock telemetry, outside the
+            # byte-identity contract (docs/observability.md).
+            if rel in exclude or name == "live.ndjson":
                 continue
             with open(full, "rb") as fh:
                 out[rel] = fh.read()

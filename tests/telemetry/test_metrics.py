@@ -147,3 +147,120 @@ class TestPrometheusExport:
         assert doc["kernel.flops"]["samples"][0]["value"] == 1e12
         assert doc["kernel.time_us"]["kind"] == "histogram"
         assert doc["kernel.time_us"]["samples"][0]["count"] == 1
+
+
+class TestPercentiles:
+    def test_interpolates_inside_the_bucket(self):
+        # 10 observations spread uniformly through the (1, 10] bucket:
+        # the PromQL estimator puts the median at the bucket midpoint
+        # walk — lower + width * rank_fraction.
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for _ in range(10):
+            h.observe(5.0)
+        assert h.percentile(0.5) == pytest.approx(1.0 + 9.0 * 0.5)
+        assert h.percentile(1.0) == pytest.approx(10.0)
+
+    def test_rank_straddling_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.5, 50.0, 50.0):
+            h.observe(v)
+        # p50 rank (2.0) is satisfied by the first bucket boundary.
+        assert h.percentile(0.5) == pytest.approx(1.0)
+        # p99 rank (3.96) lands inside the (10, 100] bucket.
+        p99 = h.percentile(0.99)
+        assert 10.0 < p99 <= 100.0
+
+    def test_overflow_rank_clamps_to_largest_finite_bound(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(1e9)  # +Inf bucket only
+        assert h.percentile(0.99) == 10.0
+
+    def test_empty_histogram_is_zero(self):
+        h = Histogram("lat", buckets=DEFAULT_BUCKETS)
+        assert h.percentile(0.99) == 0.0
+
+    def test_quantile_out_of_range_rejected(self):
+        h = Histogram("lat", buckets=DEFAULT_BUCKETS)
+        with pytest.raises(ValueError, match="quantile"):
+            h.percentile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            h.percentile(-0.1)
+
+    def test_percentiles_returns_the_standard_keys(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        row = h.percentiles()
+        assert sorted(row) == ["p50", "p95", "p99"]
+        assert all(v > 0 for v in row.values())
+
+    def test_summary_folds_label_sets_together(self):
+        reg = MetricsRegistry()
+        for system in ("aurora", "dawn"):
+            for _ in range(5):
+                reg.observe("rep.time_us", 5.0, system=system)
+        summary = reg.percentile_summary()
+        assert list(summary) == ["rep.time_us"]
+        row = summary["rep.time_us"]
+        assert row["count"] == 10.0
+        assert row["sum"] == pytest.approx(50.0)
+        # Folded percentile equals the single-label-set percentile
+        # because both sets saw identical observations.
+        h = reg.histogram("rep.time_us")
+        assert row["p50"] == pytest.approx(h.percentile(0.5, system="dawn"))
+
+    def test_summary_skips_non_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("events.count")
+        reg.set_gauge("phase", 2.0)
+        assert reg.percentile_summary() == {}
+
+
+class TestOpenMetricsExport:
+    def test_counter_samples_get_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.inc("transfer.bytes", 5.0, path="xelink")
+        text = reg.to_openmetrics()
+        # TYPE names the bare family; the sample carries _total.
+        assert "# TYPE transfer_bytes counter" in text
+        assert 'transfer_bytes_total{path="xelink"} 5' in text
+        assert "transfer_bytes{" not in text
+
+    def test_histogram_family_gets_type_help_and_series(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "kernel.time_us", help="per-kernel device time", buckets=(1.0, 10.0)
+        )
+        hist.observe(0.5)
+        hist.observe(5.0)
+        text = reg.to_openmetrics()
+        assert "# HELP kernel_time_us per-kernel device time" in text
+        assert "# TYPE kernel_time_us histogram" in text
+        assert 'kernel_time_us_bucket{le="1"} 1' in text
+        assert 'kernel_time_us_bucket{le="10"} 2' in text
+        assert 'kernel_time_us_bucket{le="+Inf"} 2' in text
+        assert "kernel_time_us_sum 5.5" in text
+        assert "kernel_time_us_count 2" in text
+
+    def test_gauges_are_unsuffixed(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("campaign.complete", 1.0)
+        text = reg.to_openmetrics()
+        assert "# TYPE campaign_complete gauge" in text
+        assert "campaign_complete 1" in text
+        assert "campaign_complete_total" not in text
+
+    def test_exposition_ends_with_eof(self):
+        assert MetricsRegistry().to_openmetrics() == "# EOF\n"
+        reg = MetricsRegistry()
+        reg.inc("a.b")
+        assert reg.to_openmetrics().endswith("# EOF\n")
+
+    def test_deterministic_across_builds(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.inc("units.count", 2.0, status="OK")
+            reg.observe("sim.us", 42.0, unit="u1")
+            reg.set_gauge("done", 1.0)
+            return reg.to_openmetrics()
+
+        assert build() == build()
