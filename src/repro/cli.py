@@ -299,6 +299,16 @@ def _cmd_health(ctx: ExecutionContext) -> None:
     if not all(check.passed for check in sched_checks):
         ctx.record(CellStatus.DEGRADED)
     print()
+    from .service.selfcheck import service_selfcheck
+
+    svc_checks = service_selfcheck()
+    for check in svc_checks:
+        mark = "ok " if check.passed else "FAIL"
+        print(f"[{mark}] service      {check.name}"
+              + (f"  ({check.detail})" if check.detail else ""))
+    if not all(check.passed for check in svc_checks):
+        ctx.record(CellStatus.DEGRADED)
+    print()
     print(ctx.telemetry_summary())
 
 
@@ -420,7 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(_COMMANDS)
         + sorted(_CTX_COMMANDS)
         + sorted(_TELEMETRY_COMMANDS)
-        + ["campaign", "obs", "profile", "trend"],
+        + ["campaign", "loadgen", "obs", "profile", "serve-bench", "trend"],
     )
     parser.add_argument(
         "bench",
@@ -572,8 +582,44 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         metavar="N",
         default=None,
-        help="obs serve: TCP port for the OpenMetrics exporter "
-        "(default: ephemeral)",
+        help="obs serve / serve-bench: TCP port to bind (default: "
+        "ephemeral); loadgen: the daemon port to target (required)",
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        metavar="HOST",
+        help="loadgen: daemon host to target (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="serve-bench: executor threads pulling from the admission "
+        "queue (default: 4)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        metavar="N",
+        default=None,
+        help="loadgen: total requests to fire (default: 200)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        metavar="N",
+        default=None,
+        help="loadgen: concurrent client connections (default: 16)",
+    )
+    parser.add_argument(
+        "--distinct",
+        type=int,
+        metavar="N",
+        default=None,
+        help="loadgen: distinct request bodies in the population "
+        "(default: 1 — maximal cache pressure)",
     )
     args = parser.parse_args(argv)
     needs_telemetry = (
@@ -595,6 +641,14 @@ def main(argv: list[str] | None = None) -> int:
             from .campaign.orchestrator import campaign_main
 
             return campaign_main(args)
+        if args.command == "serve-bench":
+            from .service.daemon import serve_bench_main
+
+            return serve_bench_main(args)
+        if args.command == "loadgen":
+            from .service.loadgen import loadgen_main
+
+            return loadgen_main(args)
         if args.command == "obs":
             from .errors import CampaignError
             from .obs.export import export_main

@@ -12,7 +12,11 @@ The subsystem has three layers:
 * :mod:`repro.faults.process` — process-level campaign chaos
   (:class:`WorkerFaultPlan`): SIGKILLed workers, hung workers, and
   transient ``ENOSPC`` on journal/store writes, consumed by the campaign
-  worker supervisor rather than the in-process engine.
+  worker supervisor rather than the in-process engine;
+* :mod:`repro.faults.service` — service-level chaos
+  (:class:`ServiceFaultPlan`): request storms, slow-loris clients,
+  cache corruption and daemon SIGKILLs, consumed by the benchmark
+  daemon's loadgen drills (:mod:`repro.service.loadgen`).
 
 :class:`ExecutionContext` ties one injector-equipped engine per system to
 the CLI's exit-code contract (0 clean / 1 degraded / 2 failed).
@@ -27,6 +31,12 @@ from .process import (
     WORKER_SCENARIO_NAMES,
     WorkerFaultPlan,
     build_worker_plan,
+)
+from .service import (
+    SERVICE_SCENARIO_NAMES,
+    ServiceFaultPlan,
+    build_service_plan,
+    corrupt_store_objects,
 )
 from .scenarios import (
     CAMPAIGN_SCENARIO_NAMES,
@@ -54,4 +64,8 @@ __all__ = [
     "WORKER_SCENARIO_NAMES",
     "WorkerFaultPlan",
     "build_worker_plan",
+    "SERVICE_SCENARIO_NAMES",
+    "ServiceFaultPlan",
+    "build_service_plan",
+    "corrupt_store_objects",
 ]

@@ -36,7 +36,10 @@ __all__ = [
     "canonical_json",
     "fsync_append_text",
     "io_retry_count",
+    "read_sealed_ndjson",
+    "record_intact",
     "reset_io_retry_count",
+    "seal_record",
     "set_io_fault_gate",
     "sha256_text",
     "sha256_file",
@@ -192,6 +195,61 @@ def canonical_json(doc: object) -> str:
 def atomic_write_json(path: str | os.PathLike, doc: object) -> None:
     """Serialise *doc* as stable, human-readable JSON and write atomically."""
     atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def seal_record(body: dict) -> dict:
+    """Attach a ``sha256`` integrity field to *body* (checksum of its
+    canonical JSON with the field removed) — the self-describing record
+    scheme shared by the campaign journal, the memo-store index, and
+    the service request queue."""
+    doc = {k: v for k, v in body.items() if k != "sha256"}
+    doc["sha256"] = sha256_text(canonical_json(doc))
+    return doc
+
+
+def record_intact(doc: dict) -> bool:
+    """True when *doc*'s ``sha256`` matches its own canonical body."""
+    body = {k: v for k, v in doc.items() if k != "sha256"}
+    return doc.get("sha256") == sha256_text(canonical_json(body))
+
+
+def read_sealed_ndjson(path: str | os.PathLike, accept=None) -> tuple[list[dict], int]:
+    """Decode a sealed-record NDJSON file, keeping the longest intact prefix.
+
+    Returns ``(records, dropped)``.  The trusted prefix ends at the
+    first line that is torn (no trailing newline), not JSON, not a
+    sealed-intact object, or rejected by *accept*; that line and
+    everything after it count as *dropped*.  A writer mid-append can
+    therefore never expose a partial record to a concurrent reader —
+    the contract the torn-tail property suite enforces byte by byte.
+    A missing file reads as an empty stream.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return [], 0
+    # errors="replace": undecodable bytes fail json.loads and end the
+    # trusted prefix rather than raising out of the reader.
+    with open(path, "r", encoding="utf-8", errors="replace", newline="") as fh:
+        raw_lines = fh.read().splitlines(keepends=True)
+    records: list[dict] = []
+    for lineno, raw in enumerate(raw_lines):
+        line = raw.strip()
+        if not line:
+            continue
+        if not raw.endswith("\n"):
+            break
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if not isinstance(doc, dict) or not record_intact(doc):
+            break
+        if accept is not None and not accept(doc):
+            break
+        records.append(doc)
+    else:
+        return records, 0
+    return records, sum(1 for l in raw_lines[lineno:] if l.strip())
 
 
 def sha256_text(text: str) -> str:

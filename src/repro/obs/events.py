@@ -96,6 +96,16 @@ LIVE_EVENTS: dict[str, dict[str, type | tuple[type, ...]]] = {
     "worker-hang-kill": {"worker": str, "unit": str},
     "pool-degraded": {},
     "quarantine": {"unit": str, "exit_codes": list},
+    # Benchmark-service telemetry (repro.service.daemon): the daemon's
+    # state directory carries the same live stream as a campaign dir,
+    # so watch-style tooling and the smoke jobs tail one format.
+    "service-start": {"pid": int, "port": int, "recovered": int},
+    "request-accepted": {"request": str, "tenant": str, "kind": str},
+    "request-shed": {"tenant": str, "reason": str},
+    "request-completed": {"request": str, "status": str, "cached": bool},
+    "request-recovered": {"request": str, "tenant": str},
+    "cache-quarantined": {"key": str},
+    "service-drain": {"inflight": int, "queued": int},
 }
 
 
@@ -146,7 +156,10 @@ def read_events(path: str | os.PathLike) -> list[dict]:
     if not os.path.exists(path):
         return []
     records: list[dict] = []
-    with open(path, "r", encoding="utf-8", newline="") as fh:
+    # errors="replace": undecodable bytes (a torn multi-byte character,
+    # foreign garbage) become U+FFFD, fail json.loads, and end the
+    # trusted prefix instead of raising out of the reader.
+    with open(path, "r", encoding="utf-8", errors="replace", newline="") as fh:
         for raw in fh:
             line = raw.strip()
             if not line or not raw.endswith("\n"):

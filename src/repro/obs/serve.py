@@ -1,6 +1,7 @@
 """``pvc-bench obs serve``: a stdlib OpenMetrics exporter for run dirs.
 
-A :class:`~http.server.ThreadingHTTPServer` publishing three routes:
+A :class:`~repro.service.httpd.GracefulHTTPServer` publishing three
+routes:
 
 * ``/metrics`` — the run directory folded into an OpenMetrics
   exposition (:func:`repro.obs.export.run_registry` +
@@ -14,16 +15,25 @@ A :class:`~http.server.ThreadingHTTPServer` publishing three routes:
 No third-party dependencies: the whole exporter is ``http.server``
 over the same event-stream readers the watch board uses.  Port 0 binds
 an ephemeral port (tests scrape ``server.server_address``).
+
+Shutdown is the graceful path the benchmark daemon uses: handler
+threads are *daemonic by deliberate choice* (a drain overrun must
+never hang interpreter exit) but tracked, and :meth:`ObsServer.stop`
+drains in-flight scrapes against a bound before closing the socket —
+a mid-scrape Ctrl-C finishes the response it owes instead of tearing
+the connection mid-write.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import sys
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import BaseHTTPRequestHandler
 
 from ..errors import CampaignError
+from ..service.httpd import GracefulHTTPServer
 from .export import run_registry
 
 __all__ = ["ObsServer", "serve_main"]
@@ -71,10 +81,8 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
 
-class ObsServer(ThreadingHTTPServer):
+class ObsServer(GracefulHTTPServer):
     """The exporter bound to one run directory."""
-
-    daemon_threads = True
 
     def __init__(self, rundir: str | os.PathLike, port: int = 0,
                  host: str = "127.0.0.1") -> None:
@@ -86,13 +94,13 @@ class ObsServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
-    def serve_background(self) -> threading.Thread:
+    def serve_background(self, name: str = "obs-serve") -> threading.Thread:
         """Serve from a daemon thread (tests; embedding in a watch)."""
-        thread = threading.Thread(
-            target=self.serve_forever, name="obs-serve", daemon=True
-        )
-        thread.start()
-        return thread
+        return super().serve_background(name=name)
+
+    def stop(self, timeout_s: float = 5.0) -> bool:
+        """Drain in-flight scrapes (bounded) and close the socket."""
+        return self.shutdown_gracefully(timeout_s)
 
 
 def serve_main(args) -> int:
@@ -106,15 +114,29 @@ def serve_main(args) -> int:
     if not os.path.isdir(rundir):
         raise CampaignError(f"{rundir} is not a directory")
     server = ObsServer(rundir, port=getattr(args, "port", None) or 0)
+    stop = threading.Event()
+
+    def handler(signum, frame):  # pragma: no cover - signal timing
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, handler)
+    server.serve_background()
     print(
         f"serving OpenMetrics for {rundir} at {server.url}/metrics "
-        "(Ctrl-C stops)",
+        "(Ctrl-C drains and stops)",
         file=sys.stderr,
     )
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive stop
-        pass
+        stop.wait()
     finally:
-        server.server_close()
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        drained = server.stop()
+        if not drained:
+            print(
+                f"abandoned {server.abandoned_handlers} wedged scrape(s)",
+                file=sys.stderr,
+            )
     return 0

@@ -1,0 +1,50 @@
+"""The fault-tolerant benchmark-as-a-service layer.
+
+``pvc-bench serve-bench`` turns the reproduction into a long-running
+daemon: HTTP requests for tables, figures, reports and whole campaigns
+are admitted through per-tenant token buckets, journalled before they
+are queued, executed against a persistent shared memo store
+(:mod:`repro.sim.memostore`), and answered with cached, byte-identical
+results on retry — across process restarts and SIGKILLs.
+
+Modules:
+
+* :mod:`.httpd` — the graceful ``ThreadingHTTPServer`` base (tracked
+  handler threads, bounded drain, slow-loris socket timeouts), shared
+  with ``pvc-bench obs serve``.
+* :mod:`.admission` — token buckets, the bounded fair queue, 429
+  shedding with ``Retry-After`` hints.
+* :mod:`.state` — the durable request journal, terminal records, and
+  crash recovery.
+* :mod:`.daemon` — :class:`~repro.service.daemon.BenchDaemon`, the
+  process tying it together.
+* :mod:`.loadgen` — the request-storm client and latency/hit-rate
+  reporter (``pvc-bench loadgen``).
+* :mod:`.selfcheck` — the ``pvc-bench health`` service drill.
+
+See ``docs/service.md`` for the API, the lifecycle model and the
+crash-drill invariants.
+"""
+
+from .admission import AdmissionController, Decision, TokenBucket
+from .daemon import BenchDaemon, serve_bench_main
+from .httpd import GracefulHTTPServer
+from .loadgen import LoadgenReport, loadgen_main, run_loadgen
+from .selfcheck import service_selfcheck
+from .state import ServiceState, normalize_request, request_digest
+
+__all__ = [
+    "AdmissionController",
+    "BenchDaemon",
+    "Decision",
+    "GracefulHTTPServer",
+    "LoadgenReport",
+    "ServiceState",
+    "TokenBucket",
+    "loadgen_main",
+    "normalize_request",
+    "request_digest",
+    "run_loadgen",
+    "serve_bench_main",
+    "service_selfcheck",
+]

@@ -1,0 +1,232 @@
+"""Admission control: per-tenant token buckets over a bounded queue.
+
+"Scaling MPI Applications on Aurora" (PAPERS.md) shows service-level
+queueing and contention dominating at scale — an admission layer that
+sheds early and predictably is what keeps p99 bounded under a request
+storm.  The policy here is deliberately simple and fully deterministic
+given a clock:
+
+* each tenant owns a **token bucket** (``capacity`` burst, ``rate``
+  sustained requests/second): an empty bucket sheds the request with
+  a 429 and a ``Retry-After`` hint telling the client exactly when the
+  next token lands, so honest clients converge on the sustained rate
+  instead of hammering;
+* a **bounded global queue** caps total backlog: a full queue sheds
+  regardless of tenant budget (the overload signal), with a
+  ``Retry-After`` scaled to the backlog drain time;
+* **fair ordering** — the queue interleaves tenants round-robin, so a
+  storm from one tenant cannot starve another's trickle: each dequeue
+  takes the oldest request of the least-recently-served tenant.
+
+The clock is injectable (``now``) so tests and the ``request-storm``
+drill replay identical schedules.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "Decision", "TokenBucket"]
+
+#: Defaults sized for the loadgen drills: a burst of 64 then 32 rps
+#: sustained per tenant, 1024 requests of total backlog.
+DEFAULT_BUCKET_CAPACITY = 64.0
+DEFAULT_BUCKET_RATE = 32.0
+DEFAULT_QUEUE_DEPTH = 1024
+
+
+class TokenBucket:
+    """The classic leaky counter: ``capacity`` burst, ``rate`` refill/s."""
+
+    __slots__ = ("capacity", "rate", "tokens", "stamp")
+
+    def __init__(self, capacity: float, rate: float, now: float) -> None:
+        if capacity < 1 or rate <= 0:
+            raise ValueError("token bucket needs capacity >= 1 and rate > 0")
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self.tokens = float(capacity)
+        self.stamp = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(now - self.stamp, 0.0)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.stamp = now
+
+    def take(self, now: float) -> float:
+        """Consume one token; returns 0.0, or the seconds until one lands."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One admission verdict."""
+
+    admitted: bool
+    reason: str = ""
+    retry_after_s: float = 0.0
+
+
+class AdmissionController:
+    """Thread-safe admission + fair dequeue for the daemon's executor."""
+
+    def __init__(
+        self,
+        bucket_capacity: float = DEFAULT_BUCKET_CAPACITY,
+        bucket_rate: float = DEFAULT_BUCKET_RATE,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        clock=time.monotonic,
+    ) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.bucket_capacity = bucket_capacity
+        self.bucket_rate = bucket_rate
+        self.queue_depth = queue_depth
+        self.clock = clock
+        self.shed_tenant = 0
+        self.shed_backlog = 0
+        self.admitted = 0
+        self._buckets: dict[str, TokenBucket] = {}
+        #: tenant -> FIFO of queued items; OrderedDict order is the
+        #: round-robin service order (least recently served first).
+        self._queues: OrderedDict[str, deque] = OrderedDict()
+        self._depth = 0
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+
+    def submit(self, tenant: str, item) -> Decision:
+        """Admit *item* for *tenant*, or shed with a retry hint."""
+        now = self.clock()
+        with self._lock:
+            if self._closed:
+                return Decision(False, "draining", retry_after_s=1.0)
+            if self._depth >= self.queue_depth:
+                self.shed_backlog += 1
+                # Backlog drain hint: pretend the whole queue retires at
+                # the sustained per-tenant rate; coarse but monotone in
+                # the overload.
+                return Decision(
+                    False,
+                    "queue full",
+                    retry_after_s=max(self._depth / self.bucket_rate, 1.0),
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.bucket_capacity, self.bucket_rate, now
+                )
+            wait = bucket.take(now)
+            if wait > 0.0:
+                self.shed_tenant += 1
+                return Decision(False, "tenant rate", retry_after_s=wait)
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            queue.append(item)
+            self._depth += 1
+            self.admitted += 1
+            self._ready.notify()
+            return Decision(True)
+
+    def requeue(self, tenant: str, item) -> None:
+        """Put a recovered/deferred item back without admission checks.
+
+        Used by crash recovery (journalled requests re-enter the queue
+        on restart — they already paid admission once) and by drain
+        persistence.  Recovered items go to the *front* of their
+        tenant's FIFO to preserve acceptance order.
+        """
+        with self._lock:
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            queue.appendleft(item)
+            self._depth += 1
+            self._ready.notify()
+
+    # ------------------------------------------------------------------
+    # egress (executor side)
+    # ------------------------------------------------------------------
+
+    def take(self, timeout_s: float | None = None):
+        """The next ``(tenant, item)`` in fair order, or ``None``.
+
+        Blocks up to *timeout_s* (forever when ``None``) for work;
+        returns ``None`` on timeout or when the controller is closed
+        and empty.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        with self._lock:
+            while True:
+                for tenant in list(self._queues):
+                    queue = self._queues[tenant]
+                    if queue:
+                        item = queue.popleft()
+                        self._depth -= 1
+                        # Rotate the tenant to the back: round-robin.
+                        self._queues.move_to_end(tenant)
+                        if not queue:
+                            del self._queues[tenant]
+                        return tenant, item
+                if self._closed:
+                    return None
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._ready.wait(remaining)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new submissions and wake blocked takers."""
+        with self._lock:
+            self._closed = True
+            self._ready.notify_all()
+
+    def drain_items(self) -> list[tuple[str, object]]:
+        """Remove and return every queued ``(tenant, item)``, fair order."""
+        items: list[tuple[str, object]] = []
+        with self._lock:
+            while self._depth:
+                for tenant in list(self._queues):
+                    queue = self._queues[tenant]
+                    if queue:
+                        items.append((tenant, queue.popleft()))
+                        self._depth -= 1
+                        self._queues.move_to_end(tenant)
+                        if not queue:
+                            del self._queues[tenant]
+        return items
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def stats(self) -> dict:
+        return {
+            "depth": self._depth,
+            "admitted": self.admitted,
+            "shed_tenant": self.shed_tenant,
+            "shed_backlog": self.shed_backlog,
+            "tenants": len(self._buckets),
+        }

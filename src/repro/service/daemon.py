@@ -1,0 +1,706 @@
+"""``pvc-bench serve-bench``: the fault-tolerant benchmark daemon.
+
+A stdlib-only HTTP service that accepts benchmark and campaign
+requests, multiplexes them onto the existing execution machinery
+(table renderers for ``bench`` requests, the fork-worker campaign
+scheduler for ``campaign`` requests), and serves status and results —
+engineered for failure first:
+
+* **Admission control** (:mod:`.admission`): per-tenant token buckets
+  and a bounded backlog; overload sheds with ``429`` + ``Retry-After``
+  instead of queueing unboundedly.
+* **Durable intent** (:mod:`.state`): every admitted request is
+  journalled before it is queued, its terminal record is written
+  atomically before ``done`` is journalled, and results are cached in
+  the shared :class:`~repro.sim.memostore.MemoStore` by content
+  digest — so a SIGKILL at *any* point either lost nothing or lost
+  only work a retry reproduces byte-identically.
+* **Idempotency**: a replayed request id returns (or attaches to) the
+  original execution; distinct ids with equal content hit the result
+  cache, and campaign requests share a run directory keyed by content
+  digest whose resume path verifies-and-skips completed units.
+* **Lifecycle**: SIGTERM drains — in-flight requests finish (bounded),
+  queued ones stay journalled for the next start, new ones get 503;
+  startup replays the journal, re-enqueues the backlog, and resumes
+  half-run campaigns through the normal resume machinery.
+* **Deadlines**: a request's ``deadline_s`` bounds its queue wait and,
+  for campaigns, propagates into the orchestrator's simulated-clock
+  deadline/watchdog supervision.
+
+Observability rides the existing rails: the state directory carries a
+``live.ndjson`` stream (:mod:`repro.obs.events` schema) and
+``/metrics`` serves the OpenMetrics exposition of the service
+registry, including cache hit rate and admission counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+
+from ..errors import CampaignError, ReproError
+from ..exitcodes import ExitCode, classify_error
+from ..faults import ExecutionContext
+from ..obs.events import EventBus
+from ..sim.memostore import PersistentMemoCache
+from ..telemetry.metrics import MetricsRegistry
+from .admission import AdmissionController
+from .httpd import GracefulHTTPServer
+from .state import ServiceState, normalize_request, request_digest
+
+__all__ = ["BenchDaemon", "serve_bench_main"]
+
+#: Content type the OpenMetrics spec registers for text expositions.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Upper bound on a synchronous (``wait=1``) request's block time.
+DEFAULT_WAIT_S = 120.0
+
+#: Executor threads pulling from the admission queue.
+DEFAULT_WORKERS = 4
+
+#: Largest request body the daemon will read (a request is a small
+#: JSON document; anything bigger is a client bug or an attack).
+MAX_BODY_BYTES = 64 * 1024
+
+#: Benchmark commands a ``bench`` request may name.  Everything here is
+#: a pure function of ``(command, scenario, seed)``, which is what
+#: makes result caching and crash-retry byte-identical.
+_BENCH_COMMANDS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "report",
+)
+
+
+def _render_bench(command: str, ctx: ExecutionContext) -> str:
+    from ..analysis import (
+        full_report,
+        render_figure,
+        table_i,
+        table_ii,
+        table_iii,
+        table_iv,
+        table_v,
+        table_vi,
+    )
+
+    if command == "table1":
+        return table_i()
+    if command == "table2":
+        return table_ii(ctx=ctx).render()
+    if command == "table3":
+        return table_iii(ctx=ctx).render()
+    if command == "table4":
+        return table_iv().render()
+    if command == "table5":
+        return table_v()
+    if command == "table6":
+        return table_vi(ctx=ctx).render()
+    if command == "report":
+        return full_report(ctx)
+    if command in ("fig1", "fig2", "fig3", "fig4"):
+        return render_figure(command)
+    raise CampaignError(
+        f"unknown bench command {command!r}; choose from: "
+        + ", ".join(_BENCH_COMMANDS)
+    )
+
+
+class _QueuedRequest:
+    """One admitted request's in-memory lifecycle handle."""
+
+    __slots__ = (
+        "request_id",
+        "tenant",
+        "body",
+        "digest",
+        "accepted_at",
+        "status",
+        "done",
+    )
+
+    def __init__(
+        self, request_id: str, tenant: str, body: dict, digest: str
+    ) -> None:
+        self.request_id = request_id
+        self.tenant = tenant
+        self.body = body
+        self.digest = digest
+        self.accepted_at = time.monotonic()
+        self.status = "queued"
+        self.done = threading.Event()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def daemon(self) -> "BenchDaemon":
+        return self.server.bench_daemon  # type: ignore[attr-defined]
+
+    def _send(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "application/json",
+        extra_headers: dict | None = None,
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(
+        self, status: int, doc: dict, extra_headers: dict | None = None
+    ) -> None:
+        self._send(
+            status,
+            json.dumps(doc, sort_keys=True) + "\n",
+            extra_headers=extra_headers,
+        )
+
+    def log_message(self, format, *args) -> None:  # noqa: A002
+        pass
+
+    def _path_parts(self) -> tuple[list[str], dict]:
+        path, _, query = self.path.partition("?")
+        params = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                key, _, value = pair.partition("=")
+                params[key] = value
+        return [p for p in path.split("/") if p], params
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts, _params = self._path_parts()
+        daemon = self.daemon
+        if parts == ["healthz"]:
+            self._send_json(
+                200,
+                {"status": "draining" if daemon.draining else "ok",
+                 "pid": os.getpid()},
+            )
+        elif parts == ["metrics"]:
+            self._send(
+                200, daemon.openmetrics(), content_type=OPENMETRICS_CONTENT_TYPE
+            )
+        elif parts == []:
+            self._send(
+                200,
+                "repro benchmark service\n"
+                "routes: POST /v1/requests, GET /v1/requests/<id>[/result], "
+                "/metrics, /healthz\n",
+                content_type="text/plain",
+            )
+        elif len(parts) >= 2 and parts[:2] == ["v1", "requests"]:
+            if len(parts) == 3:
+                self._get_request(parts[2], as_text=False)
+            elif len(parts) == 4 and parts[3] == "result":
+                self._get_request(parts[2], as_text=True)
+            else:
+                self._send_json(404, {"error": "not found"})
+        else:
+            self._send_json(404, {"error": "not found"})
+
+    def _get_request(self, request_id: str, as_text: bool) -> None:
+        doc = self.daemon.request_status(request_id)
+        if doc is None:
+            self._send_json(404, {"error": f"unknown request {request_id!r}"})
+            return
+        if not as_text:
+            self._send_json(200, doc)
+            return
+        if doc.get("status") not in ("done", "failed", "interrupted"):
+            self._send_json(
+                409, {"error": "request not finished", "status": doc["status"]}
+            )
+            return
+        self._send(200, doc.get("text", ""), content_type="text/plain")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parts, params = self._path_parts()
+        daemon = self.daemon
+        if parts == ["v1", "drain"]:
+            daemon.begin_drain()
+            self._send_json(200, {"status": "draining"})
+            return
+        if parts != ["v1", "requests"]:
+            self._send_json(404, {"error": "not found"})
+            return
+        if daemon.draining:
+            self._send_json(
+                503,
+                {"error": "draining; retry against the restarted daemon"},
+                extra_headers={"Retry-After": "5"},
+            )
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized body"})
+            return
+        try:
+            raw = self.rfile.read(length)
+            doc = json.loads(raw.decode("utf-8"))
+        except (OSError, TimeoutError, UnicodeDecodeError,
+                json.JSONDecodeError):
+            # Includes the slow-loris case: the socket timeout fires
+            # mid-body and the connection is dropped with a 400.
+            try:
+                self._send_json(400, {"error": "unreadable request body"})
+            except OSError:
+                pass
+            return
+        status, response, headers = daemon.submit(doc)
+        wait = params.get("wait") or (doc.get("wait") if isinstance(doc, dict)
+                                      else None)
+        if status == 202 and wait:
+            finished = daemon.wait_for(
+                response["request_id"],
+                timeout_s=response.get("deadline_s") or DEFAULT_WAIT_S,
+            )
+            if finished is not None:
+                self._send_json(200, finished)
+                return
+        self._send_json(status, response, extra_headers=headers)
+
+
+class BenchDaemon:
+    """The benchmark-as-a-service process (HTTP front end + executors)."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        workers: int = DEFAULT_WORKERS,
+        admission: AdmissionController | None = None,
+        drain_timeout_s: float = 30.0,
+    ) -> None:
+        self.state = ServiceState(directory)
+        self.workers = max(int(workers), 1)
+        self.drain_timeout_s = drain_timeout_s
+        self.draining = False
+        self.admission = admission or AdmissionController()
+        self.events = EventBus(self.state.root)
+        self.metrics = MetricsRegistry()
+        self.metrics.counter("service.requests", "requests by kind/outcome")
+        self.metrics.counter("service.shed", "requests shed by admission")
+        self.metrics.counter("service.recovered",
+                             "requests replayed from the queue journal")
+        self.metrics.histogram(
+            "service.latency_s",
+            "request latency (accept to terminal record)",
+            buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0),
+        )
+        #: Shared model-evaluation cache: every bench request's engines
+        #: read and write the same persistent store.
+        self.model_cache = PersistentMemoCache(self.state.cache)
+        self.state.cache.on_quarantine = lambda key: self.events.live(
+            "cache-quarantined", key=key
+        )
+        self._inflight: dict[str, _QueuedRequest] = {}
+        self._inflight_lock = threading.Lock()
+        self._executors: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.server = GracefulHTTPServer((host, port), _Handler)
+        self.server.bench_daemon = self  # type: ignore[attr-defined]
+        self._recovered = self._recover()
+        self.events.live(
+            "service-start",
+            pid=os.getpid(),
+            port=self.port,
+            recovered=self._recovered,
+        )
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> int:
+        """Replay the queue journal: re-enqueue unfinished requests."""
+        survivors = self.state.recover()
+        for item in reversed(survivors):
+            # reversed + appendleft preserves acceptance order.
+            req = _QueuedRequest(
+                item["request_id"],
+                item["tenant"],
+                item["request"],
+                request_digest(item["request"]),
+            )
+            with self._inflight_lock:
+                self._inflight[req.request_id] = req
+            self.admission.requeue(req.tenant, req)
+            self.metrics.inc("service.recovered")
+            self.events.live(
+                "request-recovered",
+                request=req.request_id,
+                tenant=req.tenant,
+            )
+        return len(survivors)
+
+    # ------------------------------------------------------------------
+    # submission (handler thread)
+    # ------------------------------------------------------------------
+
+    def submit(self, doc) -> tuple[int, dict, dict]:
+        """Admit one request; returns ``(http_status, body, headers)``."""
+        try:
+            request_id = doc.get("request_id")
+            if not isinstance(request_id, str) or not request_id:
+                raise ValueError("requests need a string 'request_id'")
+            tenant = doc.get("tenant", "default")
+            if not isinstance(tenant, str) or not tenant:
+                raise ValueError("tenant must be a non-empty string")
+            body = normalize_request(doc)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}, {}
+        digest = request_digest(body)
+
+        # Idempotency layer 1: a known request id never re-runs.
+        existing = self.request_status(request_id)
+        if existing is not None:
+            replay = dict(existing)
+            replay["replayed"] = True
+            code = 200 if replay["status"] in ("done", "failed",
+                                               "interrupted") else 202
+            return code, replay, {}
+
+        decision = self.admission.submit(
+            tenant, req := _QueuedRequest(request_id, tenant, body, digest)
+        )
+        if not decision.admitted:
+            self.metrics.inc("service.shed", reason=decision.reason)
+            self.events.live(
+                "request-shed", tenant=tenant, reason=decision.reason
+            )
+            retry_after = max(int(decision.retry_after_s + 0.999), 1)
+            return (
+                429,
+                {
+                    "error": f"admission refused: {decision.reason}",
+                    "retry_after_s": decision.retry_after_s,
+                },
+                {"Retry-After": str(retry_after)},
+            )
+        # Journal *after* admission, *before* visibility: a crash here
+        # at worst replays a request whose execution is idempotent.
+        self.state.journal_accepted(request_id, tenant, body)
+        with self._inflight_lock:
+            self._inflight[request_id] = req
+        self.events.live(
+            "request-accepted",
+            request=request_id,
+            tenant=tenant,
+            kind=body["kind"],
+        )
+        response = {
+            "request_id": request_id,
+            "status": "queued",
+            "digest": digest,
+        }
+        if body.get("deadline_s"):
+            response["deadline_s"] = body["deadline_s"]
+        return 202, response, {}
+
+    def wait_for(self, request_id: str, timeout_s: float) -> dict | None:
+        with self._inflight_lock:
+            req = self._inflight.get(request_id)
+        if req is None:
+            return self.request_status(request_id)
+        req.done.wait(timeout_s)
+        return self.request_status(request_id)
+
+    def request_status(self, request_id: str) -> dict | None:
+        record = self.state.load_record(request_id)
+        if record is not None:
+            return record
+        with self._inflight_lock:
+            req = self._inflight.get(request_id)
+        if req is None:
+            return None
+        return {
+            "request_id": req.request_id,
+            "status": req.status,
+            "digest": req.digest,
+        }
+
+    # ------------------------------------------------------------------
+    # execution (executor threads)
+    # ------------------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while not self._stop.is_set():
+            taken = self.admission.take(timeout_s=0.2)
+            if taken is None:
+                continue
+            _tenant, req = taken
+            try:
+                self._execute(req)
+            except Exception as exc:  # noqa: BLE001 - terminal record
+                self._finish(req, "failed", int(ExitCode.UNHEALTHY),
+                             f"internal error: {exc}\n", cached=False)
+
+    def _execute(self, req: _QueuedRequest) -> None:
+        req.status = "running"
+        body = req.body
+        deadline = body.get("deadline_s")
+        if deadline is not None and (
+            time.monotonic() - req.accepted_at > deadline
+        ):
+            self._finish(
+                req, "failed", int(ExitCode.INTERRUPTED),
+                "deadline exceeded while queued\n", cached=False,
+            )
+            return
+        cached = self.state.cache.get(req.digest)
+        if cached is not None and isinstance(cached, dict) and "text" in cached:
+            self._finish(
+                req, cached["status"], cached["exit"], cached["text"],
+                cached=True,
+            )
+            return
+        if body["kind"] == "bench":
+            status, exit_code, text = self._run_bench(body)
+        else:
+            status, exit_code, text = self._run_campaign(body)
+        if status == "done":
+            self.state.cache.put(
+                req.digest, {"text": text, "exit": exit_code, "status": status}
+            )
+        self._finish(req, status, exit_code, text, cached=False)
+
+    def _run_bench(self, body: dict) -> tuple[str, int, str]:
+        try:
+            ctx = ExecutionContext(
+                body["scenario"], body["seed"], memo=self.model_cache
+            )
+            text = _render_bench(body["command"], ctx)
+            return "done", int(ctx.exit_code()), text
+        except ReproError as exc:
+            return "failed", int(classify_error(exc)), f"{exc}\n"
+
+    def _run_campaign(self, body: dict) -> tuple[str, int, str]:
+        from ..campaign.orchestrator import Orchestrator
+        from ..campaign.spec import get_spec
+
+        directory = self.state.campaign_dir(request_digest(body))
+        try:
+            orch = Orchestrator(
+                directory,
+                spec=get_spec(body["spec"]),
+                scenario=body["scenario"],
+                seed=body["seed"],
+                deadline_s=body.get("deadline_s"),
+                jobs=body.get("jobs", 1),
+            )
+            code = int(orch.run_or_resume())
+        except ReproError as exc:
+            return "failed", int(classify_error(exc)), f"{exc}\n"
+        if code == int(ExitCode.INTERRUPTED):
+            return "interrupted", code, (
+                "campaign stopped at its deadline; retry to resume\n"
+            )
+        # Result text: the table artifacts, concatenated in name order —
+        # a pure function of the campaign, so retries after a crash are
+        # byte-identical.
+        parts: list[str] = []
+        tables = orch.tables_dir
+        if os.path.isdir(tables):
+            for name in sorted(os.listdir(tables)):
+                with open(os.path.join(tables, name), "r",
+                          encoding="utf-8") as fh:
+                    parts.append(f"# == {name} ==\n" + fh.read())
+        status = "done" if code in (0, 1) else "failed"
+        return status, code, "".join(parts)
+
+    def _finish(
+        self,
+        req: _QueuedRequest,
+        status: str,
+        exit_code: int,
+        text: str,
+        cached: bool,
+    ) -> None:
+        latency = time.monotonic() - req.accepted_at
+        record = {
+            "request_id": req.request_id,
+            "tenant": req.tenant,
+            "request": req.body,
+            "digest": req.digest,
+            "status": status,
+            "exit": exit_code,
+            "cached": cached,
+            "text": text,
+        }
+        # Terminal record first (atomic), then the journal's ``done``:
+        # a crash between the two replays the request, finds the record
+        # present, and skips — never the reverse.
+        self.state.write_record(req.request_id, record)
+        self.state.journal_done(req.request_id, status, req.digest)
+        req.status = status
+        self.metrics.inc(
+            "service.requests", kind=req.body["kind"], status=status
+        )
+        self.metrics.observe("service.latency_s", latency)
+        self.events.live(
+            "request-completed",
+            request=req.request_id,
+            status=status,
+            cached=cached,
+        )
+        with self._inflight_lock:
+            self._inflight.pop(req.request_id, None)
+        req.done.set()
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def openmetrics(self) -> str:
+        cache = self.state.cache.stats()
+        for key in ("entries", "hits", "misses", "evictions", "quarantined"):
+            self.metrics.set_gauge(f"service.cache.{key}", float(cache[key]))
+        self.metrics.set_gauge("service.cache.hit_rate", cache["hit_rate"])
+        admission = self.admission.stats()
+        for key in ("depth", "admitted", "shed_tenant", "shed_backlog"):
+            self.metrics.set_gauge(
+                f"service.admission.{key}", float(admission[key])
+            )
+        self.metrics.set_gauge(
+            "service.draining", 1.0 if self.draining else 0.0
+        )
+        return self.metrics.to_openmetrics()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind executors + HTTP accept loop (background threads)."""
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._executor_loop,
+                name=f"bench-exec-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._executors.append(thread)
+        self.server.serve_background(name="bench-http")
+
+    def begin_drain(self) -> None:
+        """Refuse new work; current executions run to completion."""
+        if self.draining:
+            return
+        self.draining = True
+        with self._inflight_lock:
+            running = sum(
+                1 for r in self._inflight.values() if r.status == "running"
+            )
+        self.events.live(
+            "service-drain",
+            inflight=running,
+            queued=self.admission.depth,
+        )
+        # Executors stop taking new queue items; whatever is queued
+        # stays journalled for the next start.
+        self._stop.set()
+        self.admission.close()
+
+    def stop(self, timeout_s: float | None = None) -> bool:
+        """Drain gracefully and release every resource (idempotent)."""
+        budget = self.drain_timeout_s if timeout_s is None else timeout_s
+        deadline = time.monotonic() + budget
+        self.begin_drain()
+        for thread in self._executors:
+            thread.join(max(deadline - time.monotonic(), 0.1))
+        drained = self.server.shutdown_gracefully(
+            max(deadline - time.monotonic(), 0.5)
+        )
+        return drained and not any(t.is_alive() for t in self._executors)
+
+    def serve(self) -> int:
+        """Foreground mode: run until SIGTERM/SIGINT, then drain."""
+        stop = threading.Event()
+
+        def handler(signum, frame):  # pragma: no cover - signal timing
+            stop.set()
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, handler)
+        self.start()
+        print(
+            f"serving benchmarks from {self.state.root} at {self.url} "
+            f"({self.workers} executor(s); SIGTERM drains)",
+            file=sys.stderr,
+        )
+        try:
+            stop.wait()
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            clean = self.stop()
+            print(
+                "drained"
+                if clean
+                else "drain timed out; queued work persists for restart",
+                file=sys.stderr,
+            )
+        return 0
+
+
+def serve_bench_main(args) -> int:
+    """Dispatch ``pvc-bench serve-bench --dir state [--port N] ...``."""
+    if not args.dir:
+        raise CampaignError("serve-bench needs --dir <state directory>")
+    daemon = BenchDaemon(
+        args.dir,
+        port=getattr(args, "port", None) or 0,
+        workers=getattr(args, "workers", None) or DEFAULT_WORKERS,
+    )
+    return daemon.serve()

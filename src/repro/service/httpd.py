@@ -1,0 +1,149 @@
+"""The graceful stdlib HTTP base shared by the daemon and ``obs serve``.
+
+:class:`http.server.ThreadingHTTPServer` hands each connection to a
+thread and then forgets about it: with ``daemon_threads = True`` a
+``shutdown()`` abandons in-flight requests mid-write, and with
+``False`` a single wedged client (a slow-loris holding its socket
+open) blocks ``server_close()`` forever.  Both daemons here need the
+middle road — finish what can finish, within a bound, then go —
+so :class:`GracefulHTTPServer` adds:
+
+* **explicit thread tracking** — handler threads are registered in a
+  set (daemonic, so a drain overrun can never hang interpreter exit);
+* **a bounded drain** — :meth:`shutdown_gracefully` stops the accept
+  loop, then joins live handlers against one deadline shared across
+  all of them; stragglers are abandoned (and counted) rather than
+  waited on;
+* **slow-loris defense** — a per-connection socket timeout
+  (:attr:`request_timeout`) propagated onto every handler, so a client
+  dribbling bytes is disconnected instead of pinning a thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+__all__ = ["GracefulHTTPServer"]
+
+#: Default bound on the shutdown drain (seconds).
+DEFAULT_DRAIN_S = 5.0
+
+#: Default per-connection socket timeout (seconds): generous for a
+#: local scrape or API call, fatal for a slow-loris.
+DEFAULT_REQUEST_TIMEOUT_S = 10.0
+
+
+class GracefulHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server whose shutdown drains, bounded."""
+
+    #: Deliberate: handler threads must not block interpreter exit if
+    #: the drain budget runs out — the drain below is what provides
+    #: the orderly path, not thread non-daemonism.
+    daemon_threads = True
+
+    #: Seconds a handler may sit in a socket read/write before the
+    #: connection is dropped (slow-loris defense).  ``None`` disables.
+    request_timeout: float | None = DEFAULT_REQUEST_TIMEOUT_S
+
+    #: socketserver's default listen backlog is 5 — a request storm at
+    #: concurrency 32 overflows it and clients see connection resets
+    #: before admission control ever gets a say.  Shed in admission
+    #: (with a Retry-After), not in the kernel.
+    request_queue_size = 128
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._handler_threads: set[threading.Thread] = set()
+        self._handler_lock = threading.Lock()
+        self._serving = threading.Event()
+        self.abandoned_handlers = 0
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        # Track loop liveness: socketserver's shutdown() blocks forever
+        # if called on a server whose accept loop never started, so
+        # shutdown_gracefully() must know whether to invoke it.
+        self._serving.set()
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving.clear()
+
+    # ------------------------------------------------------------------
+    # thread tracking
+    # ------------------------------------------------------------------
+
+    def process_request(self, request, client_address) -> None:
+        """Spawn-and-track (replaces ThreadingMixIn's fire-and-forget)."""
+        thread = threading.Thread(
+            target=self._handle_tracked,
+            args=(request, client_address),
+            daemon=self.daemon_threads,
+            name=f"http-{self.server_address[1]}",
+        )
+        with self._handler_lock:
+            self._handler_threads.add(thread)
+        thread.start()
+
+    def _handle_tracked(self, request, client_address) -> None:
+        try:
+            if self.request_timeout is not None:
+                request.settimeout(self.request_timeout)
+            self.finish_request(request, client_address)
+        except Exception:  # noqa: BLE001 - socket teardown races
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+            with self._handler_lock:
+                self._handler_threads.discard(threading.current_thread())
+
+    def handle_error(self, request, client_address) -> None:
+        # Client disconnects and handler timeouts are routine for a
+        # long-running daemon; they must not spray tracebacks.
+        pass
+
+    def live_handlers(self) -> int:
+        with self._handler_lock:
+            return sum(1 for t in self._handler_threads if t.is_alive())
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout_s: float = DEFAULT_DRAIN_S) -> bool:
+        """Join live handler threads against one shared deadline.
+
+        Returns ``True`` when every handler finished; stragglers are
+        abandoned (daemonic) and counted in :attr:`abandoned_handlers`.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._handler_lock:
+            threads = list(self._handler_threads)
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(remaining)
+            if thread.is_alive():
+                self.abandoned_handlers += 1
+        return self.abandoned_handlers == 0
+
+    def shutdown_gracefully(self, timeout_s: float = DEFAULT_DRAIN_S) -> bool:
+        """Stop accepting, drain bounded, close the socket.
+
+        Safe to call from a signal handler's thread or a test; callers
+        running :meth:`serve_forever` on another thread see it return.
+        """
+        if self._serving.is_set():
+            self.shutdown()
+        drained = self.drain(timeout_s)
+        self.server_close()
+        return drained
+
+    def serve_background(self, name: str = "httpd") -> threading.Thread:
+        """Run the accept loop on a named daemon thread."""
+        thread = threading.Thread(
+            target=self.serve_forever, name=name, daemon=True
+        )
+        thread.start()
+        return thread

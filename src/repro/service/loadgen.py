@@ -1,0 +1,254 @@
+"""``pvc-bench loadgen``: the service's load generator and drill client.
+
+A stdlib-threads HTTP client that fires configurable request storms at
+a running daemon and reports what the service promised under load:
+admission behaviour (how much was shed, with what retry hints), tail
+latency (p50/p90/p99 per outcome), and cache effectiveness (the warm
+hit rate the CI smoke job asserts ≥90% on).
+
+The request population is a pure function of ``(requests, tenants,
+distinct, seed)`` via :class:`~repro.faults.process.SeededDraw`-style
+deterministic choice — two loadgen runs with the same knobs issue the
+same request ids and bodies, which is what lets the kill-drill compare
+a pre-SIGKILL run against its post-restart retry byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+from ..errors import CampaignError
+
+__all__ = ["LoadgenReport", "run_loadgen", "loadgen_main"]
+
+#: Bench commands the generator samples from when asked for variety.
+VARIED_COMMANDS = ("table1", "table2", "table4", "table5", "fig1", "fig2")
+
+DEFAULT_REQUESTS = 200
+DEFAULT_CONCURRENCY = 16
+DEFAULT_TENANTS = 4
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+class LoadgenReport:
+    """Aggregated outcome of one loadgen run."""
+
+    def __init__(self) -> None:
+        self.outcomes: dict[str, int] = {}
+        self.latencies: dict[str, list[float]] = {}
+        self.cached_hits = 0
+        self.completed = 0
+        self.retry_after_seen = 0
+        self.errors: list[str] = []
+        self._lock = threading.Lock()
+
+    def record(self, outcome: str, latency_s: float, cached: bool = False) -> None:
+        with self._lock:
+            self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+            self.latencies.setdefault(outcome, []).append(latency_s)
+            if outcome == "done":
+                self.completed += 1
+                if cached:
+                    self.cached_hits += 1
+
+    def error(self, message: str) -> None:
+        with self._lock:
+            self.errors.append(message)
+            self.outcomes["error"] = self.outcomes.get("error", 0) + 1
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached_hits / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        summary = {}
+        for outcome, values in sorted(self.latencies.items()):
+            ordered = sorted(values)
+            summary[outcome] = {
+                "count": len(ordered),
+                "p50_s": round(_percentile(ordered, 0.50), 6),
+                "p90_s": round(_percentile(ordered, 0.90), 6),
+                "p99_s": round(_percentile(ordered, 0.99), 6),
+            }
+        return {
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "latency": summary,
+            "completed": self.completed,
+            "cached_hits": self.cached_hits,
+            "hit_rate": round(self.hit_rate, 4),
+            "shed_with_hint": self.retry_after_seen,
+            "errors": len(self.errors),
+        }
+
+    def render(self) -> str:
+        doc = self.to_dict()
+        lines = ["loadgen report", "-" * 48]
+        for outcome, count in doc["outcomes"].items():
+            stats = doc["latency"].get(outcome)
+            tail = (
+                f"  p50={stats['p50_s'] * 1e3:8.1f}ms"
+                f"  p99={stats['p99_s'] * 1e3:8.1f}ms"
+                if stats
+                else ""
+            )
+            lines.append(f"{outcome:<12} {count:6d}{tail}")
+        lines.append(
+            f"cache        {doc['cached_hits']}/{doc['completed']} warm "
+            f"(hit rate {doc['hit_rate']:.1%})"
+        )
+        if doc["shed_with_hint"]:
+            lines.append(
+                f"shed         {doc['shed_with_hint']} with Retry-After hints"
+            )
+        if doc["errors"]:
+            lines.append(f"errors       {doc['errors']}")
+        return "\n".join(lines)
+
+
+def build_requests(
+    count: int,
+    tenants: int = DEFAULT_TENANTS,
+    distinct: int = 1,
+    seed: int = 0,
+    prefix: str = "load",
+) -> list[dict]:
+    """The deterministic request population for one run.
+
+    ``distinct`` controls content variety: 1 means every request shares
+    one body (maximal cache pressure — the warm-rate drill), larger
+    values cycle through :data:`VARIED_COMMANDS` and seeds.  Request
+    ids are stable across runs with the same knobs, so a repeat run
+    exercises the daemon's idempotency path end to end.
+    """
+    distinct = max(1, min(distinct, count)) if count else 0
+    population = []
+    for index in range(count):
+        variant = (index * 2654435761 + seed) % distinct
+        population.append(
+            {
+                "request_id": f"{prefix}-{seed}-{index:05d}",
+                "tenant": f"tenant-{index % max(tenants, 1)}",
+                "command": VARIED_COMMANDS[variant % len(VARIED_COMMANDS)],
+                "seed": seed + variant // len(VARIED_COMMANDS),
+            }
+        )
+    return population
+
+
+def _issue(
+    host: str,
+    port: int,
+    body: dict,
+    report: LoadgenReport,
+    timeout_s: float,
+    slow_loris_s: float = 0.0,
+) -> None:
+    started = time.monotonic()
+    try:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+        try:
+            payload = json.dumps(body)
+            if slow_loris_s > 0.0:
+                # Deliberately dribble the body to trip (or probe) the
+                # server's per-socket timeout.
+                conn.putrequest("POST", "/v1/requests?wait=1")
+                conn.putheader("Content-Type", "application/json")
+                conn.putheader("Content-Length", str(len(payload)))
+                conn.endheaders()
+                half = len(payload) // 2
+                conn.send(payload[:half].encode())
+                time.sleep(slow_loris_s)
+                conn.send(payload[half:].encode())
+            else:
+                conn.request(
+                    "POST",
+                    "/v1/requests?wait=1",
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+            resp = conn.getresponse()
+            raw = resp.read()
+            latency = time.monotonic() - started
+            if resp.status == 429:
+                if resp.getheader("Retry-After"):
+                    with report._lock:
+                        report.retry_after_seen += 1
+                report.record("shed", latency)
+            elif resp.status in (200, 202):
+                doc = json.loads(raw)
+                report.record(
+                    doc.get("status", "queued"),
+                    latency,
+                    cached=bool(doc.get("cached")),
+                )
+            elif resp.status == 503:
+                report.record("draining", latency)
+            else:
+                report.record(f"http-{resp.status}", latency)
+        finally:
+            conn.close()
+    except (OSError, ValueError, http.client.HTTPException) as exc:
+        report.error(f"{body.get('request_id')}: {exc}")
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    requests: int = DEFAULT_REQUESTS,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    tenants: int = DEFAULT_TENANTS,
+    distinct: int = 1,
+    seed: int = 0,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+    slow_loris_s: float = 0.0,
+    prefix: str = "load",
+) -> LoadgenReport:
+    """Fire the request population at the daemon, bounded concurrency."""
+    population = build_requests(
+        requests, tenants=tenants, distinct=distinct, seed=seed, prefix=prefix
+    )
+    report = LoadgenReport()
+    gate = threading.Semaphore(max(concurrency, 1))
+    threads = []
+
+    def worker(body: dict) -> None:
+        try:
+            _issue(host, port, body, report, timeout_s, slow_loris_s)
+        finally:
+            gate.release()
+
+    for body in population:
+        gate.acquire()
+        thread = threading.Thread(target=worker, args=(body,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout_s)
+    return report
+
+
+def loadgen_main(args) -> int:
+    """Dispatch ``pvc-bench loadgen --port N [--requests R] ...``."""
+    port = getattr(args, "port", None)
+    if not port:
+        raise CampaignError("loadgen needs --port <daemon port>")
+    report = run_loadgen(
+        getattr(args, "host", None) or "127.0.0.1",
+        port,
+        requests=getattr(args, "requests", None) or DEFAULT_REQUESTS,
+        concurrency=getattr(args, "concurrency", None) or DEFAULT_CONCURRENCY,
+        distinct=getattr(args, "distinct", None) or 1,
+        seed=getattr(args, "seed", None) or 0,
+    )
+    print(report.render())
+    return 0 if not report.errors else 1

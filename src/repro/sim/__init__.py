@@ -11,6 +11,7 @@ from .calibration import (
 from .contention import aggregate_rate, proportional_share, shared_throughput
 from .engine import PerfEngine
 from .memo import MemoCache, content_digest, kernel_signature
+from .memostore import MemoStore, PersistentMemoCache
 from .kernel import (
     GEMM_N,
     TRIAD_ARRAY_BYTES,
@@ -38,6 +39,8 @@ __all__ = [
     "shared_throughput",
     "PerfEngine",
     "MemoCache",
+    "MemoStore",
+    "PersistentMemoCache",
     "content_digest",
     "kernel_signature",
     "GEMM_N",

@@ -26,6 +26,15 @@ Caches are scoped, not global — each
 hit/miss counters (exported as ``simcache.hit`` / ``simcache.miss``
 through the metrics registry) are a pure function of the unit, which
 keeps serial and parallel campaign runs byte-identical.
+
+The benchmark service shares evaluations *across* requests and daemon
+restarts by swapping in
+:class:`~repro.sim.memostore.PersistentMemoCache`, which layers this
+in-memory tier over the on-disk content-addressed
+:class:`~repro.sim.memostore.MemoStore`.  Campaign runs deliberately
+keep the plain scoped cache: a persistent tier would make the
+journalled hit/miss counters depend on prior runs and break the
+byte-identity invariants.
 """
 
 from __future__ import annotations
@@ -86,7 +95,7 @@ def kernel_signature(spec) -> str:
 class MemoCache:
     """A bounded content-addressed cache with hit/miss accounting."""
 
-    __slots__ = ("max_entries", "hits", "misses", "_data")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_data")
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
@@ -94,6 +103,7 @@ class MemoCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: dict[Hashable, object] = {}
 
     def __len__(self) -> int:
@@ -117,6 +127,7 @@ class MemoCache:
             # sets are far below the cap, so eviction is a safety valve,
             # not a tuning knob.
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
         self._data[key] = value
 
     @property
@@ -130,9 +141,11 @@ class MemoCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
         }
 
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0

@@ -56,6 +56,13 @@ _LIVE_SAMPLES = {
     "worker-hang-kill": dict(worker="campaign-worker-0", unit="u"),
     "pool-degraded": dict(),
     "quarantine": dict(unit="u", exit_codes=[-9, -9, -9]),
+    "service-start": dict(pid=123, port=8080, recovered=2),
+    "request-accepted": dict(request="r-1", tenant="default", kind="bench"),
+    "request-shed": dict(tenant="default", reason="tenant rate"),
+    "request-completed": dict(request="r-1", status="done", cached=True),
+    "request-recovered": dict(request="r-1", tenant="default"),
+    "cache-quarantined": dict(key="d" * 64),
+    "service-drain": dict(inflight=1, queued=3),
 }
 
 

@@ -1,0 +1,105 @@
+"""Service-test helpers: an in-process daemon and a subprocess daemon.
+
+The in-process fixture is what most tests want (fast, introspectable).
+The subprocess helper exists for the drills that kill the daemon with
+SIGKILL — you cannot crash-test a process you are running inside.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.daemon import BenchDaemon
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def post_request(url: str, doc: dict, wait: bool = True, timeout: float = 60.0):
+    """POST one request; returns ``(status, decoded_body, headers)``."""
+    suffix = "?wait=1" if wait else ""
+    req = urllib.request.Request(
+        url + "/v1/requests" + suffix,
+        data=json.dumps(doc).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def get_json(url: str, path: str, timeout: float = 30.0):
+    try:
+        with urllib.request.urlopen(url + path, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    d = BenchDaemon(tmp_path / "state", workers=2)
+    d.start()
+    yield d
+    d.stop(timeout_s=10.0)
+
+
+class DaemonProc:
+    """A ``pvc-bench serve-bench`` subprocess (for kill drills)."""
+
+    def __init__(self, state_dir: str, workers: int = 2) -> None:
+        self.state_dir = str(state_dir)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve-bench",
+                "--dir", self.state_dir, "--workers", str(workers),
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # The daemon announces its ephemeral port on stderr once ready.
+        line = self.proc.stderr.readline()
+        assert " at http://" in line, f"daemon failed to start: {line!r}"
+        self.url = line.split(" at ")[1].split()[0]
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def sigterm(self, timeout: float = 30.0) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+def wait_for_done(url: str, request_id: str, timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        status, doc = get_json(url, f"/v1/requests/{request_id}")
+        if status == 200 and doc.get("status") in ("done", "failed",
+                                                   "interrupted"):
+            return doc
+        time.sleep(0.1)
+    raise AssertionError(f"request {request_id} never finished")

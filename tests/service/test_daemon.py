@@ -1,0 +1,249 @@
+"""BenchDaemon: routes, idempotency, caching, drain, crash recovery.
+
+The subprocess drills at the bottom are the PR's acceptance invariant:
+SIGKILL the daemon at an arbitrary point, restart it over the same
+state directory, and every accepted request completes exactly once
+with byte-identical results.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service.daemon import BenchDaemon
+from repro.service.state import ServiceState
+
+from .conftest import DaemonProc, get_json, post_request, wait_for_done
+
+
+class TestRoutes:
+    def test_root_and_healthz(self, daemon):
+        status, doc = get_json(daemon.url, "/healthz")
+        assert status == 200 and doc["status"] == "ok"
+        with urllib.request.urlopen(daemon.url + "/", timeout=10) as resp:
+            assert b"/v1/requests" in resp.read()
+
+    def test_unknown_route_404(self, daemon):
+        status, _ = get_json(daemon.url, "/nope")
+        assert status == 404
+        status, _ = get_json(daemon.url, "/v1/requests/missing")
+        assert status == 404
+
+    def test_bench_round_trip(self, daemon):
+        status, doc, _ = post_request(
+            daemon.url, {"request_id": "r1", "command": "table4"}
+        )
+        assert status == 200
+        assert doc["status"] == "done"
+        assert "Table IV" in doc["text"]
+        assert doc["exit"] == 0
+
+    def test_result_route_serves_plain_text(self, daemon):
+        post_request(daemon.url, {"request_id": "r1", "command": "table4"})
+        with urllib.request.urlopen(
+            daemon.url + "/v1/requests/r1/result", timeout=30
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            assert b"Table IV" in resp.read()
+
+    def test_result_route_409_while_unfinished(self, daemon):
+        status, doc = get_json(daemon.url, "/v1/requests/never/result")
+        assert status == 404
+
+    def test_malformed_requests_get_400(self, daemon):
+        cases = [
+            {"request_id": "x", "kind": "nope"},
+            {"request_id": "x"},  # bench without command
+            {"command": "table4"},  # missing id
+            {"request_id": "", "command": "table4"},
+        ]
+        for doc in cases:
+            status, body, _ = post_request(daemon.url, doc)
+            assert status == 400, doc
+            assert "error" in body
+
+    def test_unknown_command_fails_cleanly(self, daemon):
+        status, doc, _ = post_request(
+            daemon.url, {"request_id": "bad", "command": "tableX"}
+        )
+        assert status == 200
+        assert doc["status"] == "failed"
+        assert "unknown bench command" in doc["text"]
+
+    def test_metrics_exposition(self, daemon):
+        post_request(daemon.url, {"request_id": "m1", "command": "table4"})
+        with urllib.request.urlopen(daemon.url + "/metrics", timeout=10) as resp:
+            body = resp.read().decode()
+        assert "service_cache_hit_rate" in body
+        assert "service_requests" in body
+        assert body.rstrip().endswith("# EOF")
+
+
+class TestIdempotency:
+    def test_same_id_replays_without_rerun(self, daemon):
+        _, first, _ = post_request(
+            daemon.url, {"request_id": "r1", "command": "table4"}
+        )
+        status, again, _ = post_request(
+            daemon.url, {"request_id": "r1", "command": "table4"}
+        )
+        assert status == 200
+        assert again["replayed"] is True
+        assert again["text"] == first["text"]
+
+    def test_distinct_ids_same_content_hit_cache(self, daemon):
+        _, first, _ = post_request(
+            daemon.url, {"request_id": "a", "command": "table4"}
+        )
+        _, second, _ = post_request(
+            daemon.url, {"request_id": "b", "command": "table4"}
+        )
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["text"] == first["text"]
+        assert second["digest"] == first["digest"]
+
+    def test_scenario_and_seed_are_identity(self, daemon):
+        _, a, _ = post_request(
+            daemon.url, {"request_id": "a", "command": "table4", "seed": 1}
+        )
+        _, b, _ = post_request(
+            daemon.url, {"request_id": "b", "command": "table4", "seed": 2}
+        )
+        assert a["digest"] != b["digest"]
+        assert b["cached"] is False
+
+
+class TestDrain:
+    def test_drain_endpoint_refuses_new_work(self, daemon):
+        status, doc, _ = post_request(daemon.url, {"wait": 0}, wait=False)
+        # (malformed, but proves the route is live before drain)
+        with urllib.request.urlopen(
+            urllib.request.Request(
+                daemon.url + "/v1/drain", data=b"{}", method="POST"
+            ),
+            timeout=10,
+        ) as resp:
+            assert resp.status == 200
+        status, doc, headers = post_request(
+            daemon.url, {"request_id": "late", "command": "table4"}
+        )
+        assert status == 503
+        assert "Retry-After" in headers
+
+    def test_stop_is_clean_and_idempotent(self, tmp_path):
+        daemon = BenchDaemon(tmp_path / "s", workers=1)
+        daemon.start()
+        assert daemon.stop(timeout_s=10.0) is True
+        assert daemon.stop(timeout_s=1.0) is True
+
+    def test_healthz_reports_draining(self, daemon):
+        daemon.begin_drain()
+        status, doc = get_json(daemon.url, "/healthz")
+        assert doc["status"] == "draining"
+
+
+class TestRecovery:
+    def test_journalled_requests_replay_on_construction(self, tmp_path):
+        state = ServiceState(tmp_path / "s")
+        from repro.service.state import normalize_request
+
+        body = normalize_request({"command": "table4"})
+        state.journal_accepted("lost-1", "default", body)
+        state.journal_accepted("lost-2", "default", body)
+        daemon = BenchDaemon(tmp_path / "s", workers=1)
+        try:
+            assert daemon._recovered == 2
+            daemon.start()
+            done = wait_for_done(daemon.url, "lost-1")
+            assert done["status"] == "done"
+            done = wait_for_done(daemon.url, "lost-2")
+            assert done["status"] == "done"
+        finally:
+            daemon.stop(timeout_s=10.0)
+
+    def test_done_requests_not_replayed(self, tmp_path):
+        daemon = BenchDaemon(tmp_path / "s", workers=1)
+        daemon.start()
+        post_request(daemon.url, {"request_id": "done-1", "command": "table4"})
+        daemon.stop(timeout_s=10.0)
+        again = BenchDaemon(tmp_path / "s", workers=1)
+        try:
+            assert again._recovered == 0
+        finally:
+            again.stop(timeout_s=5.0)
+
+
+class TestCampaignRequests:
+    def test_campaign_round_trip_and_shared_dir(self, daemon):
+        status, doc, _ = post_request(
+            daemon.url,
+            {"request_id": "c1", "kind": "campaign", "spec": "smoke"},
+            timeout=120,
+        )
+        assert status == 200
+        assert doc["status"] == "done"
+        assert doc["text"]
+        # Same content under a different id: served from cache, not
+        # re-run (the run directory is shared by content digest).
+        status, again, _ = post_request(
+            daemon.url,
+            {"request_id": "c2", "kind": "campaign", "spec": "smoke"},
+            timeout=120,
+        )
+        assert again["cached"] is True
+        assert again["text"] == doc["text"]
+
+
+@pytest.mark.slow
+class TestKillDrill:
+    """SIGKILL the daemon mid-flight; restart; nothing lost, bytes equal."""
+
+    def test_sigkill_restart_idempotent_byte_identical(self, tmp_path):
+        commands = ["table1", "table4", "table5", "fig1", "fig2", "fig3"]
+        # Reference answers from an undisturbed daemon.
+        reference = {}
+        ref = DaemonProc(tmp_path / "ref")
+        try:
+            for i, command in enumerate(commands):
+                _, doc, _ = post_request(
+                    ref.url,
+                    {"request_id": f"r-{i}", "command": command},
+                    timeout=120,
+                )
+                reference[f"r-{i}"] = doc["text"]
+        finally:
+            assert ref.sigterm() == 0
+
+        victim = DaemonProc(tmp_path / "state")
+        accepted = []
+        for i, command in enumerate(commands):
+            status, doc, _ = post_request(
+                victim.url,
+                {"request_id": f"r-{i}", "command": command},
+                wait=False,
+                timeout=30,
+            )
+            assert status in (200, 202)
+            accepted.append(f"r-{i}")
+        victim.sigkill()  # mid-flight: some done, some queued, some running
+
+        revived = DaemonProc(tmp_path / "state")
+        try:
+            for rid in accepted:
+                done = wait_for_done(revived.url, rid, timeout_s=120)
+                assert done["status"] == "done", rid
+                assert done["text"] == reference[rid], rid
+            # No duplicated work: the queue journal holds no survivors.
+            state = ServiceState(tmp_path / "state")
+            assert state.recover() == []
+        finally:
+            assert revived.sigterm() == 0
+
+    def test_sigterm_drains_with_exit_zero(self, tmp_path):
+        proc = DaemonProc(tmp_path / "state")
+        post_request(
+            proc.url, {"request_id": "d1", "command": "table4"}, timeout=60
+        )
+        assert proc.sigterm() == 0

@@ -1,0 +1,128 @@
+"""Service fault plans and the drills they drive against a live daemon."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.faults.service import (
+    SERVICE_SCENARIO_NAMES,
+    build_service_plan,
+    corrupt_store_objects,
+)
+from repro.service.daemon import BenchDaemon
+from repro.service.loadgen import run_loadgen
+from repro.sim.memo import content_digest
+from repro.sim.memostore import MemoStore
+
+from .conftest import post_request
+
+
+class TestPlans:
+    @pytest.mark.parametrize("scenario", SERVICE_SCENARIO_NAMES)
+    def test_pure_function_of_scenario_and_seed(self, scenario):
+        assert build_service_plan(scenario, 3) == build_service_plan(scenario, 3)
+        assert build_service_plan(scenario, 3) != build_service_plan(scenario, 4)
+
+    @pytest.mark.parametrize("scenario", SERVICE_SCENARIO_NAMES)
+    def test_describe_names_the_scenario(self, scenario):
+        plan = build_service_plan(scenario, 0)
+        assert scenario in plan.describe()
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown service fault"):
+            build_service_plan("coffee-spill", 0)
+
+    def test_storm_parameters_exceed_defaults(self):
+        plan = build_service_plan("request-storm", 1)
+        assert plan.storm_requests >= 200
+        assert plan.storm_concurrency >= 32
+
+    def test_kill_plan_has_a_target(self):
+        plan = build_service_plan("service-kill", 5)
+        assert plan.kill_after_completions >= 1
+
+
+class TestCacheCorruptionDrill:
+    def _filled_store(self, tmp_path, n=5):
+        store = MemoStore(tmp_path / "cache")
+        for i in range(n):
+            store.put(content_digest(("unit", i)), {"i": i})
+        return store
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_victims_quarantined_and_recomputable(self, tmp_path, seed):
+        store = self._filled_store(tmp_path)
+        plan = build_service_plan("cache-corruption", seed)
+        victims = corrupt_store_objects(store, plan)
+        assert 1 <= len(victims) <= plan.corrupt_count
+        for key in victims:
+            assert store.get(key) is None  # quarantined, not raised
+        assert store.stats()["quarantined"] == len(victims)
+        # The recompute path restores service.
+        for key in victims:
+            store.put(key, {"healed": True})
+            assert store.get(key) == {"healed": True}
+
+    def test_targets_are_deterministic(self, tmp_path):
+        plan = build_service_plan("cache-corruption", 9)
+        a = corrupt_store_objects(self._filled_store(tmp_path / "a"), plan)
+        b = corrupt_store_objects(self._filled_store(tmp_path / "b"), plan)
+        assert a == b
+
+    def test_empty_store_is_a_noop(self, tmp_path):
+        store = MemoStore(tmp_path / "cache")
+        plan = build_service_plan("cache-corruption", 0)
+        assert corrupt_store_objects(store, plan) == []
+
+    def test_wrong_plan_rejected(self, tmp_path):
+        store = MemoStore(tmp_path / "cache")
+        with pytest.raises(ScenarioError, match="not 'cache-corruption'"):
+            corrupt_store_objects(store, build_service_plan("slow-loris", 0))
+
+
+class TestLiveDrills:
+    def test_corruption_mid_service_heals(self, daemon):
+        """Corrupt the live result cache between requests: the daemon
+        quarantines, recomputes, and the answer stays byte-identical."""
+        _, cold, _ = post_request(
+            daemon.url, {"request_id": "a", "command": "table4"}
+        )
+        plan = build_service_plan("cache-corruption", 1)
+        victims = corrupt_store_objects(daemon.state.cache, plan)
+        assert victims
+        _, healed, _ = post_request(
+            daemon.url, {"request_id": "b", "command": "table4"}
+        )
+        assert healed["status"] == "done"
+        assert healed["text"] == cold["text"]
+        assert daemon.state.cache.stats()["quarantined"] >= 1
+        # The quarantine surfaced on the live event stream.
+        types = [r["type"] for r in daemon.events.live_records()]
+        assert "cache-quarantined" in types
+
+    def test_slow_loris_disconnected_not_queued(self, tmp_path):
+        daemon = BenchDaemon(tmp_path / "s", workers=1)
+        daemon.server.request_timeout = 1.0  # tight for the drill
+        daemon.start()
+        try:
+            host, port = daemon.server.server_address[:2]
+            plan = build_service_plan("slow-loris", 0)
+            report = run_loadgen(
+                host,
+                port,
+                requests=plan.loris_connections,
+                concurrency=plan.loris_connections,
+                distinct=1,
+                seed=0,
+                slow_loris_s=3.0,  # dribble past the 1s socket timeout
+                timeout_s=15.0,
+            )
+            # Every loris was dropped; none became an accepted request.
+            assert report.completed == 0
+            assert daemon.admission.stats()["admitted"] == 0
+            # And an honest client still gets served afterwards.
+            status, doc, _ = post_request(
+                daemon.url, {"request_id": "honest", "command": "table4"}
+            )
+            assert status == 200 and doc["status"] == "done"
+        finally:
+            daemon.stop(timeout_s=10.0)

@@ -1,0 +1,113 @@
+"""Loadgen: deterministic populations, percentile math, live drills."""
+
+from repro.service.admission import AdmissionController
+from repro.service.daemon import BenchDaemon
+from repro.service.loadgen import (
+    LoadgenReport,
+    VARIED_COMMANDS,
+    _percentile,
+    build_requests,
+    run_loadgen,
+)
+
+
+class TestPopulation:
+    def test_same_knobs_same_population(self):
+        a = build_requests(50, tenants=3, distinct=4, seed=7)
+        b = build_requests(50, tenants=3, distinct=4, seed=7)
+        assert a == b
+
+    def test_seed_changes_content(self):
+        a = build_requests(50, distinct=6, seed=1)
+        b = build_requests(50, distinct=6, seed=2)
+        assert a != b
+
+    def test_distinct_one_shares_one_body(self):
+        population = build_requests(20, distinct=1, seed=0)
+        bodies = {(r["command"], r["seed"]) for r in population}
+        assert len(bodies) == 1
+        ids = {r["request_id"] for r in population}
+        assert len(ids) == 20
+
+    def test_distinct_spreads_commands(self):
+        population = build_requests(60, distinct=6, seed=0)
+        commands = {r["command"] for r in population}
+        assert len(commands) > 1
+        assert commands <= set(VARIED_COMMANDS)
+
+    def test_tenants_cycle(self):
+        population = build_requests(8, tenants=4)
+        assert {r["tenant"] for r in population} == {
+            "tenant-0", "tenant-1", "tenant-2", "tenant-3"
+        }
+
+
+class TestReport:
+    def test_percentiles(self):
+        values = sorted(float(i) for i in range(100))
+        assert _percentile(values, 0.50) == 50.0
+        assert _percentile(values, 0.99) == 99.0
+        assert _percentile([], 0.99) == 0.0
+
+    def test_hit_rate(self):
+        report = LoadgenReport()
+        report.record("done", 0.01, cached=True)
+        report.record("done", 0.02, cached=True)
+        report.record("done", 0.03, cached=False)
+        assert report.hit_rate == 2 / 3
+
+    def test_render_mentions_outcomes(self):
+        report = LoadgenReport()
+        report.record("done", 0.01, cached=True)
+        report.record("shed", 0.001)
+        text = report.render()
+        assert "done" in text and "shed" in text and "hit rate" in text
+
+    def test_to_dict_shape(self):
+        report = LoadgenReport()
+        report.record("done", 0.5)
+        doc = report.to_dict()
+        assert doc["outcomes"] == {"done": 1}
+        assert doc["latency"]["done"]["count"] == 1
+        assert doc["errors"] == 0
+
+
+class TestDrills:
+    def test_warm_cache_hit_rate(self, tmp_path):
+        daemon = BenchDaemon(tmp_path / "s", workers=4)
+        daemon.start()
+        try:
+            host, port = daemon.server.server_address[:2]
+            report = run_loadgen(
+                host, port, requests=60, concurrency=8, distinct=1, seed=1
+            )
+            assert report.errors == []
+            assert report.completed == 60
+            # One cold fill (plus at most a few concurrent races), then warm.
+            assert report.hit_rate >= 0.9
+        finally:
+            daemon.stop(timeout_s=10.0)
+
+    def test_storm_sheds_with_retry_hints(self, tmp_path):
+        daemon = BenchDaemon(
+            tmp_path / "s",
+            workers=2,
+            admission=AdmissionController(
+                bucket_capacity=5, bucket_rate=1.0, queue_depth=8
+            ),
+        )
+        daemon.start()
+        try:
+            host, port = daemon.server.server_address[:2]
+            report = run_loadgen(
+                host, port, requests=40, concurrency=20, tenants=1,
+                distinct=1, seed=2,
+            )
+            outcomes = report.to_dict()["outcomes"]
+            assert outcomes.get("shed", 0) > 0
+            assert report.retry_after_seen == outcomes["shed"]
+            # Everything admitted still completed.
+            assert outcomes.get("done", 0) >= 5
+            assert report.errors == []
+        finally:
+            daemon.stop(timeout_s=10.0)

@@ -21,6 +21,7 @@ class TestMemoCache:
             "hits": 1,
             "misses": 1,
             "hit_rate": 0.5,
+            "evictions": 0,
         }
 
     def test_none_values_rejected(self):
@@ -95,6 +96,7 @@ class TestMemoCache:
             "hits": 0,
             "misses": 0,
             "hit_rate": 0.0,
+            "evictions": 0,
         }
 
 
