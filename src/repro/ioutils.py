@@ -14,7 +14,10 @@ neighbouring tenant briefly filling the volume) are absorbed with a
 bounded retry + exponential backoff: :func:`_retry_io` re-attempts the
 whole write up to :data:`IO_RETRY_ATTEMPTS` times, truncating a torn
 partial append back to its pre-attempt length first so a retried append
-never duplicates bytes.  The fault-injection subsystem hooks the same
+never duplicates bytes.  Appends hold an exclusive ``flock`` across the
+attempt-and-retry sequence, so that truncation can never destroy a
+record a concurrent appender (thread or foreign process) committed in
+between.  The fault-injection subsystem hooks the same
 path via :func:`set_io_fault_gate` (the ``io-enospc`` campaign
 scenario), which is how the chaos suite proves journal and store bytes
 survive disk-pressure blips unchanged.
@@ -28,6 +31,11 @@ import json
 import os
 import tempfile
 import time
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 __all__ = [
     "IO_RETRY_ATTEMPTS",
@@ -161,30 +169,32 @@ def fsync_append_text(path: str | os.PathLike, text: str) -> int:
 
     Transient disk faults are retried; before each retry the file is
     truncated back to its pre-append length, so a partially landed
-    attempt is never duplicated.
+    attempt is never duplicated.  An exclusive ``flock`` is held for
+    the whole append-plus-retry sequence, so a concurrent appender (a
+    thread or another process sharing the journal) can never land a
+    record inside the truncation window and have it destroyed — its
+    append simply waits its turn.
     """
     path = os.fspath(path)
     data = text.encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
     try:
-        base = os.path.getsize(path)
-    except OSError:
-        base = 0
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+        base = os.fstat(fd).st_size
 
-    def _attempt() -> int:
-        try:
-            if os.path.getsize(path) > base:
-                os.truncate(path, base)
-        except OSError:
-            pass
-        fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
-        try:
-            os.write(fd, data)
+        def _attempt() -> int:
+            if os.fstat(fd).st_size > base:
+                os.ftruncate(fd, base)
+            view = memoryview(data)
+            while view:
+                view = view[os.write(fd, view):]
             os.fsync(fd)
-        finally:
-            os.close(fd)
-        return len(data)
+            return len(data)
 
-    return _retry_io("append", path, _attempt)
+        return _retry_io("append", path, _attempt)
+    finally:
+        os.close(fd)
 
 
 def canonical_json(doc: object) -> str:

@@ -98,6 +98,10 @@ class AdmissionController:
         #: round-robin service order (least recently served first).
         self._queues: OrderedDict[str, deque] = OrderedDict()
         self._depth = 0
+        #: Admitted-but-not-yet-enqueued slots (see :meth:`admit`);
+        #: counted against ``queue_depth`` so the backlog bound holds
+        #: while the caller finishes its pre-queue bookkeeping.
+        self._reserved = 0
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
         self._closed = False
@@ -106,13 +110,21 @@ class AdmissionController:
     # ingress
     # ------------------------------------------------------------------
 
-    def submit(self, tenant: str, item) -> Decision:
-        """Admit *item* for *tenant*, or shed with a retry hint."""
+    def admit(self, tenant: str) -> Decision:
+        """Decide (and reserve a queue slot) without enqueueing.
+
+        The daemon must journal a request and register it in its
+        in-flight table *before* an executor can see it; this first
+        phase takes the admission decision and holds the slot while
+        that bookkeeping happens.  An admitted decision MUST be paired
+        with exactly one :meth:`enqueue` (make the item visible) or
+        :meth:`release` (bookkeeping failed, give the slot back).
+        """
         now = self.clock()
         with self._lock:
             if self._closed:
                 return Decision(False, "draining", retry_after_s=1.0)
-            if self._depth >= self.queue_depth:
+            if self._depth + self._reserved >= self.queue_depth:
                 self.shed_backlog += 1
                 # Backlog drain hint: pretend the whole queue retires at
                 # the sustained per-tenant rate; coarse but monotone in
@@ -120,7 +132,9 @@ class AdmissionController:
                 return Decision(
                     False,
                     "queue full",
-                    retry_after_s=max(self._depth / self.bucket_rate, 1.0),
+                    retry_after_s=max(
+                        (self._depth + self._reserved) / self.bucket_rate, 1.0
+                    ),
                 )
             bucket = self._buckets.get(tenant)
             if bucket is None:
@@ -131,14 +145,32 @@ class AdmissionController:
             if wait > 0.0:
                 self.shed_tenant += 1
                 return Decision(False, "tenant rate", retry_after_s=wait)
+            self._reserved += 1
+            self.admitted += 1
+            return Decision(True)
+
+    def enqueue(self, tenant: str, item) -> None:
+        """Fill a slot reserved by :meth:`admit`: make *item* takeable."""
+        with self._lock:
+            self._reserved -= 1
             queue = self._queues.get(tenant)
             if queue is None:
                 queue = self._queues[tenant] = deque()
             queue.append(item)
             self._depth += 1
-            self.admitted += 1
             self._ready.notify()
-            return Decision(True)
+
+    def release(self) -> None:
+        """Give back a slot reserved by :meth:`admit` (nothing enqueued)."""
+        with self._lock:
+            self._reserved -= 1
+
+    def submit(self, tenant: str, item) -> Decision:
+        """Admit and immediately enqueue *item* (no bookkeeping phase)."""
+        decision = self.admit(tenant)
+        if decision.admitted:
+            self.enqueue(tenant, item)
+        return decision
 
     def requeue(self, tenant: str, item) -> None:
         """Put a recovered/deferred item back without admission checks.
@@ -225,6 +257,7 @@ class AdmissionController:
     def stats(self) -> dict:
         return {
             "depth": self._depth,
+            "reserved": self._reserved,
             "admitted": self.admitted,
             "shed_tenant": self.shed_tenant,
             "shed_backlog": self.shed_backlog,

@@ -332,6 +332,11 @@ class BenchDaemon:
         )
         self._inflight: dict[str, _QueuedRequest] = {}
         self._inflight_lock = threading.Lock()
+        #: digest -> [lock, refcount]: serializes executions of equal
+        #: content, so two campaign requests sharing a run directory
+        #: can never run two Orchestrators over the same journal.
+        self._digest_locks: dict[str, list] = {}
+        self._digest_locks_guard = threading.Lock()
         self._executors: list[threading.Thread] = []
         self._stop = threading.Event()
         self.server = GracefulHTTPServer((host, port), _Handler)
@@ -390,6 +395,8 @@ class BenchDaemon:
     def submit(self, doc) -> tuple[int, dict, dict]:
         """Admit one request; returns ``(http_status, body, headers)``."""
         try:
+            if not isinstance(doc, dict):
+                raise ValueError("request body must be a JSON object")
             request_id = doc.get("request_id")
             if not isinstance(request_id, str) or not request_id:
                 raise ValueError("requests need a string 'request_id'")
@@ -397,23 +404,31 @@ class BenchDaemon:
             if not isinstance(tenant, str) or not tenant:
                 raise ValueError("tenant must be a non-empty string")
             body = normalize_request(doc)
-        except ValueError as exc:
+        except (TypeError, ValueError) as exc:
+            # TypeError too: a coercion a validator missed must still
+            # map to a 400, never a dropped connection.
             return 400, {"error": str(exc)}, {}
         digest = request_digest(body)
 
-        # Idempotency layer 1: a known request id never re-runs.
-        existing = self.request_status(request_id)
-        if existing is not None:
-            replay = dict(existing)
-            replay["replayed"] = True
-            code = 200 if replay["status"] in ("done", "failed",
-                                               "interrupted") else 202
-            return code, replay, {}
+        # Idempotency layer 1: a known request id never re-runs.  The
+        # existence check and the in-flight registration are one
+        # critical section, so two concurrent POSTs carrying the same
+        # retry key cannot both pass the check and double-run.
+        req = _QueuedRequest(request_id, tenant, body, digest)
+        with self._inflight_lock:
+            existing = self._status_locked(request_id)
+            if existing is not None:
+                replay = dict(existing)
+                replay["replayed"] = True
+                code = 200 if replay["status"] in ("done", "failed",
+                                                   "interrupted") else 202
+                return code, replay, {}
+            self._inflight[request_id] = req
 
-        decision = self.admission.submit(
-            tenant, req := _QueuedRequest(request_id, tenant, body, digest)
-        )
+        decision = self.admission.admit(tenant)
         if not decision.admitted:
+            with self._inflight_lock:
+                self._inflight.pop(request_id, None)
             self.metrics.inc("service.shed", reason=decision.reason)
             self.events.live(
                 "request-shed", tenant=tenant, reason=decision.reason
@@ -427,11 +442,24 @@ class BenchDaemon:
                 },
                 {"Retry-After": str(retry_after)},
             )
-        # Journal *after* admission, *before* visibility: a crash here
-        # at worst replays a request whose execution is idempotent.
-        self.state.journal_accepted(request_id, tenant, body)
-        with self._inflight_lock:
-            self._inflight[request_id] = req
+        # Journal before enqueue, enqueue last: an executor only ever
+        # sees a request whose journal entry and in-flight registration
+        # already exist — ``done`` can never precede ``accepted`` and
+        # ``_finish`` always finds the entry it pops.  A crash between
+        # journal and enqueue at worst replays a request whose
+        # execution is idempotent.
+        try:
+            self.state.journal_accepted(request_id, tenant, body)
+        except OSError as exc:
+            self.admission.release()
+            with self._inflight_lock:
+                self._inflight.pop(request_id, None)
+            return (
+                503,
+                {"error": f"could not journal request: {exc}"},
+                {"Retry-After": "5"},
+            )
+        self.admission.enqueue(tenant, req)
         self.events.live(
             "request-accepted",
             request=request_id,
@@ -456,11 +484,15 @@ class BenchDaemon:
         return self.request_status(request_id)
 
     def request_status(self, request_id: str) -> dict | None:
+        with self._inflight_lock:
+            return self._status_locked(request_id)
+
+    def _status_locked(self, request_id: str) -> dict | None:
+        """:meth:`request_status` body; caller holds ``_inflight_lock``."""
         record = self.state.load_record(request_id)
         if record is not None:
             return record
-        with self._inflight_lock:
-            req = self._inflight.get(request_id)
+        req = self._inflight.get(request_id)
         if req is None:
             return None
         return {
@@ -485,33 +517,65 @@ class BenchDaemon:
                 self._finish(req, "failed", int(ExitCode.UNHEALTHY),
                              f"internal error: {exc}\n", cached=False)
 
+    def _acquire_digest_lock(self, digest: str) -> None:
+        with self._digest_locks_guard:
+            entry = self._digest_locks.get(digest)
+            if entry is None:
+                entry = self._digest_locks[digest] = [threading.Lock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+
+    def _release_digest_lock(self, digest: str) -> None:
+        with self._digest_locks_guard:
+            entry = self._digest_locks[digest]
+            entry[0].release()
+            entry[1] -= 1
+            if entry[1] == 0:
+                del self._digest_locks[digest]
+
     def _execute(self, req: _QueuedRequest) -> None:
         req.status = "running"
         body = req.body
-        deadline = body.get("deadline_s")
-        if deadline is not None and (
-            time.monotonic() - req.accepted_at > deadline
-        ):
-            self._finish(
-                req, "failed", int(ExitCode.INTERRUPTED),
-                "deadline exceeded while queued\n", cached=False,
-            )
-            return
-        cached = self.state.cache.get(req.digest)
-        if cached is not None and isinstance(cached, dict) and "text" in cached:
-            self._finish(
-                req, cached["status"], cached["exit"], cached["text"],
-                cached=True,
-            )
-            return
-        if body["kind"] == "bench":
-            status, exit_code, text = self._run_bench(body)
-        else:
-            status, exit_code, text = self._run_campaign(body)
-        if status == "done":
-            self.state.cache.put(
-                req.digest, {"text": text, "exit": exit_code, "status": status}
-            )
+        # Executions of equal content are serialized per digest: two
+        # concurrent requests (a client retry racing its original, two
+        # tenants asking the same question) must not fork two
+        # Orchestrators into the shared campaign_dir(digest) — the
+        # journal/worker machinery has no cross-instance locking.  The
+        # loser of the race waits, then is served from the cache entry
+        # the winner just wrote.
+        self._acquire_digest_lock(req.digest)
+        try:
+            cached = self.state.cache.get(req.digest)
+            if (
+                cached is not None
+                and isinstance(cached, dict)
+                and "text" in cached
+            ):
+                self._finish(
+                    req, cached["status"], cached["exit"], cached["text"],
+                    cached=True,
+                )
+                return
+            deadline = body.get("deadline_s")
+            if deadline is not None and (
+                time.monotonic() - req.accepted_at > deadline
+            ):
+                self._finish(
+                    req, "failed", int(ExitCode.INTERRUPTED),
+                    "deadline exceeded while queued\n", cached=False,
+                )
+                return
+            if body["kind"] == "bench":
+                status, exit_code, text = self._run_bench(body)
+            else:
+                status, exit_code, text = self._run_campaign(body)
+            if status == "done":
+                self.state.cache.put(
+                    req.digest,
+                    {"text": text, "exit": exit_code, "status": status},
+                )
+        finally:
+            self._release_digest_lock(req.digest)
         self._finish(req, status, exit_code, text, cached=False)
 
     def _run_bench(self, body: dict) -> tuple[str, int, str]:

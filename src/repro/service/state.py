@@ -70,6 +70,23 @@ def _valid_queue_record(doc: dict) -> bool:
     )
 
 
+def _coerce(value, convert, field: str, default):
+    """Coerce a JSON field, mapping every failure to :class:`ValueError`.
+
+    ``int({})``/``float(None)`` raise ``TypeError``, not ``ValueError``
+    — without this shim a body like ``{"seed": null}`` would escape the
+    daemon's 400 mapping as a traceback.
+    """
+    if value is None:
+        return default
+    try:
+        return convert(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{field} must be a {convert.__name__}, got {value!r}"
+        ) from None
+
+
 def normalize_request(doc: dict) -> dict:
     """The canonical request body (identity fields only, defaults filled).
 
@@ -87,9 +104,11 @@ def normalize_request(doc: dict) -> dict:
     body = {
         "kind": kind,
         "scenario": doc.get("scenario"),
-        "seed": int(doc.get("seed", 0)),
+        "seed": _coerce(doc.get("seed"), int, "seed", 0),
         "deadline_s": (
-            float(doc["deadline_s"]) if doc.get("deadline_s") else None
+            _coerce(doc["deadline_s"], float, "deadline_s", None)
+            if doc.get("deadline_s")
+            else None
         ),
     }
     if body["scenario"] is not None and not isinstance(body["scenario"], str):
@@ -104,7 +123,7 @@ def normalize_request(doc: dict) -> dict:
         if not isinstance(spec, str) or not spec:
             raise ValueError("campaign requests need a 'spec'")
         body["spec"] = spec
-        body["jobs"] = int(doc.get("jobs", 1))
+        body["jobs"] = _coerce(doc.get("jobs"), int, "jobs", 1)
     return body
 
 

@@ -43,7 +43,12 @@ Concurrent writers are expected (daemon executor threads): mutating
 entry points take an in-process lock, and cross-process sharing is
 safe because objects are content-addressed (two writers racing on one
 key write identical bytes) and the index is append-only with
-self-checksummed records.
+self-checksummed records — appends (including the ENOSPC-retry
+truncation window) are serialized under the exclusive file lock
+:func:`repro.ioutils.fsync_append_text` holds, so one writer's retry
+can never clobber another's committed record.  Even a lost index
+record only costs recency: the objects on disk are the truth and the
+next index rebuild re-adopts them.
 """
 
 from __future__ import annotations

@@ -2,6 +2,8 @@
 
 import errno
 import os
+import threading
+import time
 
 import pytest
 
@@ -93,6 +95,44 @@ class TestNoTornBytes:
         fsync_append_text(path, "next\n")
         assert fired["n"] == 1
         assert path.read_text() == "intact\nnext\n"
+
+    def test_concurrent_append_survives_retry_truncation(self, tmp_path):
+        # A's first attempt lands partial bytes and fails; B appends
+        # concurrently.  A's retry truncates back to its pre-append
+        # base — the file lock must keep B outside that window, or the
+        # truncation would destroy B's committed record.
+        path = tmp_path / "log.jsonl"
+        fsync_append_text(path, "intact\n")
+        injected = threading.Event()
+        proceed = threading.Event()
+
+        def gate(op, p, attempt):
+            if op == "append" and not injected.is_set():
+                injected.set()
+                with open(p, "a", encoding="utf-8") as fh:
+                    fh.write("PART")
+                # Hold A's failure open until B has had time to try.
+                proceed.wait(5.0)
+                raise OSError(errno.ENOSPC, "injected mid-append", p)
+
+        set_io_fault_gate(gate)
+        writer_a = threading.Thread(
+            target=fsync_append_text, args=(path, "AAAA\n")
+        )
+        writer_a.start()
+        assert injected.wait(5.0)
+        writer_b = threading.Thread(
+            target=fsync_append_text, args=(path, "BBBB\n")
+        )
+        writer_b.start()
+        time.sleep(0.2)  # let B reach (and block on) the file lock
+        proceed.set()
+        writer_a.join(timeout=5.0)
+        writer_b.join(timeout=5.0)
+        assert not writer_a.is_alive() and not writer_b.is_alive()
+        # B could not interleave with A's failed attempt, so both
+        # records are intact and in lock-acquisition order.
+        assert path.read_text() == "intact\nAAAA\nBBBB\n"
 
     def test_failed_atomic_write_leaves_no_temp_files(self, tmp_path):
         path = tmp_path / "out.txt"

@@ -131,6 +131,35 @@ class TestAdmission:
         tenant, item = ctl.take(timeout_s=0.1)
         assert item == "recovered"
 
+    def test_admit_reserves_slot_before_enqueue(self):
+        ctl = self._controller(FakeClock(), queue_depth=2, bucket_capacity=10)
+        assert ctl.admit("a").admitted
+        assert ctl.admit("a").admitted
+        # Reserved-but-not-enqueued slots still count against depth.
+        decision = ctl.admit("a")
+        assert not decision.admitted
+        assert decision.reason == "queue full"
+        assert ctl.stats()["reserved"] == 2
+        assert ctl.depth == 0
+
+    def test_enqueue_and_release_consume_reservations(self):
+        ctl = self._controller(FakeClock(), queue_depth=2, bucket_capacity=10)
+        ctl.admit("a")
+        ctl.admit("a")
+        ctl.enqueue("a", "item")
+        ctl.release()
+        assert ctl.depth == 1
+        assert ctl.stats()["reserved"] == 0
+        # The released slot is admissible again.
+        assert ctl.admit("a").admitted
+        assert ctl.take(timeout_s=0.1) == ("a", "item")
+
+    def test_submit_is_admit_plus_enqueue(self):
+        ctl = self._controller(FakeClock(), bucket_capacity=10)
+        assert ctl.submit("a", "x").admitted
+        assert ctl.stats()["reserved"] == 0
+        assert ctl.depth == 1
+
     def test_drain_items_empties_queue(self):
         ctl = self._controller(FakeClock(), bucket_capacity=10, queue_depth=10)
         ctl.submit("a", 1)

@@ -7,10 +7,13 @@ with byte-identical results.
 """
 
 import json
+import threading
+import time
 import urllib.request
 
 import pytest
 
+from repro.service.admission import AdmissionController
 from repro.service.daemon import BenchDaemon
 from repro.service.state import ServiceState
 
@@ -57,11 +60,31 @@ class TestRoutes:
             {"request_id": "x"},  # bench without command
             {"command": "table4"},  # missing id
             {"request_id": "", "command": "table4"},
+            # Wrong-typed JSON values must map to 400 too (int({}) and
+            # friends raise TypeError, not ValueError — a dropped
+            # connection here would break the never-a-traceback
+            # contract).
+            {"request_id": "x", "command": "table4", "seed": {}},
+            {"request_id": "x", "command": "table4", "seed": "abc"},
+            {"request_id": "x", "command": "table4", "deadline_s": {"x": 1}},
+            {"request_id": "x", "kind": "campaign", "jobs": [1]},
+            ["not", "an", "object"],
         ]
         for doc in cases:
             status, body, _ = post_request(daemon.url, doc)
             assert status == 400, doc
             assert "error" in body
+
+    def test_null_numeric_fields_mean_absent(self, daemon):
+        # JSON null for an optional numeric reads as the default, not
+        # a TypeError escaping as a dropped connection.
+        status, doc, _ = post_request(
+            daemon.url,
+            {"request_id": "n1", "command": "table4", "seed": None,
+             "deadline_s": None},
+        )
+        assert status == 200
+        assert doc["status"] == "done"
 
     def test_unknown_command_fails_cleanly(self, daemon):
         status, doc, _ = post_request(
@@ -113,6 +136,100 @@ class TestIdempotency:
         )
         assert a["digest"] != b["digest"]
         assert b["cached"] is False
+
+    def test_concurrent_same_id_admits_exactly_once(self, daemon):
+        # The retry key must dedupe even when the retry races the
+        # original: of N simultaneous submits, one is fresh and the
+        # rest replay.
+        doc = {"request_id": "race", "command": "table4"}
+        barrier = threading.Barrier(8)
+        results = []
+        results_lock = threading.Lock()
+
+        def poster():
+            barrier.wait()
+            outcome = daemon.submit(dict(doc))
+            with results_lock:
+                results.append(outcome)
+
+        threads = [threading.Thread(target=poster) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        done = daemon.wait_for("race", timeout_s=30.0)
+        assert done["status"] == "done"
+        fresh = [r for r in results if not r[1].get("replayed")]
+        assert len(fresh) == 1
+        accepted = [
+            rec
+            for rec in daemon.state.read_queue()[0]
+            if rec["op"] == "accepted" and rec["request_id"] == "race"
+        ]
+        assert len(accepted) == 1  # journalled (and executed) once
+
+    def test_concurrent_same_digest_serializes_execution(self, tmp_path):
+        # Two distinct ids with equal content must never execute
+        # concurrently (for campaigns both orchestrators would share
+        # one run directory): the loser waits, then is served from the
+        # cache entry the winner wrote.
+        daemon = BenchDaemon(tmp_path / "s", workers=2)
+        gauge = {"running": 0, "peak": 0}
+        gauge_lock = threading.Lock()
+
+        def slow_bench(body):
+            with gauge_lock:
+                gauge["running"] += 1
+                gauge["peak"] = max(gauge["peak"], gauge["running"])
+            time.sleep(0.3)
+            with gauge_lock:
+                gauge["running"] -= 1
+            return "done", 0, "payload\n"
+
+        daemon._run_bench = slow_bench
+        daemon.start()
+        try:
+            for rid in ("twin-a", "twin-b"):
+                status, _, _ = daemon.submit(
+                    {"request_id": rid, "command": "table4"}
+                )
+                assert status == 202
+            first = daemon.wait_for("twin-a", timeout_s=30.0)
+            second = daemon.wait_for("twin-b", timeout_s=30.0)
+            assert first["status"] == second["status"] == "done"
+            assert first["text"] == second["text"] == "payload\n"
+            assert gauge["peak"] == 1
+            assert sorted([first["cached"], second["cached"]]) == [False, True]
+        finally:
+            daemon.stop(timeout_s=10.0)
+
+    def test_shed_request_is_unregistered_and_unjournalled(self, tmp_path):
+        daemon = BenchDaemon(
+            tmp_path / "s",
+            workers=1,
+            admission=AdmissionController(
+                bucket_capacity=1, bucket_rate=0.01, queue_depth=4
+            ),
+        )
+        try:
+            status, _, _ = daemon.submit(
+                {"request_id": "ok", "command": "table4"}
+            )
+            assert status == 202
+            status, body, _ = daemon.submit(
+                {"request_id": "shed", "command": "table4"}
+            )
+            assert status == 429 and "retry_after_s" in body
+            # The shed id left no trace: not in-flight, not journalled,
+            # and a later retry is a fresh request, not a replay.
+            assert daemon.request_status("shed") is None
+            ops = [
+                (rec["op"], rec["request_id"])
+                for rec in daemon.state.read_queue()[0]
+            ]
+            assert ("accepted", "shed") not in ops
+        finally:
+            daemon.stop(timeout_s=10.0)
 
 
 class TestDrain:
