@@ -123,7 +123,10 @@ class Orchestrator:
         worker_plan: WorkerFaultPlan | None = None,
         max_respawns: int | None = None,
         hang_timeout_s: float | None = None,
+        trace: str | None = None,
     ) -> None:
+        from ..obs.requests import TRACEPARENT_ENV, parse_traceparent
+
         self.directory = os.fspath(directory)
         self.spec = spec
         self.scenario = scenario
@@ -136,8 +139,21 @@ class Orchestrator:
         self.worker_plan = worker_plan
         self.max_respawns = max_respawns
         self.hang_timeout_s = hang_timeout_s
+        # Trace context: an explicit traceparent (the daemon's) wins;
+        # otherwise inherit the ambient env var (a CLI campaign run
+        # inside a traced request).  The live stream stamps every
+        # record with the trace id; the deterministic stream NEVER
+        # carries it (byte-identity across transports must hold).
+        ctx = parse_traceparent(
+            trace if trace is not None else os.environ.get(TRACEPARENT_ENV)
+        )
+        self.trace_context = ctx
+        self.traceparent = ctx.traceparent if ctx else None
         self.store = ResultStore(os.path.join(self.directory, "store"))
-        self.events = EventBus(self.directory)
+        self.events = EventBus(
+            self.directory,
+            live_context={"trace_id": ctx.trace_id} if ctx else None,
+        )
         self._interrupted = False
         self._payloads: dict[str, dict] = {}
         self._supervision = None
@@ -584,6 +600,7 @@ class Orchestrator:
             worker_faults=self.worker_plan,
             log=_log,
             events=self.events,
+            traceparent=self.traceparent,
         )
         self._supervision = scheduler.stats
         _log(

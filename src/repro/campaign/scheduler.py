@@ -121,7 +121,10 @@ class UnitOutcome:
     quarantined: tuple[int, ...] | None = None  # worker exit codes
 
 
-def _worker_loop(index, task_q, result_q, scenario, seed, profile, faults) -> None:
+def _worker_loop(
+    index, task_q, result_q, scenario, seed, profile, faults,
+    traceparent=None,
+) -> None:
     """Worker process body: execute units until the ``None`` sentinel.
 
     On pickup the worker heartbeats ``(HEARTBEAT, index, unit_id)`` so
@@ -135,7 +138,17 @@ def _worker_loop(index, task_q, result_q, scenario, seed, profile, faults) -> No
     *faults* is an optional :class:`~repro.faults.WorkerFaultPlan`;
     scheduled kills/hangs fire here, keyed on the supervisor-assigned
     attempt number, so "crash twice then succeed" is expressible.
+
+    *traceparent* is the originating service request's trace context;
+    exported into this process's environment so anything the unit
+    touches (nested tooling, diagnostics) can attribute itself to the
+    request that caused the work.  Never influences results — the
+    payloads stay byte-identical traced or not.
     """
+    if traceparent:
+        from ..obs.requests import TRACEPARENT_ENV
+
+        os.environ[TRACEPARENT_ENV] = traceparent
     while True:
         task = task_q.get()
         if task is None:
@@ -188,6 +201,7 @@ class DagScheduler:
         worker_faults=None,
         log=None,
         events=None,
+        traceparent=None,
     ) -> None:
         self.spec = spec
         self.scenario = scenario
@@ -206,6 +220,7 @@ class DagScheduler:
         self.worker_faults = worker_faults
         self.log = log
         self.events = events  # optional EventBus for live worker telemetry
+        self.traceparent = traceparent  # originating request, if any
         self.stats = SupervisionStats()
         self.pending = tuple(
             u for u in spec.execution_order() if u.id not in self.preloaded
@@ -231,6 +246,7 @@ class DagScheduler:
                 self.seed,
                 self.profile,
                 self.worker_faults,
+                self.traceparent,
             ),
             max_respawns=self.max_respawns,
             poison_crashes=self.poison_crashes,

@@ -49,6 +49,14 @@ Live observability (event streams, watch board, exporters, trend)::
     pvc-bench obs serve out --port 9100            # OpenMetrics exporter
     pvc-bench trend BENCH_0.json BENCH_1.json      # cross-run analytics
 
+Service observability (trace propagation, RED/SLO, live board)::
+
+    pvc-bench serve-bench --dir state --port 8080 --slo-latency 2.0
+    pvc-bench loadgen --port 8080 --requests 200 --tenants 4
+    pvc-bench service watch --port 8080            # live service board
+    pvc-bench service watch state --once           # offline fold
+    pvc-bench profile service --baseline BENCH_2.json  # storm p99 gate
+
 Exit codes (see ``repro.exitcodes``): 0 = clean, 1 = degraded cells or a
 measurement failure, 2 = failed cells or a fatal error, 3 = interrupted
 but resumable (``campaign resume`` finishes it), 4 = corrupt journal or
@@ -128,6 +136,8 @@ def _cmd_profile(args) -> int:
     )
     from .profiler.flamegraph import collapsed_stacks
 
+    if args.bench == "service":
+        return _cmd_profile_service(args)
     campaign_entries: list[dict] = []
     if args.bench in ("smoke", "full"):
         runs = profile_smoke_set(scenario=args.inject, seed=args.seed)
@@ -199,6 +209,59 @@ def _cmd_profile(args) -> int:
                 "profiles only",
                 file=sys.stderr,
             )
+    return code
+
+
+def _cmd_profile_service(args) -> int:
+    """``pvc-bench profile service`` — the storm benchmark.
+
+    Boots a throwaway daemon over a temp state directory, runs the
+    standard warm-then-storm load, and gates the storm p99 latency and
+    the service cache hit rate against ``BENCH_2.json``-style
+    baselines.  Wall-clock latencies are machine-dependent, so the
+    snapshot is written with a wide (50%) tolerance; the hit-rate gate
+    is exact in practice because the warm pass makes 1.0 the expected
+    value.
+    """
+    import shutil
+    import tempfile
+
+    from .profiler.baseline import (
+        build_snapshot,
+        compare_snapshots,
+        load_baseline,
+        write_baseline,
+    )
+    from .service.loadgen import service_benchmark_entries
+
+    root = tempfile.mkdtemp(prefix="repro-profile-service-")
+    try:
+        entries = service_benchmark_entries(
+            root,
+            requests=getattr(args, "requests", None) or 64,
+            concurrency=getattr(args, "concurrency", None) or 8,
+            distinct=getattr(args, "distinct", None) or 4,
+            seed=args.seed,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    code = 0
+    for entry in entries:
+        print(
+            f"{entry['bench']}@{entry['system']}: {entry['completed']}/"
+            f"{entry['requests']} done in {entry['wall_s']:.2f}s wall, "
+            f"storm p99 {entry['storm_p99_s'] * 1e3:.1f}ms, cache hit "
+            f"rate {entry['service_cache_hit_rate']:.1%}"
+        )
+    snapshot = build_snapshot(entries, tolerance=0.5)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, snapshot)
+        print(f"baseline written to {args.write_baseline}", file=sys.stderr)
+    if args.baseline:
+        comparison = compare_snapshots(load_baseline(args.baseline), snapshot)
+        print(comparison.render(), end="")
+        if comparison.regressed:
+            code = max(code, int(ExitCode.MEASUREMENT))
     return code
 
 
@@ -430,7 +493,8 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(_COMMANDS)
         + sorted(_CTX_COMMANDS)
         + sorted(_TELEMETRY_COMMANDS)
-        + ["campaign", "loadgen", "obs", "profile", "serve-bench", "trend"],
+        + ["campaign", "loadgen", "obs", "profile", "serve-bench",
+           "service", "trend"],
     )
     parser.add_argument(
         "bench",
@@ -438,10 +502,11 @@ def main(argv: list[str] | None = None) -> int:
         default="gemm",
         help="benchmark for trace/metrics/profile "
         f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm; profile also "
-        "accepts 'smoke' and 'full', where 'full' adds the campaign "
-        "wall-clock/sim-cache benchmark matrix), the campaign action "
-        "(run, resume, status, verify, watch), the obs action "
-        "(export, serve), or the first baseline file for trend",
+        "accepts 'smoke', 'full' — the campaign wall-clock/sim-cache "
+        "benchmark matrix — and 'service' — the daemon storm "
+        "benchmark), the campaign action (run, resume, status, verify, "
+        "watch), the obs action (export, serve), the service action "
+        "(watch), or the first baseline file for trend",
     )
     parser.add_argument(
         "extra",
@@ -621,6 +686,30 @@ def main(argv: list[str] | None = None) -> int:
         help="loadgen: distinct request bodies in the population "
         "(default: 1 — maximal cache pressure)",
     )
+    parser.add_argument(
+        "--tenants",
+        type=int,
+        metavar="N",
+        default=None,
+        help="loadgen: tenants to spread the request population over "
+        "(default: 4)",
+    )
+    parser.add_argument(
+        "--slo-latency",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="serve-bench: SLO latency objective — a request slower than "
+        "this counts against availability (default: 5.0)",
+    )
+    parser.add_argument(
+        "--slo-availability",
+        type=float,
+        metavar="FRACTION",
+        default=None,
+        help="serve-bench: SLO availability objective in (0, 1] "
+        "(default: 0.99)",
+    )
     args = parser.parse_args(argv)
     needs_telemetry = (
         args.command in _TELEMETRY_COMMANDS
@@ -661,6 +750,15 @@ def main(argv: list[str] | None = None) -> int:
             raise CampaignError(
                 f"unknown obs action {args.bench!r}; "
                 "choose from: export, serve"
+            )
+        if args.command == "service":
+            from .errors import CampaignError
+            from .obs.watch import service_watch_main
+
+            if args.bench == "watch":
+                return service_watch_main(args)
+            raise CampaignError(
+                f"unknown service action {args.bench!r}; choose from: watch"
             )
         if args.command == "trend":
             from .obs.trend import trend_main

@@ -18,6 +18,10 @@ Four pieces layered over the telemetry/campaign/profiler stack:
 * :mod:`repro.obs.trend` — cross-run analytics over ``BENCH_*.json``
   baselines: attributes FOM / wall-clock / sim-cache deltas to the
   kernels and roofline bounds that moved.
+* :mod:`repro.obs.requests` — service-side request observability:
+  deterministic W3C-style trace contexts, the ``requests.ndjson``
+  lifecycle stream, per-tenant RED metrics and the SLO burn tracker
+  behind ``pvc-bench service watch`` and the daemon's ``/metrics``.
 """
 
 from .events import (
@@ -30,6 +34,18 @@ from .events import (
     read_events,
     validate_event,
 )
+from .requests import (
+    REQUESTS_FILE,
+    RequestLog,
+    SLOConfig,
+    SLOTracker,
+    TraceContext,
+    mint_trace,
+    parse_traceparent,
+    read_requests,
+    red_registry,
+    validate_request_record,
+)
 
 __all__ = [
     "DETERMINISTIC_EVENTS",
@@ -38,6 +54,16 @@ __all__ = [
     "EventBus",
     "LIVE_EVENTS",
     "LIVE_FILE",
+    "REQUESTS_FILE",
+    "RequestLog",
+    "SLOConfig",
+    "SLOTracker",
+    "TraceContext",
+    "mint_trace",
+    "parse_traceparent",
     "read_events",
+    "read_requests",
+    "red_registry",
     "validate_event",
+    "validate_request_record",
 ]

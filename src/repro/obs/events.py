@@ -102,6 +102,8 @@ LIVE_EVENTS: dict[str, dict[str, type | tuple[type, ...]]] = {
     "service-start": {"pid": int, "port": int, "recovered": int},
     "request-accepted": {"request": str, "tenant": str, "kind": str},
     "request-shed": {"tenant": str, "reason": str},
+    "request-executing": {"request": str, "tenant": str},
+    "request-cache": {"request": str, "hit": bool},
     "request-completed": {"request": str, "status": str, "cached": bool},
     "request-recovered": {"request": str, "tenant": str},
     "cache-quarantined": {"key": str},
@@ -183,11 +185,22 @@ class EventBus:
     tolerates.  On construction over an existing stream the sequence
     counter resumes after the last trusted record, so a resumed
     campaign extends the stream exactly like the journal.
+
+    ``live_context`` fields are merged into every live record (explicit
+    fields win).  The daemon uses it to stamp a campaign run's worker
+    telemetry with the originating request's ``trace_id`` — the
+    deterministic stream never carries it, preserving byte-identity.
     """
 
-    def __init__(self, directory: str | os.PathLike, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        enabled: bool = True,
+        live_context: dict | None = None,
+    ) -> None:
         self.directory = os.fspath(directory)
         self.enabled = enabled
+        self.live_context = dict(live_context) if live_context else {}
         self.events_path = os.path.join(self.directory, EVENTS_FILE)
         self.live_path = os.path.join(self.directory, LIVE_FILE)
         self._seq: int | None = None  # scanned lazily on first emit
@@ -237,6 +250,7 @@ class EventBus:
             "v": EVENT_SCHEMA_VERSION,
             "type": etype,
             "ts": time.time(),
+            **self.live_context,
             **fields,
         }
         validate_event(record)

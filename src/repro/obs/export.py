@@ -15,6 +15,15 @@ Two consumers, one source of truth (:mod:`.events`):
   counters, sim-cache counters, fault counts, a simulated-duration
   histogram — which the ``obs serve`` HTTP exporter renders with
   :meth:`~repro.telemetry.metrics.MetricsRegistry.to_openmetrics`.
+
+A third consumer arrived with the benchmark service:
+:func:`export_service_chrome` merges a **service state directory**
+into one trace — per-tenant request lanes (whole-request spans with
+nested phase spans from ``requests.ndjson``) alongside every spawned
+campaign's worker lanes, all on one wall clock.  Spans carry their
+``trace_id``, so Perfetto's flow/search follows a single id from HTTP
+accept through queue wait into the fork worker that did the work.
+:func:`export_main` auto-detects which shape a directory is.
 """
 
 from __future__ import annotations
@@ -28,30 +37,53 @@ from ..ioutils import atomic_write_text
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.trace import Tracer
 from .events import EVENTS_FILE, LIVE_FILE, read_events
+from .requests import PHASES, REQUESTS_FILE, read_requests
 
-__all__ = ["export_chrome", "export_json", "export_main", "run_registry"]
+__all__ = [
+    "export_chrome",
+    "export_json",
+    "export_main",
+    "export_service_chrome",
+    "run_registry",
+]
 
 
-def _live_trace(tracer: Tracer, live: list[dict]) -> None:
-    """Worker lanes on the wall clock, relative to the run-live mark."""
-    t0 = live[0]["ts"]
+def _live_trace(
+    tracer: Tracer,
+    live: list[dict],
+    prefix: str = "",
+    t0: float | None = None,
+    group: int = 1,
+) -> None:
+    """Worker lanes on the wall clock, relative to the run-live mark.
+
+    *prefix*/*t0*/*group* exist for the merged service export: lane
+    names are prefixed with the spawning campaign's digest, timestamps
+    are made relative to the service's epoch instead of the campaign's
+    own first event, and the sort group places each campaign's lanes
+    below the request lanes.  The defaults reproduce the single-run
+    export byte for byte.
+    """
+    t0 = live[0]["ts"] if t0 is None else t0
 
     def us(ts: float) -> float:
         return (ts - t0) * 1e6
 
     lane_of: dict[int, str] = {}
-    open_spans: dict[str, tuple[str, float, int]] = {}  # unit -> lane, ts, att
+    open_spans: dict[str, tuple[str, float, int, dict]] = {}
 
     def lane(index: int) -> str:
         if index not in lane_of:
-            name = f"worker-{index}"
-            lane_of[index] = tracer.lane(name, sort_key=(1, index, 0))
+            name = f"{prefix}worker-{index}"
+            lane_of[index] = tracer.lane(name, sort_key=(group, index, 0))
         return lane_of[index]
 
     for rec in live:
         etype = rec["type"]
         if etype == "worker-spawn":
-            name = tracer.lane(f"worker-{rec['index']}", (1, rec["index"], 0))
+            name = tracer.lane(
+                f"{prefix}worker-{rec['index']}", (group, rec["index"], 0)
+            )
             lane_of[rec["index"]] = name
             tracer.instant(
                 "worker-spawn",
@@ -61,13 +93,20 @@ def _live_trace(tracer: Tracer, live: list[dict]) -> None:
                 worker=rec["worker"],
             )
         elif etype == "unit-dispatched":
+            # A trace id stamped by the EventBus live_context rides
+            # along onto the span, linking the worker's work back to
+            # the service request that caused it.
+            extra = (
+                {"trace_id": rec["trace_id"]} if "trace_id" in rec else {}
+            )
             open_spans[rec["unit"]] = (
                 lane(rec["index"]),
                 rec["ts"],
                 rec["attempt"],
+                extra,
             )
         elif etype == "unit-completed" and rec["unit"] in open_spans:
-            span_lane, start_ts, attempt = open_spans.pop(rec["unit"])
+            span_lane, start_ts, attempt, extra = open_spans.pop(rec["unit"])
             tracer.complete(
                 rec["unit"],
                 span_lane,
@@ -76,6 +115,7 @@ def _live_trace(tracer: Tracer, live: list[dict]) -> None:
                 category="unit",
                 status=rec["status"],
                 attempt=attempt,
+                **extra,
             )
         elif etype in (
             "worker-exit",
@@ -84,7 +124,7 @@ def _live_trace(tracer: Tracer, live: list[dict]) -> None:
             "quarantine",
             "pool-degraded",
         ):
-            target = tracer.lane("supervisor", (0, 0, 0))
+            target = tracer.lane(f"{prefix}supervisor", (group - 1, 0, 0))
             if etype in ("worker-exit", "worker-hang-kill"):
                 # Anchor the death marker on the lane that died; worker
                 # names end in the spawn index ("campaign-worker-3").
@@ -130,8 +170,16 @@ def _deterministic_trace(tracer: Tracer, det: list[dict]) -> None:
 
 
 def export_chrome(rundir: str | os.PathLike) -> dict:
-    """The run directory's timeline as a trace-event document."""
+    """The run directory's timeline as a trace-event document.
+
+    A directory carrying a ``requests.ndjson`` stream is a service
+    state directory and gets the merged request + campaign-worker
+    export; a campaign run directory gets worker lanes (or the
+    deterministic fallback).
+    """
     rundir = os.fspath(rundir)
+    if os.path.exists(os.path.join(rundir, REQUESTS_FILE)):
+        return export_service_chrome(rundir)
     det = read_events(os.path.join(rundir, EVENTS_FILE))
     live = read_events(os.path.join(rundir, LIVE_FILE))
     if not det and not live:
@@ -141,6 +189,126 @@ def export_chrome(rundir: str | os.PathLike) -> dict:
         _live_trace(tracer, live)
     else:
         _deterministic_trace(tracer, det)
+    return tracer.to_chrome()
+
+
+def _service_epoch(spans: list[dict], live: list[dict]) -> float:
+    """The earliest wall-clock instant either stream knows about."""
+    candidates = [rec["ts"] - rec.get("latency_s", 0.0) for rec in spans]
+    candidates.extend(rec["ts"] for rec in live)
+    return min(candidates)
+
+
+def export_service_chrome(state_dir: str | os.PathLike) -> dict:
+    """One merged trace for a service state directory.
+
+    Lanes, top to bottom: a ``service`` lane (start/drain/quarantine
+    instants), one lane per tenant holding whole-request spans with the
+    phase breakdown nested inside each, then every spawned campaign's
+    worker lanes (lane names prefixed with the campaign digest).  All
+    spans carry ``trace_id`` args — the acceptance criterion that one
+    trace shows HTTP accept → queue → fork worker → memo hit is
+    literally "search the trace for the id from the response header".
+    """
+    state_dir = os.fspath(state_dir)
+    spans = read_requests(os.path.join(state_dir, REQUESTS_FILE))
+    live = read_events(os.path.join(state_dir, LIVE_FILE))
+    if not spans and not live:
+        raise CampaignError(
+            f"{state_dir} holds no request or live streams to export"
+        )
+    tracer = Tracer()
+    t0 = _service_epoch(spans, live)
+
+    def us(ts: float) -> float:
+        return (ts - t0) * 1e6
+
+    service_lane = tracer.lane("service", (0, 0, 0))
+    tenant_lanes: dict[str, str] = {}
+
+    def tenant_lane(tenant: str) -> str:
+        if tenant not in tenant_lanes:
+            tenant_lanes[tenant] = tracer.lane(
+                tenant, sort_key=(1, len(tenant_lanes), 0)
+            )
+        return tenant_lanes[tenant]
+
+    for rec in spans:
+        lane = tenant_lane(rec["tenant"])
+        if rec["type"] == "request-shed":
+            tracer.instant(
+                "request-shed",
+                lane,
+                ts_us=us(rec["ts"]),
+                category="request",
+                request=rec["request"],
+                reason=rec["reason"],
+                trace_id=rec["trace_id"],
+            )
+            continue
+        latency_us = rec["latency_s"] * 1e6
+        start_us = us(rec["ts"]) - latency_us
+        tracer.complete(
+            rec["request"],
+            lane,
+            latency_us,
+            start_us=start_us,
+            category="request",
+            trace_id=rec["trace_id"],
+            endpoint=rec["endpoint"],
+            status=rec["status"],
+            cached=rec["cached"],
+        )
+        # Phase breakdown nested inside the request span, laid out
+        # sequentially in lifecycle order (the phases are disjoint by
+        # construction; their sum may undershoot the whole-request
+        # latency — the gap is untracked handler time).
+        offset = start_us
+        for phase in PHASES:
+            if phase not in rec.get("phases", {}):
+                continue
+            dur = rec["phases"][phase] * 1e6
+            tracer.complete(
+                f"{phase}",
+                lane,
+                dur,
+                start_us=offset,
+                category="phase",
+                request=rec["request"],
+                trace_id=rec["trace_id"],
+            )
+            offset += dur
+
+    for rec in live:
+        if rec["type"] in ("service-start", "service-drain",
+                           "cache-quarantined"):
+            args = {
+                k: v for k, v in rec.items() if k not in ("v", "type", "ts")
+            }
+            tracer.instant(
+                rec["type"],
+                service_lane,
+                ts_us=us(rec["ts"]),
+                category="service",
+                **args,
+            )
+
+    # Merge every spawned campaign's worker telemetry, on the same
+    # epoch, each in its own lane group below the tenants.
+    campaigns = os.path.join(state_dir, "campaigns")
+    if os.path.isdir(campaigns):
+        for index, digest in enumerate(sorted(os.listdir(campaigns))):
+            campaign_live = read_events(
+                os.path.join(campaigns, digest, LIVE_FILE)
+            )
+            if campaign_live:
+                _live_trace(
+                    tracer,
+                    campaign_live,
+                    prefix=f"{digest}/",
+                    t0=t0,
+                    group=3 + 2 * index,
+                )
     return tracer.to_chrome()
 
 

@@ -8,7 +8,9 @@ routes:
   :meth:`~repro.telemetry.metrics.MetricsRegistry.to_openmetrics`).
   Rebuilt from disk on every scrape, so a Prometheus pointed at a
   *running* campaign sees live progress without any coupling to the
-  orchestrator process.
+  orchestrator process.  When the directory is a *service* state dir
+  (it contains ``requests.ndjson``), the exposition is the per-tenant
+  RED registry (:func:`repro.obs.requests.red_registry`) instead.
 * ``/healthz`` — liveness (always 200 once the server is up).
 * ``/`` — a plain-text index.
 
@@ -35,6 +37,14 @@ from http.server import BaseHTTPRequestHandler
 from ..errors import CampaignError
 from ..service.httpd import GracefulHTTPServer
 from .export import run_registry
+from .requests import REQUESTS_FILE, red_registry
+
+
+def _scrape_registry(rundir: str):
+    """Pick the registry that matches what the directory holds."""
+    if os.path.exists(os.path.join(rundir, REQUESTS_FILE)):
+        return red_registry(rundir)
+    return run_registry(rundir)
 
 __all__ = ["ObsServer", "serve_main"]
 
@@ -59,7 +69,7 @@ class _Handler(BaseHTTPRequestHandler):
         rundir = self.server.rundir  # type: ignore[attr-defined]
         if self.path == "/metrics":
             try:
-                body = run_registry(rundir).to_openmetrics()
+                body = _scrape_registry(rundir).to_openmetrics()
             except Exception as exc:  # noqa: BLE001 - surfaced as 500
                 self._send(500, f"scrape failed: {exc}\n", "text/plain")
                 return

@@ -37,8 +37,12 @@ __all__ = [
     "RunSnapshot",
     "WorkerLane",
     "follow",
+    "follow_service",
+    "load_service_board",
     "load_snapshot",
     "render",
+    "render_service_board",
+    "service_watch_main",
     "watch_main",
     "worker_lanes",
 ]
@@ -379,4 +383,307 @@ def watch_main(args) -> int:
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive detach
         print("detached; the campaign keeps running", file=sys.stderr)
+        return 0
+
+
+# ----------------------------------------------------------------------
+# service board (``pvc-bench service watch``)
+# ----------------------------------------------------------------------
+
+
+def load_service_board(state_dir: str | os.PathLike) -> dict:
+    """Rebuild the service board from a state directory's bytes on disk.
+
+    The offline twin of ``BenchDaemon.board()``: the same document
+    shape folded from ``requests.ndjson`` + ``live.ndjson``, so the
+    board renders identically for a live daemon (scraped over HTTP) and
+    a dead state directory (post-mortem).  Fields only a live process
+    knows (token-bucket levels) come back ``None``; the SLO replay is
+    driven by record timestamps, not the wall clock, so it reports the
+    state as of the last request.
+    """
+    from .requests import PHASES, SLOTracker, read_requests
+
+    state_dir = os.fspath(state_dir)
+    spans = read_requests(os.path.join(state_dir, "requests.ndjson"))
+    live = read_events(os.path.join(state_dir, LIVE_FILE))
+    if not spans and not live:
+        raise CampaignError(
+            f"{state_dir} holds no service streams to fold"
+        )
+    registry = _service_registry(spans)
+    latency = registry.histogram("service.request.latency_s")
+    phase_hist = registry.histogram("service.request.phase_s")
+    count = registry.counter("service.request.count")
+    errors = registry.counter("service.request.errors")
+    sheds = registry.counter("service.request.sheds")
+
+    # Live-stream fold: request lifecycle counts and daemon identity.
+    pid = recovered = None
+    draining = False
+    tenant_of: dict[str, str] = {}
+    queued: dict[str, set] = {}
+    running: dict[str, set] = {}
+    cache_hits = cache_misses = 0
+    for rec in live:
+        etype = rec["type"]
+        if etype == "service-start":
+            pid, recovered, draining = rec["pid"], rec["recovered"], False
+        elif etype == "service-drain":
+            draining = True
+        elif etype in ("request-accepted", "request-recovered"):
+            tenant_of[rec["request"]] = rec["tenant"]
+            queued.setdefault(rec["tenant"], set()).add(rec["request"])
+        elif etype == "request-executing":
+            queued.get(rec["tenant"], set()).discard(rec["request"])
+            running.setdefault(rec["tenant"], set()).add(rec["request"])
+        elif etype == "request-cache":
+            cache_hits += rec["hit"]
+            cache_misses += not rec["hit"]
+        elif etype == "request-completed":
+            tenant = tenant_of.get(rec["request"])
+            if tenant is not None:
+                queued.get(tenant, set()).discard(rec["request"])
+                running.get(tenant, set()).discard(rec["request"])
+
+    # SLO replay on record timestamps (the stream's clock, not ours).
+    now_ts = spans[-1]["ts"] if spans else None
+    slo = SLOTracker()
+    tenant_slo: dict[str, SLOTracker] = {}
+    for rec in spans:
+        if rec["type"] != "request-span":
+            continue
+        ok = rec["status"] == "done"
+        slo.record(ok, rec["latency_s"], now=rec["ts"])
+        tenant_slo.setdefault(rec["tenant"], SLOTracker()).record(
+            ok, rec["latency_s"], now=rec["ts"]
+        )
+
+    tenants = (
+        {r["tenant"] for r in spans} | set(queued) | set(running)
+    )
+    per_tenant: dict[str, dict] = {}
+    for tenant in sorted(tenants):
+        tracker = tenant_slo.get(tenant)
+        per_tenant[tenant] = {
+            "in_flight": len(running.get(tenant, ())),
+            "queued": len(queued.get(tenant, ())),
+            "tokens": None,
+            "capacity": None,
+            "shed": int(sheds.total(tenant=tenant)),
+            "requests": int(count.total(tenant=tenant)),
+            "errors": int(errors.total(tenant=tenant)),
+            "p50_s": round(latency.folded_percentile(0.5, tenant=tenant), 6),
+            "p99_s": round(latency.folded_percentile(0.99, tenant=tenant), 6),
+            "slo": tracker.snapshot(now=now_ts) if tracker else None,
+        }
+    phases = {
+        phase: {
+            "count": phase_hist.folded_state(phase=phase).total,
+            "p50_s": round(phase_hist.folded_percentile(0.5, phase=phase), 6),
+            "p99_s": round(phase_hist.folded_percentile(0.99, phase=phase), 6),
+        }
+        for phase in PHASES
+    }
+    hits_total = cache_hits + cache_misses
+    return {
+        "draining": draining,
+        "pid": pid,
+        "recovered": recovered,
+        "cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "hit_rate": cache_hits / hits_total if hits_total else 0.0,
+        },
+        "admission": {
+            "depth": sum(len(s) for s in queued.values()),
+            "admitted": int(count.total()),
+            "shed_tenant": None,
+            "shed_backlog": None,
+        },
+        "tenants": per_tenant,
+        "phases": phases,
+        "slo": slo.snapshot(now=now_ts),
+    }
+
+
+def _service_registry(spans: list[dict]):
+    from ..telemetry.metrics import MetricsRegistry
+    from .requests import record_span_metrics, register_red_metrics
+
+    registry = MetricsRegistry()
+    register_red_metrics(registry)
+    for rec in spans:
+        record_span_metrics(registry, rec)
+    return registry
+
+
+def _ms(seconds: float | None) -> str:
+    return f"{seconds * 1e3:.1f}ms" if seconds is not None else "--"
+
+
+def _slo_mark(snapshot: dict | None) -> str:
+    if not snapshot:
+        return "--"
+    burns = " ".join(
+        f"burn[{w}]={doc['burn_rate']:.2f}"
+        for w, doc in snapshot["windows"].items()
+    )
+    return (
+        f"{snapshot['status']} "
+        f"(compliance {snapshot['compliance']:.1%})  {burns}"
+    )
+
+
+def render_service_board(board: dict, source: str = "") -> str:
+    """Draw the per-tenant RED/SLO board from a board document."""
+    phase = "DRAINING" if board.get("draining") else "SERVING"
+    head = f"service board — {source} — {phase}" if source else (
+        f"service board — {phase}"
+    )
+    lines = [head]
+    identity = []
+    if board.get("pid") is not None:
+        identity.append(f"pid {board['pid']}")
+    if board.get("recovered") is not None:
+        identity.append(f"recovered {board['recovered']}")
+    if identity:
+        lines.append("  " + ", ".join(identity))
+    lines.append(f"  slo: {_slo_mark(board.get('slo'))}")
+    cache = board.get("cache") or {}
+    if cache:
+        lines.append(
+            f"  cache: hit rate {cache.get('hit_rate', 0.0):.1%} "
+            f"({cache.get('hits', 0):.0f} hit(s) / "
+            f"{cache.get('misses', 0):.0f} miss(es))"
+        )
+    admission = board.get("admission") or {}
+    if admission:
+        shed_bits = ""
+        if admission.get("shed_tenant") is not None:
+            shed_bits = (
+                f", shed {admission['shed_tenant']} tenant"
+                f" / {admission['shed_backlog']} backlog"
+            )
+        lines.append(
+            f"  admission: depth {admission.get('depth', 0)}, "
+            f"admitted {admission.get('admitted', 0)}{shed_bits}"
+        )
+    tenants = board.get("tenants") or {}
+    if tenants:
+        lines.append("  tenants:")
+        for tenant, row in tenants.items():
+            tokens = (
+                f"{row['tokens']:.1f}/{row['capacity']:.0f}"
+                if row.get("tokens") is not None
+                else "--"
+            )
+            slo_doc = row.get("slo") or {}
+            slo_status = slo_doc.get("status", "--")
+            lines.append(
+                f"    {tenant:<12} req {row['requests']:5d}"
+                f"  err {row['errors']:3d}"
+                f"  shed {row['shed']:3d}"
+                f"  inflight {row['in_flight']:2d}"
+                f"  queued {row['queued']:3d}"
+                f"  tokens {tokens:>9}"
+                f"  p50 {_ms(row['p50_s']):>8}"
+                f"  p99 {_ms(row['p99_s']):>8}"
+                f"  slo {slo_status}"
+            )
+    phases = board.get("phases") or {}
+    active = {k: v for k, v in phases.items() if v.get("count")}
+    if active:
+        lines.append("  phases:")
+        for name, row in active.items():
+            lines.append(
+                f"    {name:<10} p50 {_ms(row['p50_s']):>8}"
+                f"  p99 {_ms(row['p99_s']):>8}  (n={row['count']})"
+            )
+    return "\n".join(lines)
+
+
+def _scrape_board(host: str, port: int, timeout_s: float = 10.0) -> dict:
+    import http.client
+    import json as _json
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout_s)
+    try:
+        conn.request("GET", "/board")
+        resp = conn.getresponse()
+        raw = resp.read()
+        if resp.status != 200:
+            raise CampaignError(
+                f"GET /board returned {resp.status} from {host}:{port}"
+            )
+        return _json.loads(raw)
+    finally:
+        conn.close()
+
+
+def follow_service(
+    source,
+    label: str,
+    interval_s: float = 0.5,
+    once: bool = False,
+    stream=None,
+    max_polls: int | None = None,
+) -> int:
+    """Poll-and-redraw the service board; ``source()`` yields documents."""
+    stream = stream if stream is not None else sys.stdout
+    polls = 0
+    while True:
+        polls += 1
+        note = f"waiting for a service board at {label}...\n"
+        try:
+            board = source()
+        except (CampaignError, OSError) as exc:
+            board = None
+            note = f"waiting for a service board at {label}: {exc}\n"
+        if board is not None:
+            text = render_service_board(board, source=label)
+            if stream.isatty():  # pragma: no cover - interactive only
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(text + "\n")
+            stream.flush()
+        else:
+            stream.write(note)
+            stream.flush()
+        if once or (max_polls is not None and polls >= max_polls):
+            return 0
+        time.sleep(interval_s)
+
+
+def service_watch_main(args) -> int:
+    """Dispatch ``pvc-bench service watch [--port N | --dir state]``.
+
+    With ``--port`` the board is scraped from the live daemon's
+    ``GET /board``; with ``--dir`` it is folded offline from the state
+    directory's streams (works on a dead or post-mortem directory).
+    """
+    port = getattr(args, "port", None)
+    directory = args.dir or (
+        args.extra[0] if getattr(args, "extra", None) else None
+    )
+    if port:
+        host = getattr(args, "host", None) or "127.0.0.1"
+        label = f"http://{host}:{port}"
+        source = lambda: _scrape_board(host, port)  # noqa: E731
+    elif directory:
+        label = os.fspath(directory)
+        source = lambda: load_service_board(directory)  # noqa: E731
+    else:
+        raise CampaignError(
+            "service watch needs --port <daemon port> or "
+            "--dir <state directory>"
+        )
+    try:
+        return follow_service(
+            source,
+            label,
+            interval_s=getattr(args, "interval", None) or 0.5,
+            once=bool(getattr(args, "once", False)),
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive detach
+        print("detached; the service keeps running", file=sys.stderr)
         return 0

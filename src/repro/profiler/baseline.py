@@ -9,7 +9,12 @@ for the fields that gate regressions:
 * ``device_us`` — lower is better (aggregate device time);
 * ``sim_cache_hit_rate`` — higher is better (campaign entries only: the
   model-evaluation memo cache going cold is a perf bug even when every
-  test still passes).
+  test still passes);
+* ``storm_p99_s`` — lower is better (service entries: the loadgen
+  storm's p99 latency, gated with a wide tolerance because it is
+  wall-clock);
+* ``service_cache_hit_rate`` — higher is better (service entries: the
+  daemon's warm result-cache hit rate under storm, expected 1.0).
 
 Ungated fields (``wall_s``, call counts, ...) ride along for the
 record; wall-clock in particular is machine-dependent and must never
@@ -53,6 +58,8 @@ _GATED_FIELDS = {
     "fom": "higher",
     "device_us": "lower",
     "sim_cache_hit_rate": "higher",
+    "storm_p99_s": "lower",
+    "service_cache_hit_rate": "higher",
 }
 
 
@@ -105,12 +112,16 @@ class BaselineComparison:
         return "\n".join(lines) + "\n"
 
 
-def build_snapshot(entries: list[dict]) -> dict:
+def build_snapshot(
+    entries: list[dict], tolerance: float | None = None
+) -> dict:
     """A baseline document from per-bench entry dicts.
 
     Each entry must carry ``bench`` and ``system``; the pair keys the
     snapshot.  Entries are stored under sorted keys so the serialized
-    document is byte-stable.
+    document is byte-stable.  ``tolerance`` overrides the default gate
+    width recorded in the document (wall-clock-dominated snapshots like
+    the service storm use a wide one).
     """
     keyed: dict[str, dict] = {}
     for entry in entries:
@@ -123,9 +134,13 @@ def build_snapshot(entries: list[dict]) -> dict:
         if key in keyed:
             raise ConfigurationError(f"duplicate baseline entry {key!r}")
         keyed[key] = dict(entry)
+    if tolerance is None:
+        tolerance = DEFAULT_TOLERANCE
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
     doc = {
         "schema": BASELINE_SCHEMA,
-        "tolerance": DEFAULT_TOLERANCE,
+        "tolerance": tolerance,
         "entries": {k: keyed[k] for k in sorted(keyed)},
     }
     doc["digest"] = sha256_text(canonical_json(doc))

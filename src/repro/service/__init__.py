@@ -19,7 +19,15 @@ Modules:
 * :mod:`.daemon` — :class:`~repro.service.daemon.BenchDaemon`, the
   process tying it together.
 * :mod:`.loadgen` — the request-storm client and latency/hit-rate
-  reporter (``pvc-bench loadgen``).
+  reporter (``pvc-bench loadgen``), plus the ``profile service``
+  storm benchmark entries.
+
+Every admitted request carries a deterministic W3C-style trace
+context (:mod:`repro.obs.requests`): the daemon mints it from the
+request id + content digest, threads it through admission, the queue
+and forked campaign workers, and returns it in the ``traceparent``
+response header so client-side and server-side latency join on one
+trace id.
 * :mod:`.selfcheck` — the ``pvc-bench health`` service drill.
 
 See ``docs/service.md`` for the API, the lifecycle model and the

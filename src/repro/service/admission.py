@@ -72,6 +72,7 @@ class Decision:
     admitted: bool
     reason: str = ""
     retry_after_s: float = 0.0
+    trace_id: str = ""
 
 
 class AdmissionController:
@@ -93,6 +94,12 @@ class AdmissionController:
         self.shed_tenant = 0
         self.shed_backlog = 0
         self.admitted = 0
+        #: tenant -> sheds of that tenant's requests (either reason);
+        #: feeds the per-tenant board and RED shed counters.
+        self._tenant_sheds: dict[str, int] = {}
+        #: trace ids holding a reserved-but-not-enqueued slot; a trace
+        #: lingering here is a leaked reservation (visible in stats()).
+        self._reserved_traces: set[str] = set()
         self._buckets: dict[str, TokenBucket] = {}
         #: tenant -> FIFO of queued items; OrderedDict order is the
         #: round-robin service order (least recently served first).
@@ -110,7 +117,7 @@ class AdmissionController:
     # ingress
     # ------------------------------------------------------------------
 
-    def admit(self, tenant: str) -> Decision:
+    def admit(self, tenant: str, trace_id: str = "") -> Decision:
         """Decide (and reserve a queue slot) without enqueueing.
 
         The daemon must journal a request and register it in its
@@ -119,13 +126,23 @@ class AdmissionController:
         that bookkeeping happens.  An admitted decision MUST be paired
         with exactly one :meth:`enqueue` (make the item visible) or
         :meth:`release` (bookkeeping failed, give the slot back).
+
+        A ``trace_id`` travels with the slot reservation so an admitted
+        request is attributable from decision onward: the decision
+        echoes it, and an unreturned reservation shows up by trace id
+        in :meth:`stats`.
         """
         now = self.clock()
         with self._lock:
             if self._closed:
-                return Decision(False, "draining", retry_after_s=1.0)
+                return Decision(
+                    False, "draining", retry_after_s=1.0, trace_id=trace_id
+                )
             if self._depth + self._reserved >= self.queue_depth:
                 self.shed_backlog += 1
+                self._tenant_sheds[tenant] = (
+                    self._tenant_sheds.get(tenant, 0) + 1
+                )
                 # Backlog drain hint: pretend the whole queue retires at
                 # the sustained per-tenant rate; coarse but monotone in
                 # the overload.
@@ -135,6 +152,7 @@ class AdmissionController:
                     retry_after_s=max(
                         (self._depth + self._reserved) / self.bucket_rate, 1.0
                     ),
+                    trace_id=trace_id,
                 )
             bucket = self._buckets.get(tenant)
             if bucket is None:
@@ -144,15 +162,24 @@ class AdmissionController:
             wait = bucket.take(now)
             if wait > 0.0:
                 self.shed_tenant += 1
-                return Decision(False, "tenant rate", retry_after_s=wait)
+                self._tenant_sheds[tenant] = (
+                    self._tenant_sheds.get(tenant, 0) + 1
+                )
+                return Decision(
+                    False, "tenant rate", retry_after_s=wait,
+                    trace_id=trace_id,
+                )
             self._reserved += 1
             self.admitted += 1
-            return Decision(True)
+            if trace_id:
+                self._reserved_traces.add(trace_id)
+            return Decision(True, trace_id=trace_id)
 
-    def enqueue(self, tenant: str, item) -> None:
+    def enqueue(self, tenant: str, item, trace_id: str = "") -> None:
         """Fill a slot reserved by :meth:`admit`: make *item* takeable."""
         with self._lock:
             self._reserved -= 1
+            self._reserved_traces.discard(trace_id)
             queue = self._queues.get(tenant)
             if queue is None:
                 queue = self._queues[tenant] = deque()
@@ -160,10 +187,11 @@ class AdmissionController:
             self._depth += 1
             self._ready.notify()
 
-    def release(self) -> None:
+    def release(self, trace_id: str = "") -> None:
         """Give back a slot reserved by :meth:`admit` (nothing enqueued)."""
         with self._lock:
             self._reserved -= 1
+            self._reserved_traces.discard(trace_id)
 
     def submit(self, tenant: str, item) -> Decision:
         """Admit and immediately enqueue *item* (no bookkeeping phase)."""
@@ -258,8 +286,34 @@ class AdmissionController:
         return {
             "depth": self._depth,
             "reserved": self._reserved,
+            "reserved_traces": sorted(self._reserved_traces),
             "admitted": self.admitted,
             "shed_tenant": self.shed_tenant,
             "shed_backlog": self.shed_backlog,
             "tenants": len(self._buckets),
         }
+
+    def tenant_stats(self) -> dict[str, dict]:
+        """Per-tenant board rows: queued depth, token level, sheds.
+
+        ``_refill`` is idempotent for a fixed clock reading, so peeking
+        at the live token level here does not perturb admission.
+        """
+        now = self.clock()
+        with self._lock:
+            tenants = set(self._buckets) | set(self._queues)
+            tenants |= set(self._tenant_sheds)
+            out: dict[str, dict] = {}
+            for tenant in sorted(tenants):
+                bucket = self._buckets.get(tenant)
+                if bucket is not None:
+                    bucket._refill(now)
+                out[tenant] = {
+                    "queued": len(self._queues.get(tenant, ())),
+                    "tokens": (
+                        round(bucket.tokens, 3) if bucket else None
+                    ),
+                    "capacity": bucket.capacity if bucket else None,
+                    "shed": self._tenant_sheds.get(tenant, 0),
+                }
+            return out

@@ -27,10 +27,24 @@ engineered for failure first:
   for campaigns, propagates into the orchestrator's simulated-clock
   deadline/watchdog supervision.
 
-Observability rides the existing rails: the state directory carries a
-``live.ndjson`` stream (:mod:`repro.obs.events` schema) and
-``/metrics`` serves the OpenMetrics exposition of the service
-registry, including cache hit rate and admission counters.
+Observability rides the existing rails and, since this PR, follows
+every request end to end (:mod:`repro.obs.requests`):
+
+* each request gets a deterministic W3C-style trace context minted
+  from ``(request_id, content digest)`` — returned in the
+  ``traceparent`` response header, threaded through admission, stamped
+  onto the state directory's live events, and exported into campaign
+  orchestrators/workers via :data:`~repro.obs.requests.TRACEPARENT_ENV`
+  so one trace id links the HTTP accept to the fork workers and memo
+  hits it caused;
+* ``requests.ndjson`` records one schema-validated span per terminal
+  request with per-phase timings (parse, admission, queue, cache,
+  execute, serialize), and the terminal JSON record carries the same
+  phase summary so journal replay reconstructs latency attribution;
+* ``/metrics`` serves per-tenant/per-endpoint RED series and
+  ``/healthz`` embeds the SLO tracker's multi-window burn rates;
+  ``GET /board`` is the live document ``pvc-bench service watch``
+  renders.
 """
 
 from __future__ import annotations
@@ -47,6 +61,17 @@ from ..errors import CampaignError, ReproError
 from ..exitcodes import ExitCode, classify_error
 from ..faults import ExecutionContext
 from ..obs.events import EventBus
+from ..obs.requests import (
+    PHASES,
+    TRACEPARENT_HEADER,
+    RequestLog,
+    SLOConfig,
+    SLOTracker,
+    TraceContext,
+    mint_trace,
+    record_span_metrics,
+    register_red_metrics,
+)
 from ..sim.memostore import PersistentMemoCache
 from ..telemetry.metrics import MetricsRegistry
 from .admission import AdmissionController
@@ -62,6 +87,12 @@ OPENMETRICS_CONTENT_TYPE = (
 
 #: Upper bound on a synchronous (``wait=1``) request's block time.
 DEFAULT_WAIT_S = 120.0
+
+#: Extra wait beyond a request's deadline before ``?wait=1`` gives up:
+#: a request the executor expires *at* its deadline still answers the
+#: waiting connection with its terminal "deadline-expired" record
+#: rather than a raced "running" snapshot.
+DEADLINE_WAIT_GRACE_S = 5.0
 
 #: Executor threads pulling from the admission queue.
 DEFAULT_WORKERS = 4
@@ -122,6 +153,24 @@ def _render_bench(command: str, ctx: ExecutionContext) -> str:
     )
 
 
+def _trace_headers(doc: dict) -> dict:
+    """A ``traceparent`` header from a record/status document (or {})."""
+    trace_id = doc.get("trace_id")
+    span_id = doc.get("span_id")
+    if not trace_id or not span_id:
+        return {}
+    return {
+        TRACEPARENT_HEADER: TraceContext(trace_id, span_id).traceparent
+    }
+
+
+def _endpoint(body: dict) -> str:
+    """The RED ``endpoint`` label: kind plus what it runs."""
+    if body.get("kind") == "campaign":
+        return f"campaign:{body.get('spec', '?')}"
+    return f"bench:{body.get('command', '?')}"
+
+
 class _QueuedRequest:
     """One admitted request's in-memory lifecycle handle."""
 
@@ -131,8 +180,12 @@ class _QueuedRequest:
         "body",
         "digest",
         "accepted_at",
+        "enqueued_at",
         "status",
         "done",
+        "trace",
+        "endpoint",
+        "phases",
     )
 
     def __init__(
@@ -143,8 +196,15 @@ class _QueuedRequest:
         self.body = body
         self.digest = digest
         self.accepted_at = time.monotonic()
+        #: Stamped (again) when the request becomes takeable, so the
+        #: queue phase measures queue wait alone, not submit overhead.
+        self.enqueued_at = self.accepted_at
         self.status = "queued"
         self.done = threading.Event()
+        self.trace: TraceContext = mint_trace(request_id, digest)
+        self.endpoint = _endpoint(body)
+        #: phase name -> seconds (see repro.obs.requests.PHASES).
+        self.phases: dict[str, float] = {}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -207,18 +267,21 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(
                 200,
                 {"status": "draining" if daemon.draining else "ok",
-                 "pid": os.getpid()},
+                 "pid": os.getpid(),
+                 "slo": daemon.slo.snapshot()},
             )
         elif parts == ["metrics"]:
             self._send(
                 200, daemon.openmetrics(), content_type=OPENMETRICS_CONTENT_TYPE
             )
+        elif parts == ["board"]:
+            self._send_json(200, daemon.board())
         elif parts == []:
             self._send(
                 200,
                 "repro benchmark service\n"
                 "routes: POST /v1/requests, GET /v1/requests/<id>[/result], "
-                "/metrics, /healthz\n",
+                "/metrics, /healthz, /board\n",
                 content_type="text/plain",
             )
         elif len(parts) >= 2 and parts[:2] == ["v1", "requests"]:
@@ -270,6 +333,7 @@ class _Handler(BaseHTTPRequestHandler):
         if length <= 0 or length > MAX_BODY_BYTES:
             self._send_json(400, {"error": "missing or oversized body"})
             return
+        parse_start = time.monotonic()
         try:
             raw = self.rfile.read(length)
             doc = json.loads(raw.decode("utf-8"))
@@ -282,16 +346,27 @@ class _Handler(BaseHTTPRequestHandler):
             except OSError:
                 pass
             return
-        status, response, headers = daemon.submit(doc)
+        parse_s = time.monotonic() - parse_start
+        status, response, headers = daemon.submit(doc, parse_s=parse_s)
         wait = params.get("wait") or (doc.get("wait") if isinstance(doc, dict)
                                       else None)
         if status == 202 and wait:
+            deadline_s = response.get("deadline_s")
             finished = daemon.wait_for(
                 response["request_id"],
-                timeout_s=response.get("deadline_s") or DEFAULT_WAIT_S,
+                timeout_s=(
+                    deadline_s + DEADLINE_WAIT_GRACE_S
+                    if deadline_s
+                    else DEFAULT_WAIT_S
+                ),
             )
             if finished is not None:
-                self._send_json(200, finished)
+                # The synchronous reply carries the same trace context
+                # as the async 202 would, so clients correlate either
+                # way.
+                self._send_json(
+                    200, finished, extra_headers=_trace_headers(finished)
+                )
                 return
         self._send_json(status, response, extra_headers=headers)
 
@@ -307,6 +382,7 @@ class BenchDaemon:
         workers: int = DEFAULT_WORKERS,
         admission: AdmissionController | None = None,
         drain_timeout_s: float = 30.0,
+        slo: SLOConfig | None = None,
     ) -> None:
         self.state = ServiceState(directory)
         self.workers = max(int(workers), 1)
@@ -324,6 +400,15 @@ class BenchDaemon:
             "request latency (accept to terminal record)",
             buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0),
         )
+        register_red_metrics(self.metrics)
+        self.slo_config = slo or SLOConfig()
+        #: Service-wide SLO plus a lazily-created per-tenant tracker
+        #: (the board shows who is burning the budget, not just that
+        #: someone is).
+        self.slo = SLOTracker(self.slo_config)
+        self._tenant_slo: dict[str, SLOTracker] = {}
+        self._tenant_slo_lock = threading.Lock()
+        self.request_log = RequestLog(self.state.root)
         #: Shared model-evaluation cache: every bench request's engines
         #: read and write the same persistent store.
         self.model_cache = PersistentMemoCache(self.state.cache)
@@ -392,7 +477,7 @@ class BenchDaemon:
     # submission (handler thread)
     # ------------------------------------------------------------------
 
-    def submit(self, doc) -> tuple[int, dict, dict]:
+    def submit(self, doc, parse_s: float = 0.0) -> tuple[int, dict, dict]:
         """Admit one request; returns ``(http_status, body, headers)``."""
         try:
             if not isinstance(doc, dict):
@@ -415,6 +500,8 @@ class BenchDaemon:
         # critical section, so two concurrent POSTs carrying the same
         # retry key cannot both pass the check and double-run.
         req = _QueuedRequest(request_id, tenant, body, digest)
+        req.phases["parse"] = parse_s
+        trace_headers = {TRACEPARENT_HEADER: req.trace.traceparent}
         with self._inflight_lock:
             existing = self._status_locked(request_id)
             if existing is not None:
@@ -422,25 +509,33 @@ class BenchDaemon:
                 replay["replayed"] = True
                 code = 200 if replay["status"] in ("done", "failed",
                                                    "interrupted") else 202
-                return code, replay, {}
+                # Trace ids are pure functions of (request_id, digest),
+                # so the replay header matches the original execution's
+                # spans — a retry correlates to the first run's trace.
+                return code, replay, _trace_headers(replay) or trace_headers
             self._inflight[request_id] = req
 
-        decision = self.admission.admit(tenant)
+        admit_start = time.monotonic()
+        decision = self.admission.admit(tenant, trace_id=req.trace.trace_id)
+        req.phases["admission"] = time.monotonic() - admit_start
         if not decision.admitted:
             with self._inflight_lock:
                 self._inflight.pop(request_id, None)
             self.metrics.inc("service.shed", reason=decision.reason)
             self.events.live(
-                "request-shed", tenant=tenant, reason=decision.reason
+                "request-shed", tenant=tenant, reason=decision.reason,
+                trace_id=req.trace.trace_id,
             )
+            self._log_shed(req, decision.reason)
             retry_after = max(int(decision.retry_after_s + 0.999), 1)
             return (
                 429,
                 {
                     "error": f"admission refused: {decision.reason}",
                     "retry_after_s": decision.retry_after_s,
+                    "trace_id": req.trace.trace_id,
                 },
-                {"Retry-After": str(retry_after)},
+                {"Retry-After": str(retry_after), **trace_headers},
             )
         # Journal before enqueue, enqueue last: an executor only ever
         # sees a request whose journal entry and in-flight registration
@@ -451,7 +546,7 @@ class BenchDaemon:
         try:
             self.state.journal_accepted(request_id, tenant, body)
         except OSError as exc:
-            self.admission.release()
+            self.admission.release(trace_id=req.trace.trace_id)
             with self._inflight_lock:
                 self._inflight.pop(request_id, None)
             return (
@@ -459,21 +554,46 @@ class BenchDaemon:
                 {"error": f"could not journal request: {exc}"},
                 {"Retry-After": "5"},
             )
-        self.admission.enqueue(tenant, req)
+        req.enqueued_at = time.monotonic()
+        self.admission.enqueue(tenant, req, trace_id=req.trace.trace_id)
         self.events.live(
             "request-accepted",
             request=request_id,
             tenant=tenant,
             kind=body["kind"],
+            trace_id=req.trace.trace_id,
         )
         response = {
             "request_id": request_id,
             "status": "queued",
             "digest": digest,
+            "trace_id": req.trace.trace_id,
+            "span_id": req.trace.span_id,
         }
         if body.get("deadline_s"):
             response["deadline_s"] = body["deadline_s"]
-        return 202, response, {}
+        return 202, response, trace_headers
+
+    def _log_shed(self, req: _QueuedRequest, reason: str) -> None:
+        """Record a shed in the request stream + RED counters."""
+        try:
+            record = self.request_log.append(
+                "request-shed",
+                trace_id=req.trace.trace_id,
+                request=req.request_id,
+                tenant=req.tenant,
+                endpoint=req.endpoint,
+                reason=reason,
+            )
+        except OSError:
+            # An unwritable stream must not turn a clean 429 into a 500;
+            # the RED counter below still accounts the shed.
+            record = {
+                "type": "request-shed",
+                "tenant": req.tenant,
+                "reason": reason,
+            }
+        record_span_metrics(self.metrics, record)
 
     def wait_for(self, request_id: str, timeout_s: float) -> dict | None:
         with self._inflight_lock:
@@ -499,6 +619,8 @@ class BenchDaemon:
             "request_id": req.request_id,
             "status": req.status,
             "digest": req.digest,
+            "trace_id": req.trace.trace_id,
+            "span_id": req.trace.span_id,
         }
 
     # ------------------------------------------------------------------
@@ -511,6 +633,7 @@ class BenchDaemon:
             if taken is None:
                 continue
             _tenant, req = taken
+            req.phases["queue"] = time.monotonic() - req.enqueued_at
             try:
                 self._execute(req)
             except Exception as exc:  # noqa: BLE001 - terminal record
@@ -545,12 +668,21 @@ class BenchDaemon:
         # the winner just wrote.
         self._acquire_digest_lock(req.digest)
         try:
+            cache_start = time.monotonic()
             cached = self.state.cache.get(req.digest)
-            if (
+            req.phases["cache"] = time.monotonic() - cache_start
+            hit = (
                 cached is not None
                 and isinstance(cached, dict)
                 and "text" in cached
-            ):
+            )
+            self.events.live(
+                "request-cache",
+                request=req.request_id,
+                hit=bool(hit),
+                trace_id=req.trace.trace_id,
+            )
+            if hit:
                 self._finish(
                     req, cached["status"], cached["exit"], cached["text"],
                     cached=True,
@@ -563,12 +695,21 @@ class BenchDaemon:
                 self._finish(
                     req, "failed", int(ExitCode.INTERRUPTED),
                     "deadline exceeded while queued\n", cached=False,
+                    reason="deadline-expired",
                 )
                 return
+            self.events.live(
+                "request-executing",
+                request=req.request_id,
+                tenant=req.tenant,
+                trace_id=req.trace.trace_id,
+            )
+            execute_start = time.monotonic()
             if body["kind"] == "bench":
                 status, exit_code, text = self._run_bench(body)
             else:
-                status, exit_code, text = self._run_campaign(body)
+                status, exit_code, text = self._run_campaign(body, req.trace)
+            req.phases["execute"] = time.monotonic() - execute_start
             if status == "done":
                 self.state.cache.put(
                     req.digest,
@@ -588,7 +729,9 @@ class BenchDaemon:
         except ReproError as exc:
             return "failed", int(classify_error(exc)), f"{exc}\n"
 
-    def _run_campaign(self, body: dict) -> tuple[str, int, str]:
+    def _run_campaign(
+        self, body: dict, trace: TraceContext | None = None
+    ) -> tuple[str, int, str]:
         from ..campaign.orchestrator import Orchestrator
         from ..campaign.spec import get_spec
 
@@ -601,6 +744,7 @@ class BenchDaemon:
                 seed=body["seed"],
                 deadline_s=body.get("deadline_s"),
                 jobs=body.get("jobs", 1),
+                trace=trace.traceparent if trace else None,
             )
             code = int(orch.run_or_resume())
         except ReproError as exc:
@@ -629,8 +773,10 @@ class BenchDaemon:
         exit_code: int,
         text: str,
         cached: bool,
+        reason: str | None = None,
     ) -> None:
         latency = time.monotonic() - req.accepted_at
+        phases = {k: round(v, 6) for k, v in req.phases.items()}
         record = {
             "request_id": req.request_id,
             "tenant": req.tenant,
@@ -640,26 +786,81 @@ class BenchDaemon:
             "exit": exit_code,
             "cached": cached,
             "text": text,
+            # Latency attribution survives the process: journal replay
+            # after a SIGKILL reconstructs where the time went, not
+            # just what the answer was.
+            "trace_id": req.trace.trace_id,
+            "span_id": req.trace.span_id,
+            "phases": phases,
         }
+        if reason is not None:
+            record["reason"] = reason
         # Terminal record first (atomic), then the journal's ``done``:
         # a crash between the two replays the request, finds the record
         # present, and skips — never the reverse.
+        serialize_start = time.monotonic()
         self.state.write_record(req.request_id, record)
         self.state.journal_done(req.request_id, status, req.digest)
+        req.phases["serialize"] = time.monotonic() - serialize_start
         req.status = status
         self.metrics.inc(
             "service.requests", kind=req.body["kind"], status=status
         )
         self.metrics.observe("service.latency_s", latency)
+        self._log_span(req, status, cached, latency)
+        ok = status == "done"
+        self.slo.record(ok, latency)
+        self._tenant_tracker(req.tenant).record(ok, latency)
         self.events.live(
             "request-completed",
             request=req.request_id,
             status=status,
             cached=cached,
+            trace_id=req.trace.trace_id,
         )
         with self._inflight_lock:
             self._inflight.pop(req.request_id, None)
         req.done.set()
+
+    def _log_span(
+        self, req: _QueuedRequest, status: str, cached: bool, latency: float
+    ) -> None:
+        """Append the request's span to ``requests.ndjson`` + RED fold."""
+        try:
+            record = self.request_log.append(
+                "request-span",
+                trace_id=req.trace.trace_id,
+                span_id=req.trace.span_id,
+                request=req.request_id,
+                tenant=req.tenant,
+                endpoint=req.endpoint,
+                status=status,
+                cached=cached,
+                latency_s=round(latency, 6),
+                phases={k: round(v, 6) for k, v in req.phases.items()},
+            )
+        except OSError:
+            # Same stance as _log_shed: observability must never make
+            # a finished request fail.  Fold a minimal stand-in so the
+            # RED series still count it.
+            record = {
+                "type": "request-span",
+                "tenant": req.tenant,
+                "endpoint": req.endpoint,
+                "status": status,
+                "latency_s": latency,
+                "phases": {},
+            }
+        record_span_metrics(self.metrics, record)
+
+    def _tenant_tracker(self, tenant: str) -> SLOTracker:
+        with self._tenant_slo_lock:
+            tracker = self._tenant_slo.get(tenant)
+            if tracker is None:
+                tracker = self._tenant_slo[tenant] = SLOTracker(
+                    self.slo_config
+                )
+            return tracker
 
     # ------------------------------------------------------------------
     # metrics
@@ -679,6 +880,80 @@ class BenchDaemon:
             "service.draining", 1.0 if self.draining else 0.0
         )
         return self.metrics.to_openmetrics()
+
+    def board(self) -> dict:
+        """The live service-board document (``GET /board``).
+
+        One JSON object with everything ``pvc-bench service watch``
+        renders: per-tenant in-flight/queued/shed/token-bucket state,
+        RED counts and latency percentiles, phase percentiles, cache
+        and admission stats, and the SLO burn snapshots.  The offline
+        fold in :mod:`repro.obs.watch` produces the same shape from a
+        dead state directory.
+        """
+        with self._inflight_lock:
+            inflight = list(self._inflight.values())
+        tenant_admission = self.admission.tenant_stats()
+        latency = self.metrics.histogram("service.request.latency_s")
+        phase_hist = self.metrics.histogram("service.request.phase_s")
+        count = self.metrics.counter("service.request.count")
+        errors = self.metrics.counter("service.request.errors")
+        sheds = self.metrics.counter("service.request.sheds")
+        with self._tenant_slo_lock:
+            tenant_slo = dict(self._tenant_slo)
+        tenants = (
+            set(tenant_admission)
+            | {r.tenant for r in inflight}
+            | set(tenant_slo)
+        )
+        per_tenant: dict[str, dict] = {}
+        for tenant in sorted(tenants):
+            adm = tenant_admission.get(tenant, {})
+            tracker = tenant_slo.get(tenant)
+            per_tenant[tenant] = {
+                "in_flight": sum(
+                    1
+                    for r in inflight
+                    if r.tenant == tenant and r.status == "running"
+                ),
+                "queued": adm.get("queued", 0),
+                "tokens": adm.get("tokens"),
+                "capacity": adm.get("capacity"),
+                "shed": int(
+                    adm.get("shed") or sheds.total(tenant=tenant)
+                ),
+                "requests": int(count.total(tenant=tenant)),
+                "errors": int(errors.total(tenant=tenant)),
+                "p50_s": round(
+                    latency.folded_percentile(0.5, tenant=tenant), 6
+                ),
+                "p99_s": round(
+                    latency.folded_percentile(0.99, tenant=tenant), 6
+                ),
+                "slo": tracker.snapshot() if tracker else None,
+            }
+        phases = {
+            phase: {
+                "count": phase_hist.folded_state(phase=phase).total,
+                "p50_s": round(
+                    phase_hist.folded_percentile(0.5, phase=phase), 6
+                ),
+                "p99_s": round(
+                    phase_hist.folded_percentile(0.99, phase=phase), 6
+                ),
+            }
+            for phase in PHASES
+        }
+        return {
+            "draining": self.draining,
+            "pid": os.getpid(),
+            "recovered": self._recovered,
+            "cache": self.state.cache.stats(),
+            "admission": self.admission.stats(),
+            "tenants": per_tenant,
+            "phases": phases,
+            "slo": self.slo.snapshot(),
+        }
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -762,9 +1037,14 @@ def serve_bench_main(args) -> int:
     """Dispatch ``pvc-bench serve-bench --dir state [--port N] ...``."""
     if not args.dir:
         raise CampaignError("serve-bench needs --dir <state directory>")
+    slo = SLOConfig(
+        latency_s=getattr(args, "slo_latency", None) or 5.0,
+        availability=getattr(args, "slo_availability", None) or 0.99,
+    )
     daemon = BenchDaemon(
         args.dir,
         port=getattr(args, "port", None) or 0,
         workers=getattr(args, "workers", None) or DEFAULT_WORKERS,
+        slo=slo,
     )
     return daemon.serve()

@@ -24,7 +24,7 @@ __all__ = ["service_selfcheck"]
 _TIMEOUT_S = 30.0
 
 
-def _post(url: str, doc: dict) -> tuple[int, dict]:
+def _post(url: str, doc: dict) -> tuple[int, dict, dict]:
     req = urllib.request.Request(
         url + "/v1/requests?wait=1",
         data=json.dumps(doc).encode("utf-8"),
@@ -33,9 +33,17 @@ def _post(url: str, doc: dict) -> tuple[int, dict]:
     )
     try:
         with urllib.request.urlopen(req, timeout=_TIMEOUT_S) as resp:
-            return resp.status, json.loads(resp.read())
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
     except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+        return exc.code, json.loads(exc.read()), dict(exc.headers or {})
+
+
+def _get(url: str, path: str) -> tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url + path, timeout=_TIMEOUT_S) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
 
 
 def service_selfcheck() -> list[CheckResult]:
@@ -60,7 +68,9 @@ def service_selfcheck() -> list[CheckResult]:
         daemon.start()
         url = daemon.url
 
-        status, doc = _post(url, {"request_id": "health-1", "command": "table4"})
+        status, doc, headers = _post(
+            url, {"request_id": "health-1", "command": "table4"}
+        )
         cold_ok = status == 200 and doc.get("status") == "done"
         checks.append(
             CheckResult(
@@ -71,7 +81,9 @@ def service_selfcheck() -> list[CheckResult]:
         )
         cold_text = doc.get("text", "")
 
-        status, warm = _post(url, {"request_id": "health-2", "command": "table4"})
+        status, warm, _ = _post(
+            url, {"request_id": "health-2", "command": "table4"}
+        )
         warm_ok = (
             status == 200
             and warm.get("cached") is True
@@ -97,7 +109,9 @@ def service_selfcheck() -> list[CheckResult]:
                 fh.write("garbage")
         except OSError:
             pass
-        status, healed = _post(url, {"request_id": "health-3", "command": "table4"})
+        status, healed, _ = _post(
+            url, {"request_id": "health-3", "command": "table4"}
+        )
         quarantined = daemon.state.cache.stats()["quarantined"]
         healed_ok = (
             status == 200
@@ -112,6 +126,69 @@ def service_selfcheck() -> list[CheckResult]:
                 f"{quarantined} quarantined, recompute byte-identical"
                 if healed_ok
                 else f"status={status} quarantined={quarantined}",
+            )
+        )
+
+        # Trace propagation: the response header must carry the same
+        # deterministic trace id the daemon minted from (request id,
+        # content digest), and the span must have landed — schema
+        # valid — in requests.ndjson.
+        from ..obs.requests import (
+            TRACEPARENT_HEADER,
+            mint_trace,
+            parse_traceparent,
+            read_requests,
+        )
+
+        minted = mint_trace("health-1", doc.get("digest", ""))
+        ctx = parse_traceparent(
+            {k.lower(): v for k, v in headers.items()}.get(TRACEPARENT_HEADER)
+        )
+        spans = [
+            rec
+            for rec in read_requests(daemon.state.requests_stream_path)
+            if rec["type"] == "request-span"
+        ]
+        span_ids = {rec["trace_id"] for rec in spans}
+        trace_ok = (
+            doc.get("trace_id") == minted.trace_id
+            and ctx is not None
+            and ctx.trace_id == minted.trace_id
+            and minted.trace_id in span_ids
+        )
+        checks.append(
+            CheckResult(
+                "trace propagation",
+                trace_ok,
+                f"traceparent deterministic, {len(spans)} span(s) logged"
+                if trace_ok
+                else f"trace_id={doc.get('trace_id')!r} minted={minted.trace_id!r}",
+            )
+        )
+
+        # SLO + RED surfaces: /healthz carries the burn-rate snapshot
+        # and /metrics exposes the request latency histogram.
+        status, health_raw = _get(url, "/healthz")
+        health_doc = json.loads(health_raw)
+        slo = health_doc.get("slo") or {}
+        m_status, metrics_raw = _get(url, "/metrics")
+        metrics_text = metrics_raw.decode("utf-8", "replace")
+        slo_ok = (
+            status == 200
+            and slo.get("status") in ("ok", "burning")
+            and "windows" in slo
+            and m_status == 200
+            and "service_request_latency" in metrics_text
+        )
+        checks.append(
+            CheckResult(
+                "slo + red metrics",
+                slo_ok,
+                f"slo {slo.get('status')} compliance="
+                f"{slo.get('compliance')}, /metrics has RED histograms"
+                if slo_ok
+                else f"healthz={status} slo={slo.get('status')!r} "
+                f"metrics={m_status}",
             )
         )
 

@@ -8,6 +8,7 @@ state directory::
     cache/                 the shared MemoStore (results + model points)
     campaigns/<digest>/    campaign run dirs (journal, store, tables)
     live.ndjson            service live events (repro.obs schema)
+    requests.ndjson        request lifecycle spans (repro.obs.requests)
 
 The **queue journal** is the write-ahead log of the admission queue:
 ``accepted`` (full request document) when a request passes admission,
@@ -160,6 +161,13 @@ class ServiceState:
     @property
     def campaigns_dir(self) -> str:
         return os.path.join(self.root, "campaigns")
+
+    @property
+    def requests_stream_path(self) -> str:
+        """The request lifecycle stream (``repro.obs.requests`` schema)."""
+        from ..obs.requests import REQUESTS_FILE
+
+        return os.path.join(self.root, REQUESTS_FILE)
 
     def record_path(self, request_id: str) -> str:
         return os.path.join(

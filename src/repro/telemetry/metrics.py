@@ -90,9 +90,24 @@ class Counter:
     def value(self, **labels) -> float:
         return self._values.get(_labelset(labels), 0.0)
 
-    def total(self) -> float:
-        """Sum over every label set."""
-        return sum(self._values.values())
+    def total(self, **labels) -> float:
+        """Sum over every label set containing the given label pairs.
+
+        With no arguments this is the grand total; with
+        ``total(tenant="a")`` it folds every series whose label set
+        includes ``tenant="a"`` regardless of other labels — the
+        service board's per-tenant request counts come from here.
+        """
+        if not labels:
+            return sum(self._values.values())
+        want = set(_labelset(labels))
+        # list(): the service board folds while executor threads
+        # increment; a snapshot avoids resize-during-iteration.
+        return sum(
+            value
+            for ls, value in list(self._values.items())
+            if want <= set(ls)
+        )
 
     def samples(self) -> list[tuple[LabelSet, float]]:
         return sorted(self._values.items())
@@ -209,6 +224,30 @@ class Histogram:
     ) -> dict[str, float]:
         """The standard latency summary (p50/p95/p99 by default)."""
         return {f"p{q * 100:g}": self.percentile(q, **labels) for q in qs}
+
+    def folded_state(self, **labels) -> _HistogramState:
+        """Merge every label set containing the given pairs into one state.
+
+        ``folded_state()`` folds everything;
+        ``folded_state(tenant="a")`` folds ``tenant="a"`` series across
+        all other label dimensions (endpoints, statuses, ...).
+        """
+        want = set(_labelset(labels))
+        merged = _HistogramState(counts=[0] * len(self.buckets))
+        # list(): folds run concurrently with observers (see Counter.total).
+        for ls, state in list(self._states.items()):
+            if want <= set(ls):
+                for i, c in enumerate(state.counts):
+                    merged.counts[i] += c
+                merged.total += state.total
+                merged.sum += state.sum
+        return merged
+
+    def folded_percentile(self, q: float, **labels) -> float:
+        """:meth:`percentile` over the subset-fold of matching label sets."""
+        folded = Histogram(name=self.name, buckets=self.buckets)
+        folded._states[()] = self.folded_state(**labels)
+        return folded.percentile(q)
 
     def samples(self) -> list[tuple[LabelSet, _HistogramState]]:
         return sorted(self._states.items(), key=lambda kv: kv[0])

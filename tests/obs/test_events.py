@@ -61,6 +61,8 @@ _LIVE_SAMPLES = {
     "request-shed": dict(tenant="default", reason="tenant rate"),
     "request-completed": dict(request="r-1", status="done", cached=True),
     "request-recovered": dict(request="r-1", tenant="default"),
+    "request-executing": dict(request="r-1", tenant="default"),
+    "request-cache": dict(request="r-1", hit=True),
     "cache-quarantined": dict(key="d" * 64),
     "service-drain": dict(inflight=1, queued=3),
 }

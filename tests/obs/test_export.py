@@ -91,3 +91,86 @@ class TestRunRegistry:
         assert registry.value("worker.respawns") >= 2
         victim = next(iter(plan.kills))
         assert registry.value("unit.quarantined", unit=victim) == 1
+
+
+class TestServiceExport:
+    @pytest.fixture(scope="class")
+    def service_dir(self, tmp_path_factory):
+        from tests.service.conftest import post_request
+
+        from repro.service.daemon import BenchDaemon
+
+        directory = tmp_path_factory.mktemp("svc") / "state"
+        daemon = BenchDaemon(directory, workers=2)
+        daemon.start()
+        try:
+            post_request(
+                daemon.url,
+                {"request_id": "e-1", "command": "table4",
+                 "tenant": "alpha"},
+            )
+            post_request(
+                daemon.url,
+                {"request_id": "e-2", "kind": "campaign", "spec": "smoke",
+                 "jobs": 2, "tenant": "beta"},
+                timeout=300.0,
+            )
+        finally:
+            daemon.stop(timeout_s=30.0)
+        return directory
+
+    def test_autodetects_service_directory(self, service_dir):
+        from repro.obs.export import export_service_chrome
+
+        assert export_chrome(service_dir) == export_service_chrome(
+            service_dir
+        )
+
+    def test_merged_trace_has_request_and_worker_lanes(self, service_dir):
+        doc = export_chrome(service_dir)
+        names = _thread_names(doc)
+        assert "service" in names
+        assert "alpha" in names and "beta" in names
+        assert any(n.endswith("/worker-0") for n in names)
+        assert any(n.endswith("/worker-1") for n in names)
+
+    def test_request_and_campaign_unit_share_trace_id(self, service_dir):
+        """The acceptance drill: one trace id links the HTTP request
+        span to the campaign worker's unit spans."""
+        doc = export_chrome(service_dir)
+        request_tids = {
+            e["args"]["trace_id"]
+            for e in doc["traceEvents"]
+            if e.get("cat") == "request"
+        }
+        unit_tids = {
+            e["args"]["trace_id"]
+            for e in doc["traceEvents"]
+            if e.get("cat") == "unit" and "trace_id" in e.get("args", {})
+        }
+        assert unit_tids, "campaign unit spans lost their trace ids"
+        assert unit_tids <= request_tids
+
+    def test_phase_spans_nest_inside_request_span(self, service_dir):
+        doc = export_chrome(service_dir)
+        requests = {
+            e["name"]: e
+            for e in doc["traceEvents"]
+            if e.get("cat") == "request"
+        }
+        phases = [
+            e for e in doc["traceEvents"] if e.get("cat") == "phase"
+        ]
+        assert phases
+        for phase in phases:
+            parent = requests[phase["args"]["request"]]
+            assert phase["ts"] >= parent["ts"]
+            # The serialize phase is timed after the whole-request
+            # latency snapshot, so the tail may overshoot the parent
+            # span by that sliver; everything else nests exactly.
+            assert phase["ts"] + phase["dur"] <= (
+                parent["ts"] + parent["dur"] + 50_000
+            )
+
+    def test_export_is_deterministic_for_same_bytes(self, service_dir):
+        assert export_json(service_dir) == export_json(service_dir)

@@ -27,6 +27,7 @@ from repro.ioutils import seal_record
 from repro.obs.events import EVENT_SCHEMA_VERSION, EventBus, read_events
 from repro.sim.memo import content_digest
 from repro.sim.memostore import INDEX_VERSION, MemoStore, read_index
+from repro.obs.requests import RequestLog, read_requests
 from repro.service.state import QUEUE_VERSION, ServiceState
 
 
@@ -109,6 +110,82 @@ class TestMemostoreIndexChopSweep:
         records, dropped = read_index(path)
         assert [r["key"] for r in records] == ["a" * 64]
         assert dropped == 1
+
+
+class TestRequestLogChopSweep:
+    def _seed_log(self, directory) -> RequestLog:
+        log = RequestLog(directory)
+        for index in range(5):
+            log.append(
+                "request-span",
+                trace_id=f"{index:032x}",
+                span_id=f"{index:016x}",
+                request=f"r-{index}",
+                tenant=f"tenant-{index % 2}",
+                endpoint="bench:table4",
+                status="done",
+                cached=bool(index % 2),
+                latency_s=0.01 * (index + 1),
+                phases={"queue": 0.001, "execute": 0.009},
+            )
+        log.append(
+            "request-shed",
+            trace_id="f" * 32,
+            request="r-shed",
+            tenant="tenant-0",
+            endpoint="bench:table4",
+            reason="tenant-rate",
+        )
+        return log
+
+    def test_every_chop_reads_longest_intact_prefix(self, tmp_path):
+        log = self._seed_log(tmp_path)
+        data = open(log.path, "rb").read()
+        full = read_requests(log.path)
+        assert len(full) == 6
+        chopped = tmp_path / "chopped.ndjson"
+        for chop in _chop_points(data):
+            chopped.write_bytes(data[:chop])
+            records = read_requests(chopped)
+            expected = _intact_prefix_lines(data, chop)
+            assert records == full[:expected], f"chop at byte {chop}"
+
+    def test_schema_invalid_record_ends_prefix(self, tmp_path):
+        """Unlike raw NDJSON readers, the request reader also stops at
+        the first record that parses but fails schema validation — a
+        half-migrated or corrupted stream never feeds garbage into the
+        RED fold."""
+        log = self._seed_log(tmp_path)
+        with open(log.path, "a", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps(
+                    {"v": 1, "type": "request-span", "ts": 0.0,
+                     "trace_id": "a" * 32, "span_id": "b" * 16,
+                     "request": "r-bad", "tenant": "t", "endpoint": "e",
+                     "status": "done", "cached": False,
+                     "latency_s": 0.1, "phases": {"bogus": 0.1}}
+                )
+                + "\n"
+            )
+            fh.write(
+                json.dumps(
+                    {"v": 1, "type": "request-shed", "ts": 0.0,
+                     "trace_id": "c" * 32, "request": "r-after",
+                     "tenant": "t", "endpoint": "e", "reason": "x"}
+                )
+                + "\n"
+            )
+        records = read_requests(log.path)
+        assert len(records) == 6
+        assert all(r["request"] != "r-bad" for r in records)
+        assert all(r["request"] != "r-after" for r in records)
+
+    def test_garbage_tail_ends_prefix(self, tmp_path):
+        log = self._seed_log(tmp_path)
+        with open(log.path, "ab") as fh:
+            fh.write(b"\x00\xffnot json\n")
+        records = read_requests(log.path)
+        assert len(records) == 6
 
 
 class TestQueueJournalChopSweep:

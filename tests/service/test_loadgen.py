@@ -5,7 +5,6 @@ from repro.service.daemon import BenchDaemon
 from repro.service.loadgen import (
     LoadgenReport,
     VARIED_COMMANDS,
-    _percentile,
     build_requests,
     run_loadgen,
 )
@@ -43,11 +42,25 @@ class TestPopulation:
 
 
 class TestReport:
-    def test_percentiles(self):
-        values = sorted(float(i) for i in range(100))
-        assert _percentile(values, 0.50) == 50.0
-        assert _percentile(values, 0.99) == 99.0
-        assert _percentile([], 0.99) == 0.0
+    def test_percentiles_from_shared_histogram(self):
+        # Quantiles now come from the shared Histogram estimator: a
+        # per-outcome percentile is bounded by the bucket the samples
+        # landed in, and an empty outcome reads as 0.0.
+        report = LoadgenReport()
+        for _ in range(100):
+            report.record("done", 0.03)
+        p99 = report.percentile(0.99, "done")
+        assert 0.01 < p99 <= 0.05
+        assert report.percentile(0.99, "shed") == 0.0
+        # The folded quantile over all outcomes matches when there is
+        # only one outcome.
+        assert report.percentile(0.99) == p99
+
+    def test_deadline_population_carries_deadline(self):
+        population = build_requests(4, deadline_s=0.5)
+        assert all(r["deadline_s"] == 0.5 for r in population)
+        bare = build_requests(4)
+        assert all("deadline_s" not in r for r in bare)
 
     def test_hit_rate(self):
         report = LoadgenReport()
@@ -85,6 +98,8 @@ class TestDrills:
             assert report.completed == 60
             # One cold fill (plus at most a few concurrent races), then warm.
             assert report.hit_rate >= 0.9
+            # Every response carried the daemon-minted traceparent.
+            assert report.traced == 60
         finally:
             daemon.stop(timeout_s=10.0)
 
