@@ -49,6 +49,13 @@ Live observability (event streams, watch board, exporters, trend)::
     pvc-bench obs serve out --port 9100            # OpenMetrics exporter
     pvc-bench trend BENCH_0.json BENCH_1.json      # cross-run analytics
 
+Design-space sweeps (vectorized batch evaluation, million-point grids)::
+
+    pvc-bench sweep million --dir out              # >= 10^6 points
+    pvc-bench sweep ci --dir out --jobs 4 --ndjson # sharded, full dump
+    pvc-bench sweep myspace.json --top-k 32        # custom JSON spec
+    pvc-bench profile sweep --baseline BENCH_3.json   # points/s gate
+
 Service observability (trace propagation, RED/SLO, live board)::
 
     pvc-bench serve-bench --dir state --port 8080 --slo-latency 2.0
@@ -138,6 +145,8 @@ def _cmd_profile(args) -> int:
 
     if args.bench == "service":
         return _cmd_profile_service(args)
+    if args.bench == "sweep":
+        return _cmd_profile_sweep(args)
     campaign_entries: list[dict] = []
     if args.bench in ("smoke", "full"):
         runs = profile_smoke_set(scenario=args.inject, seed=args.seed)
@@ -253,6 +262,58 @@ def _cmd_profile_service(args) -> int:
             f"storm p99 {entry['storm_p99_s'] * 1e3:.1f}ms, cache hit "
             f"rate {entry['service_cache_hit_rate']:.1%}"
         )
+    snapshot = build_snapshot(entries, tolerance=0.5)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, snapshot)
+        print(f"baseline written to {args.write_baseline}", file=sys.stderr)
+    if args.baseline:
+        comparison = compare_snapshots(load_baseline(args.baseline), snapshot)
+        print(comparison.render(), end="")
+        if comparison.regressed:
+            code = max(code, int(ExitCode.MEASUREMENT))
+    return code
+
+
+def _cmd_profile_sweep(args) -> int:
+    """``pvc-bench profile sweep`` — the design-space throughput gate.
+
+    Runs the ~138k-point ``ci`` sweep through the batch engine, samples
+    the scalar golden reference for bit-for-bit agreement and the
+    points-per-second speedup, and gates both throughput figures
+    against ``BENCH_3.json``-style baselines.  Beyond the relative
+    baseline gate there is a hard floor: the batch path must beat the
+    scalar path by :data:`~repro.sweep.runner.SPEEDUP_FLOOR` (50x) or
+    the profile fails outright — a slow batch path defeats the whole
+    subsystem even on a machine with no baseline to compare against.
+    """
+    from .profiler.baseline import (
+        build_snapshot,
+        compare_snapshots,
+        load_baseline,
+        write_baseline,
+    )
+    from .sweep.runner import SPEEDUP_FLOOR, sweep_benchmark_entries
+
+    entries = sweep_benchmark_entries(jobs=args.jobs or 1)
+    code = 0
+    for entry in entries:
+        speedup = entry["batch_speedup"] or 0.0
+        print(
+            f"{entry['bench']}@{entry['system']}: {entry['points']:,} "
+            f"points in {entry['wall_s']:.3f}s "
+            f"({entry['points_per_s'] / 1e6:.1f} M points/s, "
+            f"x{speedup:.0f} vs scalar over {entry['verified_sample']} "
+            f"verified sample point(s))"
+        )
+        if speedup < SPEEDUP_FLOOR:
+            print(
+                f"pvc-bench: sweep speedup x{speedup:.1f} is below the "
+                f"x{SPEEDUP_FLOOR:.0f} floor",
+                file=sys.stderr,
+            )
+            code = max(code, int(ExitCode.MEASUREMENT))
+    # Throughput figures are wall-clock; the snapshot uses the same
+    # wide tolerance as the service storm gate.
     snapshot = build_snapshot(entries, tolerance=0.5)
     if args.write_baseline:
         write_baseline(args.write_baseline, snapshot)
@@ -494,7 +555,7 @@ def main(argv: list[str] | None = None) -> int:
         + sorted(_CTX_COMMANDS)
         + sorted(_TELEMETRY_COMMANDS)
         + ["campaign", "loadgen", "obs", "profile", "serve-bench",
-           "service", "trend"],
+           "service", "sweep", "trend"],
     )
     parser.add_argument(
         "bench",
@@ -503,10 +564,12 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark for trace/metrics/profile "
         f"({', '.join(_TELEMETRY_BENCHES)}; default: gemm; profile also "
         "accepts 'smoke', 'full' — the campaign wall-clock/sim-cache "
-        "benchmark matrix — and 'service' — the daemon storm "
-        "benchmark), the campaign action (run, resume, status, verify, "
-        "watch), the obs action (export, serve), the service action "
-        "(watch), or the first baseline file for trend",
+        "benchmark matrix — 'service' — the daemon storm benchmark — "
+        "and 'sweep' — the design-space throughput gate), the campaign "
+        "action (run, resume, status, verify, watch), the obs action "
+        "(export, serve), the service action (watch), the sweep spec "
+        "name or JSON file for 'sweep', or the first baseline file for "
+        "trend",
     )
     parser.add_argument(
         "extra",
@@ -583,7 +646,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="campaign run/resume: execute independent units on N worker "
         "processes (artifacts stay byte-identical to a serial run); "
-        "defaults to $CAMPAIGN_JOBS, else 1 (serial)",
+        "defaults to $CAMPAIGN_JOBS, else 1 (serial); sweep: shard "
+        "evaluation chunks across N fork workers",
     )
     parser.add_argument(
         "--max-respawns",
@@ -628,6 +692,36 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="profile: export a deterministic collapsed-stack file "
         "(flamegraph.pl / speedscope input)",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        metavar="N",
+        default=None,
+        help="sweep: result rows to keep and rank (default: 16)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        metavar="POINTS",
+        default=None,
+        help="sweep: points per evaluation chunk — bounds memory and "
+        "sets the sharding granularity (default: 262144)",
+    )
+    parser.add_argument(
+        "--ndjson",
+        action="store_true",
+        help="sweep: also write every evaluated point to results.ndjson "
+        "(one JSON object per line)",
+    )
+    parser.add_argument(
+        "--verify",
+        type=int,
+        metavar="N",
+        default=None,
+        help="sweep: sampled points re-evaluated through the scalar "
+        "golden reference, which must agree bit for bit (default: 64; "
+        "0 disables)",
     )
     parser.add_argument(
         "--once",
@@ -760,6 +854,10 @@ def main(argv: list[str] | None = None) -> int:
             raise CampaignError(
                 f"unknown service action {args.bench!r}; choose from: watch"
             )
+        if args.command == "sweep":
+            from .sweep.runner import sweep_main
+
+            return sweep_main(args)
         if args.command == "trend":
             from .obs.trend import trend_main
 

@@ -116,22 +116,56 @@ class BudeAutotuner:
         self,
         ppwi_values: Iterable[int] = DEFAULT_PPWI,
         wgsizes: Iterable[int] = DEFAULT_WGSIZES,
+        batch: bool = False,
     ) -> list[TuneResult]:
-        """All sweep points, in (ppwi, wgsize) order."""
+        """All sweep points, in (ppwi, wgsize) order.
+
+        With ``batch=True`` the grid evaluates vectorized, the same way
+        :class:`~repro.sim.batch.BatchEngine` amortizes rate queries:
+        each distinct occupancy/reuse/spill factor resolves once
+        through the scalar model, then one NumPy outer product covers
+        the grid.  Every multiply sees the same float64 operands in the
+        same order as :meth:`throughput`, so the results — and hence
+        the ranking — are bit-for-bit identical to the scalar sweep.
+        """
+        if not batch:
+            return [
+                TuneResult(p, w, self.throughput(p, w))
+                for p in ppwi_values
+                for w in wgsizes
+            ]
+        import numpy as np
+
+        p_list = [int(p) for p in ppwi_values]
+        w_list = [int(w) for w in wgsizes]
+        if any(p < 1 for p in p_list) or any(w < 1 for w in w_list):
+            raise ValueError("ppwi and wgsize must be positive")
+        base = (
+            self.engine.fma_rate(Precision.FP32, 1)
+            / FLOPS_PER_INTERACTION
+            / 1e9
+        )
+        occupancy = np.array([self._occupancy(w) for w in w_list])
+        reuse = np.array([self._reuse_factor(p) for p in p_list])
+        spill = np.array([self._spill_factor(p) for p in p_list])
+        # Same association order as throughput():
+        # ((base * occ) * reuse) * spill.
+        grid = ((base * occupancy)[None, :] * reuse[:, None]) * spill[:, None]
         return [
-            TuneResult(p, w, self.throughput(p, w))
-            for p in ppwi_values
-            for w in wgsizes
+            TuneResult(p, w, float(grid[i, j]))
+            for i, p in enumerate(p_list)
+            for j, w in enumerate(w_list)
         ]
 
     def best(
         self,
         ppwi_values: Iterable[int] = DEFAULT_PPWI,
         wgsizes: Iterable[int] = DEFAULT_WGSIZES,
+        batch: bool = False,
     ) -> TuneResult:
         """The paper's protocol: keep the fastest configuration."""
         return max(
-            self.sweep(ppwi_values, wgsizes),
+            self.sweep(ppwi_values, wgsizes, batch=batch),
             key=lambda r: r.ginteractions_per_s,
         )
 

@@ -44,6 +44,7 @@ __all__ = [
     "export_json",
     "export_main",
     "export_service_chrome",
+    "export_sweep_chrome",
     "run_registry",
 ]
 
@@ -169,17 +170,84 @@ def _deterministic_trace(tracer: Tracer, det: list[dict]) -> None:
             )
 
 
+def export_sweep_chrome(rundir: str | os.PathLike) -> dict:
+    """A sweep run directory's timeline as a trace-event document.
+
+    One ``sweep`` lane with a span per evaluation chunk (system, point
+    count and grid offset in the args), laid end to end on the
+    measured chunk walls, a ``best-point`` instant carrying the
+    winning configuration, and a closing ``sweep-summary`` instant
+    with the throughput figures the BENCH_3 gate pins.
+    """
+    from ..sweep.runner import SWEEP_FILE
+
+    rundir = os.fspath(rundir)
+    try:
+        with open(os.path.join(rundir, SWEEP_FILE)) as handle:
+            summary = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"{rundir} holds no readable sweep summary: {exc}")
+    tracer = Tracer()
+    lane = tracer.lane("sweep", (0, 0, 0))
+    offset_us = 0.0
+    for chunk in summary.get("chunks", []):
+        dur_us = float(chunk["wall_s"]) * 1e6
+        tracer.complete(
+            f"chunk-{chunk['chunk']}",
+            lane,
+            dur_us,
+            start_us=offset_us,
+            category="sweep",
+            system=chunk["system"],
+            points=chunk["points"],
+            offset=chunk["offset"],
+        )
+        offset_us += dur_us
+    best = summary.get("best")
+    if best:
+        tracer.instant(
+            "best-point",
+            lane,
+            ts_us=offset_us,
+            category="sweep",
+            system=best["system"],
+            n_stacks=best["n_stacks"],
+            precision=best["precision"],
+            gflops=best["gflops"],
+            bound=best["bound"],
+            **{f"param_{k}": v for k, v in best.get("params", {}).items()},
+        )
+    scalar = summary.get("scalar", {})
+    tracer.instant(
+        "sweep-summary",
+        lane,
+        ts_us=offset_us,
+        category="sweep",
+        spec=summary.get("spec", {}).get("name"),
+        points=summary.get("points"),
+        points_per_s=summary.get("points_per_s"),
+        batch_speedup=scalar.get("speedup"),
+        verified_sample=scalar.get("sample"),
+    )
+    return tracer.to_chrome()
+
+
 def export_chrome(rundir: str | os.PathLike) -> dict:
     """The run directory's timeline as a trace-event document.
 
     A directory carrying a ``requests.ndjson`` stream is a service
     state directory and gets the merged request + campaign-worker
-    export; a campaign run directory gets worker lanes (or the
-    deterministic fallback).
+    export; one carrying a ``sweep.json`` summary is a sweep run and
+    gets the chunk-timeline export; a campaign run directory gets
+    worker lanes (or the deterministic fallback).
     """
+    from ..sweep.runner import SWEEP_FILE
+
     rundir = os.fspath(rundir)
     if os.path.exists(os.path.join(rundir, REQUESTS_FILE)):
         return export_service_chrome(rundir)
+    if os.path.exists(os.path.join(rundir, SWEEP_FILE)):
+        return export_sweep_chrome(rundir)
     det = read_events(os.path.join(rundir, EVENTS_FILE))
     live = read_events(os.path.join(rundir, LIVE_FILE))
     if not det and not live:

@@ -14,6 +14,9 @@ For every consecutive snapshot pair the report covers:
 * wall-clock and sim-cache numbers for campaign entries —
   informational (wall-clock never gates) but exactly what an operator
   scanning for scheduler drift wants on one line;
+* sweep throughput for entries carrying ``points_per_s`` (BENCH_3
+  onward): points evaluated, batch points/s movement, and the
+  batch-vs-scalar speedup the 50x floor rides on;
 * per-kernel attribution: entries that embed ``kernel_attribution``
   rows (PR 7 baselines onward) get kernel-by-kernel ``achieved_us``
   deltas tagged with each kernel's roofline bound, so a device-time
@@ -107,6 +110,40 @@ def _campaign_lines(base_entries: dict, cur_entries: dict) -> list[str]:
     return lines
 
 
+def _sweep_lines(base_entries: dict, cur_entries: dict) -> list[str]:
+    """Throughput lines for every sweep entry seen (BENCH_3 onward)."""
+    lines: list[str] = []
+    for key in sorted(set(base_entries) | set(cur_entries)):
+        cur = cur_entries.get(key)
+        base = base_entries.get(key)
+        probe = cur if cur is not None else base
+        if probe is None or "points_per_s" not in probe:
+            continue
+        if cur is None:
+            lines.append(f"{key}: dropped from the newer snapshot")
+            continue
+        points = float(cur.get("points", 0.0))
+        rate_c = float(cur.get("points_per_s") or 0.0)
+        speed_c = float(cur.get("batch_speedup") or 0.0)
+        if base is None:
+            lines.append(
+                f"{key}: {points:,.0f} points, "
+                f"{rate_c / 1e6:.1f} M points/s, batch speedup "
+                f"x{speed_c:.0f}  [new entry]"
+            )
+            continue
+        rate_b = float(base.get("points_per_s") or 0.0)
+        speed_b = float(base.get("batch_speedup") or 0.0)
+        ratio = rate_c / rate_b if rate_b else float("inf")
+        lines.append(
+            f"{key}: {points:,.0f} points, "
+            f"{rate_b / 1e6:.1f} -> {rate_c / 1e6:.1f} M points/s "
+            f"(x{ratio:.2f}), batch speedup x{speed_b:.0f} -> "
+            f"x{speed_c:.0f}"
+        )
+    return lines
+
+
 def trend_report(paths: list[str]) -> str:
     """The full longitudinal report over ≥2 baseline snapshots."""
     if len(paths) < 2:
@@ -149,6 +186,10 @@ def trend_report(paths: list[str]) -> str:
         if campaign:
             lines.append("  campaign wall-clock / sim-cache:")
             lines.extend(f"    {line}" for line in campaign)
+        sweep = _sweep_lines(base_entries, cur_entries)
+        if sweep:
+            lines.append("  sweep throughput:")
+            lines.extend(f"    {line}" for line in sweep)
         attributed = False
         for key in sorted(set(base_entries) & set(cur_entries)):
             rows = kernel_deltas(base_entries[key], cur_entries[key])

@@ -14,7 +14,13 @@ for the fields that gate regressions:
   storm's p99 latency, gated with a wide tolerance because it is
   wall-clock);
 * ``service_cache_hit_rate`` — higher is better (service entries: the
-  daemon's warm result-cache hit rate under storm, expected 1.0).
+  daemon's warm result-cache hit rate under storm, expected 1.0);
+* ``points_per_s`` — higher is better (sweep entries: batch-engine
+  roofline evaluations per second over the gate sweep);
+* ``batch_speedup`` — higher is better (sweep entries: batch vs
+  sampled-scalar points-per-second ratio; ``profile sweep``
+  additionally enforces the hard 50x floor independent of any
+  baseline).
 
 Ungated fields (``wall_s``, call counts, ...) ride along for the
 record; wall-clock in particular is machine-dependent and must never
@@ -60,6 +66,8 @@ _GATED_FIELDS = {
     "sim_cache_hit_rate": "higher",
     "storm_p99_s": "lower",
     "service_cache_hit_rate": "higher",
+    "points_per_s": "higher",
+    "batch_speedup": "higher",
 }
 
 

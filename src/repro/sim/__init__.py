@@ -8,9 +8,10 @@ from .calibration import (
     get_app_calibration,
     get_calibration,
 )
+from .batch import BATCH_CODEC, BatchEngine, BatchResult, KernelBatch
 from .contention import aggregate_rate, proportional_share, shared_throughput
 from .engine import PerfEngine
-from .memo import MemoCache, content_digest, kernel_signature
+from .memo import MemoCache, batch_digest, content_digest, kernel_signature
 from .memostore import MemoStore, PersistentMemoCache
 from .kernel import (
     GEMM_N,
@@ -38,7 +39,12 @@ __all__ = [
     "proportional_share",
     "shared_throughput",
     "PerfEngine",
+    "BATCH_CODEC",
+    "BatchEngine",
+    "BatchResult",
+    "KernelBatch",
     "MemoCache",
+    "batch_digest",
     "MemoStore",
     "PersistentMemoCache",
     "content_digest",

@@ -323,6 +323,24 @@ class PerfEngine:
         return t
 
     # ------------------------------------------------------------------
+    # batch evaluation (vectorized design-space sweeps)
+    # ------------------------------------------------------------------
+
+    def batch(self) -> "BatchEngine":
+        """A vectorized evaluator bound to this engine.
+
+        The batch path (:mod:`repro.sim.batch`) resolves achieved-rate
+        ceilings through this engine's own ``fma_rate``/``gemm_rate``/
+        ``stream_bw`` methods and runs the roofline arithmetic as NumPy
+        array ops, so its results are bit-for-bit identical to calling
+        :meth:`roofline` per point — the scalar path stays the golden
+        reference.  Requires a fault-free engine.
+        """
+        from .batch import BatchEngine
+
+        return BatchEngine(self)
+
+    # ------------------------------------------------------------------
     # transfers (delegate to the transfer model, adding noise hooks)
     # ------------------------------------------------------------------
 

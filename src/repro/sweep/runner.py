@@ -1,0 +1,665 @@
+"""Chunked execution of sweep specs over the batch engine.
+
+The runner never materializes a design space: a chunk of global indices
+is decomposed into per-axis value arrays with ``divmod`` array ops
+(last axis fastest, mirroring the spec's declared order), the workload
+family turns the values into :class:`~repro.sim.batch.KernelBatch`
+columns, and one :meth:`~repro.sim.batch.BatchEngine.evaluate` call
+rooflines the whole chunk.  Chunks shard across fork workers
+(``--jobs``) and merge in chunk order, so the artifacts are
+byte-identical to a serial run.
+
+Artifacts (all through the atomic io helpers):
+
+* ``sweep.json`` — the run summary (schema ``repro.sweep.summary/v1``):
+  spec, point count, wall clock, batch points/s, the scalar-sampled
+  speedup, the best point and the top-K table, per-chunk accounting;
+* ``topk.ndjson`` — the top-K rows, one JSON object per line;
+* ``results.ndjson`` (``--ndjson``) — every evaluated point.
+
+A deterministically sampled subset re-evaluates through the scalar
+:meth:`~repro.sim.engine.PerfEngine.roofline` golden reference; any
+mismatch is a model bug and fails the run with
+``ExitCode.MEASUREMENT``.  The same sample times the scalar path,
+which is where the summary's ``batch_speedup`` (gated at >= 50x in
+``BENCH_3.json``) comes from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dtypes import Precision
+from ..errors import ConfigurationError, MeasurementError
+from ..hw.frequency import WorkloadKind
+from ..hw.systems import get_system
+from ..ioutils import atomic_write_json, atomic_write_text
+from ..sim.batch import BOUND_LABELS, KIND_CODES, KernelBatch
+from ..sim.engine import PerfEngine
+from ..sim.noise import QUIET
+from .spec import NO_PRECISION, SweepSpec, load_sweep_spec
+
+__all__ = [
+    "SWEEP_SUMMARY_SCHEMA",
+    "SweepOutcome",
+    "run_sweep",
+    "sweep_benchmark_entries",
+    "sweep_main",
+]
+
+SWEEP_SUMMARY_SCHEMA = "repro.sweep.summary/v1"
+
+#: Summary file a sweep run directory is recognized by (``obs export``
+#: auto-detects it the way ``requests.ndjson`` marks a service dir).
+SWEEP_FILE = "sweep.json"
+
+#: Default points per chunk: ~17 MB of column data, small enough to
+#: stay cache-friendly, large enough to amortize the per-chunk rate
+#: resolution.
+DEFAULT_CHUNK_POINTS = 262_144
+
+#: Default scalar-verification sample size.
+DEFAULT_VERIFY_SAMPLE = 64
+
+#: The acceptance floor: the batch path must beat the scalar golden
+#: reference by at least this factor in points per second.
+SPEEDUP_FLOOR = 50.0
+
+#: Storage bytes per precision code (indexed by code; the trailing
+#: entry serves code -1, "no precision", which the engine rates as
+#: FP32).
+_ITEMSIZE = np.array(
+    [float(p.itemsize) for p in Precision] + [4.0], dtype=np.float64
+)
+
+_LABEL_BY_CODE = {i: p.label for i, p in enumerate(Precision)}
+_LABEL_BY_CODE[-1] = NO_PRECISION
+
+
+# ---------------------------------------------------------------------------
+# grid expansion
+# ---------------------------------------------------------------------------
+
+
+def _axis_values(
+    spec: SweepSpec, sysname: str, offset: int, count: int
+) -> dict[str, np.ndarray]:
+    """Per-axis value arrays for global indices [offset, offset+count).
+
+    The grid is row-major over (n_stacks, precision, *axes) with the
+    last axis varying fastest — pure divmod arithmetic, no Python loop
+    over points.
+    """
+    # 32-bit index arithmetic halves the expansion cost; fall back to
+    # 64-bit only when a (huge) grid actually needs it.
+    itype = np.int32 if offset + count <= np.iinfo(np.int32).max else np.int64
+    axes: list[tuple[str, np.ndarray]] = [
+        ("n_stacks", np.asarray(spec.stack_values(sysname), dtype=np.int64)),
+        ("precision_code", np.asarray(spec.precision_codes(), dtype=np.int64)),
+    ]
+    axes.extend(
+        (name, np.asarray(values, dtype=np.int64))
+        for name, values in spec.axes
+    )
+    rem = np.arange(offset, offset + count, dtype=itype)
+    out: dict[str, np.ndarray] = {}
+    for name, values in reversed(axes):
+        size = values.shape[0]
+        out[name] = values[rem % size]
+        rem = rem // size
+    return out
+
+
+# ---------------------------------------------------------------------------
+# workload families: axis values -> kernel columns
+# ---------------------------------------------------------------------------
+
+
+def _gemm_tile(v: dict[str, np.ndarray]) -> dict:
+    """A tile of C += A x B: the classic blocked-GEMM working point."""
+    m, n, k = v["tile_m"], v["tile_n"], v["tile_k"]
+    item = _ITEMSIZE[v["precision_code"]]
+    return {
+        "flops": 2.0 * (m * n * k),
+        "bytes_read": (m * k + k * n).astype(np.float64) * item,
+        "bytes_written": (m * n).astype(np.float64) * item,
+        "working_set_bytes": (
+            (m * k + k * n + m * n).astype(np.float64) * item
+        ).astype(np.int64),
+        "kind": WorkloadKind.GEMM,
+    }
+
+
+def _fma(v: dict[str, np.ndarray]) -> dict:
+    """The FMA-chain microbenchmark family (pure compute)."""
+    lanes, chain = v["lanes"], v["chain"]
+    item = _ITEMSIZE[v["precision_code"]]
+    return {
+        "flops": 2.0 * (lanes * chain),
+        "bytes_read": np.zeros(lanes.shape[0], dtype=np.float64),
+        "bytes_written": np.zeros(lanes.shape[0], dtype=np.float64),
+        "working_set_bytes": (lanes.astype(np.float64) * item).astype(
+            np.int64
+        ),
+        "kind": WorkloadKind.FMA_CHAIN,
+    }
+
+
+def _stream(v: dict[str, np.ndarray]) -> dict:
+    """STREAM-triad shapes at varying array footprints."""
+    a = v["array_mib"].astype(np.float64) * float(1024 * 1024)
+    return {
+        "flops": 2.0 * (a / 8.0),
+        "bytes_read": 2.0 * a,
+        "bytes_written": 1.0 * a,
+        "working_set_bytes": (3.0 * a).astype(np.int64),
+        "kind": WorkloadKind.STREAM,
+    }
+
+
+def _bude(v: dict[str, np.ndarray]) -> dict:
+    """miniBUDE's launch grid as a roofline space.
+
+    Work per point follows the pose kernel's shape: ppwi poses per
+    work-item over a 64 Ki work-item launch, with the protein-atom
+    reload amortized across the poses each item holds (higher ppwi =
+    fewer DRAM-visible bytes per interaction) and a register-footprint
+    working set.
+    """
+    from ..miniapps.minibude import FLOPS_PER_INTERACTION
+
+    ppwi, wgsize = v["ppwi"], v["wgsize"]
+    items = 64.0 * 1024.0
+    interactions = ppwi.astype(np.float64) * items * 256.0
+    return {
+        "flops": FLOPS_PER_INTERACTION * interactions,
+        "bytes_read": interactions * (16.0 / ppwi.astype(np.float64)),
+        "bytes_written": np.full(ppwi.shape[0], items * 4.0),
+        "working_set_bytes": (
+            wgsize.astype(np.float64)
+            * (24.0 + 5.0 * ppwi.astype(np.float64))
+            * 4.0
+        ).astype(np.int64),
+        "kind": WorkloadKind.FMA_CHAIN,
+    }
+
+
+def _mix(v: dict[str, np.ndarray]) -> dict:
+    """An arithmetic-intensity ladder: intensity_q quarter-flops per
+    byte over a size_kib footprint (sweeps across the ridge point)."""
+    size = v["size_kib"].astype(np.float64) * 1024.0
+    intensity = v["intensity_q"].astype(np.float64) / 4.0
+    return {
+        "flops": intensity * size,
+        "bytes_read": 0.75 * size,
+        "bytes_written": 0.25 * size,
+        "working_set_bytes": size.astype(np.int64),
+        "kind": WorkloadKind.STREAM,
+    }
+
+
+_WORKLOADS = {
+    "gemm-tile": _gemm_tile,
+    "fma": _fma,
+    "stream": _stream,
+    "bude": _bude,
+    "mix": _mix,
+}
+
+
+def _chunk_batch(
+    spec: SweepSpec, sysname: str, offset: int, count: int
+) -> tuple[KernelBatch, dict[str, np.ndarray]]:
+    """The KernelBatch for one chunk, plus the axis value arrays."""
+    values = _axis_values(spec, sysname, offset, count)
+    cols = _WORKLOADS[spec.workload](values)
+    kind = cols.pop("kind")
+    batch = KernelBatch(
+        flops=np.ascontiguousarray(cols["flops"], dtype=np.float64),
+        bytes_read=np.ascontiguousarray(cols["bytes_read"], dtype=np.float64),
+        bytes_written=np.ascontiguousarray(
+            cols["bytes_written"], dtype=np.float64
+        ),
+        working_set_bytes=np.ascontiguousarray(
+            cols["working_set_bytes"], dtype=np.int64
+        ),
+        serial_chases=np.zeros(count, dtype=np.int64),
+        precision_code=values["precision_code"].astype(np.int8),
+        kind_code=np.full(count, KIND_CODES[kind], dtype=np.int8),
+        n_stacks=values["n_stacks"].astype(np.int16),
+    )
+    return batch, values
+
+
+# ---------------------------------------------------------------------------
+# chunk execution (fork-worker entry point)
+# ---------------------------------------------------------------------------
+
+#: Per-process engine cache: fork workers evaluate many chunks of the
+#: same few systems; the BatchEngine's rate caches stay warm across
+#: chunks.
+_ENGINES: dict[str, object] = {}
+
+
+def _batch_engine(sysname: str):
+    engine = _ENGINES.get(sysname)
+    if engine is None:
+        engine = PerfEngine(get_system(sysname), noise=QUIET).batch()
+        _ENGINES[sysname] = engine
+    return engine
+
+
+def _ndjson_lines(
+    spec: SweepSpec,
+    sysname: str,
+    offset: int,
+    values: dict[str, np.ndarray],
+    fom: np.ndarray,
+    total_s: np.ndarray,
+    bound_code: np.ndarray,
+) -> str:
+    """One JSON object per evaluated point, in index order."""
+    axis_names = [name for name, _ in spec.axes]
+    axis_cols = [values[name].tolist() for name in axis_names]
+    stacks = values["n_stacks"].tolist()
+    pcodes = values["precision_code"].tolist()
+    foms = fom.tolist()
+    totals = total_s.tolist()
+    bounds = bound_code.tolist()
+    lines = []
+    for i in range(len(foms)):
+        params = ", ".join(
+            f'"{name}": {col[i]}'
+            for name, col in zip(axis_names, axis_cols)
+        )
+        lines.append(
+            f'{{"v": 1, "spec": "{spec.name}", "system": "{sysname}", '
+            f'"index": {offset + i}, "n_stacks": {stacks[i]}, '
+            f'"precision": "{_LABEL_BY_CODE[pcodes[i]]}", '
+            f"\"params\": {{{params}}}, "
+            f'"gflops": {foms[i] / 1e9!r}, "total_s": {totals[i]!r}, '
+            f'"bound": "{BOUND_LABELS[bounds[i]]}"}}'
+        )
+    return "\n".join(lines)
+
+
+def _chunk_worker(task: tuple) -> dict:
+    """Evaluate one chunk; runs in the parent or in a fork worker."""
+    spec_doc, sysname, chunk_index, offset, count, top_k, want_ndjson = task
+    spec = SweepSpec.from_doc(spec_doc)
+    engine = _batch_engine(sysname)
+    t0 = time.perf_counter()
+    batch, values = _chunk_batch(spec, sysname, offset, count)
+    result = engine.evaluate(batch)
+    # One shared total_s pass (flops_per_s/bound_code would each
+    # recompute the property on a million-point chunk).
+    total_s = result.total_s
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fom = np.where(total_s > 0, batch.flops / total_s, 0.0)
+    bound_code = result.bound_code
+    wall_s = time.perf_counter() - t0
+    k = min(top_k, count)
+    if k < count:
+        cand = np.argpartition(-fom, k - 1)[:k]
+    else:
+        cand = np.arange(count)
+    # Deterministic order: fom descending, then local index ascending.
+    cand = cand[np.lexsort((cand, -fom[cand]))]
+    return {
+        "chunk": chunk_index,
+        "system": sysname,
+        "offset": offset,
+        "points": count,
+        "wall_s": wall_s,
+        "top_index": (offset + cand).tolist(),
+        "top_fom": fom[cand].tolist(),
+        "top_total_s": total_s[cand].tolist(),
+        "top_bound": bound_code[cand].tolist(),
+        "ndjson": (
+            _ndjson_lines(
+                spec, sysname, offset, values, fom, total_s, bound_code
+            )
+            if want_ndjson
+            else None
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# top-K merge and row reconstruction
+# ---------------------------------------------------------------------------
+
+
+def _point_row(
+    spec: SweepSpec,
+    sysname: str,
+    index: int,
+    fom: float,
+    total_s: float,
+    bound_code: int,
+) -> dict:
+    """A full result row for one global index (axis values recomputed
+    from the index — only the K winners ever pay this)."""
+    values = _axis_values(spec, sysname, index, 1)
+    row = {
+        "spec": spec.name,
+        "system": sysname,
+        "index": index,
+        "n_stacks": int(values["n_stacks"][0]),
+        "precision": _LABEL_BY_CODE[int(values["precision_code"][0])],
+        "params": {
+            name: int(values[name][0]) for name, _ in spec.axes
+        },
+        "gflops": fom / 1e9,
+        "total_s": total_s,
+        "bound": BOUND_LABELS[bound_code],
+    }
+    return row
+
+
+def _merge_topk(
+    spec: SweepSpec, chunk_results: list[dict], top_k: int
+) -> list[dict]:
+    system_order = {name: i for i, name in enumerate(spec.systems)}
+    rows: list[tuple] = []
+    for res in chunk_results:
+        for index, fom, total_s, bound in zip(
+            res["top_index"],
+            res["top_fom"],
+            res["top_total_s"],
+            res["top_bound"],
+        ):
+            rows.append(
+                (-fom, system_order[res["system"]], index, total_s, bound,
+                 res["system"])
+            )
+    rows.sort()
+    return [
+        _point_row(spec, sysname, index, -neg_fom, total_s, bound)
+        for neg_fom, _, index, total_s, bound, sysname in rows[:top_k]
+    ]
+
+
+# ---------------------------------------------------------------------------
+# scalar golden-reference sampling
+# ---------------------------------------------------------------------------
+
+
+def _scalar_check(
+    spec: SweepSpec,
+    segments: list[tuple[str, int, int]],
+    sample: int,
+) -> dict:
+    """Re-evaluate a deterministic sample through the scalar engine.
+
+    Returns the sample size, the scalar points-per-second measurement,
+    and whether every sampled point matched the batch path bit for
+    bit.  Mismatches raise (a model bug, not a perf regression).
+    """
+    total = sum(count for _, _, count in segments)
+    sample = min(sample, total)
+    if sample <= 0:
+        return {"sample": 0, "points_per_s": None, "verified": False}
+    picks = sorted({(i * total) // sample for i in range(sample)})
+    specs: list[tuple[str, object, int]] = []
+    for g in picks:
+        for sysname, start, count in segments:
+            if start <= g < start + count:
+                local = g - start
+                batch, _ = _chunk_batch(spec, sysname, local, 1)
+                point = _batch_engine(sysname).evaluate(batch).point(0)
+                kernel = batch.spec(0, name=f"{spec.name}[{sysname}:{local}]")
+                n_stacks = int(batch.n_stacks[0])
+                specs.append((sysname, kernel, n_stacks, point))
+                break
+    engines = {
+        sysname: PerfEngine(get_system(sysname), noise=QUIET)
+        for sysname in {s for s, _, _, _ in specs}
+    }
+    # Time the scalar path over enough passes to get off the clock
+    # floor; each pass clears the memo so every call pays the real
+    # evaluation cost a fresh sweep would.
+    wall = 0.0
+    evaluated = 0
+    golden: list[object] = []
+    while wall < 0.05 or not golden:
+        first = not golden
+        for engine in engines.values():
+            engine.memo.clear()
+        t0 = time.perf_counter()
+        points = [
+            engines[sysname].roofline(kernel, n_stacks)
+            for sysname, kernel, n_stacks, _ in specs
+        ]
+        wall += time.perf_counter() - t0
+        evaluated += len(points)
+        if first:
+            golden = points
+    mismatches = [
+        (entry[0], entry[1].name)
+        for entry, scalar in zip(specs, golden)
+        if scalar != entry[3]
+    ]
+    if mismatches:
+        sysname, kernel = mismatches[0]
+        raise MeasurementError(
+            f"batch/scalar divergence on {len(mismatches)} of "
+            f"{len(specs)} sampled point(s); first: {kernel} on {sysname}"
+        )
+    return {
+        "sample": len(specs),
+        "points_per_s": evaluated / wall if wall else None,
+        "verified": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the sweep proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """What a sweep run produced (summary doc + the top-K rows)."""
+
+    summary: dict
+    topk: list[dict]
+
+    @property
+    def best(self) -> dict | None:
+        return self.topk[0] if self.topk else None
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    out_dir: str | os.PathLike | None = None,
+    top_k: int = 16,
+    chunk_points: int = DEFAULT_CHUNK_POINTS,
+    jobs: int = 1,
+    ndjson: bool = False,
+    verify: int = DEFAULT_VERIFY_SAMPLE,
+) -> SweepOutcome:
+    """Evaluate *spec* end to end.
+
+    Chunks are dispatched in deterministic order (systems in spec
+    order, offsets ascending); with ``jobs > 1`` they shard across a
+    fork pool and merge back in chunk order, so every artifact is
+    byte-identical to a serial run.
+    """
+    if top_k < 1:
+        raise ConfigurationError("top_k must be >= 1")
+    if chunk_points < 1:
+        raise ConfigurationError("chunk_points must be >= 1")
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    spec_doc = spec.to_doc()
+    tasks: list[tuple] = []
+    segments: list[tuple[str, int, int]] = []
+    start = 0
+    for sysname in spec.systems:
+        points = spec.system_points(sysname)
+        segments.append((sysname, start, points))
+        start += points
+        for offset in range(0, points, chunk_points):
+            count = min(chunk_points, points - offset)
+            tasks.append(
+                (spec_doc, sysname, len(tasks), offset, count, top_k, ndjson)
+            )
+    total_points = start
+    t0 = time.perf_counter()
+    if jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(jobs, len(tasks))) as pool:
+            chunk_results = pool.map(_chunk_worker, tasks)
+    else:
+        chunk_results = [_chunk_worker(task) for task in tasks]
+    eval_wall_s = time.perf_counter() - t0
+    points_per_s = total_points / eval_wall_s if eval_wall_s else None
+    topk_rows = _merge_topk(spec, chunk_results, top_k)
+    scalar = _scalar_check(spec, segments, verify)
+    speedup = (
+        points_per_s / scalar["points_per_s"]
+        if points_per_s and scalar.get("points_per_s")
+        else None
+    )
+    summary = {
+        "schema": SWEEP_SUMMARY_SCHEMA,
+        "spec": spec_doc,
+        "points": total_points,
+        "chunk_points": chunk_points,
+        "jobs": jobs,
+        "eval_wall_s": eval_wall_s,
+        "points_per_s": points_per_s,
+        "scalar": {**scalar, "speedup": speedup},
+        "best": topk_rows[0] if topk_rows else None,
+        "topk": topk_rows,
+        "chunks": [
+            {
+                "chunk": res["chunk"],
+                "system": res["system"],
+                "offset": res["offset"],
+                "points": res["points"],
+                "wall_s": res["wall_s"],
+            }
+            for res in chunk_results
+        ],
+        "results": "results.ndjson" if ndjson else None,
+    }
+    if out_dir is not None:
+        out_dir = os.fspath(out_dir)
+        os.makedirs(out_dir, exist_ok=True)
+        atomic_write_json(os.path.join(out_dir, SWEEP_FILE), summary)
+        atomic_write_text(
+            os.path.join(out_dir, "topk.ndjson"),
+            "\n".join(json.dumps(row, sort_keys=True) for row in topk_rows)
+            + "\n",
+        )
+        if ndjson:
+            atomic_write_text(
+                os.path.join(out_dir, "results.ndjson"),
+                "\n".join(res["ndjson"] for res in chunk_results) + "\n",
+            )
+    return SweepOutcome(summary=summary, topk=topk_rows)
+
+
+# ---------------------------------------------------------------------------
+# benchmark entries (the BENCH_3 gate) and the CLI
+# ---------------------------------------------------------------------------
+
+
+def sweep_benchmark_entries(
+    spec_name: str = "ci",
+    *,
+    jobs: int = 1,
+    verify: int = DEFAULT_VERIFY_SAMPLE,
+) -> list[dict]:
+    """Baseline entries for ``pvc-bench profile sweep``.
+
+    One entry per sweep spec, keyed ``sweep@<spec>``; ``fom`` carries
+    the best point's GFLOP/s (deterministic — the model is exact), and
+    ``points_per_s`` / ``batch_speedup`` carry the gated throughput
+    figures (wall-clock-dependent, gated with the wide service-style
+    tolerance).
+    """
+    spec = load_sweep_spec(spec_name)
+    outcome = run_sweep(spec, jobs=jobs, verify=verify)
+    summary = outcome.summary
+    best = outcome.best or {}
+    return [
+        {
+            "bench": "sweep",
+            "system": spec.name,
+            "points": summary["points"],
+            "wall_s": summary["eval_wall_s"],
+            "points_per_s": summary["points_per_s"],
+            "batch_speedup": summary["scalar"]["speedup"],
+            "scalar_points_per_s": summary["scalar"]["points_per_s"],
+            "verified_sample": summary["scalar"]["sample"],
+            "fom": best.get("gflops", 0.0),
+        }
+    ]
+
+
+def render_summary(summary: dict, topk: list[dict]) -> str:
+    """Human-readable sweep report."""
+    scalar = summary["scalar"]
+    lines = [
+        f"# sweep {summary['spec']['name']}: {summary['points']:,} points "
+        f"in {summary['eval_wall_s']:.3f}s "
+        f"({summary['points_per_s'] / 1e6:.1f} M points/s, "
+        f"{len(summary['chunks'])} chunk(s), jobs={summary['jobs']})",
+    ]
+    if scalar.get("points_per_s"):
+        lines.append(
+            f"# scalar reference: {scalar['points_per_s'] / 1e3:.1f} k "
+            f"points/s over {scalar['sample']} sampled point(s) -> "
+            f"batch speedup x{scalar['speedup']:.0f}, "
+            f"bit-for-bit {'OK' if scalar['verified'] else 'UNVERIFIED'}"
+        )
+    lines.append(
+        f"{'rank':>4} {'system':<10} {'stacks':>6} {'prec':>5} "
+        f"{'params':<28} {'GFLOP/s':>12} {'bound':<8}"
+    )
+    for rank, row in enumerate(topk, start=1):
+        params = ",".join(f"{k}={v}" for k, v in row["params"].items())
+        lines.append(
+            f"{rank:>4} {row['system']:<10} {row['n_stacks']:>6} "
+            f"{row['precision']:>5} {params:<28} {row['gflops']:>12.1f} "
+            f"{row['bound']:<8}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_main(args) -> int:
+    """Dispatch ``pvc-bench sweep <spec|spec.json> [--dir out] ...``."""
+    spec = load_sweep_spec(args.bench)
+    outcome = run_sweep(
+        spec,
+        out_dir=args.dir,
+        top_k=args.top_k or 16,
+        chunk_points=args.chunk or DEFAULT_CHUNK_POINTS,
+        jobs=args.jobs or 1,
+        ndjson=bool(args.ndjson),
+        verify=(
+            args.verify if args.verify is not None else DEFAULT_VERIFY_SAMPLE
+        ),
+    )
+    print(render_summary(outcome.summary, outcome.topk))
+    if args.dir:
+        wrote = ["sweep.json", "topk.ndjson"]
+        if args.ndjson:
+            wrote.append("results.ndjson")
+        print(
+            f"artifacts written to {args.dir}: {', '.join(wrote)}",
+            file=sys.stderr,
+        )
+    return 0

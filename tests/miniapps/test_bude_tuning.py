@@ -54,6 +54,34 @@ class TestSweep:
             tuner.throughput(4, 0)
 
 
+class TestBatchPath:
+    """batch=True is the same sweep, vectorized: outputs must be
+    identical down to the float bits, on every system."""
+
+    def test_full_sweep_identical(self, aurora, dawn, h100, mi250):
+        for engine in (aurora, dawn, h100, mi250):
+            tuner = BudeAutotuner(engine)
+            scalar = tuner.sweep()
+            batched = tuner.sweep(batch=True)
+            assert len(batched) == len(scalar)
+            for a, b in zip(scalar, batched):
+                assert (a.ppwi, a.wgsize) == (b.ppwi, b.wgsize)
+                assert a.ginteractions_per_s == b.ginteractions_per_s
+
+    def test_best_identical(self, tuner):
+        assert tuner.best() == tuner.best(batch=True)
+
+    def test_custom_grid(self, tuner):
+        grid = dict(ppwi_values=(2, 8, 32), wgsizes=(64, 512))
+        scalar = tuner.sweep(**grid)
+        batched = tuner.sweep(batch=True, **grid)
+        assert [
+            (r.ppwi, r.wgsize, r.ginteractions_per_s) for r in scalar
+        ] == [
+            (r.ppwi, r.wgsize, r.ginteractions_per_s) for r in batched
+        ]
+
+
 class TestTunedFraction:
     def test_aurora_near_measured_45_percent(self, tuner):
         # The tuned model reproduces the paper's ~45-50% achieved peak.

@@ -174,3 +174,63 @@ class TestServiceExport:
 
     def test_export_is_deterministic_for_same_bytes(self, service_dir):
         assert export_json(service_dir) == export_json(service_dir)
+
+
+class TestSweepExport:
+    @pytest.fixture(scope="class")
+    def sweepdir(self, tmp_path_factory):
+        from repro.sweep.runner import run_sweep
+        from repro.sweep.spec import get_sweep_spec
+
+        directory = tmp_path_factory.mktemp("export") / "sweep"
+        run_sweep(
+            get_sweep_spec("smoke"),
+            out_dir=directory,
+            chunk_points=32,
+            verify=4,
+        )
+        return directory
+
+    def test_sweep_dir_is_auto_detected(self, sweepdir):
+        from repro.obs.export import export_sweep_chrome
+
+        assert export_chrome(sweepdir) == export_sweep_chrome(sweepdir)
+
+    def test_chunk_spans_tile_the_measured_walls(self, sweepdir):
+        doc = export_chrome(sweepdir)
+        assert _thread_names(doc) == ["sweep"]
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        # 72 points in 32-point chunks: 3 chunks, laid end to end.
+        assert [e["name"] for e in spans] == [
+            "chunk-0", "chunk-1", "chunk-2"
+        ]
+        assert [e["args"]["points"] for e in spans] == [32, 32, 8]
+        assert all(e["args"]["system"] == "aurora" for e in spans)
+        cursor = 0.0
+        for span in spans:
+            assert span["ts"] == pytest.approx(cursor)
+            cursor += span["dur"]
+
+    def test_best_point_and_summary_instants(self, sweepdir):
+        doc = export_chrome(sweepdir)
+        instants = {
+            e["name"]: e["args"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "i"
+        }
+        best = instants["best-point"]
+        assert best["system"] == "aurora"
+        assert best["gflops"] > 0
+        assert {"param_tile_m", "param_tile_n", "param_tile_k"} <= set(best)
+        summary = instants["sweep-summary"]
+        assert summary["spec"] == "smoke"
+        assert summary["points"] == 72
+        assert summary["verified_sample"] == 4
+        assert summary["batch_speedup"] > 0
+
+    def test_unreadable_summary_is_an_error(self, tmp_path):
+        from repro.obs.export import export_sweep_chrome
+
+        (tmp_path / "sweep.json").write_text("{broken")
+        with pytest.raises(CampaignError, match="no readable sweep summary"):
+            export_sweep_chrome(tmp_path)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.obs.trend import kernel_deltas, trend_main, trend_report
-from repro.obs.trend import _campaign_lines
+from repro.obs.trend import _campaign_lines, _sweep_lines
 from repro.profiler.baseline import build_snapshot, write_baseline
 
 
@@ -193,3 +193,78 @@ class TestTrendReport:
         )
         assert "sim-cache" in report
         assert "kernel attribution:" in report
+
+
+def _sweep_entry(points_per_s, speedup, *, points=138240.0):
+    return {
+        "bench": "sweep",
+        "system": "ci",
+        "fom": 650000.0,
+        "points": points,
+        "points_per_s": points_per_s,
+        "batch_speedup": speedup,
+        "scalar_points_per_s": points_per_s / speedup,
+        "verified_sample": 64.0,
+        "wall_s": points / points_per_s,
+    }
+
+
+class TestSweepLines:
+    def test_both_snapshots_get_throughput_arrows(self):
+        (line,) = _sweep_lines(
+            {"sweep@ci": _sweep_entry(4.0e6, 60.0)},
+            {"sweep@ci": _sweep_entry(6.0e6, 75.0)},
+        )
+        assert line == (
+            "sweep@ci: 138,240 points, 4.0 -> 6.0 M points/s (x1.50), "
+            "batch speedup x60 -> x75"
+        )
+
+    def test_new_entry_is_flagged(self):
+        (line,) = _sweep_lines({}, {"sweep@ci": _sweep_entry(5.0e6, 70.0)})
+        assert line == (
+            "sweep@ci: 138,240 points, 5.0 M points/s, "
+            "batch speedup x70  [new entry]"
+        )
+
+    def test_dropped_entry_is_called_out(self):
+        (line,) = _sweep_lines({"sweep@ci": _sweep_entry(5.0e6, 70.0)}, {})
+        assert line == "sweep@ci: dropped from the newer snapshot"
+
+    def test_plain_and_campaign_entries_are_ignored(self):
+        entries = {
+            "gemm@aurora": _bench_entry("gemm", "aurora", 100.0),
+            "campaign-paper@jobs4": _campaign_entry(2.0, 9, 1),
+        }
+        assert _sweep_lines(entries, entries) == []
+
+
+class TestSweepTrendReport:
+    def _write(self, path, entries):
+        write_baseline(path, build_snapshot(entries))
+        return str(path)
+
+    def test_report_carries_a_sweep_section(self, tmp_path):
+        base = self._write(
+            tmp_path / "b0.json", [_sweep_entry(4.0e6, 60.0)]
+        )
+        cur = self._write(
+            tmp_path / "b1.json", [_sweep_entry(6.0e6, 75.0)]
+        )
+        report = trend_report([base, cur])
+        assert "sweep throughput:" in report
+        assert "4.0 -> 6.0 M points/s" in report
+
+    def test_committed_bench3_is_trendable(self):
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "..")
+        report = trend_report(
+            [
+                os.path.join(root, "BENCH_2.json"),
+                os.path.join(root, "BENCH_3.json"),
+            ]
+        )
+        assert "sweep throughput:" in report
+        assert "sweep@ci" in report
+        assert "[new entry]" in report

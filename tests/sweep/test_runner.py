@@ -1,0 +1,172 @@
+"""The sweep runner: artifacts, determinism, NDJSON schema, the gate
+entries, and agreement with an exhaustive scalar enumeration."""
+
+import filecmp
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.systems import get_system
+from repro.sim.engine import PerfEngine
+from repro.sim.noise import QUIET
+from repro.sweep.runner import (
+    SWEEP_FILE,
+    SWEEP_SUMMARY_SCHEMA,
+    _chunk_batch,
+    run_sweep,
+    render_summary,
+    sweep_benchmark_entries,
+)
+from repro.sweep.spec import get_sweep_spec
+
+SMOKE = get_sweep_spec("smoke")
+
+NDJSON_KEYS = {
+    "v", "spec", "system", "index", "n_stacks", "precision", "params",
+    "gflops", "total_s", "bound",
+}
+
+
+def _enumerate_scalar(spec):
+    """Brute-force every point through the scalar golden reference."""
+    rows = []
+    for sysname in spec.systems:
+        engine = PerfEngine(get_system(sysname), noise=QUIET)
+        points = spec.system_points(sysname)
+        for local in range(points):
+            batch, _ = _chunk_batch(spec, sysname, local, 1)
+            kernel = batch.spec(0)
+            n_stacks = int(batch.n_stacks[0])
+            point = engine.roofline(kernel, n_stacks)
+            fom = kernel.flops / point.total_s if point.total_s else 0.0
+            rows.append((sysname, local, fom, point))
+    return rows
+
+
+class TestRunSweep:
+    def test_summary_and_artifacts(self, tmp_path):
+        out = tmp_path / "run"
+        outcome = run_sweep(
+            SMOKE, out_dir=out, top_k=8, ndjson=True, verify=16
+        )
+        summary = outcome.summary
+        assert summary["schema"] == SWEEP_SUMMARY_SCHEMA
+        assert summary["points"] == SMOKE.n_points() == 72
+        assert summary["scalar"]["verified"] is True
+        assert summary["scalar"]["sample"] == 16
+        assert summary["scalar"]["speedup"] is not None
+        assert summary["best"] == outcome.topk[0] == outcome.best
+        assert (out / SWEEP_FILE).exists()
+        assert (out / "topk.ndjson").exists()
+        assert (out / "results.ndjson").exists()
+        on_disk = json.loads((out / SWEEP_FILE).read_text())
+        assert on_disk["points"] == 72
+        assert on_disk["results"] == "results.ndjson"
+
+    def test_topk_matches_exhaustive_scalar_enumeration(self):
+        outcome = run_sweep(SMOKE, top_k=8, verify=0)
+        rows = _enumerate_scalar(SMOKE)
+        rows.sort(key=lambda r: (-r[2], r[1]))
+        for rank, row in enumerate(outcome.topk):
+            sysname, local, fom, point = rows[rank]
+            assert row["system"] == sysname
+            assert row["index"] == local
+            assert row["gflops"] == fom / 1e9
+            assert row["total_s"] == point.total_s
+            assert row["bound"] == point.bound
+
+    def test_topk_is_sorted_and_bounded(self):
+        outcome = run_sweep(SMOKE, top_k=5, verify=0)
+        assert len(outcome.topk) == 5
+        foms = [row["gflops"] for row in outcome.topk]
+        assert foms == sorted(foms, reverse=True)
+
+    def test_chunking_does_not_change_results(self, tmp_path):
+        a = tmp_path / "one-chunk"
+        b = tmp_path / "many-chunks"
+        run_sweep(SMOKE, out_dir=a, ndjson=True, verify=0)
+        run_sweep(SMOKE, out_dir=b, ndjson=True, verify=0, chunk_points=7)
+        for name in ("topk.ndjson", "results.ndjson"):
+            assert filecmp.cmp(a / name, b / name, shallow=False), name
+
+    def test_fork_sharding_is_byte_identical(self, tmp_path):
+        serial = tmp_path / "serial"
+        forked = tmp_path / "forked"
+        run_sweep(
+            SMOKE, out_dir=serial, ndjson=True, verify=0, chunk_points=16
+        )
+        run_sweep(
+            SMOKE, out_dir=forked, ndjson=True, verify=0, chunk_points=16,
+            jobs=3,
+        )
+        for name in ("topk.ndjson", "results.ndjson"):
+            assert filecmp.cmp(serial / name, forked / name, shallow=False)
+
+    def test_results_ndjson_schema(self, tmp_path):
+        out = tmp_path / "run"
+        run_sweep(SMOKE, out_dir=out, ndjson=True, verify=0)
+        lines = (out / "results.ndjson").read_text().splitlines()
+        assert len(lines) == SMOKE.n_points()
+        seen = set()
+        for line in lines:
+            row = json.loads(line)
+            assert set(row) == NDJSON_KEYS
+            assert row["v"] == 1
+            assert row["spec"] == "smoke"
+            assert row["system"] in SMOKE.systems
+            assert set(row["params"]) == {"tile_m", "tile_n", "tile_k"}
+            assert row["bound"] in ("latency", "memory", "compute")
+            assert row["total_s"] > 0
+            seen.add((row["system"], row["index"]))
+        assert len(seen) == SMOKE.n_points()
+
+    def test_ndjson_rows_match_topk_rows(self, tmp_path):
+        out = tmp_path / "run"
+        outcome = run_sweep(out_dir=out, spec=SMOKE, ndjson=True, verify=0)
+        by_index = {}
+        for line in (out / "results.ndjson").read_text().splitlines():
+            row = json.loads(line)
+            by_index[(row["system"], row["index"])] = row
+        for row in outcome.topk:
+            full = by_index[(row["system"], row["index"])]
+            assert full["gflops"] == row["gflops"]
+            assert full["total_s"] == row["total_s"]
+            assert full["params"] == row["params"]
+            assert full["bound"] == row["bound"]
+
+    def test_verify_zero_skips_scalar_pass(self):
+        outcome = run_sweep(SMOKE, verify=0)
+        assert outcome.summary["scalar"] == {
+            "sample": 0, "points_per_s": None, "verified": False,
+            "speedup": None,
+        }
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="top_k"):
+            run_sweep(SMOKE, top_k=0)
+        with pytest.raises(ConfigurationError, match="chunk_points"):
+            run_sweep(SMOKE, chunk_points=0)
+        with pytest.raises(ConfigurationError, match="jobs"):
+            run_sweep(SMOKE, jobs=0)
+
+    def test_render_summary_mentions_the_headline(self):
+        outcome = run_sweep(SMOKE, top_k=3, verify=8)
+        text = render_summary(outcome.summary, outcome.topk)
+        assert "72 points" in text.replace(",", "")
+        assert "bit-for-bit OK" in text
+        assert "batch speedup" in text
+
+
+class TestBenchmarkEntries:
+    def test_entry_shape(self):
+        entries = sweep_benchmark_entries("smoke", verify=16)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["bench"] == "sweep"
+        assert entry["system"] == "smoke"
+        assert entry["points"] == 72
+        assert entry["verified_sample"] == 16
+        assert entry["points_per_s"] > 0
+        assert entry["batch_speedup"] > 0
+        assert entry["fom"] > 0
